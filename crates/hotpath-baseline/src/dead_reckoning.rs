@@ -1,0 +1,166 @@
+//! Dead-reckoning location updates: the classic client-side filter used
+//! by moving-object databases (cf. the adaptive-filter literature the
+//! paper cites in Section 2).
+//!
+//! The client shares a linear motion model (anchor + velocity) with the
+//! server and stays silent while its true position agrees with the
+//! model within `eps`; a violation uploads a fresh anchor/velocity.
+//! Unlike RayTrace it maintains no safe area and yields no motion-path
+//! guarantee — it is a *communication* baseline: how much of RayTrace's
+//! suppression comes from mere linear prediction, and what the
+//! covering-set machinery costs on top.
+
+use hotpath_core::geometry::{Point, TimePoint};
+use hotpath_core::time::Timestamp;
+use hotpath_core::ObjectId;
+
+/// A dead-reckoning update message: new anchor and velocity.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DrUpdate {
+    /// Reporting object.
+    pub object: ObjectId,
+    /// New anchor timepoint.
+    pub anchor: TimePoint,
+    /// New velocity estimate, meters per granule.
+    pub velocity: Point,
+}
+
+impl DrUpdate {
+    /// Wire size: anchor point + timestamp + velocity + object id.
+    pub const WIRE_BYTES: usize = 16 + 8 + 16 + 8;
+}
+
+/// Per-filter accounting.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct DrStats {
+    /// Measurements fed to the filter.
+    pub observed: u64,
+    /// Measurements suppressed by the model.
+    pub suppressed: u64,
+    /// Updates sent.
+    pub updates: u64,
+}
+
+/// The client-side dead-reckoning filter.
+#[derive(Clone, Debug)]
+pub struct DeadReckoningFilter {
+    object: ObjectId,
+    eps: f64,
+    anchor: TimePoint,
+    velocity: Point,
+    stats: DrStats,
+}
+
+impl DeadReckoningFilter {
+    /// Creates a filter anchored at the object's first known position
+    /// with zero initial velocity.
+    pub fn new(object: ObjectId, seed: TimePoint, eps: f64) -> Self {
+        assert!(eps > 0.0, "eps must be positive");
+        DeadReckoningFilter {
+            object,
+            eps,
+            anchor: seed,
+            velocity: Point::ORIGIN,
+            stats: DrStats::default(),
+        }
+    }
+
+    /// The position the server currently predicts for time `t`.
+    pub fn predicted(&self, t: Timestamp) -> Point {
+        let dt = t.since(self.anchor.t) as f64;
+        self.anchor.p + self.velocity * dt
+    }
+
+    /// Feeds a measurement; returns an update when the prediction
+    /// deviates by more than `eps` (max-distance).
+    pub fn observe(&mut self, tp: TimePoint) -> Option<DrUpdate> {
+        self.stats.observed += 1;
+        let predicted = self.predicted(tp.t);
+        if predicted.dist_linf(&tp.p) <= self.eps {
+            self.stats.suppressed += 1;
+            return None;
+        }
+        // Re-anchor: velocity from the previous anchor to here.
+        let dt = tp.t.since(self.anchor.t).max(1) as f64;
+        self.velocity = (tp.p - self.anchor.p) / dt;
+        self.anchor = tp;
+        self.stats.updates += 1;
+        Some(DrUpdate { object: self.object, anchor: tp, velocity: self.velocity })
+    }
+
+    /// Accounting.
+    pub fn stats(&self) -> DrStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tp(x: f64, y: f64, t: u64) -> TimePoint {
+        TimePoint::new(Point::new(x, y), Timestamp(t))
+    }
+
+    #[test]
+    fn constant_velocity_sends_one_update() {
+        let mut f = DeadReckoningFilter::new(ObjectId(0), tp(0.0, 0.0, 0), 2.0);
+        let mut updates = 0;
+        for t in 1..=100u64 {
+            if f.observe(tp(5.0 * t as f64, 0.0, t)).is_some() {
+                updates += 1;
+            }
+        }
+        // First point violates the zero-velocity prior; afterwards the
+        // learned velocity predicts perfectly.
+        assert_eq!(updates, 1);
+        assert_eq!(f.stats().suppressed, 99);
+    }
+
+    #[test]
+    fn stationary_object_is_silent() {
+        let mut f = DeadReckoningFilter::new(ObjectId(0), tp(3.0, 4.0, 0), 1.0);
+        for t in 1..=50u64 {
+            assert!(f.observe(tp(3.0, 4.0, t)).is_none());
+        }
+        assert_eq!(f.stats().updates, 0);
+    }
+
+    #[test]
+    fn noise_within_eps_is_suppressed() {
+        let mut f = DeadReckoningFilter::new(ObjectId(0), tp(0.0, 0.0, 0), 2.0);
+        let _ = f.observe(tp(5.0, 0.0, 1)); // learn velocity (5, 0)
+        for t in 2..=50u64 {
+            let wiggle = if t % 2 == 0 { 1.5 } else { -1.5 };
+            assert!(
+                f.observe(tp(5.0 * t as f64, wiggle, t)).is_none(),
+                "wiggle within eps reported at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn turn_triggers_reanchor_with_new_velocity() {
+        let mut f = DeadReckoningFilter::new(ObjectId(0), tp(0.0, 0.0, 0), 1.0);
+        let _ = f.observe(tp(10.0, 0.0, 1));
+        for t in 2..=10u64 {
+            let _ = f.observe(tp(10.0 * t as f64, 0.0, t));
+        }
+        // 90-degree turn: prediction fails, update carries the new
+        // velocity estimate.
+        let update = f.observe(tp(100.0, 10.0, 11)).expect("turn must update");
+        assert!(update.velocity.y > 0.0);
+        assert_eq!(update.anchor.p, Point::new(100.0, 10.0));
+        // Post-turn prediction follows the new heading.
+        let p = f.predicted(Timestamp(12));
+        assert!(p.y > 10.0);
+    }
+
+    #[test]
+    fn prediction_is_linear_in_time() {
+        let mut f = DeadReckoningFilter::new(ObjectId(0), tp(0.0, 0.0, 0), 1.0);
+        let _ = f.observe(tp(4.0, 2.0, 2)); // velocity (2, 1)
+        assert_eq!(f.predicted(Timestamp(3)), Point::new(6.0, 3.0));
+        assert_eq!(f.predicted(Timestamp(10)), Point::new(20.0, 10.0));
+    }
+}

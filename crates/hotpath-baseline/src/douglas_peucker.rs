@@ -1,0 +1,153 @@
+//! The classic (offline) Douglas-Peucker line simplification [8].
+//!
+//! Multiple passes over the data make it unusable on-line (Section 2),
+//! but it is the gold standard the opening-window variants approximate,
+//! so we implement it for validation and comparison.
+
+use hotpath_core::geometry::{Point, Segment};
+
+/// Distance metric used for the tolerance test.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Metric {
+    /// Euclidean point-to-segment distance (the classic choice).
+    L2,
+    /// Max-distance point-to-segment distance (consistent with the hot
+    /// motion path tolerance).
+    LInf,
+}
+
+impl Metric {
+    /// Distance from `p` to the segment under this metric.
+    pub fn dist(self, seg: &Segment, p: &Point) -> f64 {
+        match self {
+            Metric::L2 => seg.dist_l2_point(p),
+            Metric::LInf => seg.dist_linf_point(p),
+        }
+    }
+}
+
+/// Simplifies `points` within tolerance `eps`, returning the indices of
+/// the retained vertices (always including the first and last).
+///
+/// Runs the standard recursion: find the farthest point from the chord;
+/// if it exceeds `eps`, split there and recurse.
+pub fn simplify(points: &[Point], eps: f64, metric: Metric) -> Vec<usize> {
+    assert!(eps >= 0.0, "eps must be non-negative");
+    if points.len() <= 2 {
+        return (0..points.len()).collect();
+    }
+    let mut keep = vec![false; points.len()];
+    keep[0] = true;
+    keep[points.len() - 1] = true;
+    // Explicit stack instead of recursion (long trajectories).
+    let mut stack = vec![(0usize, points.len() - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let chord = Segment::new(points[lo], points[hi]);
+        let (mut worst, mut worst_d) = (lo, -1.0f64);
+        for (i, p) in points.iter().enumerate().take(hi).skip(lo + 1) {
+            let d = metric.dist(&chord, p);
+            if d > worst_d {
+                worst_d = d;
+                worst = i;
+            }
+        }
+        if worst_d > eps {
+            keep[worst] = true;
+            stack.push((lo, worst));
+            stack.push((worst, hi));
+        }
+    }
+    keep.iter()
+        .enumerate()
+        .filter_map(|(i, &k)| k.then_some(i))
+        .collect()
+}
+
+/// Maximum deviation of the original points from the simplified
+/// polyline: the guarantee DP provides is that this never exceeds `eps`.
+pub fn max_deviation(points: &[Point], kept: &[usize], metric: Metric) -> f64 {
+    let mut worst = 0.0f64;
+    for w in kept.windows(2) {
+        let chord = Segment::new(points[w[0]], points[w[1]]);
+        for p in &points[w[0]..=w[1]] {
+            worst = worst.max(metric.dist(&chord, p));
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn straight_line_keeps_only_endpoints() {
+        let pts: Vec<Point> = (0..50).map(|i| p(i as f64, 0.0)).collect();
+        let kept = simplify(&pts, 0.5, Metric::L2);
+        assert_eq!(kept, vec![0, 49]);
+    }
+
+    #[test]
+    fn sharp_corner_is_retained() {
+        let mut pts: Vec<Point> = (0..=10).map(|i| p(i as f64, 0.0)).collect();
+        pts.extend((1..=10).map(|i| p(10.0, i as f64)));
+        let kept = simplify(&pts, 0.5, Metric::L2);
+        assert!(kept.contains(&10), "corner vertex dropped: {kept:?}");
+        assert_eq!(kept.first(), Some(&0));
+        assert_eq!(kept.last(), Some(&20));
+    }
+
+    #[test]
+    fn deviation_bound_holds() {
+        // A wavy path.
+        let pts: Vec<Point> = (0..200)
+            .map(|i| p(i as f64, (i as f64 * 0.3).sin() * 5.0))
+            .collect();
+        for eps in [0.5, 1.0, 2.0, 5.0] {
+            for metric in [Metric::L2, Metric::LInf] {
+                let kept = simplify(&pts, eps, metric);
+                let dev = max_deviation(&pts, &kept, metric);
+                assert!(dev <= eps + 1e-9, "eps={eps}: deviation {dev}");
+            }
+        }
+    }
+
+    #[test]
+    fn larger_eps_keeps_fewer_points() {
+        let pts: Vec<Point> = (0..300)
+            .map(|i| p(i as f64, (i as f64 * 0.2).sin() * 10.0))
+            .collect();
+        let fine = simplify(&pts, 0.5, Metric::L2).len();
+        let coarse = simplify(&pts, 5.0, Metric::L2).len();
+        assert!(coarse < fine, "coarse {coarse} !< fine {fine}");
+        assert!(coarse >= 2);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert_eq!(simplify(&[], 1.0, Metric::L2), Vec::<usize>::new());
+        assert_eq!(simplify(&[p(0.0, 0.0)], 1.0, Metric::L2), vec![0]);
+        assert_eq!(simplify(&[p(0.0, 0.0), p(1.0, 1.0)], 1.0, Metric::L2), vec![0, 1]);
+    }
+
+    #[test]
+    fn linf_metric_differs_from_l2_where_expected() {
+        // Distance from (5,5) to segment (0,0)-(10,0): L2 = 5, L-inf = 5
+        // (vertical drop dominates either way)...
+        let seg = Segment::new(p(0.0, 0.0), p(10.0, 0.0));
+        assert_eq!(Metric::L2.dist(&seg, &p(5.0, 5.0)), 5.0);
+        assert_eq!(Metric::LInf.dist(&seg, &p(5.0, 5.0)), 5.0);
+        // ...but past the endpoint they diverge: point (13, 4).
+        let l2 = Metric::L2.dist(&seg, &p(13.0, 4.0));
+        let linf = Metric::LInf.dist(&seg, &p(13.0, 4.0));
+        assert!((l2 - 5.0).abs() < 1e-12);
+        assert!((linf - 4.0).abs() < 1e-12, "linf {linf}");
+    }
+}

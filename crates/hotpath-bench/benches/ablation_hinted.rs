@@ -1,0 +1,31 @@
+//! Ablation for the Section 7 feedback extension: full-simulation cost
+//! with and without coordinator hints. Quality deltas are printed by
+//! `experiments hinted`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hotpath_bench::Scale;
+use hotpath_sim::simulation::{run, SimulationParams};
+
+fn bench_hinted(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hinted_ablation");
+    g.sample_size(10);
+    for hints in [false, true] {
+        let params = SimulationParams {
+            n: 500,
+            hints,
+            run_dp: false,
+            ..Scale::Quick.base(2011)
+        };
+        g.bench_with_input(
+            BenchmarkId::new("simulate", if hints { "hinted" } else { "plain" }),
+            &params,
+            |b, p| {
+                b.iter(|| run(*p));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hinted);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Index-structure ablation: the paper's grid (Section 5.1) vs a
+//! hand-rolled Guttman R-tree for the endpoint workloads the SinglePath
+//! strategy generates (inserts, FSA-sized range queries, deletions).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use hotpath_core::geometry::{Point, Rect};
+use hotpath_core::index::{EndKind, EndpointGrid, Entry, RTree};
+use hotpath_core::motion_path::PathId;
+
+fn endpoints(n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| Point::new(((i * 37) % 15_000) as f64, ((i * 61) % 15_000) as f64))
+        .collect()
+}
+
+fn filled_grid(pts: &[Point]) -> EndpointGrid {
+    let mut g = EndpointGrid::new(250.0);
+    for (i, p) in pts.iter().enumerate() {
+        g.insert(Entry { endpoint: *p, path: PathId(i as u64), other: *p, kind: EndKind::End });
+    }
+    g
+}
+
+fn filled_rtree(pts: &[Point]) -> RTree<u64> {
+    let mut t = RTree::new();
+    for (i, p) in pts.iter().enumerate() {
+        t.insert(*p, i as u64);
+    }
+    t
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index_backend");
+    for n in [1_000usize, 10_000, 100_000] {
+        let pts = endpoints(n);
+        // FSA-sized query box (2 eps = 20 m).
+        let fsa = Rect::new(Point::new(7_000.0, 7_000.0), Point::new(7_020.0, 7_020.0));
+
+        g.bench_with_input(BenchmarkId::new("grid_query", n), &pts, |b, pts| {
+            let grid = filled_grid(pts);
+            b.iter(|| grid.query(&fsa).len());
+        });
+        g.bench_with_input(BenchmarkId::new("rtree_query", n), &pts, |b, pts| {
+            let tree = filled_rtree(pts);
+            b.iter(|| tree.query(&fsa).len());
+        });
+
+        g.bench_with_input(BenchmarkId::new("grid_insert_remove", n), &pts, |b, pts| {
+            b.iter_batched(
+                || filled_grid(pts),
+                |mut grid| {
+                    let e = Entry {
+                        endpoint: Point::new(1.0, 1.0),
+                        path: PathId(u64::MAX),
+                        other: Point::new(1.0, 1.0),
+                        kind: EndKind::End,
+                    };
+                    grid.insert(e);
+                    grid.remove(&Point::new(1.0, 1.0), PathId(u64::MAX), EndKind::End);
+                    grid
+                },
+                BatchSize::LargeInput,
+            );
+        });
+        g.bench_with_input(BenchmarkId::new("rtree_insert_remove", n), &pts, |b, pts| {
+            b.iter_batched(
+                || filled_rtree(pts),
+                |mut tree| {
+                    tree.insert(Point::new(1.0, 1.0), u64::MAX);
+                    tree.remove(Point::new(1.0, 1.0), &u64::MAX);
+                    tree
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! DP-competitor benches: opening-window push cost (the paper calls the
+//! violation check "very costly") and the MBB insert-or-bump path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use hotpath_baseline::{DpHotSegments, EndpointPolicy, OpeningWindow, Metric};
+use hotpath_core::geometry::{Point, Segment, TimePoint};
+use hotpath_core::time::{SlidingWindow, Timestamp};
+
+fn wavy(len: u64) -> Vec<TimePoint> {
+    (1..=len)
+        .map(|t| {
+            TimePoint::new(
+                Point::new(10.0 * t as f64, (t as f64 * 0.25).sin() * 8.0),
+                Timestamp(t),
+            )
+        })
+        .collect()
+}
+
+fn bench_opening_window(c: &mut Criterion) {
+    let mut g = c.benchmark_group("opening_window");
+    for policy in [EndpointPolicy::Nopw, EndpointPolicy::Bopw] {
+        let pts = wavy(2_000);
+        g.throughput(Throughput::Elements(pts.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("push", format!("{policy:?}")),
+            &pts,
+            |b, pts| {
+                b.iter_batched(
+                    || OpeningWindow::new(TimePoint::new(Point::ORIGIN, Timestamp(0)), 5.0, policy, Metric::LInf),
+                    |mut ow| {
+                        for tp in pts {
+                            let _ = ow.push(*tp);
+                        }
+                        ow
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_insert_or_bump(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dp_hot_segments");
+    g.bench_function("insert_or_bump", |b| {
+        b.iter_batched(
+            || {
+                let mut dp = DpHotSegments::new(5.0, EndpointPolicy::Nopw, SlidingWindow::new(100));
+                for i in 0..5_000u64 {
+                    let x = (i as f64 * 97.0) % 10_000.0;
+                    let y = (i as f64 * 61.0) % 10_000.0;
+                    dp.insert_or_bump(
+                        Segment::new(Point::new(x, y), Point::new(x + 50.0, y)),
+                        Timestamp(i),
+                    );
+                }
+                dp
+            },
+            |mut dp| {
+                dp.insert_or_bump(
+                    Segment::new(Point::new(123.0, 456.0), Point::new(170.0, 456.0)),
+                    Timestamp(9_999),
+                );
+                dp
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_opening_window, bench_insert_or_bump);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 7 bench: end-to-end simulation cost as the number of objects
+//! grows (eps = 10). Quality series (index size, score) are printed by
+//! `cargo run -p hotpath-bench --bin experiments -- fig7`; Criterion
+//! tracks the wall-time panel (7c) trend at CI scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hotpath_bench::Scale;
+use hotpath_sim::simulation::{run, SimulationParams};
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_vary_objects");
+    g.sample_size(10);
+    for &n in &Scale::Quick.fig7_ns() {
+        let params = SimulationParams { n, ..Scale::Quick.base(2008) };
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("simulate", n), &params, |b, p| {
+            b.iter(|| run(*p));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

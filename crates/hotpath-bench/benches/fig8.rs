@@ -1,0 +1,27 @@
+//! Figure 8 bench: end-to-end simulation cost as the tolerance grows at
+//! fixed N. The paper's 8c claim: processing time falls by more than 3x
+//! from eps = 2 to eps = 20.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hotpath_bench::Scale;
+use hotpath_sim::simulation::{run, SimulationParams};
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_vary_tolerance");
+    g.sample_size(10);
+    let n = Scale::Quick.fig8_n();
+    for &eps in &Scale::Quick.fig8_eps() {
+        let params = SimulationParams { n, eps, ..Scale::Quick.base(2009) };
+        g.bench_with_input(
+            BenchmarkId::new("simulate", format!("eps{eps}")),
+            &params,
+            |b, p| {
+                b.iter(|| run(*p));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

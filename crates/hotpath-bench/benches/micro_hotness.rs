@@ -1,0 +1,49 @@
+//! Hotness table micro-bench (Section 5.2): hash updates are expected
+//! O(1), heap churn O(log n).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use hotpath_core::hotness::Hotness;
+use hotpath_core::motion_path::PathId;
+use hotpath_core::time::{SlidingWindow, Timestamp};
+
+fn bench_hotness(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotness");
+    for n in [1_000u64, 100_000] {
+        g.bench_with_input(BenchmarkId::new("record", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut h = Hotness::new(SlidingWindow::new(100));
+                    for i in 0..n {
+                        h.record_crossing(PathId(i % 1000), Timestamp(i));
+                    }
+                    h
+                },
+                |mut h| {
+                    h.record_crossing(PathId(7), Timestamp(n));
+                    h
+                },
+                BatchSize::LargeInput,
+            );
+        });
+        g.bench_with_input(BenchmarkId::new("advance_full_window", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut h = Hotness::new(SlidingWindow::new(100));
+                    for i in 0..n {
+                        h.record_crossing(PathId(i % 1000), Timestamp(i));
+                    }
+                    h
+                },
+                |mut h| {
+                    h.advance(Timestamp(n + 200));
+                    h
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hotness);
+criterion_main!(benches);

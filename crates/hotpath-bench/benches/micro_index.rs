@@ -1,0 +1,45 @@
+//! MotionPath grid-index micro-bench (Section 5.1): expected-constant
+//! insert/delete and cheap range queries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use hotpath_core::geometry::{Point, Rect};
+use hotpath_core::index::MotionPathIndex;
+
+fn filled(n: usize) -> MotionPathIndex {
+    let mut idx = MotionPathIndex::new(250.0, 1e-3);
+    for i in 0..n {
+        let x = (i % 100) as f64 * 100.0;
+        let y = (i / 100) as f64 * 100.0;
+        idx.insert(Point::new(x, y), Point::new(x + 80.0, y + 10.0));
+    }
+    idx
+}
+
+fn bench_index(c: &mut Criterion) {
+    let mut g = c.benchmark_group("motionpath_index");
+    for n in [1_000usize, 10_000, 50_000] {
+        g.bench_with_input(BenchmarkId::new("insert_remove", n), &n, |b, &n| {
+            b.iter_batched(
+                || filled(n),
+                |mut idx| {
+                    let (id, _) = idx.insert(Point::new(5.0, 5.0), Point::new(55.0, 5.0));
+                    idx.remove(id);
+                    idx
+                },
+                BatchSize::LargeInput,
+            );
+        });
+        let idx = filled(n);
+        let fsa = Rect::new(Point::new(480.0, 80.0), Point::new(620.0, 220.0));
+        g.bench_with_input(BenchmarkId::new("case1_query", n), &idx, |b, idx| {
+            b.iter(|| idx.paths_from_into(&Point::new(500.0, 100.0), &fsa));
+        });
+        g.bench_with_input(BenchmarkId::new("case2_query", n), &idx, |b, idx| {
+            b.iter(|| idx.end_vertices_in(&fsa));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! RayTrace micro-bench: the O(1)-per-point claim of Section 4. Cost
+//! per observation must stay flat across motion patterns and stream
+//! lengths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use hotpath_core::geometry::{Point, TimePoint};
+use hotpath_core::raytrace::RayTraceFilter;
+use hotpath_core::time::Timestamp;
+use hotpath_core::ObjectId;
+
+fn stream(kind: &str, len: u64) -> Vec<TimePoint> {
+    (1..=len)
+        .map(|t| {
+            let p = match kind {
+                "straight" => Point::new(10.0 * t as f64, 0.0),
+                "wavy" => Point::new(10.0 * t as f64, (t as f64 * 0.3).sin() * 4.0),
+                _ => {
+                    // Right-angle turns every 40 points.
+                    let leg = (t / 40) % 2;
+                    if leg == 0 {
+                        Point::new(10.0 * t as f64, (t / 80) as f64 * 400.0)
+                    } else {
+                        Point::new(10.0 * (40 * (t / 40)) as f64, 10.0 * (t % 40) as f64)
+                    }
+                }
+            };
+            TimePoint::new(p, Timestamp(t))
+        })
+        .collect()
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("raytrace_observe");
+    for kind in ["straight", "wavy", "turns"] {
+        for len in [1_000u64, 10_000] {
+            let points = stream(kind, len);
+            g.throughput(Throughput::Elements(len));
+            g.bench_with_input(
+                BenchmarkId::new(kind, len),
+                &points,
+                |b, pts| {
+                    b.iter_batched(
+                        || RayTraceFilter::new(ObjectId(0), TimePoint::new(Point::ORIGIN, Timestamp(0)), 5.0),
+                        |mut f| {
+                            for tp in pts {
+                                if let Some(s) = f.observe(*tp) {
+                                    let _ = f.receive_endpoint(TimePoint::new(s.fsa.centroid(), s.te));
+                                }
+                            }
+                            f
+                        },
+                        BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_observe);
+criterion_main!(benches);

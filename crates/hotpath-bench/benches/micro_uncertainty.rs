@@ -1,0 +1,28 @@
+//! Uncertainty micro-bench (Section 4.1): the bisection solver vs the
+//! precomputed-table fast path the paper recommends.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hotpath_core::uncertainty::{half_width_exact, FallbackPolicy, ToleranceTable};
+
+fn bench_tolerance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tolerance_interval");
+    g.bench_function("bisection_exact", |b| {
+        let mut sigma = 0.5;
+        b.iter(|| {
+            sigma = if sigma > 4.0 { 0.5 } else { sigma + 0.1 };
+            half_width_exact(10.0, 0.05, sigma)
+        });
+    });
+    let table = ToleranceTable::build(10.0, 0.05, 6.0, 256, FallbackPolicy::Reject);
+    g.bench_function("table_lookup", |b| {
+        let mut sigma = 0.5;
+        b.iter(|| {
+            sigma = if sigma > 4.0 { 0.5 } else { sigma + 0.1 };
+            table.half_width(sigma)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tolerance);
+criterion_main!(benches);

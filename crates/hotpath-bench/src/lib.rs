@@ -1,0 +1,122 @@
+//! # hotpath-bench
+//!
+//! Shared workload builders for the Criterion benches and the
+//! `experiments` binary that regenerates every figure of the paper's
+//! evaluation (Figures 7a-c, 8a-c, 9, 10 and the in-text claims).
+//!
+//! Scale levels:
+//! * `paper` — the exact parameters of Section 6.1 (N up to 100 000 on
+//!   the 1125-node Athens-like network, 250 timestamps);
+//! * `mid` — the same network at reduced N for fast runs;
+//! * `quick` — a tiny network for CI and Criterion benches.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use hotpath_netsim::network::NetworkParams;
+use hotpath_sim::simulation::SimulationParams;
+
+/// Experiment scale.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Paper-exact parameters (slow at N = 100k).
+    Paper,
+    /// Athens network, reduced populations.
+    Mid,
+    /// Tiny network, small populations (CI-friendly).
+    Quick,
+}
+
+impl Scale {
+    /// Parses a CLI tag.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "paper" => Some(Scale::Paper),
+            "mid" => Some(Scale::Mid),
+            "quick" => Some(Scale::Quick),
+            _ => None,
+        }
+    }
+
+    /// Base simulation parameters at this scale (N filled per sweep).
+    pub fn base(self, seed: u64) -> SimulationParams {
+        match self {
+            Scale::Paper => SimulationParams::paper_defaults(0, seed),
+            Scale::Mid => SimulationParams {
+                duration: 150,
+                ..SimulationParams::paper_defaults(0, seed)
+            },
+            Scale::Quick => SimulationParams {
+                network: NetworkParams::tiny(seed),
+                duration: 100,
+                window: 50,
+                // Higher agility so objects cross several roads even in
+                // the short horizon (keeps the DP competitor non-trivial).
+                agility: 0.4,
+                ..SimulationParams::paper_defaults(0, seed)
+            },
+        }
+    }
+
+    /// The Figure 7 object-count sweep at this scale.
+    pub fn fig7_ns(self) -> Vec<usize> {
+        match self {
+            Scale::Paper => vec![10_000, 20_000, 50_000, 100_000],
+            Scale::Mid => vec![2_000, 5_000, 10_000, 20_000],
+            Scale::Quick => vec![100, 200, 500, 1_000],
+        }
+    }
+
+    /// The Figure 8 tolerance sweep (same at all scales: Table 2).
+    pub fn fig8_eps(self) -> Vec<f64> {
+        vec![1.0, 2.0, 10.0, 20.0]
+    }
+
+    /// The fixed N of the Figure 8 sweep at this scale.
+    pub fn fig8_n(self) -> usize {
+        match self {
+            Scale::Paper => 20_000,
+            Scale::Mid => 5_000,
+            Scale::Quick => 500,
+        }
+    }
+
+    /// Default N for the map figures (9, 10).
+    pub fn map_n(self) -> usize {
+        match self {
+            Scale::Paper => 20_000,
+            Scale::Mid => 10_000,
+            Scale::Quick => 800,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("mid"), Some(Scale::Mid));
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("nope"), None);
+    }
+
+    #[test]
+    fn paper_scale_matches_table2() {
+        let base = Scale::Paper.base(1);
+        assert_eq!(base.eps, 10.0);
+        assert_eq!(base.window, 100);
+        assert_eq!(base.epoch, 10);
+        assert_eq!(base.duration, 250);
+        assert_eq!(Scale::Paper.fig7_ns(), vec![10_000, 20_000, 50_000, 100_000]);
+        assert_eq!(Scale::Paper.fig8_n(), 20_000);
+        assert_eq!(Scale::Paper.fig8_eps(), vec![1.0, 2.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn quick_scale_is_small() {
+        assert!(Scale::Quick.fig7_ns().iter().max().unwrap() <= &1_000);
+    }
+}

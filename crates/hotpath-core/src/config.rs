@@ -1,0 +1,173 @@
+//! Framework configuration: tolerance model, window, epochs, grid.
+
+use crate::time::{EpochClock, SlidingWindow};
+
+/// The tolerance model of Section 3.1: either a crisp `eps`, or the
+/// uncertainty-aware `(eps, delta)` pair in which a location is *close*
+/// when it is within `eps` with probability at least `1 - delta`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Tolerance {
+    /// Deterministic tolerance `eps` (meters, max-distance).
+    Crisp {
+        /// Tolerance radius in meters.
+        eps: f64,
+    },
+    /// Probabilistic tolerance `(eps, delta)` for Gaussian measurements.
+    Uncertain {
+        /// Tolerance radius in meters.
+        eps: f64,
+        /// Permitted failure probability in `(0, 1)`.
+        delta: f64,
+    },
+}
+
+impl Tolerance {
+    /// Crisp tolerance constructor.
+    pub fn crisp(eps: f64) -> Self {
+        assert!(eps > 0.0 && eps.is_finite(), "eps must be positive, got {eps}");
+        Tolerance::Crisp { eps }
+    }
+
+    /// Probabilistic tolerance constructor.
+    pub fn uncertain(eps: f64, delta: f64) -> Self {
+        assert!(eps > 0.0 && eps.is_finite(), "eps must be positive, got {eps}");
+        assert!(
+            delta > 0.0 && delta < 1.0,
+            "delta must lie in (0, 1), got {delta}"
+        );
+        Tolerance::Uncertain { eps, delta }
+    }
+
+    /// The `eps` radius, under either model.
+    #[inline]
+    pub fn eps(&self) -> f64 {
+        match *self {
+            Tolerance::Crisp { eps } | Tolerance::Uncertain { eps, .. } => eps,
+        }
+    }
+
+    /// The failure probability, when probabilistic.
+    #[inline]
+    pub fn delta(&self) -> Option<f64> {
+        match *self {
+            Tolerance::Crisp { .. } => None,
+            Tolerance::Uncertain { delta, .. } => Some(delta),
+        }
+    }
+}
+
+/// Full configuration of a hot-motion-path deployment.
+///
+/// Defaults mirror Table 2 of the paper: `eps = 10` m, `W = 100`
+/// timestamps, epoch `Lambda = 10` timestamps, `k = 10`.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Tolerance model.
+    pub tolerance: Tolerance,
+    /// Sliding window `W` bounding hotness.
+    pub window: SlidingWindow,
+    /// Epoch clock (`Lambda`).
+    pub epochs: EpochClock,
+    /// Number of hottest paths to report.
+    pub k: usize,
+    /// Grid-index cell side in meters.
+    pub grid_cell: f64,
+    /// Quantization grain for exact vertex identity (meters). Vertices
+    /// within the same grain cell are treated as the same vertex.
+    pub vertex_grain: f64,
+}
+
+impl Config {
+    /// The paper's default parameterization (Table 2).
+    pub fn paper_defaults() -> Self {
+        Config {
+            tolerance: Tolerance::crisp(10.0),
+            window: SlidingWindow::new(100),
+            epochs: EpochClock::new(10),
+            k: 10,
+            grid_cell: 250.0,
+            vertex_grain: 1e-3,
+        }
+    }
+
+    /// Builder-style tolerance override.
+    pub fn with_tolerance(mut self, tolerance: Tolerance) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Builder-style window override.
+    pub fn with_window(mut self, w: u64) -> Self {
+        self.window = SlidingWindow::new(w);
+        self
+    }
+
+    /// Builder-style epoch override.
+    pub fn with_epoch(mut self, lambda: u64) -> Self {
+        self.epochs = EpochClock::new(lambda);
+        self
+    }
+
+    /// Builder-style `k` override.
+    pub fn with_k(mut self, k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        self.k = k;
+        self
+    }
+
+    /// Builder-style grid-cell override.
+    pub fn with_grid_cell(mut self, cell: f64) -> Self {
+        assert!(cell > 0.0, "grid cell must be positive");
+        self.grid_cell = cell;
+        self
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table2() {
+        let c = Config::paper_defaults();
+        assert_eq!(c.tolerance.eps(), 10.0);
+        assert_eq!(c.tolerance.delta(), None);
+        assert_eq!(c.window.len, 100);
+        assert_eq!(c.epochs.lambda, 10);
+        assert_eq!(c.k, 10);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = Config::paper_defaults()
+            .with_tolerance(Tolerance::uncertain(5.0, 0.1))
+            .with_window(50)
+            .with_epoch(5)
+            .with_k(20)
+            .with_grid_cell(100.0);
+        assert_eq!(c.tolerance.eps(), 5.0);
+        assert_eq!(c.tolerance.delta(), Some(0.1));
+        assert_eq!(c.window.len, 50);
+        assert_eq!(c.epochs.lambda, 5);
+        assert_eq!(c.k, 20);
+        assert_eq!(c.grid_cell, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be positive")]
+    fn rejects_non_positive_eps() {
+        let _ = Tolerance::crisp(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must lie in (0, 1)")]
+    fn rejects_bad_delta() {
+        let _ = Tolerance::uncertain(1.0, 1.0);
+    }
+}

@@ -1,0 +1,373 @@
+//! The coordinator: epoch-batched processing of client states, index and
+//! hotness maintenance, and top-`k` / score queries (Sections 3.1, 5).
+
+use crate::config::Config;
+use crate::geometry::{Point, TimePoint};
+use crate::hotness::Hotness;
+use crate::index::MotionPathIndex;
+use crate::motion_path::{MotionPath, PathId};
+use crate::raytrace::hinted::PathHint;
+use crate::raytrace::ClientState;
+use crate::stats::{CommStats, ProcessingStats};
+use crate::strategy::{process_batch_with, OverlapPolicy, Selection};
+use crate::time::Timestamp;
+use crate::ObjectId;
+use std::time::Instant;
+
+/// The endpoint message `<e, te>` returned to a reporting object at the
+/// next epoch, optionally with a hot-path hint (Section 7 extension).
+#[derive(Clone, Copy, Debug)]
+pub struct EndpointResponse {
+    /// Destination object.
+    pub object: ObjectId,
+    /// The endpoint timepoint seeding the object's next SSA.
+    pub endpoint: TimePoint,
+    /// Optional feedback: the hottest path leaving the endpoint.
+    pub hint: Option<PathHint>,
+}
+
+impl EndpointResponse {
+    /// Wire size: one point, one timestamp, one object id...
+    pub const WIRE_BYTES: usize = 16 + 8 + 8;
+    /// ...plus a segment when a hint rides along.
+    pub const HINT_EXTRA_BYTES: usize = 32;
+
+    /// Payload bytes of this response.
+    pub fn wire_bytes(&self) -> usize {
+        Self::WIRE_BYTES + if self.hint.is_some() { Self::HINT_EXTRA_BYTES } else { 0 }
+    }
+}
+
+/// A hot path with its current hotness and score.
+#[derive(Clone, Copy, Debug)]
+pub struct HotPath {
+    /// The path.
+    pub path: MotionPath,
+    /// Crossings within the window.
+    pub hotness: u32,
+    /// `hotness x length` (Section 3.1 score).
+    pub score: f64,
+}
+
+/// The central coordinator.
+#[derive(Debug)]
+pub struct Coordinator {
+    config: Config,
+    index: MotionPathIndex,
+    hotness: Hotness,
+    pending: Vec<ClientState>,
+    comm: CommStats,
+    processing: ProcessingStats,
+    hints_enabled: bool,
+    overlap_policy: OverlapPolicy,
+}
+
+impl Coordinator {
+    /// Creates a coordinator for the given configuration.
+    pub fn new(config: Config) -> Self {
+        Coordinator {
+            config,
+            index: MotionPathIndex::new(config.grid_cell, config.vertex_grain),
+            hotness: Hotness::new(config.window),
+            pending: Vec::new(),
+            comm: CommStats::default(),
+            processing: ProcessingStats::default(),
+            hints_enabled: false,
+            overlap_policy: OverlapPolicy::Full,
+        }
+    }
+
+    /// Enables hot-path hints in endpoint responses (the Section 7
+    /// feedback extension).
+    pub fn with_hints(mut self) -> Self {
+        self.hints_enabled = true;
+        self
+    }
+
+    /// Overrides the Cases-2/3 overlap policy (ablation hook).
+    pub fn with_overlap_policy(mut self, policy: OverlapPolicy) -> Self {
+        self.overlap_policy = policy;
+        self
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &Config {
+        self.config_ref()
+    }
+
+    fn config_ref(&self) -> &Config {
+        &self.config
+    }
+
+    /// Accepts a state message (buffered until the next epoch).
+    pub fn submit(&mut self, state: ClientState) {
+        self.comm.record_uplink(ClientState::WIRE_BYTES);
+        self.pending.push(state);
+    }
+
+    /// Number of states awaiting the next epoch.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Advances the hotness clock to `now`, deleting expired paths from
+    /// the index (call once per timestamp; cheap when nothing expires).
+    pub fn advance_time(&mut self, now: Timestamp) {
+        let start = Instant::now();
+        for dead in self.hotness.advance(now) {
+            self.index.remove(dead);
+        }
+        self.processing.expiry_time += start.elapsed();
+    }
+
+    /// Runs SinglePath over the pending batch (call at epoch boundaries)
+    /// and returns the endpoint responses for all reporting objects.
+    pub fn process_epoch(&mut self, now: Timestamp) -> Vec<EndpointResponse> {
+        self.advance_time(now);
+        let states = std::mem::take(&mut self.pending);
+        let start = Instant::now();
+        let overlap_cell = (2.0 * self.config.tolerance.eps()).max(1e-6);
+        let (selections, tally) = process_batch_with(
+            &states,
+            &mut self.index,
+            &mut self.hotness,
+            overlap_cell,
+            self.overlap_policy,
+        );
+        self.processing.strategy_time += start.elapsed();
+        self.processing.epochs += 1;
+        self.processing.states_processed += states.len() as u64;
+        self.processing.case1 += tally.case1;
+        self.processing.case2 += tally.case2;
+        self.processing.case3 += tally.case3;
+
+        selections
+            .iter()
+            .map(|sel| self.respond(sel))
+            .collect()
+    }
+
+    /// Builds (and accounts) the endpoint response for one selection.
+    fn respond(&mut self, sel: &Selection) -> EndpointResponse {
+        let hint = if self.hints_enabled {
+            self.hottest_from(&sel.endpoint)
+                .map(|p| PathHint { seg: p.seg })
+        } else {
+            None
+        };
+        let resp = EndpointResponse {
+            object: sel.object,
+            endpoint: TimePoint::new(sel.endpoint, sel.te),
+            hint,
+        };
+        self.comm.record_downlink(resp.wire_bytes());
+        resp
+    }
+
+    /// The hottest path leaving the vertex at `p`, if any.
+    pub fn hottest_from(&self, p: &Point) -> Option<MotionPath> {
+        self.index
+            .paths_starting_at(p)
+            .iter()
+            .max_by_key(|&&id| (self.hotness.get(id), std::cmp::Reverse(id)))
+            .and_then(|&id| self.index.get(id))
+            .copied()
+    }
+
+    /// Number of motion paths currently stored (the paper's *index size*
+    /// metric, Figures 7a / 8a).
+    pub fn index_size(&self) -> usize {
+        self.index.len()
+    }
+
+    /// All stored paths with positive hotness, unordered.
+    pub fn hot_paths(&self) -> Vec<HotPath> {
+        self.hotness
+            .iter()
+            .filter_map(|(id, h)| {
+                self.index.get(id).map(|p| HotPath {
+                    path: *p,
+                    hotness: h,
+                    score: h as f64 * p.length(),
+                })
+            })
+            .collect()
+    }
+
+    /// The top-`k` hottest motion paths (config `k`), hottest first;
+    /// ties break toward longer paths, then lower ids (deterministic).
+    pub fn top_k(&self) -> Vec<HotPath> {
+        self.top_n(self.config.k)
+    }
+
+    /// The top-`n` hottest motion paths for an explicit `n`.
+    pub fn top_n(&self, n: usize) -> Vec<HotPath> {
+        let mut all = self.hot_paths();
+        all.sort_by(|a, b| {
+            b.hotness
+                .cmp(&a.hotness)
+                .then_with(|| b.path.length().total_cmp(&a.path.length()))
+                .then_with(|| a.path.id.cmp(&b.path.id))
+        });
+        all.truncate(n);
+        all
+    }
+
+    /// The score of the top-`k` set: the average of `hotness x length`
+    /// over its members (Section 3.1). Zero when no paths are hot.
+    pub fn top_k_score(&self) -> f64 {
+        let top = self.top_k();
+        if top.is_empty() {
+            return 0.0;
+        }
+        top.iter().map(|h| h.score).sum::<f64>() / top.len() as f64
+    }
+
+    /// Communication counters.
+    pub fn comm_stats(&self) -> CommStats {
+        self.comm
+    }
+
+    /// Processing counters.
+    pub fn processing_stats(&self) -> &ProcessingStats {
+        &self.processing
+    }
+
+    /// Read access to the index (diagnostics / reporting).
+    pub fn index(&self) -> &MotionPathIndex {
+        &self.index
+    }
+
+    /// Read access to the hotness table.
+    pub fn hotness(&self) -> &Hotness {
+        &self.hotness
+    }
+
+    /// Current hotness of a specific path.
+    pub fn hotness_of(&self, id: PathId) -> u32 {
+        self.hotness.get(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Rect;
+
+    fn cfg() -> Config {
+        Config::paper_defaults().with_epoch(10).with_window(100)
+    }
+
+    fn state(obj: u64, start: (f64, f64), end: (f64, f64), ts: u64, te: u64) -> ClientState {
+        let e = Point::new(end.0, end.1);
+        ClientState {
+            object: ObjectId(obj),
+            start: Point::new(start.0, start.1),
+            ts: Timestamp(ts),
+            fsa: Rect::new(e - Point::new(2.0, 2.0), e + Point::new(2.0, 2.0)),
+            te: Timestamp(te),
+        }
+    }
+
+    #[test]
+    fn epoch_processing_creates_and_responds() {
+        let mut c = Coordinator::new(cfg());
+        c.submit(state(1, (0.0, 0.0), (50.0, 0.0), 0, 8));
+        c.submit(state(2, (0.0, 100.0), (50.0, 100.0), 0, 9));
+        assert_eq!(c.pending_len(), 2);
+        let responses = c.process_epoch(Timestamp(10));
+        assert_eq!(responses.len(), 2);
+        assert_eq!(c.pending_len(), 0);
+        assert_eq!(c.index_size(), 2);
+        // Responses carry each object's te and an endpoint inside its FSA.
+        let r1 = responses.iter().find(|r| r.object == ObjectId(1)).unwrap();
+        assert_eq!(r1.endpoint.t, Timestamp(8));
+        assert!((r1.endpoint.p.x - 50.0).abs() <= 2.0);
+        assert!(r1.hint.is_none());
+    }
+
+    #[test]
+    fn repeated_crossings_heat_up_and_expire() {
+        let mut c = Coordinator::new(cfg());
+        // Same corridor crossed by many objects across two epochs.
+        for obj in 0..5u64 {
+            c.submit(state(obj, (0.0, 0.0), (50.0, 0.0), 0, 9));
+        }
+        let _ = c.process_epoch(Timestamp(10));
+        assert_eq!(c.index_size(), 1, "identical states must share one path");
+        let top = c.top_k();
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].hotness, 5);
+        // Score = hotness x length = 5 * 50.
+        assert!((c.top_k_score() - 250.0).abs() < 1.0);
+
+        // After W the crossings expire and the path is deleted.
+        c.advance_time(Timestamp(9 + 100));
+        assert_eq!(c.index_size(), 0);
+        assert!(c.top_k().is_empty());
+        assert_eq!(c.top_k_score(), 0.0);
+    }
+
+    #[test]
+    fn top_k_orders_by_hotness_then_length() {
+        let mut c = Coordinator::new(cfg().with_k(2));
+        // Path A: 3 crossings; path B: 1 crossing but longer; path C: 1.
+        for obj in 0..3u64 {
+            c.submit(state(obj, (0.0, 0.0), (50.0, 0.0), 0, 9));
+        }
+        c.submit(state(10, (0.0, 200.0), (150.0, 200.0), 0, 9));
+        c.submit(state(11, (0.0, 400.0), (20.0, 400.0), 0, 9));
+        let _ = c.process_epoch(Timestamp(10));
+        let top = c.top_n(3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].hotness, 3);
+        assert!(top[1].path.length() > top[2].path.length());
+        // top_k respects config k = 2.
+        assert_eq!(c.top_k().len(), 2);
+    }
+
+    #[test]
+    fn comm_accounting_tracks_both_directions() {
+        let mut c = Coordinator::new(cfg());
+        c.submit(state(1, (0.0, 0.0), (50.0, 0.0), 0, 9));
+        let _ = c.process_epoch(Timestamp(10));
+        let comm = c.comm_stats();
+        assert_eq!(comm.uplink_msgs, 1);
+        assert_eq!(comm.uplink_bytes, ClientState::WIRE_BYTES as u64);
+        assert_eq!(comm.downlink_msgs, 1);
+        assert_eq!(comm.downlink_bytes, EndpointResponse::WIRE_BYTES as u64);
+    }
+
+    #[test]
+    fn hints_report_hottest_outgoing_path() {
+        let mut c = Coordinator::new(cfg()).with_hints();
+        // Build a hot corridor out of the vertex (50, 0): two chained
+        // reports.
+        for obj in 0..4u64 {
+            c.submit(state(obj, (50.0, 0.0), (100.0, 0.0), 0, 5));
+        }
+        let _ = c.process_epoch(Timestamp(10));
+        // Now an object lands on vertex (50, 0): its response should
+        // hint at the hot outgoing path.
+        c.submit(state(9, (0.0, 0.0), (50.0, 0.0), 10, 15));
+        let responses = c.process_epoch(Timestamp(20));
+        let r = &responses[0];
+        let hint = r.hint.expect("hint expected");
+        assert_eq!(hint.seg.a, Point::new(50.0, 0.0));
+        assert_eq!(hint.seg.b, Point::new(100.0, 0.0));
+        assert_eq!(r.wire_bytes(), EndpointResponse::WIRE_BYTES + EndpointResponse::HINT_EXTRA_BYTES);
+    }
+
+    #[test]
+    fn processing_stats_accumulate() {
+        let mut c = Coordinator::new(cfg());
+        c.submit(state(1, (0.0, 0.0), (50.0, 0.0), 0, 9));
+        let _ = c.process_epoch(Timestamp(10));
+        c.submit(state(1, (50.0, 0.0), (100.0, 0.0), 9, 19));
+        let _ = c.process_epoch(Timestamp(20));
+        let p = c.processing_stats();
+        assert_eq!(p.epochs, 2);
+        assert_eq!(p.states_processed, 2);
+        assert_eq!(p.case1 + p.case2 + p.case3, 2);
+    }
+}

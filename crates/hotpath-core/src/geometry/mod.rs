@@ -1,0 +1,12 @@
+//! Geometric primitives: points, rectangles, segments, and timepoints in
+//! `xy` / `xyt` space, under the paper's max-distance tolerance metric.
+
+mod point;
+mod rect;
+mod segment;
+mod timepoint;
+
+pub use point::Point;
+pub use rect::Rect;
+pub use segment::Segment;
+pub use timepoint::{TimePoint, Trajectory};

@@ -1,0 +1,239 @@
+//! Timepoints and trajectories.
+//!
+//! A *timepoint* `<p, t>` is a point with a timestamp; a *trajectory* is
+//! a timestamp-ordered set of timepoints with linear interpolation
+//! between consecutive samples (constant-velocity assumption of
+//! Section 3.1).
+
+use super::point::Point;
+use crate::time::{TimeInterval, Timestamp};
+
+/// A point observation `<p, t>` in `xyt` space.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TimePoint {
+    /// Observed position.
+    pub p: Point,
+    /// Observation timestamp.
+    pub t: Timestamp,
+}
+
+impl TimePoint {
+    /// Creates a timepoint.
+    #[inline]
+    pub fn new(p: Point, t: Timestamp) -> Self {
+        TimePoint { p, t }
+    }
+}
+
+/// A trajectory `T = {<p_i, t_i>}` with strictly increasing timestamps.
+///
+/// Supports `T(t)` lookups by linear interpolation, which is how the
+/// paper defines an object's position between samples.
+#[derive(Clone, Debug, Default)]
+pub struct Trajectory {
+    points: Vec<TimePoint>,
+}
+
+impl Trajectory {
+    /// Creates an empty trajectory.
+    pub fn new() -> Self {
+        Trajectory { points: Vec::new() }
+    }
+
+    /// Creates an empty trajectory with room for `cap` samples.
+    pub fn with_capacity(cap: usize) -> Self {
+        Trajectory { points: Vec::with_capacity(cap) }
+    }
+
+    /// Builds a trajectory from samples, validating timestamp order.
+    ///
+    /// # Panics
+    /// Panics when timestamps are not strictly increasing.
+    pub fn from_points(points: Vec<TimePoint>) -> Self {
+        for w in points.windows(2) {
+            assert!(
+                w[0].t < w[1].t,
+                "trajectory timestamps must strictly increase: {:?} then {:?}",
+                w[0].t,
+                w[1].t
+            );
+        }
+        Trajectory { points }
+    }
+
+    /// Appends a sample; its timestamp must exceed the last one.
+    pub fn push(&mut self, tp: TimePoint) {
+        if let Some(last) = self.points.last() {
+            assert!(
+                last.t < tp.t,
+                "out-of-order trajectory sample: {:?} after {:?}",
+                tp.t,
+                last.t
+            );
+        }
+        self.points.push(tp);
+    }
+
+    /// Number of stored samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no samples are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The raw samples, in timestamp order.
+    #[inline]
+    pub fn points(&self) -> &[TimePoint] {
+        &self.points
+    }
+
+    /// The covered time span, or `None` when empty.
+    pub fn span(&self) -> Option<TimeInterval> {
+        match (self.points.first(), self.points.last()) {
+            (Some(f), Some(l)) => Some(TimeInterval::new(f.t, l.t)),
+            _ => None,
+        }
+    }
+
+    /// `T(t)`: the interpolated position at `t`, or `None` outside the
+    /// covered span. At a sample timestamp the sample itself is returned;
+    /// between samples the position lies on the directed segment between
+    /// them (constant velocity).
+    pub fn position_at(&self, t: Timestamp) -> Option<Point> {
+        if self.points.is_empty() {
+            return None;
+        }
+        // Binary search for the first sample at or after t.
+        let idx = self.points.partition_point(|tp| tp.t < t);
+        if idx == self.points.len() {
+            return None; // t after the last sample
+        }
+        let hi = &self.points[idx];
+        if hi.t == t {
+            return Some(hi.p);
+        }
+        if idx == 0 {
+            return None; // t before the first sample
+        }
+        let lo = &self.points[idx - 1];
+        let lambda = t.fraction_of(lo.t, hi.t);
+        Some(lo.p.lerp(&hi.p, lambda))
+    }
+
+    /// True when the fixed point `pa` is *close* to this trajectory:
+    /// there exists a time `tk` in the span with
+    /// `dist_linf(T(tk), pa) <= eps` (Section 3.1 definition).
+    ///
+    /// Checked at every granule of the span; the span is discrete so this
+    /// is exact under the paper's discrete-time model.
+    pub fn passes_near(&self, pa: &Point, eps: f64) -> bool {
+        let Some(span) = self.span() else { return false };
+        let mut t = span.start;
+        while t <= span.end {
+            if let Some(p) = self.position_at(t) {
+                if p.dist_linf(pa) <= eps {
+                    return true;
+                }
+            }
+            t += 1;
+        }
+        false
+    }
+}
+
+impl FromIterator<TimePoint> for Trajectory {
+    fn from_iter<I: IntoIterator<Item = TimePoint>>(iter: I) -> Self {
+        Trajectory::from_points(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tp(x: f64, y: f64, t: u64) -> TimePoint {
+        TimePoint::new(Point::new(x, y), Timestamp(t))
+    }
+
+    #[test]
+    fn push_enforces_order() {
+        let mut tr = Trajectory::new();
+        tr.push(tp(0.0, 0.0, 0));
+        tr.push(tp(1.0, 0.0, 2));
+        assert_eq!(tr.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order")]
+    fn push_rejects_equal_timestamp() {
+        let mut tr = Trajectory::new();
+        tr.push(tp(0.0, 0.0, 5));
+        tr.push(tp(1.0, 0.0, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn from_points_rejects_disorder() {
+        let _ = Trajectory::from_points(vec![tp(0.0, 0.0, 3), tp(1.0, 1.0, 1)]);
+    }
+
+    #[test]
+    fn interpolation_at_and_between_samples() {
+        let tr = Trajectory::from_points(vec![tp(0.0, 0.0, 0), tp(10.0, 20.0, 10)]);
+        assert_eq!(tr.position_at(Timestamp(0)), Some(Point::new(0.0, 0.0)));
+        assert_eq!(tr.position_at(Timestamp(10)), Some(Point::new(10.0, 20.0)));
+        assert_eq!(tr.position_at(Timestamp(5)), Some(Point::new(5.0, 10.0)));
+        assert_eq!(tr.position_at(Timestamp(3)), Some(Point::new(3.0, 6.0)));
+    }
+
+    #[test]
+    fn interpolation_outside_span_is_none() {
+        let tr = Trajectory::from_points(vec![tp(0.0, 0.0, 5), tp(1.0, 1.0, 8)]);
+        assert_eq!(tr.position_at(Timestamp(4)), None);
+        assert_eq!(tr.position_at(Timestamp(9)), None);
+        assert_eq!(Trajectory::new().position_at(Timestamp(0)), None);
+    }
+
+    #[test]
+    fn interpolation_multi_segment() {
+        let tr = Trajectory::from_points(vec![
+            tp(0.0, 0.0, 0),
+            tp(10.0, 0.0, 10),
+            tp(10.0, 10.0, 20),
+        ]);
+        assert_eq!(tr.position_at(Timestamp(15)), Some(Point::new(10.0, 5.0)));
+    }
+
+    #[test]
+    fn span_and_empty() {
+        let tr = Trajectory::from_points(vec![tp(0.0, 0.0, 2), tp(1.0, 1.0, 9)]);
+        let span = tr.span().unwrap();
+        assert_eq!(span.start, Timestamp(2));
+        assert_eq!(span.end, Timestamp(9));
+        assert!(Trajectory::new().span().is_none());
+        assert!(Trajectory::new().is_empty());
+    }
+
+    #[test]
+    fn passes_near_positive_and_negative() {
+        // Object moves along y=0 from x=0 to x=100 over 100 granules.
+        let tr = Trajectory::from_points(vec![tp(0.0, 0.0, 0), tp(100.0, 0.0, 100)]);
+        assert!(tr.passes_near(&Point::new(50.0, 2.0), 2.0));
+        assert!(!tr.passes_near(&Point::new(50.0, 2.1), 2.0));
+        assert!(!tr.passes_near(&Point::new(50.0, 10.0), 2.0));
+        // A point beyond the trajectory extent in x but within eps of the
+        // endpoint is near.
+        assert!(tr.passes_near(&Point::new(101.0, 0.0), 1.0));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let tr: Trajectory = (0..5).map(|i| tp(i as f64, 0.0, i)).collect();
+        assert_eq!(tr.len(), 5);
+    }
+}

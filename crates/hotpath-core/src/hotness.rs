@@ -1,0 +1,233 @@
+//! Sliding-window hotness maintenance (Section 5.2).
+//!
+//! A hash table keeps, per motion path, the number of crossings within
+//! the last `W` time units; an event queue (min-heap on expiry time)
+//! decrements counters as crossings age out. When a counter reaches
+//! zero the path id is surfaced so the caller can delete the path from
+//! the MotionPath index.
+
+use crate::fxhash::FxHashMap;
+use crate::motion_path::PathId;
+use crate::time::{SlidingWindow, Timestamp};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The hotness table plus expiry queue.
+#[derive(Clone, Debug)]
+pub struct Hotness {
+    window: SlidingWindow,
+    counts: FxHashMap<PathId, u32>,
+    /// Min-heap of `(expiry, id)`; head is the next interval to expire.
+    queue: BinaryHeap<Reverse<(Timestamp, PathId)>>,
+    /// Total crossings ever recorded (diagnostics).
+    recorded: u64,
+}
+
+impl Hotness {
+    /// Creates an empty table over the given window.
+    pub fn new(window: SlidingWindow) -> Self {
+        Hotness {
+            window,
+            counts: FxHashMap::default(),
+            queue: BinaryHeap::new(),
+            recorded: 0,
+        }
+    }
+
+    /// The sliding window in force.
+    pub fn window(&self) -> SlidingWindow {
+        self.window
+    }
+
+    /// Records that an object crossed `id`, exiting at `te`: the counter
+    /// is incremented and `<te + W, id>` en-heaped (Section 5.2).
+    pub fn record_crossing(&mut self, id: PathId, te: Timestamp) {
+        *self.counts.entry(id).or_insert(0) += 1;
+        self.queue.push(Reverse((self.window.expiry_of(te), id)));
+        self.recorded += 1;
+    }
+
+    /// Current hotness of `id` (zero when unknown).
+    #[inline]
+    pub fn get(&self, id: PathId) -> u32 {
+        self.counts.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Number of paths with positive hotness.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when nothing is hot.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterates over `(id, hotness)` pairs with positive hotness.
+    pub fn iter(&self) -> impl Iterator<Item = (PathId, u32)> + '_ {
+        self.counts.iter().map(|(&id, &h)| (id, h))
+    }
+
+    /// Pending expiry events (diagnostics; equals the sum of counters).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total crossings ever recorded.
+    pub fn total_recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Advances the clock to `now`: de-heaps every event with
+    /// `expiry <= now`, decrements the counters, and returns the ids
+    /// whose hotness dropped to zero (the caller deletes those paths
+    /// from the index).
+    pub fn advance(&mut self, now: Timestamp) -> Vec<PathId> {
+        let mut died = Vec::new();
+        while let Some(&Reverse((expiry, id))) = self.queue.peek() {
+            if expiry > now {
+                break;
+            }
+            self.queue.pop();
+            // Stale events for forgotten ids are skipped (lazy deletion).
+            let Some(count) = self.counts.get_mut(&id) else { continue };
+            *count -= 1;
+            if *count == 0 {
+                self.counts.remove(&id);
+                died.push(id);
+            }
+        }
+        died
+    }
+
+    /// Drops a path outright (used when the caller removes a path for
+    /// reasons other than expiry). Pending expiry events for it become
+    /// no-ops only if the count is zeroed here, so this also forgets the
+    /// counter; the stale heap entries are guarded by the `counts`
+    /// lookup in [`Hotness::advance`] — hence this must only be called
+    /// for ids that will never be recorded again.
+    pub fn forget(&mut self, id: PathId) {
+        self.counts.remove(&id);
+        // Lazy deletion: heap entries for `id` will find no counter.
+        // advance() must tolerate that.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(window: u64) -> Hotness {
+        Hotness::new(SlidingWindow::new(window))
+    }
+
+    #[test]
+    fn crossings_accumulate() {
+        let mut hot = h(100);
+        hot.record_crossing(PathId(1), Timestamp(10));
+        hot.record_crossing(PathId(1), Timestamp(20));
+        hot.record_crossing(PathId(2), Timestamp(15));
+        assert_eq!(hot.get(PathId(1)), 2);
+        assert_eq!(hot.get(PathId(2)), 1);
+        assert_eq!(hot.get(PathId(3)), 0);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot.pending_events(), 3);
+        assert_eq!(hot.total_recorded(), 3);
+    }
+
+    #[test]
+    fn expiry_at_te_plus_w() {
+        let mut hot = h(100);
+        hot.record_crossing(PathId(1), Timestamp(10));
+        // Still hot one granule before expiry.
+        assert!(hot.advance(Timestamp(109)).is_empty());
+        assert_eq!(hot.get(PathId(1)), 1);
+        // Dies exactly at te + W = 110.
+        let died = hot.advance(Timestamp(110));
+        assert_eq!(died, vec![PathId(1)]);
+        assert_eq!(hot.get(PathId(1)), 0);
+        assert!(hot.is_empty());
+    }
+
+    #[test]
+    fn staggered_crossings_expire_independently() {
+        let mut hot = h(50);
+        hot.record_crossing(PathId(7), Timestamp(0));
+        hot.record_crossing(PathId(7), Timestamp(30));
+        // First crossing expires at 50; path stays hot.
+        assert!(hot.advance(Timestamp(50)).is_empty());
+        assert_eq!(hot.get(PathId(7)), 1);
+        // Second expires at 80; path dies.
+        assert_eq!(hot.advance(Timestamp(80)), vec![PathId(7)]);
+    }
+
+    #[test]
+    fn advance_handles_batched_expiries() {
+        let mut hot = h(10);
+        for i in 0..5u64 {
+            hot.record_crossing(PathId(i), Timestamp(i));
+        }
+        let mut died = hot.advance(Timestamp(100));
+        died.sort_unstable();
+        assert_eq!(died, (0..5).map(PathId).collect::<Vec<_>>());
+        assert_eq!(hot.pending_events(), 0);
+    }
+
+    #[test]
+    fn advance_is_idempotent_per_timestamp() {
+        let mut hot = h(10);
+        hot.record_crossing(PathId(1), Timestamp(0));
+        assert_eq!(hot.advance(Timestamp(10)), vec![PathId(1)]);
+        assert!(hot.advance(Timestamp(10)).is_empty());
+        assert!(hot.advance(Timestamp(11)).is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force_recount() {
+        // Property-style check on a deterministic pseudo-random schedule:
+        // hotness(id) at time t equals the number of crossings with
+        // te <= t < te + W.
+        let w = 37u64;
+        let mut hot = h(w);
+        let mut crossings: Vec<(u64, Timestamp)> = Vec::new();
+        let mut state = 12345u64;
+        let mut rand = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut now = 0u64;
+        for _ in 0..500 {
+            now += rand() % 3;
+            hot.advance(Timestamp(now));
+            let id = rand() % 8;
+            // te must not precede now in our usage (crossings end at or
+            // before the current epoch); allow small past offsets.
+            let te = Timestamp(now.saturating_sub(rand() % 5));
+            hot.record_crossing(PathId(id), te);
+            crossings.push((id, te));
+
+            for check_id in 0..8u64 {
+                let expect = crossings
+                    .iter()
+                    .filter(|&&(i, te)| {
+                        i == check_id && te.raw() + w > now
+                    })
+                    .count() as u32;
+                assert_eq!(
+                    hot.get(PathId(check_id)),
+                    expect,
+                    "mismatch for id {check_id} at t={now}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forget_removes_counter() {
+        let mut hot = h(100);
+        hot.record_crossing(PathId(1), Timestamp(0));
+        hot.forget(PathId(1));
+        assert_eq!(hot.get(PathId(1)), 0);
+        assert!(hot.is_empty());
+    }
+}

@@ -1,0 +1,234 @@
+//! The lightweight uniform grid underlying the MotionPath index
+//! (Section 5.1).
+//!
+//! Space is partitioned into square cells; each cell holds a small hash
+//! table of endpoint entries keyed by `(path id, endpoint kind)`, giving
+//! expected-constant insertion and deletion exactly as the paper
+//! prescribes ("the list is sorted by motion path id and organized in a
+//! hash table").
+
+use crate::fxhash::FxHashMap;
+use crate::geometry::{Point, Rect};
+use crate::motion_path::PathId;
+
+/// Which endpoint of the path an entry describes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EndKind {
+    /// The start vertex of the directed path.
+    Start,
+    /// The end vertex of the directed path.
+    End,
+}
+
+/// One grid entry: an endpoint, its path, and the opposite endpoint
+/// (stored inline so range queries need no second lookup — mirroring the
+/// paper's "each index entry also stores the respective motion path id
+/// and the coordinates of the other endpoint").
+#[derive(Clone, Copy, Debug)]
+pub struct Entry {
+    /// The indexed endpoint.
+    pub endpoint: Point,
+    /// The path this endpoint belongs to.
+    pub path: PathId,
+    /// The path's other endpoint.
+    pub other: Point,
+    /// Whether `endpoint` is the path's start or end.
+    pub kind: EndKind,
+}
+
+/// Integer cell coordinates.
+pub type CellKey = (i64, i64);
+
+/// A uniform grid of endpoint entries.
+#[derive(Clone, Debug)]
+pub struct EndpointGrid {
+    cell: f64,
+    cells: FxHashMap<CellKey, FxHashMap<(PathId, EndKind), Entry>>,
+    len: usize,
+}
+
+impl EndpointGrid {
+    /// Creates a grid with square cells of side `cell` meters.
+    pub fn new(cell: f64) -> Self {
+        assert!(cell > 0.0 && cell.is_finite(), "cell side must be positive");
+        EndpointGrid { cell, cells: FxHashMap::default(), len: 0 }
+    }
+
+    /// Cell side in meters.
+    pub fn cell_side(&self) -> f64 {
+        self.cell
+    }
+
+    /// Number of stored entries (two per indexed path).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The cell containing `p`.
+    #[inline]
+    pub fn key_of(&self, p: &Point) -> CellKey {
+        (
+            (p.x / self.cell).floor() as i64,
+            (p.y / self.cell).floor() as i64,
+        )
+    }
+
+    /// Inserts an entry; replaces any previous entry for the same
+    /// `(path, kind)` pair in that cell.
+    pub fn insert(&mut self, entry: Entry) {
+        let key = self.key_of(&entry.endpoint);
+        let slot = self.cells.entry(key).or_default();
+        if slot.insert((entry.path, entry.kind), entry).is_none() {
+            self.len += 1;
+        }
+    }
+
+    /// Removes the entry for `(path, kind)` whose endpoint is `endpoint`;
+    /// returns whether it existed.
+    pub fn remove(&mut self, endpoint: &Point, path: PathId, kind: EndKind) -> bool {
+        let key = self.key_of(endpoint);
+        let Some(slot) = self.cells.get_mut(&key) else { return false };
+        let removed = slot.remove(&(path, kind)).is_some();
+        if removed {
+            self.len -= 1;
+            if slot.is_empty() {
+                self.cells.remove(&key);
+            }
+        }
+        removed
+    }
+
+    /// Visits every entry whose endpoint lies inside `range` (closed
+    /// set). This is the range query the SinglePath strategy issues
+    /// against the index (Alg. 2 lines 42 and 51).
+    pub fn for_each_in(&self, range: &Rect, mut f: impl FnMut(&Entry)) {
+        let lo = self.key_of(&range.lo());
+        let hi = self.key_of(&range.hi());
+        for cx in lo.0..=hi.0 {
+            for cy in lo.1..=hi.1 {
+                let Some(slot) = self.cells.get(&(cx, cy)) else { continue };
+                for entry in slot.values() {
+                    if range.contains(&entry.endpoint) {
+                        f(entry);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects entries in `range` into a vector (convenience for tests).
+    pub fn query(&self, range: &Rect) -> Vec<Entry> {
+        let mut out = Vec::new();
+        self.for_each_in(range, |e| out.push(*e));
+        out
+    }
+
+    /// Number of non-empty cells (diagnostics).
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u64, x: f64, y: f64, kind: EndKind) -> Entry {
+        Entry {
+            endpoint: Point::new(x, y),
+            path: PathId(id),
+            other: Point::new(x + 100.0, y),
+            kind,
+        }
+    }
+
+    #[test]
+    fn insert_query_remove_roundtrip() {
+        let mut g = EndpointGrid::new(10.0);
+        g.insert(entry(1, 5.0, 5.0, EndKind::End));
+        g.insert(entry(2, 15.0, 5.0, EndKind::End));
+        g.insert(entry(1, 5.0, 5.0, EndKind::Start)); // same cell, other kind
+        assert_eq!(g.len(), 3);
+
+        let hits = g.query(&Rect::new(Point::new(0.0, 0.0), Point::new(9.0, 9.0)));
+        assert_eq!(hits.len(), 2); // both kinds of path 1
+
+        assert!(g.remove(&Point::new(5.0, 5.0), PathId(1), EndKind::End));
+        assert!(!g.remove(&Point::new(5.0, 5.0), PathId(1), EndKind::End));
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn range_query_matches_linear_scan() {
+        let mut g = EndpointGrid::new(7.0);
+        let mut all = Vec::new();
+        // A deterministic scatter of entries.
+        for i in 0..200u64 {
+            let x = ((i * 37) % 100) as f64 - 50.0;
+            let y = ((i * 53) % 90) as f64 - 45.0;
+            let e = entry(i, x, y, EndKind::End);
+            g.insert(e);
+            all.push(e);
+        }
+        let ranges = [
+            Rect::new(Point::new(-10.0, -10.0), Point::new(10.0, 10.0)),
+            Rect::new(Point::new(-50.0, -45.0), Point::new(49.0, 44.0)),
+            Rect::new(Point::new(30.0, 30.0), Point::new(31.0, 31.0)),
+            Rect::point(Point::new(0.0, 0.0)),
+        ];
+        for r in ranges {
+            let mut got: Vec<u64> = g.query(&r).iter().map(|e| e.path.0).collect();
+            got.sort_unstable();
+            let mut want: Vec<u64> = all
+                .iter()
+                .filter(|e| r.contains(&e.endpoint))
+                .map(|e| e.path.0)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "range {r:?}");
+        }
+    }
+
+    #[test]
+    fn negative_coordinates_bucket_correctly() {
+        let g = EndpointGrid::new(10.0);
+        assert_eq!(g.key_of(&Point::new(-0.1, -0.1)), (-1, -1));
+        assert_eq!(g.key_of(&Point::new(0.0, 0.0)), (0, 0));
+        assert_eq!(g.key_of(&Point::new(-10.0, 5.0)), (-1, 0));
+        assert_eq!(g.key_of(&Point::new(-10.1, 5.0)), (-2, 0));
+    }
+
+    #[test]
+    fn boundary_points_are_found() {
+        let mut g = EndpointGrid::new(10.0);
+        // Exactly on a cell boundary.
+        g.insert(entry(9, 10.0, 10.0, EndKind::End));
+        let r = Rect::new(Point::new(9.5, 9.5), Point::new(10.0, 10.0));
+        assert_eq!(g.query(&r).len(), 1);
+        let r2 = Rect::new(Point::new(10.0, 10.0), Point::new(11.0, 11.0));
+        assert_eq!(g.query(&r2).len(), 1);
+    }
+
+    #[test]
+    fn reinsert_same_key_replaces() {
+        let mut g = EndpointGrid::new(10.0);
+        g.insert(entry(1, 5.0, 5.0, EndKind::End));
+        g.insert(entry(1, 5.0, 5.0, EndKind::End));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn empty_cells_are_pruned() {
+        let mut g = EndpointGrid::new(10.0);
+        g.insert(entry(1, 5.0, 5.0, EndKind::End));
+        assert_eq!(g.occupied_cells(), 1);
+        g.remove(&Point::new(5.0, 5.0), PathId(1), EndKind::End);
+        assert_eq!(g.occupied_cells(), 0);
+        assert!(g.is_empty());
+    }
+}

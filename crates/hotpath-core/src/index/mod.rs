@@ -1,0 +1,9 @@
+//! The grid-based MotionPath index of Section 5.1.
+
+mod grid;
+mod motion_path_index;
+mod rtree;
+
+pub use grid::{CellKey, EndKind, EndpointGrid, Entry};
+pub use motion_path_index::{MotionPathIndex, VertexKey};
+pub use rtree::RTree;

@@ -1,0 +1,329 @@
+//! The MotionPath index (Section 5.1): path storage plus the queries the
+//! SinglePath strategy needs.
+//!
+//! * range query for *available motion paths*: paths starting at a given
+//!   vertex whose end falls inside an FSA (Case 1);
+//! * range query for *available vertices*: end vertices of stored paths
+//!   inside an FSA, each with its converging paths (Case 2);
+//! * exact-match adjacency (paths leaving a vertex) for the hinted
+//!   feedback extension.
+//!
+//! Vertex identity is quantized to a configurable grain: vertices are
+//! only ever minted by the coordinator, so equality is exact in practice
+//! and the grain merely guards against float noise.
+
+use super::grid::{EndKind, EndpointGrid, Entry};
+use crate::fxhash::FxHashMap;
+use crate::geometry::{Point, Rect};
+use crate::motion_path::{MotionPath, PathId};
+
+/// Quantized vertex key.
+pub type VertexKey = (i64, i64);
+
+/// The coordinator's path store.
+#[derive(Clone, Debug)]
+pub struct MotionPathIndex {
+    grid: EndpointGrid,
+    paths: FxHashMap<PathId, MotionPath>,
+    /// Outgoing adjacency: start vertex -> paths leaving it.
+    out_adj: FxHashMap<VertexKey, Vec<PathId>>,
+    /// Incoming adjacency: end vertex -> paths converging to it.
+    in_adj: FxHashMap<VertexKey, Vec<PathId>>,
+    vertex_grain: f64,
+    next_id: u64,
+}
+
+impl MotionPathIndex {
+    /// Creates an empty index with the given grid cell side and vertex
+    /// quantization grain (meters).
+    pub fn new(grid_cell: f64, vertex_grain: f64) -> Self {
+        assert!(vertex_grain > 0.0, "vertex grain must be positive");
+        MotionPathIndex {
+            grid: EndpointGrid::new(grid_cell),
+            paths: FxHashMap::default(),
+            out_adj: FxHashMap::default(),
+            in_adj: FxHashMap::default(),
+            vertex_grain,
+            next_id: 0,
+        }
+    }
+
+    /// Number of stored motion paths (the paper's *index size* metric).
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True when no paths are stored.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Quantized identity key of a vertex.
+    #[inline]
+    pub fn vertex_key(&self, p: &Point) -> VertexKey {
+        p.quantize(self.vertex_grain)
+    }
+
+    /// Looks up a path by id.
+    pub fn get(&self, id: PathId) -> Option<&MotionPath> {
+        self.paths.get(&id)
+    }
+
+    /// Iterates over all stored paths.
+    pub fn iter(&self) -> impl Iterator<Item = &MotionPath> {
+        self.paths.values()
+    }
+
+    /// Inserts a new path `start -> end` and returns its id. If an
+    /// identical path (same quantized endpoints, same direction) already
+    /// exists, returns the existing id instead — crossings of an
+    /// identical geometry belong to one path, not duplicates.
+    pub fn insert(&mut self, start: Point, end: Point) -> (PathId, bool) {
+        let skey = self.vertex_key(&start);
+        let ekey = self.vertex_key(&end);
+        if let Some(existing) = self.find_exact(skey, ekey) {
+            return (existing, false);
+        }
+        let id = PathId(self.next_id);
+        self.next_id += 1;
+        let path = MotionPath::new(id, start, end);
+        self.grid.insert(Entry { endpoint: start, path: id, other: end, kind: EndKind::Start });
+        self.grid.insert(Entry { endpoint: end, path: id, other: start, kind: EndKind::End });
+        self.out_adj.entry(skey).or_default().push(id);
+        self.in_adj.entry(ekey).or_default().push(id);
+        self.paths.insert(id, path);
+        (id, true)
+    }
+
+    /// Finds a stored path with the given quantized endpoints.
+    fn find_exact(&self, skey: VertexKey, ekey: VertexKey) -> Option<PathId> {
+        let outs = self.out_adj.get(&skey)?;
+        outs.iter()
+            .copied()
+            .find(|id| self.vertex_key(&self.paths[id].end()) == ekey)
+    }
+
+    /// Removes a path (when its hotness expires to zero, Section 5.2).
+    pub fn remove(&mut self, id: PathId) -> bool {
+        let Some(path) = self.paths.remove(&id) else { return false };
+        let start = path.start();
+        let end = path.end();
+        self.grid.remove(&start, id, EndKind::Start);
+        self.grid.remove(&end, id, EndKind::End);
+        let skey = self.vertex_key(&start);
+        let ekey = self.vertex_key(&end);
+        if let Some(v) = self.out_adj.get_mut(&skey) {
+            v.retain(|&x| x != id);
+            if v.is_empty() {
+                self.out_adj.remove(&skey);
+            }
+        }
+        if let Some(v) = self.in_adj.get_mut(&ekey) {
+            v.retain(|&x| x != id);
+            if v.is_empty() {
+                self.in_adj.remove(&ekey);
+            }
+        }
+        true
+    }
+
+    /// Case-1 query (Alg. 2 GetCandidatePaths): paths starting at the
+    /// vertex of `start` whose end vertex lies inside `fsa`.
+    pub fn paths_from_into(&self, start: &Point, fsa: &Rect) -> Vec<PathId> {
+        let skey = self.vertex_key(start);
+        let mut out = Vec::new();
+        self.grid.for_each_in(fsa, |entry| {
+            if entry.kind == EndKind::End && self.vertex_key(&entry.other) == skey {
+                out.push(entry.path);
+            }
+        });
+        out
+    }
+
+    /// Case-2 query (Alg. 2 GetCandidateVertices): distinct end vertices
+    /// inside `fsa`, each with the ids of the paths converging to it.
+    pub fn end_vertices_in(&self, fsa: &Rect) -> Vec<(Point, Vec<PathId>)> {
+        let mut by_vertex: FxHashMap<VertexKey, (Point, Vec<PathId>)> = FxHashMap::default();
+        self.grid.for_each_in(fsa, |entry| {
+            if entry.kind == EndKind::End {
+                by_vertex
+                    .entry(self.vertex_key(&entry.endpoint))
+                    .or_insert_with(|| (entry.endpoint, Vec::new()))
+                    .1
+                    .push(entry.path);
+            }
+        });
+        let mut out: Vec<(Point, Vec<PathId>)> = by_vertex.into_values().collect();
+        // Deterministic order for reproducible selection.
+        out.sort_by(|a, b| {
+            a.0.x
+                .total_cmp(&b.0.x)
+                .then(a.0.y.total_cmp(&b.0.y))
+        });
+        for (_, ids) in &mut out {
+            ids.sort_unstable();
+        }
+        out
+    }
+
+    /// Paths leaving the vertex of `p` (hinted-extension adjacency).
+    pub fn paths_starting_at(&self, p: &Point) -> &[PathId] {
+        self.out_adj
+            .get(&self.vertex_key(p))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Paths converging to the vertex of `p`.
+    pub fn paths_ending_at(&self, p: &Point) -> &[PathId] {
+        self.in_adj
+            .get(&self.vertex_key(p))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Internal-consistency audit used by tests and debug assertions:
+    /// grid entries, adjacency lists, and the path table must agree.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        if self.grid.len() != 2 * self.paths.len() {
+            return Err(format!(
+                "grid has {} entries for {} paths",
+                self.grid.len(),
+                self.paths.len()
+            ));
+        }
+        let out_total: usize = self.out_adj.values().map(Vec::len).sum();
+        let in_total: usize = self.in_adj.values().map(Vec::len).sum();
+        if out_total != self.paths.len() || in_total != self.paths.len() {
+            return Err(format!(
+                "adjacency sizes out={out_total} in={in_total} vs {} paths",
+                self.paths.len()
+            ));
+        }
+        for (key, ids) in &self.out_adj {
+            for id in ids {
+                let p = self.paths.get(id).ok_or(format!("dangling out id {id}"))?;
+                if self.vertex_key(&p.start()) != *key {
+                    return Err(format!("out-adjacency key mismatch for {id}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx() -> MotionPathIndex {
+        MotionPathIndex::new(50.0, 1e-3)
+    }
+
+    #[test]
+    fn insert_assigns_fresh_ids_and_dedups() {
+        let mut i = idx();
+        let (a, created_a) = i.insert(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        let (b, created_b) = i.insert(Point::new(0.0, 0.0), Point::new(0.0, 10.0));
+        assert!(created_a && created_b);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+        // Identical geometry dedups.
+        let (c, created_c) = i.insert(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert_eq!(c, a);
+        assert!(!created_c);
+        assert_eq!(i.len(), 2);
+        // Reversed direction is a different path.
+        let (d, created_d) = i.insert(Point::new(10.0, 0.0), Point::new(0.0, 0.0));
+        assert!(created_d);
+        assert_ne!(d, a);
+        i.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn case1_query_filters_by_start_vertex() {
+        let mut i = idx();
+        let s = Point::new(0.0, 0.0);
+        let (a, _) = i.insert(s, Point::new(20.0, 0.0));
+        let (_b, _) = i.insert(Point::new(5.0, 5.0), Point::new(21.0, 1.0)); // other start
+        let (_c, _) = i.insert(s, Point::new(200.0, 0.0)); // ends outside fsa
+
+        let fsa = Rect::new(Point::new(15.0, -5.0), Point::new(25.0, 5.0));
+        let hits = i.paths_from_into(&s, &fsa);
+        assert_eq!(hits, vec![a]);
+    }
+
+    #[test]
+    fn case2_query_groups_converging_paths() {
+        let mut i = idx();
+        let v = Point::new(50.0, 50.0);
+        let (a, _) = i.insert(Point::new(0.0, 0.0), v);
+        let (b, _) = i.insert(Point::new(100.0, 0.0), v);
+        let (_far, _) = i.insert(Point::new(0.0, 0.0), Point::new(500.0, 500.0));
+
+        let fsa = Rect::new(Point::new(40.0, 40.0), Point::new(60.0, 60.0));
+        let verts = i.end_vertices_in(&fsa);
+        assert_eq!(verts.len(), 1);
+        let (p, ids) = &verts[0];
+        assert_eq!(*p, v);
+        let mut got = ids.clone();
+        got.sort_unstable();
+        let mut want = vec![a, b];
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn start_vertices_are_not_candidate_vertices() {
+        let mut i = idx();
+        // A path *starting* inside the FSA contributes no candidate
+        // vertex (the paper only considers end vertices).
+        i.insert(Point::new(50.0, 50.0), Point::new(500.0, 0.0));
+        let fsa = Rect::new(Point::new(40.0, 40.0), Point::new(60.0, 60.0));
+        assert!(i.end_vertices_in(&fsa).is_empty());
+    }
+
+    #[test]
+    fn remove_cleans_everything() {
+        let mut i = idx();
+        let s = Point::new(0.0, 0.0);
+        let e = Point::new(30.0, 0.0);
+        let (id, _) = i.insert(s, e);
+        assert!(i.remove(id));
+        assert!(!i.remove(id));
+        assert_eq!(i.len(), 0);
+        assert!(i.paths_starting_at(&s).is_empty());
+        assert!(i.paths_ending_at(&e).is_empty());
+        let everywhere = Rect::new(Point::new(-1e6, -1e6), Point::new(1e6, 1e6));
+        assert!(i.end_vertices_in(&everywhere).is_empty());
+        i.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn adjacency_lookups() {
+        let mut i = idx();
+        let v = Point::new(10.0, 10.0);
+        let (a, _) = i.insert(v, Point::new(50.0, 10.0));
+        let (b, _) = i.insert(v, Point::new(10.0, 60.0));
+        let (c, _) = i.insert(Point::new(-40.0, 10.0), v);
+        let mut outs = i.paths_starting_at(&v).to_vec();
+        outs.sort_unstable();
+        assert_eq!(outs, vec![a, b]);
+        assert_eq!(i.paths_ending_at(&v), &[c]);
+        // Quantized identity: a float-noisy copy of v matches.
+        let noisy = Point::new(10.0 + 1e-5, 10.0 - 1e-5);
+        assert_eq!(i.paths_starting_at(&noisy).len(), 2);
+    }
+
+    #[test]
+    fn vertex_ordering_is_deterministic() {
+        let mut i = idx();
+        i.insert(Point::new(0.0, 0.0), Point::new(5.0, 1.0));
+        i.insert(Point::new(0.0, 0.0), Point::new(3.0, 2.0));
+        i.insert(Point::new(0.0, 0.0), Point::new(3.0, 1.0));
+        let fsa = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let verts = i.end_vertices_in(&fsa);
+        let xs: Vec<(f64, f64)> = verts.iter().map(|(p, _)| (p.x, p.y)).collect();
+        assert_eq!(xs, vec![(3.0, 1.0), (3.0, 2.0), (5.0, 1.0)]);
+    }
+}

@@ -1,0 +1,548 @@
+//! A hand-rolled R-tree over points, used as an *ablation* against the
+//! paper's grid index (Section 5.1 picks a "lightweight grid-based
+//! index"; this quantifies what that choice trades away or gains).
+//!
+//! Quadratic-split insertion (Guttman), straightforward deletion with
+//! reinsertion of underfull leaves, and rectangle range queries. Entries
+//! are `(Point, V)` pairs; the tree owns no geometry beyond bounding
+//! boxes, matching what the MotionPath index needs.
+
+use crate::geometry::{Point, Rect};
+
+const MAX_ENTRIES: usize = 16;
+const MIN_ENTRIES: usize = 4; // MAX / 4, per Guttman's guidance
+
+/// A point R-tree with payloads `V`.
+#[derive(Clone, Debug)]
+pub struct RTree<V> {
+    root: Node<V>,
+    len: usize,
+}
+
+#[derive(Clone, Debug)]
+enum Node<V> {
+    Leaf { mbr: Rect, entries: Vec<(Point, V)> },
+    Inner { mbr: Rect, children: Vec<Node<V>> },
+}
+
+impl<V> Node<V> {
+    fn mbr(&self) -> Rect {
+        match self {
+            Node::Leaf { mbr, .. } | Node::Inner { mbr, .. } => *mbr,
+        }
+    }
+
+    fn is_empty_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { entries, .. } if entries.is_empty())
+    }
+
+    fn recompute_mbr(&mut self) {
+        match self {
+            Node::Leaf { mbr, entries } => {
+                let mut it = entries.iter();
+                if let Some((p, _)) = it.next() {
+                    let mut r = Rect::point(*p);
+                    for (p, _) in it {
+                        r = r.union(&Rect::point(*p));
+                    }
+                    *mbr = r;
+                }
+            }
+            Node::Inner { mbr, children } => {
+                let mut it = children.iter();
+                if let Some(c) = it.next() {
+                    let mut r = c.mbr();
+                    for c in it {
+                        r = r.union(&c.mbr());
+                    }
+                    *mbr = r;
+                }
+            }
+        }
+    }
+}
+
+impl<V: Clone + PartialEq> RTree<V> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        RTree {
+            root: Node::Leaf { mbr: Rect::point(Point::ORIGIN), entries: Vec::new() },
+            len: 0,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts an entry at `p`.
+    pub fn insert(&mut self, p: Point, value: V) {
+        if let Some((a, b)) = Self::insert_into(&mut self.root, p, value) {
+            // Root split: grow the tree by one level.
+            let mbr = a.mbr().union(&b.mbr());
+            let old = std::mem::replace(
+                &mut self.root,
+                Node::Inner { mbr, children: vec![a, b] },
+            );
+            // `old` was replaced by the split results already; drop it.
+            drop(old);
+        }
+        self.len += 1;
+    }
+
+    /// Inserts into a subtree; returns `Some((left, right))` when the
+    /// node split (the caller replaces the node with both halves).
+    fn insert_into(node: &mut Node<V>, p: Point, value: V) -> Option<(Node<V>, Node<V>)> {
+        match node {
+            Node::Leaf { mbr, entries } => {
+                if entries.is_empty() {
+                    *mbr = Rect::point(p);
+                } else {
+                    *mbr = mbr.union(&Rect::point(p));
+                }
+                entries.push((p, value));
+                if entries.len() <= MAX_ENTRIES {
+                    return None;
+                }
+                Some(Self::split_leaf(std::mem::take(entries)))
+            }
+            Node::Inner { mbr, children } => {
+                *mbr = mbr.union(&Rect::point(p));
+                // Choose the child needing least enlargement (ties:
+                // smaller area).
+                let best = (0..children.len())
+                    .min_by(|&i, &j| {
+                        let key = |k: usize| {
+                            let r = children[k].mbr();
+                            let grown = r.union(&Rect::point(p));
+                            (grown.area() - r.area(), r.area())
+                        };
+                        let (ei, ai) = key(i);
+                        let (ej, aj) = key(j);
+                        ei.total_cmp(&ej).then(ai.total_cmp(&aj))
+                    })
+                    .expect("inner node has children");
+                if let Some((a, b)) = Self::insert_into(&mut children[best], p, value) {
+                    children.swap_remove(best);
+                    children.push(a);
+                    children.push(b);
+                    if children.len() > MAX_ENTRIES {
+                        return Some(Self::split_inner(std::mem::take(children)));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Guttman quadratic split for leaf entries.
+    fn split_leaf(entries: Vec<(Point, V)>) -> (Node<V>, Node<V>) {
+        let rects: Vec<Rect> = entries.iter().map(|(p, _)| Rect::point(*p)).collect();
+        let (ia, ib) = Self::pick_seeds(&rects);
+        let mut ga: Vec<(Point, V)> = Vec::new();
+        let mut gb: Vec<(Point, V)> = Vec::new();
+        let mut ra = rects[ia];
+        let mut rb = rects[ib];
+        for (i, e) in entries.into_iter().enumerate() {
+            if i == ia {
+                ga.push(e);
+            } else if i == ib {
+                gb.push(e);
+            } else {
+                let r = Rect::point(e.0);
+                if Self::assign_to_a(&ra, &rb, &r, ga.len(), gb.len()) {
+                    ra = ra.union(&r);
+                    ga.push(e);
+                } else {
+                    rb = rb.union(&r);
+                    gb.push(e);
+                }
+            }
+        }
+        let mut a = Node::Leaf { mbr: ra, entries: ga };
+        let mut b = Node::Leaf { mbr: rb, entries: gb };
+        a.recompute_mbr();
+        b.recompute_mbr();
+        (a, b)
+    }
+
+    /// Quadratic split for inner children.
+    fn split_inner(children: Vec<Node<V>>) -> (Node<V>, Node<V>) {
+        let rects: Vec<Rect> = children.iter().map(Node::mbr).collect();
+        let (ia, ib) = Self::pick_seeds(&rects);
+        let mut ga: Vec<Node<V>> = Vec::new();
+        let mut gb: Vec<Node<V>> = Vec::new();
+        let mut ra = rects[ia];
+        let mut rb = rects[ib];
+        for (i, c) in children.into_iter().enumerate() {
+            if i == ia {
+                ga.push(c);
+            } else if i == ib {
+                gb.push(c);
+            } else {
+                let r = c.mbr();
+                if Self::assign_to_a(&ra, &rb, &r, ga.len(), gb.len()) {
+                    ra = ra.union(&r);
+                    ga.push(c);
+                } else {
+                    rb = rb.union(&r);
+                    gb.push(c);
+                }
+            }
+        }
+        let mut a = Node::Inner { mbr: ra, children: ga };
+        let mut b = Node::Inner { mbr: rb, children: gb };
+        a.recompute_mbr();
+        b.recompute_mbr();
+        (a, b)
+    }
+
+    /// Seed pair with the most wasted space when joined.
+    fn pick_seeds(rects: &[Rect]) -> (usize, usize) {
+        let mut best = (0, 1);
+        let mut worst_waste = f64::NEG_INFINITY;
+        for i in 0..rects.len() {
+            for j in (i + 1)..rects.len() {
+                let waste = rects[i].union(&rects[j]).area() - rects[i].area() - rects[j].area();
+                if waste > worst_waste {
+                    worst_waste = waste;
+                    best = (i, j);
+                }
+            }
+        }
+        best
+    }
+
+    /// Group assignment: least enlargement, with a minimum-fill guard.
+    fn assign_to_a(ra: &Rect, rb: &Rect, r: &Rect, na: usize, nb: usize) -> bool {
+        // Force balance if one group risks underfill.
+        if na + MIN_ENTRIES >= MAX_ENTRIES && nb < MIN_ENTRIES {
+            return false;
+        }
+        if nb + MIN_ENTRIES >= MAX_ENTRIES && na < MIN_ENTRIES {
+            return true;
+        }
+        let ea = ra.union(r).area() - ra.area();
+        let eb = rb.union(r).area() - rb.area();
+        ea <= eb
+    }
+
+    /// Visits every entry whose point lies inside `range`.
+    pub fn for_each_in(&self, range: &Rect, mut f: impl FnMut(&Point, &V)) {
+        Self::query_node(&self.root, range, &mut f);
+    }
+
+    fn query_node(node: &Node<V>, range: &Rect, f: &mut impl FnMut(&Point, &V)) {
+        match node {
+            Node::Leaf { mbr, entries } => {
+                if !entries.is_empty() && range.intersects(mbr) {
+                    for (p, v) in entries {
+                        if range.contains(p) {
+                            f(p, v);
+                        }
+                    }
+                }
+            }
+            Node::Inner { mbr, children } => {
+                if range.intersects(mbr) {
+                    for c in children {
+                        Self::query_node(c, range, f);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects matches (convenience).
+    pub fn query(&self, range: &Rect) -> Vec<(Point, V)> {
+        let mut out = Vec::new();
+        self.for_each_in(range, |p, v| out.push((*p, v.clone())));
+        out
+    }
+
+    /// Removes the entry at `p` with the given value; returns whether it
+    /// existed. Underfull leaves are dissolved and their survivors
+    /// reinserted (Guttman's condensation, simplified).
+    pub fn remove(&mut self, p: Point, value: &V) -> bool {
+        let mut orphans: Vec<(Point, V)> = Vec::new();
+        let removed = Self::remove_from(&mut self.root, p, value, &mut orphans);
+        if removed {
+            self.len -= 1;
+            // Collapse a root with a single inner child.
+            loop {
+                let replace = match &mut self.root {
+                    Node::Inner { children, .. } if children.len() == 1 => {
+                        Some(children.pop().expect("one child"))
+                    }
+                    _ => None,
+                };
+                match replace {
+                    Some(child) => self.root = child,
+                    None => break,
+                }
+            }
+            let reinserts = orphans.len();
+            for (p, v) in orphans {
+                if let Some((a, b)) = Self::insert_into(&mut self.root, p, v) {
+                    let mbr = a.mbr().union(&b.mbr());
+                    self.root = Node::Inner { mbr, children: vec![a, b] };
+                }
+            }
+            let _ = reinserts;
+        }
+        removed
+    }
+
+    fn remove_from(
+        node: &mut Node<V>,
+        p: Point,
+        value: &V,
+        orphans: &mut Vec<(Point, V)>,
+    ) -> bool {
+        match node {
+            Node::Leaf { entries, .. } => {
+                let Some(pos) = entries.iter().position(|(q, v)| *q == p && v == value) else {
+                    return false;
+                };
+                entries.swap_remove(pos);
+                node.recompute_mbr();
+                true
+            }
+            Node::Inner { children, .. } => {
+                let mut removed = false;
+                for c in children.iter_mut() {
+                    if c.mbr().contains(&p) && Self::remove_from(c, p, value, orphans) {
+                        removed = true;
+                        break;
+                    }
+                }
+                if removed {
+                    // Dissolve underfull or empty leaf children.
+                    let mut i = 0;
+                    while i < children.len() {
+                        let dissolve = match &children[i] {
+                            Node::Leaf { entries, .. } => {
+                                entries.is_empty()
+                                    || (children.len() > 1 && entries.len() < MIN_ENTRIES)
+                            }
+                            Node::Inner { children: cc, .. } => cc.is_empty(),
+                        };
+                        if dissolve {
+                            if let Node::Leaf { entries, .. } = children.swap_remove(i) {
+                                orphans.extend(entries);
+                            }
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    node.recompute_mbr();
+                }
+                removed
+            }
+        }
+    }
+
+    /// Tree height (diagnostics).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.root;
+        while let Node::Inner { children, .. } = node {
+            h += 1;
+            node = children.first().expect("inner nodes are non-empty");
+        }
+        h
+    }
+
+    /// Structural audit: MBRs contain their subtrees; entry count
+    /// matches `len`; no inner node is empty.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        fn walk<V>(node: &Node<V>, count: &mut usize) -> Result<Rect, String> {
+            match node {
+                Node::Leaf { mbr, entries } => {
+                    for (p, _) in entries {
+                        if !mbr.contains(p) {
+                            return Err(format!("leaf MBR {mbr:?} misses point {p:?}"));
+                        }
+                    }
+                    *count += entries.len();
+                    Ok(*mbr)
+                }
+                Node::Inner { mbr, children } => {
+                    if children.is_empty() {
+                        return Err("empty inner node".into());
+                    }
+                    for c in children {
+                        let cm = walk(c, count)?;
+                        if !mbr.contains_rect(&cm) {
+                            return Err(format!("inner MBR {mbr:?} misses child {cm:?}"));
+                        }
+                    }
+                    Ok(*mbr)
+                }
+            }
+        }
+        let mut count = 0;
+        if !self.root.is_empty_leaf() {
+            walk(&self.root, &mut count)?;
+        }
+        if count != self.len {
+            return Err(format!("len {} but {} entries found", self.len, count));
+        }
+        Ok(())
+    }
+}
+
+impl<V: Clone + PartialEq> Default for RTree<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(n: usize) -> Vec<(Point, u64)> {
+        (0..n)
+            .map(|i| {
+                let x = ((i * 37) % 1000) as f64;
+                let y = ((i * 61) % 1000) as f64;
+                (Point::new(x, y), i as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_and_query_roundtrip() {
+        let mut t = RTree::new();
+        for (p, v) in grid_points(500) {
+            t.insert(p, v);
+        }
+        assert_eq!(t.len(), 500);
+        t.check_consistency().unwrap();
+
+        let range = Rect::new(Point::new(100.0, 100.0), Point::new(400.0, 400.0));
+        let mut got: Vec<u64> = t.query(&range).into_iter().map(|(_, v)| v).collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> = grid_points(500)
+            .into_iter()
+            .filter(|(p, _)| range.contains(p))
+            .map(|(_, v)| v)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn duplicate_points_different_values_coexist() {
+        let mut t = RTree::new();
+        let p = Point::new(5.0, 5.0);
+        t.insert(p, 1u64);
+        t.insert(p, 2u64);
+        assert_eq!(t.len(), 2);
+        let got = t.query(&Rect::tolerance_square(p, 0.1));
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn remove_specific_value() {
+        let mut t = RTree::new();
+        let p = Point::new(5.0, 5.0);
+        t.insert(p, 1u64);
+        t.insert(p, 2u64);
+        assert!(t.remove(p, &1));
+        assert!(!t.remove(p, &1));
+        assert_eq!(t.len(), 1);
+        let got = t.query(&Rect::tolerance_square(p, 0.1));
+        assert_eq!(got, vec![(p, 2)]);
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn remove_everything_then_reuse() {
+        let mut t = RTree::new();
+        let pts = grid_points(200);
+        for (p, v) in &pts {
+            t.insert(*p, *v);
+        }
+        for (p, v) in &pts {
+            assert!(t.remove(*p, v), "missing {v}");
+            t.check_consistency().unwrap();
+        }
+        assert!(t.is_empty());
+        // Tree is reusable after draining.
+        t.insert(Point::new(1.0, 2.0), 99);
+        assert_eq!(t.query(&Rect::tolerance_square(Point::new(1.0, 2.0), 1.0)).len(), 1);
+    }
+
+    #[test]
+    fn tree_height_stays_logarithmic() {
+        let mut t = RTree::new();
+        for (p, v) in grid_points(5_000) {
+            t.insert(p, v);
+        }
+        // 5_000 entries at fanout >= 4 must fit well under height 8.
+        assert!(t.height() <= 8, "height {}", t.height());
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn empty_tree_queries_cleanly() {
+        let t: RTree<u64> = RTree::new();
+        assert!(t.is_empty());
+        assert!(t.query(&Rect::new(Point::new(-1e9, -1e9), Point::new(1e9, 1e9))).is_empty());
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn clustered_inserts_stay_consistent() {
+        // Adversarial: everything on one line, then a burst far away.
+        let mut t = RTree::new();
+        for i in 0..300u64 {
+            t.insert(Point::new(i as f64, 0.0), i);
+        }
+        for i in 0..300u64 {
+            t.insert(Point::new(1e6 + i as f64, 1e6), 1000 + i);
+        }
+        t.check_consistency().unwrap();
+        let near = t.query(&Rect::new(Point::new(-1.0, -1.0), Point::new(301.0, 1.0)));
+        assert_eq!(near.len(), 300);
+        let far = t.query(&Rect::new(Point::new(1e6 - 1.0, 1e6 - 1.0), Point::new(1e6 + 301.0, 1e6 + 1.0)));
+        assert_eq!(far.len(), 300);
+    }
+
+    #[test]
+    fn query_matches_linear_scan_randomized() {
+        let mut state = 7u64;
+        let mut rand = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 10_000) as f64 / 10.0
+        };
+        let pts: Vec<(Point, u64)> =
+            (0..1_000).map(|i| (Point::new(rand(), rand()), i)).collect();
+        let mut t = RTree::new();
+        for (p, v) in &pts {
+            t.insert(*p, *v);
+        }
+        for _ in 0..20 {
+            let a = Point::new(rand(), rand());
+            let b = Point::new(rand(), rand());
+            let range = Rect::from_corners(a, b);
+            let mut got: Vec<u64> = t.query(&range).into_iter().map(|(_, v)| v).collect();
+            got.sort_unstable();
+            let mut want: Vec<u64> = pts
+                .iter()
+                .filter(|(p, _)| range.contains(p))
+                .map(|(_, v)| *v)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+}

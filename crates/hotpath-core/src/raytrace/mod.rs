@@ -1,0 +1,9 @@
+//! The client-side RayTrace filter (Section 4): SSA maintenance, the
+//! Algorithm 1 state machine, and the Section 7 hinted extension.
+
+mod filter;
+pub mod hinted;
+mod ssa;
+
+pub use filter::{ClientState, FilterStats, RayTraceCore, RayTraceFilter, UncertainRayTraceFilter};
+pub use ssa::Ssa;

@@ -1,0 +1,10 @@
+//! The SinglePath discovery strategy (Section 5.3) and its FSA-overlap
+//! support machinery.
+
+mod overlap;
+mod singlepath;
+
+pub use overlap::FsaSet;
+pub use singlepath::{
+    process_batch, process_batch_with, CaseKind, CaseTally, OverlapPolicy, Selection,
+};

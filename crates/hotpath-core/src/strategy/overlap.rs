@@ -1,0 +1,305 @@
+//! FSA-overlap analysis (Alg. 2 lines 8-12 and 23-34).
+//!
+//! The paper materializes `Rall`, the set of all intersections among the
+//! reporting objects' FSAs, each tagged with the number of FSAs it lies
+//! in. `Rall` is only ever consumed through two queries, both answered
+//! exactly here without enumerating the (worst-case exponential) power
+//! set:
+//!
+//! * *smallest overlap containing a vertex* (line 24): its count equals
+//!   the **stabbing depth** — the number of FSAs containing the vertex;
+//! * *highest-count overlap intersecting an FSA* (lines 28-32): the
+//!   **maximum-depth region** of the rectangle arrangement, computed by a
+//!   slab sweep and clipped to the object's own FSA so the generated
+//!   vertex is always valid for the reporting object (see DESIGN.md).
+
+use crate::fxhash::FxHashMap;
+use crate::geometry::{Point, Rect};
+
+/// An epoch-scoped set of FSA rectangles with depth queries.
+#[derive(Clone, Debug)]
+pub struct FsaSet {
+    rects: Vec<Rect>,
+    cell: f64,
+    grid: FxHashMap<(i64, i64), Vec<u32>>,
+}
+
+impl FsaSet {
+    /// Builds the set. `cell` should be on the order of an FSA diameter
+    /// (e.g. `2 eps`); it only affects performance, not results.
+    pub fn build(rects: Vec<Rect>, cell: f64) -> Self {
+        assert!(cell > 0.0 && cell.is_finite(), "cell must be positive");
+        let mut grid: FxHashMap<(i64, i64), Vec<u32>> = FxHashMap::default();
+        for (i, r) in rects.iter().enumerate() {
+            let (lx, ly) = Self::key(cell, &r.lo());
+            let (hx, hy) = Self::key(cell, &r.hi());
+            for cx in lx..=hx {
+                for cy in ly..=hy {
+                    grid.entry((cx, cy)).or_default().push(i as u32);
+                }
+            }
+        }
+        FsaSet { rects, cell, grid }
+    }
+
+    #[inline]
+    fn key(cell: f64, p: &Point) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// Number of FSAs in the set.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Stabbing depth at `p`: how many FSAs contain it. Equals the count
+    /// of the smallest `Rall` region containing `p`.
+    pub fn stab_count(&self, p: &Point) -> usize {
+        let key = Self::key(self.cell, p);
+        let Some(candidates) = self.grid.get(&key) else { return 0 };
+        candidates
+            .iter()
+            .filter(|&&i| self.rects[i as usize].contains(p))
+            .count()
+    }
+
+    /// Indices of FSAs intersecting `r` (deduplicated, ascending).
+    pub fn intersecting(&self, r: &Rect) -> Vec<u32> {
+        let (lx, ly) = Self::key(self.cell, &r.lo());
+        let (hx, hy) = Self::key(self.cell, &r.hi());
+        let mut out: Vec<u32> = Vec::new();
+        for cx in lx..=hx {
+            for cy in ly..=hy {
+                if let Some(v) = self.grid.get(&(cx, cy)) {
+                    out.extend(v.iter().copied());
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&i| self.rects[i as usize].intersects(r));
+        out
+    }
+
+    /// The deepest region of the arrangement restricted to `clip`: a
+    /// rectangle of maximal stabbing depth inside `clip`, together with
+    /// that depth. Returns `None` when no FSA intersects `clip`.
+    ///
+    /// Closed-set semantics throughout: rectangles touching only at an
+    /// edge still overlap there, matching [`Rect::intersects`].
+    pub fn max_depth_region(&self, clip: &Rect) -> Option<(Rect, usize)> {
+        let local: Vec<Rect> = self
+            .intersecting(clip)
+            .into_iter()
+            .map(|i| {
+                self.rects[i as usize]
+                    .intersection(clip)
+                    .expect("intersecting() guarantees overlap")
+            })
+            .collect();
+        if local.is_empty() {
+            return None;
+        }
+        // Candidate x-slabs: between (and at) every pair of consecutive
+        // distinct x-boundaries.
+        let mut xs: Vec<f64> = local
+            .iter()
+            .flat_map(|r| [r.lo().x, r.hi().x])
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup();
+
+        let mut best: Option<(Rect, usize)> = None;
+        let mut consider = |slab_lo: f64, slab_hi: f64, local: &[Rect]| {
+            // Rects whose x-range covers the whole slab (closed).
+            let mut events: Vec<(f64, i32)> = Vec::new();
+            for r in local {
+                if r.lo().x <= slab_lo && slab_hi <= r.hi().x {
+                    events.push((r.lo().y, 1));
+                    events.push((r.hi().y, -1));
+                }
+            }
+            if events.is_empty() {
+                return;
+            }
+            // Closed sets: starts before ends at equal y so touching
+            // intervals count as overlapping at the shared line.
+            events.sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.cmp(&a.1)));
+            // Pass 1: the maximum depth in this slab.
+            let mut depth = 0i32;
+            let mut d_max = 0i32;
+            for &(_, delta) in &events {
+                depth += delta;
+                d_max = d_max.max(depth);
+            }
+            if d_max <= 0 || best.as_ref().is_some_and(|&(_, bd)| d_max as usize <= bd) {
+                return;
+            }
+            // Pass 2: the y-extent of the first maximal stretch.
+            let mut depth = 0i32;
+            let mut y_lo = f64::NAN;
+            let mut y_hi = f64::NAN;
+            for &(y, delta) in &events {
+                depth += delta;
+                if y_lo.is_nan() && depth == d_max {
+                    y_lo = y;
+                } else if !y_lo.is_nan() && depth < d_max {
+                    y_hi = y;
+                    break;
+                }
+            }
+            if y_hi.is_nan() {
+                y_hi = y_lo;
+            }
+            let region =
+                Rect::new(Point::new(slab_lo, y_lo), Point::new(slab_hi, y_hi.max(y_lo)));
+            best = Some((region, d_max as usize));
+        };
+
+        // Full-width slabs first: at equal depth a proper slab beats a
+        // degenerate boundary line (larger region, better centroid).
+        for i in 0..xs.len().saturating_sub(1) {
+            consider(xs[i], xs[i + 1], &local);
+        }
+        // Boundary lines catch depth achieved only where rectangles
+        // touch edge-to-edge; they replace the best only when strictly
+        // deeper.
+        for &x in &xs {
+            consider(x, x, &local);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(ax: f64, ay: f64, bx: f64, by: f64) -> Rect {
+        Rect::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    /// The paper's Example 2 / Figure 5 layout: three FSAs with a common
+    /// triple intersection.
+    fn example2() -> Vec<Rect> {
+        vec![
+            r(0.0, 0.0, 10.0, 10.0),  // R1
+            r(6.0, 4.0, 16.0, 14.0),  // R2
+            r(4.0, 6.0, 14.0, 16.0),  // R3
+        ]
+    }
+
+    #[test]
+    fn stab_counts_match_example2() {
+        let set = FsaSet::build(example2(), 8.0);
+        assert_eq!(set.stab_count(&Point::new(1.0, 1.0)), 1); // R1 only
+        assert_eq!(set.stab_count(&Point::new(15.0, 5.0)), 1); // R2 only
+        assert_eq!(set.stab_count(&Point::new(8.0, 5.0)), 2); // R12
+        assert_eq!(set.stab_count(&Point::new(5.0, 8.0)), 2); // R13
+        assert_eq!(set.stab_count(&Point::new(12.0, 12.0)), 2); // R23
+        assert_eq!(set.stab_count(&Point::new(8.0, 8.0)), 3); // R123
+        assert_eq!(set.stab_count(&Point::new(-5.0, -5.0)), 0);
+    }
+
+    #[test]
+    fn max_depth_region_finds_triple_overlap() {
+        let set = FsaSet::build(example2(), 8.0);
+        // Clipped to R1: the deepest region is R123 = [6,10]x[6,10].
+        let clip = r(0.0, 0.0, 10.0, 10.0);
+        let (region, depth) = set.max_depth_region(&clip).unwrap();
+        assert_eq!(depth, 3);
+        assert_eq!(region, r(6.0, 6.0, 10.0, 10.0));
+        // The centroid (the paper's generated vertex) is inside all
+        // three FSAs and inside the clip.
+        let c = region.centroid();
+        assert_eq!(set.stab_count(&c), 3);
+        assert!(clip.contains(&c));
+    }
+
+    #[test]
+    fn max_depth_region_respects_clip() {
+        let set = FsaSet::build(example2(), 8.0);
+        // Clip to a corner of R1 away from the triple overlap.
+        let clip = r(0.0, 0.0, 3.0, 3.0);
+        let (region, depth) = set.max_depth_region(&clip).unwrap();
+        assert_eq!(depth, 1);
+        assert!(clip.contains_rect(&region));
+    }
+
+    #[test]
+    fn max_depth_none_when_disjoint() {
+        let set = FsaSet::build(vec![r(0.0, 0.0, 1.0, 1.0)], 4.0);
+        assert!(set.max_depth_region(&r(10.0, 10.0, 11.0, 11.0)).is_none());
+    }
+
+    #[test]
+    fn intersecting_filters_and_dedups() {
+        let set = FsaSet::build(example2(), 2.0); // small cells force dedup
+        let ids = set.intersecting(&r(7.0, 7.0, 9.0, 9.0));
+        assert_eq!(ids, vec![0, 1, 2]);
+        let ids = set.intersecting(&r(0.0, 0.0, 1.0, 1.0));
+        assert_eq!(ids, vec![0]);
+        let ids = set.intersecting(&r(100.0, 100.0, 101.0, 101.0));
+        assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn touching_rects_overlap_at_the_shared_edge() {
+        let set = FsaSet::build(vec![r(0.0, 0.0, 5.0, 5.0), r(5.0, 0.0, 10.0, 5.0)], 4.0);
+        // Depth 2 exists only on the shared line x = 5.
+        let (region, depth) = set.max_depth_region(&r(0.0, 0.0, 10.0, 5.0)).unwrap();
+        assert_eq!(depth, 2);
+        assert_eq!(region.lo().x, 5.0);
+        assert_eq!(region.hi().x, 5.0);
+        assert_eq!(set.stab_count(&Point::new(5.0, 2.0)), 2);
+    }
+
+    #[test]
+    fn identical_rects_stack() {
+        let q = r(2.0, 2.0, 4.0, 4.0);
+        let set = FsaSet::build(vec![q, q, q], 4.0);
+        let (region, depth) = set.max_depth_region(&q).unwrap();
+        assert_eq!(depth, 3);
+        assert_eq!(region, q);
+    }
+
+    #[test]
+    fn depth_matches_brute_force_grid_scan() {
+        // Deterministic pseudo-random rectangles; compare the sweep's
+        // depth to brute-force point sampling.
+        let mut state = 99u64;
+        let mut rand = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 1000) as f64 / 10.0
+        };
+        let rects: Vec<Rect> = (0..30)
+            .map(|_| {
+                let x = rand();
+                let y = rand();
+                let w = rand() * 0.2 + 1.0;
+                let h = rand() * 0.2 + 1.0;
+                r(x, y, x + w, y + h)
+            })
+            .collect();
+        let clip = r(0.0, 0.0, 120.0, 120.0);
+        let set = FsaSet::build(rects.clone(), 10.0);
+        let (region, depth) = set.max_depth_region(&clip).unwrap();
+        // The reported region really has that depth.
+        let c = region.centroid();
+        assert_eq!(set.stab_count(&c), depth, "centroid depth mismatch");
+        // No sampled point exceeds it.
+        let mut max_sampled = 0;
+        for i in 0..100 {
+            for j in 0..100 {
+                let p = Point::new(i as f64 * 1.2, j as f64 * 1.2);
+                max_sampled = max_sampled.max(set.stab_count(&p));
+            }
+        }
+        assert!(depth >= max_sampled, "sweep depth {depth} < sampled {max_sampled}");
+    }
+}

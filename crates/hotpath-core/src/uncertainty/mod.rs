@@ -1,0 +1,9 @@
+//! Uncertainty handling (Section 4.1): Gaussian measurement model,
+//! standard-normal numerics, and `(eps, delta)` tolerance intervals.
+
+pub mod normal;
+mod tolerance;
+
+pub use tolerance::{
+    coverage, half_width_exact, FallbackPolicy, GaussianPoint, ToleranceTable, ToleranceTable2D,
+};

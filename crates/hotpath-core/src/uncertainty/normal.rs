@@ -1,0 +1,238 @@
+//! Standard-normal numerics implemented from scratch.
+//!
+//! The tolerance-interval machinery of Section 4.1 needs the standard
+//! normal CDF `Phi(z) = (1 + erf(z / sqrt(2))) / 2` and its inverse. The
+//! paper assumes printed lookup tables; we implement `erf` directly —
+//! Taylor series near zero and a Lentz continued fraction for the
+//! complementary function in the tails — giving ~1e-14 accuracy, far
+//! beyond what the `(eps, delta)` model requires.
+
+/// `2 / sqrt(pi)`, the series prefactor of `erf`.
+const TWO_OVER_SQRT_PI: f64 = std::f64::consts::FRAC_2_SQRT_PI;
+/// `sqrt(2)`.
+const SQRT_2: f64 = std::f64::consts::SQRT_2;
+
+/// The error function `erf(x) = 2/sqrt(pi) * integral_0^x e^(-t^2) dt`.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < 0.0 {
+        return -erf(-x);
+    }
+    if x >= 6.0 {
+        // erfc(6) ~ 2e-17: below f64 resolution of 1.
+        return 1.0;
+    }
+    if x <= 2.5 {
+        erf_series(x)
+    } else {
+        1.0 - erfc_cf(x)
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 - erf(x)`, accurate in
+/// the far tail where `1 - erf(x)` would cancel catastrophically.
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    if x <= 2.5 {
+        1.0 - erf_series(x)
+    } else {
+        erfc_cf(x)
+    }
+}
+
+/// Maclaurin series `erf(x) = 2/sqrt(pi) sum (-1)^n x^(2n+1) / (n!(2n+1))`,
+/// converging fast for `|x| <= 2.5`.
+fn erf_series(x: f64) -> f64 {
+    let x2 = x * x;
+    let mut term = x; // x^(2n+1) / n!
+    let mut sum = x;
+    for n in 1..200 {
+        term *= -x2 / n as f64;
+        let add = term / (2 * n + 1) as f64;
+        sum += add;
+        if add.abs() < 1e-17 * sum.abs() {
+            break;
+        }
+    }
+    TWO_OVER_SQRT_PI * sum
+}
+
+/// Continued-fraction expansion of `erfc` (Lentz's algorithm), valid for
+/// large positive `x`:
+/// `erfc(x) = e^(-x^2)/sqrt(pi) * 1/(x + 1/2/(x + 1/(x + 3/2/(x + ...))))`.
+fn erfc_cf(x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut f = x + TINY;
+    let mut c = f;
+    let mut d = 0.0;
+    for n in 1..300 {
+        let a = n as f64 / 2.0;
+        // b terms alternate x (odd steps contribute a/x pattern).
+        d = x + a * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = x + a / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = c * d;
+        f *= delta;
+        if (delta - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    (-x * x).exp() / (f * std::f64::consts::PI.sqrt())
+}
+
+/// Standard normal CDF `Phi(z)`.
+#[inline]
+pub fn phi(z: f64) -> f64 {
+    0.5 * erfc(-z / SQRT_2)
+}
+
+/// Standard normal pdf.
+#[inline]
+pub fn pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Probability that a standard normal lies in `[a, b]`.
+#[inline]
+pub fn prob_in(a: f64, b: f64) -> f64 {
+    debug_assert!(a <= b);
+    (phi(b) - phi(a)).max(0.0)
+}
+
+/// Inverse standard-normal CDF (probit), solved by bisection on the
+/// monotone `phi`. Accurate to ~1e-12; only used off the hot path (table
+/// construction, tests).
+pub fn phi_inv(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "phi_inv domain is (0, 1), got {p}");
+    let (mut lo, mut hi) = (-40.0_f64, 40.0_f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if phi(mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-13 {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference values from Abramowitz & Stegun Table 7.1 and standard
+    /// normal tables.
+    #[test]
+    fn erf_reference_values() {
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.520_499_877_8),
+            (1.0, 0.842_700_792_9),
+            (1.5, 0.966_105_146_5),
+            (2.0, 0.995_322_265_0),
+            (3.0, 0.999_977_909_5),
+        ];
+        for (x, want) in cases {
+            assert!(
+                (erf(x) - want).abs() < 1e-9,
+                "erf({x}) = {} want {want}",
+                erf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn erf_is_odd() {
+        for &x in &[0.1, 0.7, 1.3, 2.9, 4.0] {
+            assert!((erf(-x) + erf(x)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn erfc_tail_accuracy() {
+        // erfc(3) = 2.209e-5, erfc(4) = 1.542e-8, erfc(5) = 1.537e-12.
+        assert!((erfc(3.0) - 2.209_049_699_858_544e-5).abs() < 1e-13);
+        assert!((erfc(4.0) - 1.541_725_790_028_002e-8).abs() < 1e-16);
+        assert!((erfc(5.0) - 1.537_459_794_428_035e-12).abs() < 1e-19);
+    }
+
+    #[test]
+    fn erf_erfc_complementarity() {
+        for &x in &[-3.0, -1.0, 0.0, 0.3, 1.7, 2.5, 3.5] {
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-13, "x={x}");
+        }
+    }
+
+    #[test]
+    fn phi_reference_values() {
+        let cases = [
+            (0.0, 0.5),
+            (1.0, 0.841_344_746_1),
+            (1.96, 0.975_002_105_0),
+            (2.576, 0.995_002_467_7),
+            (-1.0, 0.158_655_253_9),
+        ];
+        for (z, want) in cases {
+            assert!(
+                (phi(z) - want).abs() < 1e-8,
+                "phi({z}) = {} want {want}",
+                phi(z)
+            );
+        }
+    }
+
+    #[test]
+    fn phi_monotone_and_bounded() {
+        let mut prev = 0.0;
+        for i in -400..=400 {
+            let z = i as f64 / 100.0;
+            let p = phi(z);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p >= prev, "phi not monotone at z={z}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn prob_in_central_intervals() {
+        // 68-95-99.7 rule.
+        assert!((prob_in(-1.0, 1.0) - 0.682_689_492_1).abs() < 1e-8);
+        assert!((prob_in(-2.0, 2.0) - 0.954_499_736_1).abs() < 1e-8);
+        assert!((prob_in(-3.0, 3.0) - 0.997_300_203_9).abs() < 1e-8);
+    }
+
+    #[test]
+    fn phi_inv_round_trips() {
+        for &p in &[0.001, 0.025, 0.5, 0.841_344_746_1, 0.975, 0.999] {
+            let z = phi_inv(p);
+            assert!((phi(z) - p).abs() < 1e-10, "round trip failed at p={p}");
+        }
+        assert!((phi_inv(0.975) - 1.959_963_985).abs() < 1e-6);
+        assert!(phi_inv(0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain")]
+    fn phi_inv_rejects_boundary() {
+        let _ = phi_inv(1.0);
+    }
+
+    #[test]
+    fn pdf_peak_and_symmetry() {
+        assert!((pdf(0.0) - 0.398_942_280_4).abs() < 1e-9);
+        assert!((pdf(1.5) - pdf(-1.5)).abs() < 1e-15);
+    }
+}

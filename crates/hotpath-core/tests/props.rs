@@ -1,0 +1,273 @@
+//! Property suites over the core data structures: geometry algebra, SSA
+//! safety, tolerance-solver analytics, sliding-window hotness, and the
+//! endpoint grid — each invariant checked against a brute-force oracle.
+
+use hotpath_core::geometry::{Point, Rect, Segment, TimePoint};
+use hotpath_core::hotness::Hotness;
+use hotpath_core::index::MotionPathIndex;
+use hotpath_core::motion_path::PathId;
+use hotpath_core::raytrace::Ssa;
+use hotpath_core::time::{SlidingWindow, Timestamp};
+use hotpath_core::uncertainty::{coverage, half_width_exact};
+use proptest::prelude::*;
+
+fn point() -> impl Strategy<Value = Point> {
+    (-1e4..1e4f64, -1e4..1e4f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (point(), 0.0..500.0f64, 0.0..500.0f64)
+        .prop_map(|(lo, w, h)| Rect::new(lo, lo + Point::new(w, h)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ---------------- geometry ----------------
+
+    #[test]
+    fn rect_intersection_commutes_and_shrinks(a in rect(), b in rect()) {
+        match (a.intersection(&b), b.intersection(&a)) {
+            (Some(x), Some(y)) => {
+                prop_assert_eq!(x, y);
+                prop_assert!(a.contains_rect(&x));
+                prop_assert!(b.contains_rect(&x));
+                prop_assert!(x.area() <= a.area().min(b.area()) + 1e-9);
+            }
+            (None, None) => prop_assert!(!a.intersects(&b)),
+            _ => prop_assert!(false, "intersection not symmetric"),
+        }
+    }
+
+    #[test]
+    fn rect_union_contains_both(a in rect(), b in rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn containment_implies_intersection(a in rect(), b in rect()) {
+        if a.contains_rect(&b) {
+            prop_assert!(a.intersects(&b));
+            prop_assert!(a.intersection(&b) == Some(b));
+        }
+    }
+
+    #[test]
+    fn clamp_point_is_nearest(r in rect(), p in point()) {
+        let c = r.clamp_point(&p);
+        prop_assert!(r.contains(&c));
+        // No corner is closer under L-inf.
+        for corner in r.corners() {
+            prop_assert!(c.dist_linf(&p) <= corner.dist_linf(&p) + 1e-9);
+        }
+        // Containment means the clamp is the identity.
+        if r.contains(&p) {
+            prop_assert_eq!(c, p);
+        }
+    }
+
+    #[test]
+    fn tolerance_square_membership_is_linf_ball(c in point(), eps in 0.1..100.0f64, p in point()) {
+        let q = Rect::tolerance_square(c, eps);
+        prop_assert_eq!(q.contains(&p), c.dist_linf(&p) <= eps);
+    }
+
+    #[test]
+    fn segment_linf_distance_lower_bounds_samples(
+        a in point(), b in point(), p in point()
+    ) {
+        let seg = Segment::new(a, b);
+        let d = seg.dist_linf_point(&p);
+        // The analytic minimum never exceeds any sampled value...
+        let mut sampled_min = f64::INFINITY;
+        for i in 0..=200 {
+            let s = seg.point_at(i as f64 / 200.0).dist_linf(&p);
+            prop_assert!(d <= s + 1e-9, "analytic {d} above sample {s}");
+            sampled_min = sampled_min.min(s);
+        }
+        // ...and is close to the sampled minimum, up to the sampling
+        // resolution (the distance changes by at most one step's length
+        // between adjacent samples).
+        let step = seg.length() / 200.0;
+        prop_assert!(sampled_min - d <= step + 1e-6);
+    }
+
+    // ---------------- SSA ----------------
+
+    /// After any accept sequence, every FSA corner interpolated back to
+    /// each accepted time lies inside the rectangle accepted then.
+    #[test]
+    fn ssa_pyramid_safety(
+        deltas in prop::collection::vec((-15.0..15.0f64, -15.0..15.0f64), 1..40),
+        eps in 1.0..20.0f64,
+    ) {
+        let seed = TimePoint::new(Point::new(0.0, 0.0), Timestamp(0));
+        let mut ssa = Ssa::new(seed);
+        let mut pos = Point::new(0.0, 0.0);
+        let mut accepted: Vec<(Timestamp, Rect)> = Vec::new();
+        for (i, (dx, dy)) in deltas.iter().enumerate() {
+            pos = Point::new(pos.x + dx, pos.y + dy);
+            let t = Timestamp(i as u64 + 1);
+            let q = Rect::tolerance_square(pos, eps);
+            if ssa.try_extend(t, &q) {
+                accepted.push((t, q));
+            } else {
+                break;
+            }
+        }
+        prop_assume!(!accepted.is_empty());
+        let (s, ts, te) = (ssa.start(), ssa.start_time(), ssa.end_time());
+        for corner in ssa.fsa().corners() {
+            for &(tj, qj) in &accepted {
+                let lambda = tj.fraction_of(ts, te);
+                let on_path = s.lerp(&corner, lambda);
+                prop_assert!(
+                    qj.expand(1e-6).contains(&on_path),
+                    "corner {corner:?} escapes {qj:?} at {tj:?}"
+                );
+            }
+        }
+    }
+
+    // ---------------- tolerance intervals ----------------
+
+    #[test]
+    fn half_width_brackets_equation2(
+        eps in 1.0..50.0f64,
+        delta in 0.01..0.3f64,
+        sigma in 0.0..20.0f64,
+    ) {
+        match half_width_exact(eps, delta, sigma) {
+            Some(w) => {
+                prop_assert!(w >= 0.0 && w <= eps + 1e-9);
+                prop_assert!(coverage(w, eps, sigma) >= 1.0 - delta - 1e-6);
+                if sigma > 0.0 {
+                    prop_assert!(coverage(w + 1e-3, eps, sigma) < 1.0 - delta + 1e-6);
+                }
+            }
+            None => {
+                // Unsolvable iff even the mean fails.
+                prop_assert!(coverage(0.0, eps, sigma) < 1.0 - delta);
+            }
+        }
+    }
+
+    #[test]
+    fn half_width_monotone_in_all_arguments(
+        eps in 5.0..30.0f64,
+        delta in 0.02..0.2f64,
+        sigma in 0.1..5.0f64,
+    ) {
+        let base = half_width_exact(eps, delta, sigma);
+        prop_assume!(base.is_some());
+        let base = base.unwrap();
+        // Wider tolerance, looser delta, or less noise all widen the
+        // admissible interval.
+        if let Some(w) = half_width_exact(eps + 1.0, delta, sigma) {
+            prop_assert!(w >= base - 1e-9);
+        }
+        if let Some(w) = half_width_exact(eps, (delta + 0.05).min(0.99), sigma) {
+            prop_assert!(w >= base - 1e-9);
+        }
+        if let Some(w) = half_width_exact(eps, delta, (sigma - 0.05).max(0.0)) {
+            prop_assert!(w >= base - 1e-9);
+        }
+    }
+
+    // ---------------- hotness window ----------------
+
+    #[test]
+    fn hotness_matches_brute_force(
+        schedule in prop::collection::vec((0u64..6, 0u64..3), 1..200),
+        window in 1u64..50,
+    ) {
+        let mut hot = Hotness::new(SlidingWindow::new(window));
+        let mut crossings: Vec<(u64, u64)> = Vec::new(); // (id, te)
+        let mut now = 0u64;
+        for (id, gap) in schedule {
+            now += gap;
+            hot.advance(Timestamp(now));
+            hot.record_crossing(PathId(id), Timestamp(now));
+            crossings.push((id, now));
+            for check in 0u64..6 {
+                let expect = crossings
+                    .iter()
+                    .filter(|&&(i, te)| i == check && te + window > now)
+                    .count() as u32;
+                prop_assert_eq!(hot.get(PathId(check)), expect);
+            }
+        }
+    }
+
+    // ---------------- endpoint index ----------------
+
+    #[test]
+    fn index_queries_match_linear_scan(
+        paths in prop::collection::vec((point(), point()), 1..60),
+        query in rect(),
+    ) {
+        let mut index = MotionPathIndex::new(100.0, 1e-3);
+        let mut stored: Vec<(PathId, Point, Point)> = Vec::new();
+        for (s, e) in paths {
+            let (id, _) = index.insert(s, e);
+            stored.push((id, s, e));
+        }
+        index.check_consistency().unwrap();
+
+        // Case-2 oracle: distinct end vertices inside the query.
+        let got: Vec<Point> = index
+            .end_vertices_in(&query)
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
+        let mut want: Vec<(i64, i64)> = stored
+            .iter()
+            .filter(|(_, _, e)| query.contains(e))
+            .map(|(_, _, e)| e.quantize(1e-3))
+            .collect();
+        want.sort_unstable();
+        want.dedup();
+        let mut got_keys: Vec<(i64, i64)> = got.iter().map(|p| p.quantize(1e-3)).collect();
+        got_keys.sort_unstable();
+        prop_assert_eq!(got_keys, want);
+
+        // Case-1 oracle for a stored start vertex.
+        if let Some((_, s, _)) = stored.first() {
+            let mut got: Vec<PathId> = index.paths_from_into(s, &query);
+            got.sort_unstable();
+            let skey = s.quantize(1e-3);
+            let mut want: Vec<PathId> = stored
+                .iter()
+                .filter(|(_, ss, ee)| ss.quantize(1e-3) == skey && query.contains(ee))
+                .map(|(id, _, _)| *id)
+                .collect();
+            want.sort_unstable();
+            want.dedup();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn index_remove_restores_consistency(
+        paths in prop::collection::vec((point(), point()), 1..40),
+        victim in 0usize..40,
+    ) {
+        let mut index = MotionPathIndex::new(100.0, 1e-3);
+        let mut ids = Vec::new();
+        for (s, e) in &paths {
+            let (id, _) = index.insert(*s, *e);
+            ids.push(id);
+        }
+        let victim = ids[victim % ids.len()];
+        index.remove(victim);
+        index.check_consistency().unwrap();
+        prop_assert!(index.get(victim).is_none());
+        let everywhere = Rect::new(Point::new(-1e5, -1e5), Point::new(1e5, 1e5));
+        prop_assert!(!index
+            .end_vertices_in(&everywhere)
+            .iter()
+            .any(|(_, ids)| ids.contains(&victim)));
+    }
+}

@@ -1,0 +1,144 @@
+//! Measurement noise models.
+//!
+//! The paper adds "white noise" to object locations: a value chosen
+//! uniformly in `[-err, err]` added to both coordinates (Section 6.1).
+//! A Gaussian model is provided for the `(eps, delta)` uncertainty
+//! experiments of Section 4.1.
+
+use hotpath_core::geometry::Point;
+use hotpath_core::uncertainty::GaussianPoint;
+use rand::Rng;
+
+/// Uniform white noise `U[-err, err]` per coordinate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UniformNoise {
+    /// Half-range in meters (0 disables noise).
+    pub err: f64,
+}
+
+impl UniformNoise {
+    /// Creates the noise model; `err >= 0`.
+    pub fn new(err: f64) -> Self {
+        assert!(err >= 0.0, "err must be non-negative");
+        UniformNoise { err }
+    }
+
+    /// Applies the noise to a true position.
+    pub fn apply<R: Rng>(&self, p: Point, rng: &mut R) -> Point {
+        if self.err == 0.0 {
+            return p;
+        }
+        Point::new(
+            p.x + rng.gen_range(-self.err..=self.err),
+            p.y + rng.gen_range(-self.err..=self.err),
+        )
+    }
+}
+
+/// Gaussian sensing noise with per-axis standard deviation `sigma`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GaussianNoise {
+    /// Standard deviation in meters.
+    pub sigma: f64,
+}
+
+impl GaussianNoise {
+    /// Creates the model; `sigma >= 0`.
+    pub fn new(sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        GaussianNoise { sigma }
+    }
+
+    /// Draws a standard-normal sample via Box-Muller (keeps `rand`
+    /// dependency feature-light — no `rand_distr` needed).
+    fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+        loop {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            if z.is_finite() {
+                return z;
+            }
+        }
+    }
+
+    /// A noisy measurement of the true position `p`: the *sampled* mean
+    /// plus the sensor-reported `sigma`, as a location-sensing device
+    /// would deliver it.
+    pub fn measure<R: Rng>(&self, p: Point, rng: &mut R) -> GaussianPoint {
+        let mean = Point::new(
+            p.x + self.sigma * Self::standard_normal(rng),
+            p.y + self.sigma * Self::standard_normal(rng),
+        );
+        GaussianPoint { mean, sigma_x: self.sigma, sigma_y: self.sigma }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_noise_is_bounded() {
+        let noise = UniformNoise::new(1.5);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let p = Point::new(100.0, 200.0);
+        for _ in 0..1000 {
+            let q = noise.apply(p, &mut rng);
+            assert!((q.x - p.x).abs() <= 1.5);
+            assert!((q.y - p.y).abs() <= 1.5);
+        }
+    }
+
+    #[test]
+    fn zero_err_is_identity() {
+        let noise = UniformNoise::new(0.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let p = Point::new(-3.0, 4.0);
+        assert_eq!(noise.apply(p, &mut rng), p);
+    }
+
+    #[test]
+    fn uniform_noise_covers_the_range() {
+        // Not all samples cluster: spread statistics look uniform-ish.
+        let noise = UniformNoise::new(1.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let p = Point::ORIGIN;
+        let samples: Vec<f64> = (0..4000).map(|_| noise.apply(p, &mut rng).x).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / samples.len() as f64;
+        assert!(mean.abs() < 0.05, "uniform mean {mean}");
+        // Var of U[-1,1] = 1/3.
+        assert!((var - 1.0 / 3.0).abs() < 0.03, "uniform var {var}");
+    }
+
+    #[test]
+    fn gaussian_measurements_have_right_moments() {
+        let noise = GaussianNoise::new(2.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let p = Point::new(10.0, -10.0);
+        let n = 8000;
+        let samples: Vec<GaussianPoint> = (0..n).map(|_| noise.measure(p, &mut rng)).collect();
+        let mean_x = samples.iter().map(|g| g.mean.x).sum::<f64>() / n as f64;
+        let var_x = samples
+            .iter()
+            .map(|g| (g.mean.x - mean_x) * (g.mean.x - mean_x))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean_x - 10.0).abs() < 0.1, "mean {mean_x}");
+        assert!((var_x - 4.0).abs() < 0.35, "var {var_x}");
+        assert!(samples.iter().all(|g| g.sigma_x == 2.0 && g.sigma_y == 2.0));
+    }
+
+    #[test]
+    fn zero_sigma_gaussian_is_exact() {
+        let noise = GaussianNoise::new(0.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let p = Point::new(7.0, 8.0);
+        let g = noise.measure(p, &mut rng);
+        assert_eq!(g.mean, p);
+    }
+}

@@ -1,0 +1,134 @@
+//! Plain-text serialization of road networks.
+//!
+//! A tiny line-oriented format so networks can be dumped, inspected, and
+//! reloaded in examples and tests without extra dependencies:
+//!
+//! ```text
+//! # comment
+//! node <id> <x> <y>
+//! link <id> <a> <b> <class>
+//! ```
+
+use super::graph::{Link, LinkId, Node, NodeId, RoadClass, RoadNetwork};
+use hotpath_core::geometry::Point;
+use std::fmt::Write as _;
+
+/// Serializes a network to the text format.
+pub fn to_text(net: &RoadNetwork) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# road network: {} nodes, {} links", net.node_count(), net.link_count());
+    for n in net.nodes() {
+        let _ = writeln!(out, "node {} {} {}", n.id.0, n.pos.x, n.pos.y);
+    }
+    for l in net.links() {
+        let _ = writeln!(out, "link {} {} {} {}", l.id.0, l.a.0, l.b.0, class_tag(l.class));
+    }
+    out
+}
+
+/// Parses the text format back into a network.
+///
+/// # Errors
+/// Returns a line-tagged message for any malformed input.
+pub fn from_text(text: &str) -> Result<RoadNetwork, String> {
+    let mut nodes = Vec::new();
+    let mut links = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().expect("non-empty line");
+        let mut field = |name: &str| -> Result<String, String> {
+            parts
+                .next()
+                .map(str::to_owned)
+                .ok_or(format!("line {}: missing {name}", lineno + 1))
+        };
+        match kind {
+            "node" => {
+                let id: u32 = parse(&field("id")?, lineno)?;
+                let x: f64 = parse(&field("x")?, lineno)?;
+                let y: f64 = parse(&field("y")?, lineno)?;
+                nodes.push(Node { id: NodeId(id), pos: Point::new(x, y) });
+            }
+            "link" => {
+                let id: u32 = parse(&field("id")?, lineno)?;
+                let a: u32 = parse(&field("a")?, lineno)?;
+                let b: u32 = parse(&field("b")?, lineno)?;
+                let class = parse_class(&field("class")?, lineno)?;
+                links.push(Link { id: LinkId(id), a: NodeId(a), b: NodeId(b), class });
+            }
+            other => return Err(format!("line {}: unknown record '{other}'", lineno + 1)),
+        }
+    }
+    if nodes.is_empty() {
+        return Err("no nodes".into());
+    }
+    Ok(RoadNetwork::new(nodes, links))
+}
+
+fn parse<T: std::str::FromStr>(s: &str, lineno: usize) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("line {}: cannot parse '{s}'", lineno + 1))
+}
+
+fn class_tag(c: RoadClass) -> &'static str {
+    match c {
+        RoadClass::Motorway => "motorway",
+        RoadClass::Highway => "highway",
+        RoadClass::Primary => "primary",
+        RoadClass::Secondary => "secondary",
+    }
+}
+
+fn parse_class(s: &str, lineno: usize) -> Result<RoadClass, String> {
+    match s {
+        "motorway" => Ok(RoadClass::Motorway),
+        "highway" => Ok(RoadClass::Highway),
+        "primary" => Ok(RoadClass::Primary),
+        "secondary" => Ok(RoadClass::Secondary),
+        other => Err(format!("line {}: unknown road class '{other}'", lineno + 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::generator::{generate, NetworkParams};
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let net = generate(NetworkParams::tiny(3));
+        let text = to_text(&net);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.node_count(), net.node_count());
+        assert_eq!(back.link_count(), net.link_count());
+        for (a, b) in net.nodes().iter().zip(back.nodes()) {
+            assert_eq!(a.pos, b.pos);
+        }
+        for (a, b) in net.links().iter().zip(back.links()) {
+            assert_eq!((a.a, a.b, a.class), (b.a, b.b, b.class));
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# hello\n\nnode 0 1.5 2.5\nnode 1 3.0 4.0\nlink 0 0 1 primary\n";
+        let net = from_text(text).unwrap();
+        assert_eq!(net.node_count(), 2);
+        assert_eq!(net.link_count(), 1);
+        assert_eq!(net.link(LinkId(0)).class, RoadClass::Primary);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        assert!(from_text("garbage 1 2 3").unwrap_err().contains("line 1"));
+        assert!(from_text("node 0 x y").unwrap_err().contains("line 1"));
+        assert!(from_text("node 0 1 2\nlink 0 0 1 dirt\n")
+            .unwrap_err()
+            .contains("unknown road class"));
+        assert!(from_text("# only comments\n").unwrap_err().contains("no nodes"));
+    }
+}

@@ -1,0 +1,9 @@
+//! Road-network substrate: graph model, synthetic Athens-like
+//! generator, and text serialization.
+
+pub mod generator;
+mod graph;
+pub mod io;
+
+pub use generator::{generate, NetworkParams};
+pub use graph::{Link, LinkId, Node, NodeId, RoadClass, RoadNetwork};

@@ -1,0 +1,124 @@
+//! Motivating-scenario workloads (Section 1 of the paper).
+//!
+//! The introduction motivates hot-path discovery with two applications:
+//! targeted advertising around a major **sporting event** (crowds
+//! converge on a venue along similar routes) and **emergency
+//! evacuation** (residents flee a danger zone along popular escape
+//! routes). These builders configure populations matching those
+//! stories; the examples and integration tests exercise them.
+
+use crate::mobility::{ChoicePolicy, Population, PopulationParams};
+use crate::network::{NodeId, RoadNetwork};
+use hotpath_core::geometry::Point;
+
+/// A sporting-event crowd: `n` objects drifting toward `venue`.
+///
+/// Walkers prefer links that reduce their distance to the venue, scaled
+/// by road weight — so they funnel onto arterials leading there, which
+/// is precisely the pattern targeted advertising wants to catch.
+pub fn sporting_event(net: &RoadNetwork, n: usize, venue: NodeId, seed: u64) -> Population {
+    let params = PopulationParams {
+        policy: ChoicePolicy::Toward(net.node(venue).pos),
+        // Most of the crowd is walking toward the gates.
+        agility: 0.5,
+        ..PopulationParams::paper_defaults(n, seed)
+    };
+    Population::new(net, params)
+}
+
+/// An evacuation crowd: `n` objects fleeing the point `danger`.
+///
+/// Walkers prefer links that increase their distance from the danger
+/// zone; authorities monitoring hot paths see the popular escape routes
+/// emerge in the top-k.
+pub fn evacuation(net: &RoadNetwork, n: usize, danger: Point, seed: u64) -> Population {
+    let params = PopulationParams {
+        policy: ChoicePolicy::Away(danger),
+        // Evacuations are hurried: everyone moves nearly every timestamp.
+        agility: 0.6,
+        ..PopulationParams::paper_defaults(n, seed)
+    };
+    Population::new(net, params)
+}
+
+/// The node closest to a point (e.g. to place a venue near the center).
+pub fn nearest_node(net: &RoadNetwork, p: Point) -> NodeId {
+    net.nodes()
+        .iter()
+        .min_by(|a, b| a.pos.dist_l2(&p).total_cmp(&b.pos.dist_l2(&p)))
+        .expect("non-empty network")
+        .id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{generate, NetworkParams};
+    use hotpath_core::time::Timestamp;
+
+    #[test]
+    fn nearest_node_is_nearest() {
+        let net = generate(NetworkParams::tiny(1));
+        let c = net.bounds().centroid();
+        let id = nearest_node(&net, c);
+        let d = net.node(id).pos.dist_l2(&c);
+        for n in net.nodes() {
+            assert!(d <= n.pos.dist_l2(&c) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sporting_event_crowd_converges() {
+        let net = generate(NetworkParams::tiny(2));
+        let venue = nearest_node(&net, net.bounds().centroid());
+        let venue_pos = net.node(venue).pos;
+        let mut pop = sporting_event(&net, 100, venue, 3);
+        let mut out = Vec::new();
+        let mut dist_sum_first = 0.0;
+        let mut dist_sum_last = 0.0;
+        for t in 1..=400u64 {
+            pop.tick(&net, Timestamp(t), &mut out);
+            let s: f64 = out.iter().map(|m| m.truth.dist_l2(&venue_pos)).sum();
+            let c = out.len().max(1) as f64;
+            if t <= 20 {
+                dist_sum_first += s / c;
+            }
+            if t > 380 {
+                dist_sum_last += s / c;
+            }
+        }
+        assert!(
+            dist_sum_last < dist_sum_first * 0.8,
+            "crowd did not converge: first {dist_sum_first}, last {dist_sum_last}"
+        );
+    }
+
+    #[test]
+    fn evacuation_crowd_disperses() {
+        let net = generate(NetworkParams::tiny(4));
+        let danger = net.bounds().centroid();
+        let mut pop = evacuation(&net, 100, danger, 5);
+        let mut out = Vec::new();
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for t in 1..=300u64 {
+            pop.tick(&net, Timestamp(t), &mut out);
+            let s: f64 = out.iter().map(|m| m.truth.dist_l2(&danger)).sum();
+            let c = out.len().max(1) as f64;
+            if t <= 20 {
+                first += s / c;
+            }
+            if t > 280 {
+                last += s / c;
+            }
+        }
+        assert!(last > first, "crowd did not flee: first {first}, last {last}");
+    }
+
+    #[test]
+    fn evacuation_is_hasty() {
+        let net = generate(NetworkParams::tiny(6));
+        let pop = evacuation(&net, 10, net.bounds().centroid(), 7);
+        assert!(pop.params().agility > 0.5);
+    }
+}

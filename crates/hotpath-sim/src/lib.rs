@@ -1,0 +1,28 @@
+//! # hotpath-sim
+//!
+//! The distributed-stream simulation harness of the EDBT 2008
+//! reproduction: RayTrace clients + SinglePath coordinator wired over
+//! the synthetic Athens workload, the DP competitor on the same stream,
+//! per-epoch metrics, and the sweeps regenerating every figure of the
+//! paper's evaluation (see EXPERIMENTS.md).
+//!
+//! ```no_run
+//! use hotpath_sim::simulation::{run, SimulationParams};
+//!
+//! let res = run(SimulationParams::quick(500, 42));
+//! println!(
+//!     "paths={} score={:.0} reports={} of {} measurements",
+//!     res.coordinator.index_size(),
+//!     res.coordinator.top_k_score(),
+//!     res.filter_stats.reports,
+//!     res.summary.measurements,
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiment;
+pub mod metrics;
+pub mod report;
+pub mod simulation;

@@ -1,0 +1,93 @@
+//! SinglePath vs the DP competitor on identical streams: the
+//! directional facts behind Figures 7 and 8 at test scale.
+
+use hotpath_sim::simulation::{run, SimulationParams};
+
+#[test]
+fn both_methods_track_the_same_stream() {
+    let res = run(SimulationParams::quick(300, 201));
+    let dp = res.dp.as_ref().expect("dp enabled");
+    assert!(res.coordinator.index_size() > 0);
+    assert!(dp.index_size() > 0);
+    // DP issues exactly one range query per discovered segment.
+    assert!(dp.range_queries() > 0);
+}
+
+#[test]
+fn dp_achieves_reuse_via_mbb_matching() {
+    // With enough objects traveling far enough to cross several roads,
+    // DP must bump segments past hotness 1 (its reuse rule is more
+    // permissive than SinglePath's covering-set discipline).
+    let mut params = SimulationParams::quick(400, 202);
+    params.agility = 0.5;
+    params.duration = 300;
+    let res = run(params);
+    let dp = res.dp.as_ref().unwrap();
+    let max_dp_hot = dp.hot_segments().iter().map(|h| h.hotness).max().unwrap_or(0);
+    assert!(max_dp_hot >= 2, "DP never reused a segment (max hotness {max_dp_hot})");
+    // The paper's two directional facts (Sections 6, 6.2): DP stores
+    // fewer segments, and its relaxed hotness upper-bounds SinglePath's.
+    assert!(
+        dp.index_size() < res.coordinator.index_size(),
+        "DP index {} should undercut SinglePath {}",
+        dp.index_size(),
+        res.coordinator.index_size()
+    );
+    let max_sp_hot = res
+        .coordinator
+        .hot_paths()
+        .iter()
+        .map(|h| h.hotness)
+        .max()
+        .unwrap_or(0);
+    assert!(
+        max_dp_hot >= max_sp_hot,
+        "DP hotness {max_dp_hot} should upper-bound SinglePath {max_sp_hot}"
+    );
+}
+
+#[test]
+fn scores_are_comparable_metrics() {
+    let res = run(SimulationParams::quick(300, 203));
+    let dp = res.dp.as_ref().unwrap();
+    let sp_score = res.coordinator.top_k_score();
+    let dp_score = dp.top_n_score(10);
+    // Both metrics are positive and within a sane factor of each other
+    // (the paper's panels plot them on one axis).
+    assert!(sp_score > 0.0);
+    assert!(dp_score > 0.0);
+    assert!(
+        sp_score / dp_score < 100.0 && dp_score / sp_score < 100.0,
+        "scores incomparable: sp={sp_score} dp={dp_score}"
+    );
+}
+
+#[test]
+fn more_objects_grow_both_indexes() {
+    let small = run(SimulationParams::quick(100, 204));
+    let large = run(SimulationParams::quick(400, 204));
+    assert!(
+        large.summary.mean_index_size > small.summary.mean_index_size,
+        "SinglePath index did not grow with N"
+    );
+    assert!(
+        large.summary.mean_dp_index_size > small.summary.mean_dp_index_size,
+        "DP index did not grow with N"
+    );
+}
+
+#[test]
+fn larger_tolerance_shrinks_the_singlepath_index() {
+    let mut tight = SimulationParams::quick(250, 205);
+    tight.eps = 2.0;
+    let mut loose = SimulationParams::quick(250, 205);
+    loose.eps = 20.0;
+    let tight_res = run(tight);
+    let loose_res = run(loose);
+    assert!(
+        loose_res.summary.mean_index_size < tight_res.summary.mean_index_size,
+        "eps=20 index {} !< eps=2 index {}",
+        loose_res.summary.mean_index_size,
+        tight_res.summary.mean_index_size
+    );
+}

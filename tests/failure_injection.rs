@@ -1,0 +1,136 @@
+//! Failure injection: delayed, withheld, and misdelivered coordinator
+//! responses; out-of-order streams. The paper assumes "a response from
+//! the coordinator comes in a timely manner" — these tests pin down
+//! what the implementation does when that assumption bends or breaks.
+
+use hotpath_core::geometry::{Point, TimePoint};
+use hotpath_core::raytrace::RayTraceFilter;
+use hotpath_core::time::Timestamp;
+use hotpath_core::ObjectId;
+
+fn tp(x: f64, y: f64, t: u64) -> TimePoint {
+    TimePoint::new(Point::new(x, y), Timestamp(t))
+}
+
+/// Trips the filter at t+1 (east then a hard jump back).
+fn trip(f: &mut RayTraceFilter, t0: u64) -> hotpath_core::raytrace::ClientState {
+    assert!(f.observe(tp(10.0, 0.0, t0)).is_none());
+    f.observe(tp(-1000.0, 0.0, t0 + 1)).expect("violation")
+}
+
+#[test]
+fn delayed_response_buffers_and_recovers() {
+    let mut f = RayTraceFilter::new(ObjectId(0), tp(0.0, 0.0, 0), 2.0);
+    let state = trip(&mut f, 1);
+    // The coordinator is slow: many epochs pass while the object keeps
+    // measuring. Everything buffers; nothing is lost, nothing reported.
+    for t in 3..=50u64 {
+        assert!(f.observe(tp(-1000.0 - (t - 2) as f64, 0.0, t)).is_none());
+        assert!(f.is_waiting());
+    }
+    assert_eq!(f.buffered_len(), 49); // violator + 48 late points
+    // The first response arrives; the backlog replays. The violator
+    // seeds the new FSA, but the apex->violator jump implies an extreme
+    // velocity the remaining backlog cannot sustain: the filter
+    // immediately re-reports from the buffered history — chained to the
+    // endpoint it just received.
+    let endpoint = TimePoint::new(state.fsa.centroid(), state.te);
+    let next = f.receive_endpoint(endpoint).expect("backlog re-violates");
+    assert_eq!(next.start, endpoint.p);
+    assert_eq!(next.ts, endpoint.t);
+    assert!(f.is_waiting());
+    // The second response lands; from there the steady -1 m/ts drift in
+    // the backlog fits a single SSA and the filter fully recovers.
+    let endpoint2 = TimePoint::new(next.fsa.centroid(), next.te);
+    assert!(f.receive_endpoint(endpoint2).is_none());
+    assert!(!f.is_waiting());
+    assert_eq!(f.buffered_len(), 0);
+    // The chain resumes exactly at the second endpoint.
+    let s2 = f.observe(tp(1e6, 1e6, 51)).expect("forced violation");
+    assert_eq!(s2.start, endpoint2.p);
+    assert_eq!(s2.ts, endpoint2.t);
+}
+
+#[test]
+fn response_withheld_forever_never_reports_again() {
+    // An object whose response is lost keeps buffering: communication
+    // stays silent (no report storm), memory grows linearly with the
+    // outage — the documented trade of the buffering design.
+    let mut f = RayTraceFilter::new(ObjectId(0), tp(0.0, 0.0, 0), 2.0);
+    let _ = trip(&mut f, 1);
+    let reports_before = f.stats().reports;
+    for t in 3..=300u64 {
+        assert!(f.observe(tp((t % 7) as f64, (t % 11) as f64, t)).is_none());
+    }
+    assert_eq!(f.stats().reports, reports_before, "no reports while waiting");
+    assert_eq!(f.buffered_len(), 299);
+}
+
+#[test]
+#[should_panic(expected = "non-waiting")]
+fn misdelivered_response_is_rejected_in_debug() {
+    // Delivering an endpoint to a filter that never reported is a
+    // protocol violation; debug builds refuse it loudly.
+    let mut f = RayTraceFilter::new(ObjectId(0), tp(0.0, 0.0, 0), 2.0);
+    let _ = f.observe(tp(1.0, 0.0, 1));
+    let _ = f.receive_endpoint(tp(0.0, 0.0, 1));
+}
+
+#[test]
+#[should_panic(expected = "not after SSA end")]
+fn out_of_order_measurement_is_rejected_in_debug() {
+    let mut f = RayTraceFilter::new(ObjectId(0), tp(0.0, 0.0, 0), 2.0);
+    let _ = f.observe(tp(1.0, 0.0, 5));
+    let _ = f.observe(tp(2.0, 0.0, 3)); // travels back in time
+}
+
+#[test]
+fn recovery_after_long_outage_still_validates_chains() {
+    use hotpath_core::geometry::{Segment, Trajectory};
+    use hotpath_core::motion_path::fits_trajectory;
+    use hotpath_core::time::TimeInterval;
+
+    let eps = 3.0;
+    let seed = tp(0.0, 0.0, 0);
+    let mut f = RayTraceFilter::new(ObjectId(0), seed, eps);
+    let mut traj = Trajectory::new();
+    traj.push(seed);
+    // Eastbound, then a turn the coordinator only hears about 20 ts
+    // later; then northbound.
+    let mut states = Vec::new();
+    let mut endpoints = Vec::new();
+    for t in 1..=60u64 {
+        let p = if t <= 20 {
+            Point::new(10.0 * t as f64, 0.0)
+        } else {
+            Point::new(200.0, 10.0 * (t - 20) as f64)
+        };
+        traj.push(TimePoint::new(p, Timestamp(t)));
+        if let Some(s) = f.observe(TimePoint::new(p, Timestamp(t))) {
+            states.push(s);
+        }
+        // Outage: the response to the first report arrives only at t = 45.
+        if t == 45 {
+            let pending: Vec<_> = states.drain(..).collect();
+            for s in pending {
+                let e = TimePoint::new(s.fsa.centroid(), s.te);
+                endpoints.push((s, e));
+                if let Some(next) = f.receive_endpoint(e) {
+                    states.push(next);
+                }
+            }
+        }
+    }
+    // Whatever happened, every (state, chosen endpoint) pair fits the
+    // real trajectory — buffering preserves correctness, not just
+    // liveness.
+    assert!(!endpoints.is_empty());
+    for (s, e) in &endpoints {
+        let seg = Segment::new(s.start, e.p);
+        let iv = TimeInterval::new(s.ts, s.te);
+        assert!(
+            fits_trajectory(&seg, iv, &traj, eps),
+            "outage-delayed chain element does not fit: {s:?}"
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! The (eps, delta) uncertainty model end to end: Gaussian measurements
+//! through the uncertain RayTrace filter into the coordinator.
+
+use hotpath_core::config::{Config, Tolerance};
+use hotpath_core::coordinator::Coordinator;
+use hotpath_core::geometry::{Point, TimePoint};
+use hotpath_core::raytrace::UncertainRayTraceFilter;
+use hotpath_core::time::Timestamp;
+use hotpath_core::uncertainty::{FallbackPolicy, ToleranceTable2D};
+use hotpath_core::ObjectId;
+use hotpath_netsim::mobility::GaussianNoise;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn run_uncertain(sigma: f64, seed: u64) -> (u64, usize) {
+    let (eps, delta) = (10.0, 0.05);
+    let config = Config::paper_defaults()
+        .with_tolerance(Tolerance::uncertain(eps, delta))
+        .with_window(200)
+        .with_epoch(10);
+    let table = ToleranceTable2D::build(eps, delta, 8.0, 128, FallbackPolicy::Reject);
+    let mut coordinator = Coordinator::new(config);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let noise = GaussianNoise::new(sigma);
+
+    let n = 20usize;
+    let mut clients: Vec<UncertainRayTraceFilter> = (0..n)
+        .map(|i| {
+            UncertainRayTraceFilter::new(
+                ObjectId(i as u64),
+                TimePoint::new(Point::new(0.0, i as f64 * 100.0), Timestamp(0)),
+                table.clone(),
+            )
+        })
+        .collect();
+
+    for t in 1..=200u64 {
+        let now = Timestamp(t);
+        for (i, client) in clients.iter_mut().enumerate() {
+            // All objects ride parallel east-west roads with a kink.
+            let x = 8.0 * t as f64;
+            let y = i as f64 * 100.0 + if t > 100 { (t - 100) as f64 * 4.0 } else { 0.0 };
+            let g = noise.measure(Point::new(x, y), &mut rng);
+            if let Some(state) = client.observe_gaussian(g, now) {
+                coordinator.submit(state);
+            }
+        }
+        coordinator.advance_time(now);
+        if config.epochs.is_epoch(now) {
+            for resp in coordinator.process_epoch(now) {
+                if let Some(state) =
+                    clients[resp.object.0 as usize].receive_endpoint(resp.endpoint)
+                {
+                    coordinator.submit(state);
+                }
+            }
+        }
+    }
+    let reports: u64 = clients.iter().map(|c| c.stats().reports).sum();
+    (reports, coordinator.index_size())
+}
+
+#[test]
+fn uncertain_pipeline_discovers_paths() {
+    let (reports, index) = run_uncertain(1.0, 301);
+    assert!(reports > 0, "no reports at all");
+    assert!(index > 0, "no paths discovered under uncertainty");
+}
+
+#[test]
+fn noisier_sensors_report_more() {
+    let (clean, _) = run_uncertain(0.5, 302);
+    let (noisy, _) = run_uncertain(3.5, 302);
+    assert!(
+        noisy > clean,
+        "noisy sensors should report more: sigma=3.5 -> {noisy}, sigma=0.5 -> {clean}"
+    );
+}
+
+#[test]
+fn hopeless_noise_rejects_measurements_not_paths() {
+    // sigma near eps: many measurements unsolvable, but the pipeline
+    // must not panic and the solvable remainder still flows.
+    let (_reports, _index) = run_uncertain(4.9, 303);
+}
