@@ -60,10 +60,7 @@ pub fn simplify(points: &[Point], eps: f64, metric: Metric) -> Vec<usize> {
             stack.push((worst, hi));
         }
     }
-    keep.iter()
-        .enumerate()
-        .filter_map(|(i, &k)| k.then_some(i))
-        .collect()
+    keep.iter().enumerate().filter_map(|(i, &k)| k.then_some(i)).collect()
 }
 
 /// Maximum deviation of the original points from the simplified
@@ -107,9 +104,7 @@ mod tests {
     #[test]
     fn deviation_bound_holds() {
         // A wavy path.
-        let pts: Vec<Point> = (0..200)
-            .map(|i| p(i as f64, (i as f64 * 0.3).sin() * 5.0))
-            .collect();
+        let pts: Vec<Point> = (0..200).map(|i| p(i as f64, (i as f64 * 0.3).sin() * 5.0)).collect();
         for eps in [0.5, 1.0, 2.0, 5.0] {
             for metric in [Metric::L2, Metric::LInf] {
                 let kept = simplify(&pts, eps, metric);
@@ -121,9 +116,8 @@ mod tests {
 
     #[test]
     fn larger_eps_keeps_fewer_points() {
-        let pts: Vec<Point> = (0..300)
-            .map(|i| p(i as f64, (i as f64 * 0.2).sin() * 10.0))
-            .collect();
+        let pts: Vec<Point> =
+            (0..300).map(|i| p(i as f64, (i as f64 * 0.2).sin() * 10.0)).collect();
         let fine = simplify(&pts, 0.5, Metric::L2).len();
         let coarse = simplify(&pts, 5.0, Metric::L2).len();
         assert!(coarse < fine, "coarse {coarse} !< fine {fine}");

@@ -113,7 +113,10 @@ impl DpHotSegments {
         self.for_each_in_grid(&probe, |id, seg| {
             if probe.contains(&seg.a) && probe.contains(&seg.b) {
                 let h = self.hotness.get(id);
-                if best.map(|(bh, bid)| (h, std::cmp::Reverse(id)) > (bh, std::cmp::Reverse(bid))).unwrap_or(true) {
+                if best
+                    .map(|(bh, bid)| (h, std::cmp::Reverse(id)) > (bh, std::cmp::Reverse(bid)))
+                    .unwrap_or(true)
+                {
                     best = Some((h, id));
                 }
             }
@@ -318,10 +321,7 @@ mod tests {
         }
         // The second object's fixed segment reuses the first one's.
         let hot = d.hot_segments();
-        assert!(
-            hot.iter().any(|h| h.hotness >= 2),
-            "no shared segment: {hot:?}"
-        );
+        assert!(hot.iter().any(|h| h.hotness >= 2), "no shared segment: {hot:?}");
     }
 
     #[test]

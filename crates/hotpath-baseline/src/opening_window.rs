@@ -116,9 +116,7 @@ impl OpeningWindow {
     /// Flushes the open segment (end of stream); returns it when the
     /// window is non-empty.
     pub fn finish(mut self) -> Option<EmittedSegment> {
-        self.window
-            .pop()
-            .map(|float| EmittedSegment { from: self.anchor, to: float })
+        self.window.pop().map(|float| EmittedSegment { from: self.anchor, to: float })
     }
 
     /// Checks all intermediate points against anchor→float; returns the
@@ -213,19 +211,16 @@ mod tests {
         // synopsis segment (spatially).
         let eps = 1.0;
         let mut ow = OpeningWindow::new(tp(0.0, 0.0, 0), eps, EndpointPolicy::Nopw, Metric::LInf);
-        let pts: Vec<TimePoint> = (1..=200)
-            .map(|t| tp(t as f64, (t as f64 * 0.25).sin() * 2.5, t))
-            .collect();
+        let pts: Vec<TimePoint> =
+            (1..=200).map(|t| tp(t as f64, (t as f64 * 0.25).sin() * 2.5, t)).collect();
         let mut segments = feed(&mut ow, &pts);
         if let Some(last) = ow.finish() {
             segments.push(last);
         }
         let all: Vec<TimePoint> = std::iter::once(tp(0.0, 0.0, 0)).chain(pts).collect();
         for p in &all {
-            let covering: Vec<&EmittedSegment> = segments
-                .iter()
-                .filter(|s| s.from.t <= p.t && p.t <= s.to.t)
-                .collect();
+            let covering: Vec<&EmittedSegment> =
+                segments.iter().filter(|s| s.from.t <= p.t && p.t <= s.to.t).collect();
             assert!(!covering.is_empty(), "point at {:?} uncovered", p.t);
             for s in covering {
                 let d = Metric::LInf.dist(&s.segment(), &p.p);

@@ -10,12 +10,7 @@ fn bench_hinted(c: &mut Criterion) {
     let mut g = c.benchmark_group("hinted_ablation");
     g.sample_size(10);
     for hints in [false, true] {
-        let params = SimulationParams {
-            n: 500,
-            hints,
-            run_dp: false,
-            ..Scale::Quick.base(2011)
-        };
+        let params = SimulationParams { n: 500, hints, run_dp: false, ..Scale::Quick.base(2011) };
         g.bench_with_input(
             BenchmarkId::new("simulate", if hints { "hinted" } else { "plain" }),
             &params,

@@ -8,9 +8,7 @@ use hotpath_core::index::{EndKind, EndpointGrid, Entry, RTree};
 use hotpath_core::motion_path::PathId;
 
 fn endpoints(n: usize) -> Vec<Point> {
-    (0..n)
-        .map(|i| Point::new(((i * 37) % 15_000) as f64, ((i * 61) % 15_000) as f64))
-        .collect()
+    (0..n).map(|i| Point::new(((i * 37) % 15_000) as f64, ((i * 61) % 15_000) as f64)).collect()
 }
 
 fn filled_grid(pts: &[Point]) -> EndpointGrid {

@@ -2,17 +2,14 @@
 //! violation check "very costly") and the MBB insert-or-bump path.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
-use hotpath_baseline::{DpHotSegments, EndpointPolicy, OpeningWindow, Metric};
+use hotpath_baseline::{DpHotSegments, EndpointPolicy, Metric, OpeningWindow};
 use hotpath_core::geometry::{Point, Segment, TimePoint};
 use hotpath_core::time::{SlidingWindow, Timestamp};
 
 fn wavy(len: u64) -> Vec<TimePoint> {
     (1..=len)
         .map(|t| {
-            TimePoint::new(
-                Point::new(10.0 * t as f64, (t as f64 * 0.25).sin() * 8.0),
-                Timestamp(t),
-            )
+            TimePoint::new(Point::new(10.0 * t as f64, (t as f64 * 0.25).sin() * 8.0), Timestamp(t))
         })
         .collect()
 }
@@ -22,22 +19,25 @@ fn bench_opening_window(c: &mut Criterion) {
     for policy in [EndpointPolicy::Nopw, EndpointPolicy::Bopw] {
         let pts = wavy(2_000);
         g.throughput(Throughput::Elements(pts.len() as u64));
-        g.bench_with_input(
-            BenchmarkId::new("push", format!("{policy:?}")),
-            &pts,
-            |b, pts| {
-                b.iter_batched(
-                    || OpeningWindow::new(TimePoint::new(Point::ORIGIN, Timestamp(0)), 5.0, policy, Metric::LInf),
-                    |mut ow| {
-                        for tp in pts {
-                            let _ = ow.push(*tp);
-                        }
-                        ow
-                    },
-                    BatchSize::SmallInput,
-                );
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("push", format!("{policy:?}")), &pts, |b, pts| {
+            b.iter_batched(
+                || {
+                    OpeningWindow::new(
+                        TimePoint::new(Point::ORIGIN, Timestamp(0)),
+                        5.0,
+                        policy,
+                        Metric::LInf,
+                    )
+                },
+                |mut ow| {
+                    for tp in pts {
+                        let _ = ow.push(*tp);
+                    }
+                    ow
+                },
+                BatchSize::SmallInput,
+            );
+        });
     }
     g.finish();
 }

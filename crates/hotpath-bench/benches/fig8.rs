@@ -12,13 +12,9 @@ fn bench_fig8(c: &mut Criterion) {
     let n = Scale::Quick.fig8_n();
     for &eps in &Scale::Quick.fig8_eps() {
         let params = SimulationParams { n, eps, ..Scale::Quick.base(2009) };
-        g.bench_with_input(
-            BenchmarkId::new("simulate", format!("eps{eps}")),
-            &params,
-            |b, p| {
-                b.iter(|| run(*p));
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("simulate", format!("eps{eps}")), &params, |b, p| {
+            b.iter(|| run(*p));
+        });
     }
     g.finish();
 }

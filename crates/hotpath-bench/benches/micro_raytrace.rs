@@ -35,24 +35,26 @@ fn bench_observe(c: &mut Criterion) {
         for len in [1_000u64, 10_000] {
             let points = stream(kind, len);
             g.throughput(Throughput::Elements(len));
-            g.bench_with_input(
-                BenchmarkId::new(kind, len),
-                &points,
-                |b, pts| {
-                    b.iter_batched(
-                        || RayTraceFilter::new(ObjectId(0), TimePoint::new(Point::ORIGIN, Timestamp(0)), 5.0),
-                        |mut f| {
-                            for tp in pts {
-                                if let Some(s) = f.observe(*tp) {
-                                    let _ = f.receive_endpoint(TimePoint::new(s.fsa.centroid(), s.te));
-                                }
+            g.bench_with_input(BenchmarkId::new(kind, len), &points, |b, pts| {
+                b.iter_batched(
+                    || {
+                        RayTraceFilter::new(
+                            ObjectId(0),
+                            TimePoint::new(Point::ORIGIN, Timestamp(0)),
+                            5.0,
+                        )
+                    },
+                    |mut f| {
+                        for tp in pts {
+                            if let Some(s) = f.observe(*tp) {
+                                let _ = f.receive_endpoint(TimePoint::new(s.fsa.centroid(), s.te));
                             }
-                            f
-                        },
-                        BatchSize::SmallInput,
-                    );
-                },
-            );
+                        }
+                        f
+                    },
+                    BatchSize::SmallInput,
+                );
+            });
         }
     }
     g.finish();

@@ -32,8 +32,8 @@ fn main() {
                 let dir = args.get(i).unwrap_or_else(|| usage("--csv needs a directory"));
                 csv_dir = Some(std::path::PathBuf::from(dir));
             }
-            w @ ("fig7" | "fig8" | "fig9" | "fig10" | "claims" | "hinted" | "ablate" | "filters"
-                | "compress" | "uncertain" | "all") => {
+            w @ ("fig7" | "fig8" | "fig9" | "fig10" | "claims" | "hinted" | "ablate"
+            | "filters" | "compress" | "uncertain" | "all") => {
                 which = w.to_string();
             }
             other => usage(&format!("unknown argument '{other}'")),
@@ -189,10 +189,11 @@ fn fig10_(scale: Scale) {
     let (paths, center, _res) = figure10(params, 20);
     let map = paths_map(center, &paths, 72, 24);
     print!("{}", indent(&map.render()));
-    println!("   {} central hot paths; hotness range {:?}", paths.len(), (
-        paths.last().map(|p| p.1).unwrap_or(0),
-        paths.first().map(|p| p.1).unwrap_or(0),
-    ));
+    println!(
+        "   {} central hot paths; hotness range {:?}",
+        paths.len(),
+        (paths.last().map(|p| p.1).unwrap_or(0), paths.first().map(|p| p.1).unwrap_or(0),)
+    );
     println!();
 }
 
@@ -211,14 +212,8 @@ fn claims(scale: Scale) {
     );
     // Claim ii: SinglePath can beat DP on score (paper: at N=20000).
     let rows = figure7(&scale.fig7_ns(), scale.base(2008));
-    let wins: Vec<usize> = rows
-        .iter()
-        .filter(|r| r.sp_score > r.dp_score)
-        .map(|r| r.n)
-        .collect();
-    println!(
-        "   (ii) SinglePath score beats DP at N in {wins:?} (paper: at N=20,000)"
-    );
+    let wins: Vec<usize> = rows.iter().filter(|r| r.sp_score > r.dp_score).map(|r| r.n).collect();
+    println!("   (ii) SinglePath score beats DP at N in {wins:?} (paper: at N=20,000)");
     // Claim iii is printed by fig8's shape line.
     println!("   (iii) see Figure 8 shape line (eps=2 -> 20 speedup; paper: >3x)");
     // Filter economy (the motivation of Section 3.2).
@@ -348,9 +343,7 @@ fn uncertain() {
         .map(|r| {
             vec![
                 format!("{:.1}", r.sigma),
-                r.half_width
-                    .map(|w| format!("{w:.2}"))
-                    .unwrap_or_else(|| "unsolvable".into()),
+                r.half_width.map(|w| format!("{w:.2}")).unwrap_or_else(|| "unsolvable".into()),
                 format!("{:.2}", r.reports_per_mover),
                 r.dropped.to_string(),
             ]
@@ -358,10 +351,7 @@ fn uncertain() {
         .collect();
     println!(
         "{}",
-        hotpath_sim::report::table(
-            &["sigma (m)", "half-width", "reports/mover", "dropped"],
-            &data
-        )
+        hotpath_sim::report::table(&["sigma (m)", "half-width", "reports/mover", "dropped"], &data)
     );
     println!();
 }

@@ -42,10 +42,9 @@ impl Scale {
     pub fn base(self, seed: u64) -> SimulationParams {
         match self {
             Scale::Paper => SimulationParams::paper_defaults(0, seed),
-            Scale::Mid => SimulationParams {
-                duration: 150,
-                ..SimulationParams::paper_defaults(0, seed)
-            },
+            Scale::Mid => {
+                SimulationParams { duration: 150, ..SimulationParams::paper_defaults(0, seed) }
+            }
             Scale::Quick => SimulationParams {
                 network: NetworkParams::tiny(seed),
                 duration: 100,

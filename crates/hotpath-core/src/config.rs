@@ -31,10 +31,7 @@ impl Tolerance {
     /// Probabilistic tolerance constructor.
     pub fn uncertain(eps: f64, delta: f64) -> Self {
         assert!(eps > 0.0 && eps.is_finite(), "eps must be positive, got {eps}");
-        assert!(
-            delta > 0.0 && delta < 1.0,
-            "delta must lie in (0, 1), got {delta}"
-        );
+        assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1), got {delta}");
         Tolerance::Uncertain { eps, delta }
     }
 

@@ -141,17 +141,13 @@ impl Coordinator {
         self.processing.case2 += tally.case2;
         self.processing.case3 += tally.case3;
 
-        selections
-            .iter()
-            .map(|sel| self.respond(sel))
-            .collect()
+        selections.iter().map(|sel| self.respond(sel)).collect()
     }
 
     /// Builds (and accounts) the endpoint response for one selection.
     fn respond(&mut self, sel: &Selection) -> EndpointResponse {
         let hint = if self.hints_enabled {
-            self.hottest_from(&sel.endpoint)
-                .map(|p| PathHint { seg: p.seg })
+            self.hottest_from(&sel.endpoint).map(|p| PathHint { seg: p.seg })
         } else {
             None
         };
@@ -355,7 +351,10 @@ mod tests {
         let hint = r.hint.expect("hint expected");
         assert_eq!(hint.seg.a, Point::new(50.0, 0.0));
         assert_eq!(hint.seg.b, Point::new(100.0, 0.0));
-        assert_eq!(r.wire_bytes(), EndpointResponse::WIRE_BYTES + EndpointResponse::HINT_EXTRA_BYTES);
+        assert_eq!(
+            r.wire_bytes(),
+            EndpointResponse::WIRE_BYTES + EndpointResponse::HINT_EXTRA_BYTES
+        );
     }
 
     #[test]

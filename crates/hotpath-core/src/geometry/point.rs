@@ -86,10 +86,7 @@ impl Point {
     /// `p(lambda) = pa + lambda (pb - pa)` parameterization.
     #[inline]
     pub fn lerp(&self, other: &Point, lambda: f64) -> Point {
-        Point {
-            x: self.x + lambda * (other.x - self.x),
-            y: self.y + lambda * (other.y - self.y),
-        }
+        Point { x: self.x + lambda * (other.x - self.x), y: self.y + lambda * (other.y - self.y) }
     }
 
     /// Dot product when viewing the points as vectors.

@@ -28,10 +28,7 @@ impl Rect {
     /// [`Rect::from_corners`] for unordered input).
     #[inline]
     pub fn new(lo: Point, hi: Point) -> Self {
-        assert!(
-            lo.x <= hi.x && lo.y <= hi.y,
-            "rect corners out of order: lo={lo:?} hi={hi:?}"
-        );
+        assert!(lo.x <= hi.x && lo.y <= hi.y, "rect corners out of order: lo={lo:?} hi={hi:?}");
         Rect { lo, hi }
     }
 
@@ -191,12 +188,7 @@ impl Rect {
 
     /// Iterator over the four corner points (ll, lr, ur, ul).
     pub fn corners(&self) -> [Point; 4] {
-        [
-            self.lo,
-            Point::new(self.hi.x, self.lo.y),
-            self.hi,
-            Point::new(self.lo.x, self.hi.y),
-        ]
+        [self.lo, Point::new(self.hi.x, self.lo.y), self.hi, Point::new(self.lo.x, self.hi.y)]
     }
 
     /// Perimeter length.
@@ -352,6 +344,66 @@ mod tests {
         let fsa = r(-2.0, -2.0, 2.0, 2.0);
         let apex = Point::new(0.0, 0.0);
         assert_eq!(fsa.scale_about(apex, 0.25), r(-0.5, -0.5, 0.5, 0.5));
+    }
+
+    #[test]
+    fn degenerate_intersection_edge_cases() {
+        // Two identical point rects intersect in themselves.
+        let p = Rect::point(Point::new(1.0, 1.0));
+        assert_eq!(p.intersection(&p), Some(p));
+        // Distinct point rects are disjoint.
+        let q = Rect::point(Point::new(1.0, 2.0));
+        assert!(p.intersection(&q).is_none());
+        // A point rect on a rectangle's edge intersects in itself.
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        let edge = Rect::point(Point::new(2.0, 1.0));
+        assert_eq!(a.intersection(&edge), Some(edge));
+        assert!(a.contains_rect(&edge));
+        // A point rect at a corner likewise.
+        let corner = Rect::point(Point::new(2.0, 2.0));
+        assert_eq!(a.intersection(&corner), Some(corner));
+        // Zero-width (line) rects crossing meet in a point rect.
+        let vline = r(1.0, -5.0, 1.0, 5.0);
+        let hline = r(-5.0, 0.5, 5.0, 0.5);
+        assert_eq!(vline.intersection(&hline), Some(Rect::point(Point::new(1.0, 0.5))));
+    }
+
+    #[test]
+    fn corner_touching_rects_intersect_in_a_point() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(1.0, 1.0, 2.0, 2.0);
+        assert!(a.intersects(&b));
+        let i = a.intersection(&b).unwrap();
+        assert!(i.is_degenerate());
+        assert_eq!(i, Rect::point(Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn containment_edge_cases() {
+        let a = r(0.0, 0.0, 4.0, 4.0);
+        // Shared edge still counts as containment (closed sets).
+        assert!(a.contains_rect(&r(0.0, 0.0, 4.0, 2.0)));
+        assert!(a.contains_rect(&r(2.0, 0.0, 4.0, 4.0)));
+        // One-axis overflow by any amount breaks it.
+        assert!(!a.contains_rect(&r(0.0, 0.0, 4.0 + 1e-12, 2.0)));
+        assert!(!a.contains_rect(&r(-1e-12, 0.0, 1.0, 1.0)));
+        // Containment implies intersection equals the inner rect.
+        let inner = r(1.0, 1.0, 3.0, 4.0);
+        assert!(a.contains_rect(&inner));
+        assert_eq!(a.intersection(&inner), Some(inner));
+        // Degenerate contains only itself.
+        let p = Rect::point(Point::new(1.0, 1.0));
+        assert!(p.contains_rect(&p));
+        assert!(!p.contains_rect(&r(1.0, 1.0, 1.0, 2.0)));
+    }
+
+    #[test]
+    fn zero_eps_tolerance_square_is_a_point() {
+        let c = Point::new(3.0, -1.0);
+        let q = Rect::tolerance_square(c, 0.0);
+        assert!(q.is_degenerate());
+        assert!(q.contains(&c));
+        assert!(!q.contains(&Point::new(3.0 + 1e-12, -1.0)));
     }
 
     #[test]

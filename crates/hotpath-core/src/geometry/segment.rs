@@ -235,6 +235,48 @@ mod tests {
     }
 
     #[test]
+    fn zero_length_segment_distances() {
+        let d = seg(2.0, 3.0, 2.0, 3.0);
+        assert!(d.is_degenerate());
+        assert_eq!(d.length(), 0.0);
+        // Both metrics collapse to point distance.
+        assert_eq!(d.dist_l2_point(&Point::new(2.0, 3.0)), 0.0);
+        assert_eq!(d.dist_linf_point(&Point::new(2.0, 3.0)), 0.0);
+        assert!((d.dist_l2_point(&Point::new(5.0, 7.0)) - 5.0).abs() < 1e-12);
+        assert_eq!(d.dist_linf_point(&Point::new(5.0, 7.0)), 4.0);
+        // No closest parameter exists on a degenerate segment, and every
+        // interpolation parameter yields the single point.
+        assert_eq!(d.closest_lambda_l2(&Point::new(0.0, 0.0)), None);
+        assert_eq!(d.point_at(0.0), d.a);
+        assert_eq!(d.point_at(0.7), d.a);
+        assert_eq!(d.point_at(1.0), d.a);
+        // MBB of a degenerate segment is the point rect.
+        assert!(d.mbb().is_degenerate());
+    }
+
+    #[test]
+    fn degenerate_axis_segments() {
+        // Zero extent along x only (vertical segment).
+        let v = seg(1.0, 0.0, 1.0, 10.0);
+        assert_eq!(v.dist_linf_point(&Point::new(4.0, 5.0)), 3.0);
+        // Beyond the top end both gaps matter: x gap 3, y gap 2 -> 3.
+        assert_eq!(v.dist_linf_point(&Point::new(4.0, 12.0)), 3.0);
+        // Zero extent along y only (horizontal segment).
+        let h = seg(0.0, 2.0, 10.0, 2.0);
+        assert_eq!(h.dist_linf_point(&Point::new(5.0, 6.0)), 4.0);
+        assert_eq!(h.dist_linf_point(&Point::new(-3.0, 2.0)), 3.0);
+    }
+
+    #[test]
+    fn sync_proximity_with_degenerate_segments() {
+        let stay = seg(1.0, 1.0, 1.0, 1.0);
+        let drift = seg(1.0, 1.0, 1.5, 1.0);
+        assert!(stay.within_sync_linf(&drift, 0.5));
+        assert!(!stay.within_sync_linf(&drift, 0.4));
+        assert!(stay.within_sync_linf(&stay, 0.0));
+    }
+
+    #[test]
     fn synchronized_proximity_checks_endpoints_only() {
         let a = seg(0.0, 0.0, 10.0, 0.0);
         let b = seg(0.5, 0.5, 10.5, 0.5);

@@ -64,12 +64,7 @@ impl Trajectory {
     /// Appends a sample; its timestamp must exceed the last one.
     pub fn push(&mut self, tp: TimePoint) {
         if let Some(last) = self.points.last() {
-            assert!(
-                last.t < tp.t,
-                "out-of-order trajectory sample: {:?} after {:?}",
-                tp.t,
-                last.t
-            );
+            assert!(last.t < tp.t, "out-of-order trajectory sample: {:?} after {:?}", tp.t, last.t);
         }
         self.points.push(tp);
     }
@@ -201,12 +196,47 @@ mod tests {
 
     #[test]
     fn interpolation_multi_segment() {
-        let tr = Trajectory::from_points(vec![
-            tp(0.0, 0.0, 0),
-            tp(10.0, 0.0, 10),
-            tp(10.0, 10.0, 20),
-        ]);
+        let tr =
+            Trajectory::from_points(vec![tp(0.0, 0.0, 0), tp(10.0, 0.0, 10), tp(10.0, 10.0, 20)]);
         assert_eq!(tr.position_at(Timestamp(15)), Some(Point::new(10.0, 5.0)));
+    }
+
+    #[test]
+    fn interpolation_at_exact_span_boundaries() {
+        let tr = Trajectory::from_points(vec![tp(1.0, 2.0, 5), tp(9.0, 2.0, 13)]);
+        let span = tr.span().unwrap();
+        // The closed boundaries themselves resolve to the samples...
+        assert_eq!(tr.position_at(span.start), Some(Point::new(1.0, 2.0)));
+        assert_eq!(tr.position_at(span.end), Some(Point::new(9.0, 2.0)));
+        // ...while one granule outside either boundary is undefined.
+        assert_eq!(tr.position_at(Timestamp(4)), None);
+        assert_eq!(tr.position_at(Timestamp(14)), None);
+    }
+
+    #[test]
+    fn single_sample_trajectory_boundaries() {
+        let tr = Trajectory::from_points(vec![tp(3.0, 4.0, 7)]);
+        let span = tr.span().unwrap();
+        assert_eq!(span.start, span.end);
+        assert_eq!(tr.position_at(Timestamp(7)), Some(Point::new(3.0, 4.0)));
+        assert_eq!(tr.position_at(Timestamp(6)), None);
+        assert_eq!(tr.position_at(Timestamp(8)), None);
+        // passes_near degenerates to a point-proximity test.
+        assert!(tr.passes_near(&Point::new(3.5, 4.0), 0.5));
+        assert!(!tr.passes_near(&Point::new(3.6, 4.0), 0.5));
+    }
+
+    #[test]
+    fn interpolation_at_interior_vertices_is_exact() {
+        // At a shared vertex of two segments the sample itself must come
+        // back, not an interpolation from either side.
+        let tr =
+            Trajectory::from_points(vec![tp(0.0, 0.0, 0), tp(10.0, 0.0, 10), tp(10.0, 10.0, 20)]);
+        assert_eq!(tr.position_at(Timestamp(10)), Some(Point::new(10.0, 0.0)));
+        // One granule on either side of the vertex interpolates within the
+        // adjacent segment only.
+        assert_eq!(tr.position_at(Timestamp(9)), Some(Point::new(9.0, 0.0)));
+        assert_eq!(tr.position_at(Timestamp(11)), Some(Point::new(10.0, 1.0)));
     }
 
     #[test]

@@ -26,12 +26,7 @@ pub struct Hotness {
 impl Hotness {
     /// Creates an empty table over the given window.
     pub fn new(window: SlidingWindow) -> Self {
-        Hotness {
-            window,
-            counts: FxHashMap::default(),
-            queue: BinaryHeap::new(),
-            recorded: 0,
-        }
+        Hotness { window, counts: FxHashMap::default(), queue: BinaryHeap::new(), recorded: 0 }
     }
 
     /// The sliding window in force.
@@ -209,9 +204,7 @@ mod tests {
             for check_id in 0..8u64 {
                 let expect = crossings
                     .iter()
-                    .filter(|&&(i, te)| {
-                        i == check_id && te.raw() + w > now
-                    })
+                    .filter(|&&(i, te)| i == check_id && te.raw() + w > now)
                     .count() as u32;
                 assert_eq!(
                     hot.get(PathId(check_id)),

@@ -72,10 +72,7 @@ impl EndpointGrid {
     /// The cell containing `p`.
     #[inline]
     pub fn key_of(&self, p: &Point) -> CellKey {
-        (
-            (p.x / self.cell).floor() as i64,
-            (p.y / self.cell).floor() as i64,
-        )
+        ((p.x / self.cell).floor() as i64, (p.y / self.cell).floor() as i64)
     }
 
     /// Inserts an entry; replaces any previous entry for the same
@@ -184,11 +181,8 @@ mod tests {
         for r in ranges {
             let mut got: Vec<u64> = g.query(&r).iter().map(|e| e.path.0).collect();
             got.sort_unstable();
-            let mut want: Vec<u64> = all
-                .iter()
-                .filter(|e| r.contains(&e.endpoint))
-                .map(|e| e.path.0)
-                .collect();
+            let mut want: Vec<u64> =
+                all.iter().filter(|e| r.contains(&e.endpoint)).map(|e| e.path.0).collect();
             want.sort_unstable();
             assert_eq!(got, want, "range {r:?}");
         }

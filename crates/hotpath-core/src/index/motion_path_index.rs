@@ -98,9 +98,7 @@ impl MotionPathIndex {
     /// Finds a stored path with the given quantized endpoints.
     fn find_exact(&self, skey: VertexKey, ekey: VertexKey) -> Option<PathId> {
         let outs = self.out_adj.get(&skey)?;
-        outs.iter()
-            .copied()
-            .find(|id| self.vertex_key(&self.paths[id].end()) == ekey)
+        outs.iter().copied().find(|id| self.vertex_key(&self.paths[id].end()) == ekey)
     }
 
     /// Removes a path (when its hotness expires to zero, Section 5.2).
@@ -155,11 +153,7 @@ impl MotionPathIndex {
         });
         let mut out: Vec<(Point, Vec<PathId>)> = by_vertex.into_values().collect();
         // Deterministic order for reproducible selection.
-        out.sort_by(|a, b| {
-            a.0.x
-                .total_cmp(&b.0.x)
-                .then(a.0.y.total_cmp(&b.0.y))
-        });
+        out.sort_by(|a, b| a.0.x.total_cmp(&b.0.x).then(a.0.y.total_cmp(&b.0.y)));
         for (_, ids) in &mut out {
             ids.sort_unstable();
         }
@@ -168,18 +162,12 @@ impl MotionPathIndex {
 
     /// Paths leaving the vertex of `p` (hinted-extension adjacency).
     pub fn paths_starting_at(&self, p: &Point) -> &[PathId] {
-        self.out_adj
-            .get(&self.vertex_key(p))
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.out_adj.get(&self.vertex_key(p)).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// Paths converging to the vertex of `p`.
     pub fn paths_ending_at(&self, p: &Point) -> &[PathId] {
-        self.in_adj
-            .get(&self.vertex_key(p))
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.in_adj.get(&self.vertex_key(p)).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// Internal-consistency audit used by tests and debug assertions:

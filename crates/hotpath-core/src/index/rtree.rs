@@ -65,10 +65,7 @@ impl<V> Node<V> {
 impl<V: Clone + PartialEq> RTree<V> {
     /// Creates an empty tree.
     pub fn new() -> Self {
-        RTree {
-            root: Node::Leaf { mbr: Rect::point(Point::ORIGIN), entries: Vec::new() },
-            len: 0,
-        }
+        RTree { root: Node::Leaf { mbr: Rect::point(Point::ORIGIN), entries: Vec::new() }, len: 0 }
     }
 
     /// Number of stored entries.
@@ -86,10 +83,7 @@ impl<V: Clone + PartialEq> RTree<V> {
         if let Some((a, b)) = Self::insert_into(&mut self.root, p, value) {
             // Root split: grow the tree by one level.
             let mbr = a.mbr().union(&b.mbr());
-            let old = std::mem::replace(
-                &mut self.root,
-                Node::Inner { mbr, children: vec![a, b] },
-            );
+            let old = std::mem::replace(&mut self.root, Node::Inner { mbr, children: vec![a, b] });
             // `old` was replaced by the split results already; drop it.
             drop(old);
         }
@@ -299,12 +293,7 @@ impl<V: Clone + PartialEq> RTree<V> {
         removed
     }
 
-    fn remove_from(
-        node: &mut Node<V>,
-        p: Point,
-        value: &V,
-        orphans: &mut Vec<(Point, V)>,
-    ) -> bool {
+    fn remove_from(node: &mut Node<V>, p: Point, value: &V, orphans: &mut Vec<(Point, V)>) -> bool {
         match node {
             Node::Leaf { entries, .. } => {
                 let Some(pos) = entries.iter().position(|(q, v)| *q == p && v == value) else {
@@ -513,7 +502,10 @@ mod tests {
         t.check_consistency().unwrap();
         let near = t.query(&Rect::new(Point::new(-1.0, -1.0), Point::new(301.0, 1.0)));
         assert_eq!(near.len(), 300);
-        let far = t.query(&Rect::new(Point::new(1e6 - 1.0, 1e6 - 1.0), Point::new(1e6 + 301.0, 1e6 + 1.0)));
+        let far = t.query(&Rect::new(
+            Point::new(1e6 - 1.0, 1e6 - 1.0),
+            Point::new(1e6 + 301.0, 1e6 + 1.0),
+        ));
         assert_eq!(far.len(), 300);
     }
 
@@ -524,8 +516,7 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             ((state >> 33) % 10_000) as f64 / 10.0
         };
-        let pts: Vec<(Point, u64)> =
-            (0..1_000).map(|i| (Point::new(rand(), rand()), i)).collect();
+        let pts: Vec<(Point, u64)> = (0..1_000).map(|i| (Point::new(rand(), rand()), i)).collect();
         let mut t = RTree::new();
         for (p, v) in &pts {
             t.insert(*p, *v);
@@ -536,11 +527,8 @@ mod tests {
             let range = Rect::from_corners(a, b);
             let mut got: Vec<u64> = t.query(&range).into_iter().map(|(_, v)| v).collect();
             got.sort_unstable();
-            let mut want: Vec<u64> = pts
-                .iter()
-                .filter(|(p, _)| range.contains(p))
-                .map(|(_, v)| *v)
-                .collect();
+            let mut want: Vec<u64> =
+                pts.iter().filter(|(p, _)| range.contains(p)).map(|(_, v)| *v).collect();
             want.sort_unstable();
             assert_eq!(got, want);
         }

@@ -72,12 +72,7 @@ pub struct Crossing {
 ///
 /// This is the ground-truth validator used by tests and the property
 /// suites; the on-line algorithms never need it.
-pub fn fits_trajectory(
-    seg: &Segment,
-    interval: TimeInterval,
-    traj: &Trajectory,
-    eps: f64,
-) -> bool {
+pub fn fits_trajectory(seg: &Segment, interval: TimeInterval, traj: &Trajectory, eps: f64) -> bool {
     let dur = interval.duration();
     if dur == 0 {
         return match traj.position_at(interval.start) {
@@ -180,9 +175,7 @@ mod tests {
     use crate::time::Timestamp;
 
     fn straight_traj(n: u64) -> Trajectory {
-        (0..=n)
-            .map(|i| TimePoint::new(Point::new(i as f64, 0.0), Timestamp(i)))
-            .collect()
+        (0..=n).map(|i| TimePoint::new(Point::new(i as f64, 0.0), Timestamp(i))).collect()
     }
 
     #[test]
@@ -239,23 +232,16 @@ mod tests {
         chain.push(a, TimeInterval::new(Timestamp(0), Timestamp(5))).unwrap();
         chain.push(b, TimeInterval::new(Timestamp(5), Timestamp(10))).unwrap();
         assert_eq!(chain.len(), 2);
-        assert_eq!(
-            chain.covered(),
-            Some(TimeInterval::new(Timestamp(0), Timestamp(10)))
-        );
+        assert_eq!(chain.covered(), Some(TimeInterval::new(Timestamp(0), Timestamp(10))));
 
         // Time gap.
         let c = Segment::new(Point::new(10.0, 0.0), Point::new(12.0, 0.0));
-        let err = chain
-            .push(c, TimeInterval::new(Timestamp(11), Timestamp(12)))
-            .unwrap_err();
+        let err = chain.push(c, TimeInterval::new(Timestamp(11), Timestamp(12))).unwrap_err();
         assert!(err.contains("time gap"), "{err}");
 
         // Vertex gap.
         let d = Segment::new(Point::new(99.0, 0.0), Point::new(100.0, 0.0));
-        let err = chain
-            .push(d, TimeInterval::new(Timestamp(10), Timestamp(12)))
-            .unwrap_err();
+        let err = chain.push(d, TimeInterval::new(Timestamp(10), Timestamp(12))).unwrap_err();
         assert!(err.contains("vertex gap"), "{err}");
     }
 

@@ -185,8 +185,7 @@ impl RayTraceFilter {
 
     /// Feeds a measurement; returns a state message when the SSA breaks.
     pub fn observe(&mut self, tp: TimePoint) -> Option<ClientState> {
-        self.core
-            .observe_rect(tp.t, Rect::tolerance_square(tp.p, self.eps))
+        self.core.observe_rect(tp.t, Rect::tolerance_square(tp.p, self.eps))
     }
 
     /// Delivers the coordinator's endpoint (may immediately re-report).
@@ -379,8 +378,7 @@ mod tests {
     #[test]
     fn uncertain_filter_tracks_and_drops() {
         let table = ToleranceTable2D::build(10.0, 0.05, 8.0, 128, FallbackPolicy::Reject);
-        let mut f =
-            UncertainRayTraceFilter::new(ObjectId(4), tp(0.0, 0.0, 0), table);
+        let mut f = UncertainRayTraceFilter::new(ObjectId(4), tp(0.0, 0.0, 0), table);
         // Accurate measurements along a line: absorbed.
         for t in 1..=20u64 {
             let g = GaussianPoint::isotropic(Point::new(5.0 * t as f64, 0.0), 1.0);
@@ -405,8 +403,7 @@ mod tests {
         let eps = 5.0;
         let table = ToleranceTable2D::build(eps, 0.05, 8.0, 256, FallbackPolicy::Reject);
         let mut crisp = RayTraceFilter::new(ObjectId(0), tp(0.0, 0.0, 0), eps);
-        let mut uncertain =
-            UncertainRayTraceFilter::new(ObjectId(0), tp(0.0, 0.0, 0), table);
+        let mut uncertain = UncertainRayTraceFilter::new(ObjectId(0), tp(0.0, 0.0, 0), table);
         let mut crisp_reports = 0u32;
         let mut uncertain_reports = 0u32;
         // Drift with a mild zig-zag that stresses the tolerance.
@@ -418,12 +415,9 @@ mod tests {
                 let st = crisp.ssa().clone();
                 let _ = st;
                 let fsa_center = crisp.core.ssa.fsa().centroid();
-                crisp
-                    .receive_endpoint(TimePoint::new(fsa_center, crisp.core.ssa.end_time()));
+                crisp.receive_endpoint(TimePoint::new(fsa_center, crisp.core.ssa.end_time()));
             }
-            if uncertain
-                .observe_gaussian(GaussianPoint::isotropic(p, 2.0), Timestamp(t))
-                .is_some()
+            if uncertain.observe_gaussian(GaussianPoint::isotropic(p, 2.0), Timestamp(t)).is_some()
             {
                 uncertain_reports += 1;
                 let fsa_center = uncertain.core.ssa.fsa().centroid();

@@ -198,9 +198,8 @@ mod tests {
         let mut ssa = Ssa::new(tp(0.0, 0.0, 0));
         let eps = 2.0;
         // A wavy but tolerant trajectory.
-        let measurements: Vec<TimePoint> = (1..=20u64)
-            .map(|t| tp(5.0 * t as f64, (t as f64 * 0.7).sin() * 1.5, t))
-            .collect();
+        let measurements: Vec<TimePoint> =
+            (1..=20u64).map(|t| tp(5.0 * t as f64, (t as f64 * 0.7).sin() * 1.5, t)).collect();
         let mut accepted: Vec<(Timestamp, Rect)> = Vec::new();
         for m in &measurements {
             let q = Rect::tolerance_square(m.p, eps);
@@ -216,10 +215,7 @@ mod tests {
             for &(tj, qj) in &accepted {
                 let lambda = tj.fraction_of(ts, te);
                 let on_path = s.lerp(&corner, lambda);
-                assert!(
-                    qj.contains(&on_path),
-                    "corner {corner:?} escapes square at {tj:?}"
-                );
+                assert!(qj.contains(&on_path), "corner {corner:?} escapes square at {tj:?}");
             }
         }
     }

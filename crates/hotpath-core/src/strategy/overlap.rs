@@ -62,10 +62,7 @@ impl FsaSet {
     pub fn stab_count(&self, p: &Point) -> usize {
         let key = Self::key(self.cell, p);
         let Some(candidates) = self.grid.get(&key) else { return 0 };
-        candidates
-            .iter()
-            .filter(|&&i| self.rects[i as usize].contains(p))
-            .count()
+        candidates.iter().filter(|&&i| self.rects[i as usize].contains(p)).count()
     }
 
     /// Indices of FSAs intersecting `r` (deduplicated, ascending).
@@ -107,10 +104,7 @@ impl FsaSet {
         }
         // Candidate x-slabs: between (and at) every pair of consecutive
         // distinct x-boundaries.
-        let mut xs: Vec<f64> = local
-            .iter()
-            .flat_map(|r| [r.lo().x, r.hi().x])
-            .collect();
+        let mut xs: Vec<f64> = local.iter().flat_map(|r| [r.lo().x, r.hi().x]).collect();
         xs.sort_by(f64::total_cmp);
         xs.dedup();
 
@@ -156,8 +150,7 @@ impl FsaSet {
             if y_hi.is_nan() {
                 y_hi = y_lo;
             }
-            let region =
-                Rect::new(Point::new(slab_lo, y_lo), Point::new(slab_hi, y_hi.max(y_lo)));
+            let region = Rect::new(Point::new(slab_lo, y_lo), Point::new(slab_hi, y_hi.max(y_lo)));
             best = Some((region, d_max as usize));
         };
 
@@ -188,9 +181,9 @@ mod tests {
     /// triple intersection.
     fn example2() -> Vec<Rect> {
         vec![
-            r(0.0, 0.0, 10.0, 10.0),  // R1
-            r(6.0, 4.0, 16.0, 14.0),  // R2
-            r(4.0, 6.0, 14.0, 16.0),  // R3
+            r(0.0, 0.0, 10.0, 10.0), // R1
+            r(6.0, 4.0, 16.0, 14.0), // R2
+            r(4.0, 6.0, 14.0, 16.0), // R3
         ]
     }
 

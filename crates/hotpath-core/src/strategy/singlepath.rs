@@ -111,10 +111,8 @@ pub fn process_batch_with(
     }
 
     // Candidate-path generation (Alg. 2 lines 4-7).
-    let candidate_paths: Vec<Vec<PathId>> = states
-        .iter()
-        .map(|st| index.paths_from_into(&st.start, &st.fsa))
-        .collect();
+    let candidate_paths: Vec<Vec<PathId>> =
+        states.iter().map(|st| index.paths_from_into(&st.start, &st.fsa)).collect();
 
     // Cross-object boost (lines 13-15): a path appearing in several CP
     // sets gains one rank unit per additional set.
@@ -128,9 +126,7 @@ pub fn process_batch_with(
     // FSA overlap structure (lines 8-12), shared across Cases 2-3.
     // Built empty under the `Own` ablation (never queried there).
     let fsas = match policy {
-        OverlapPolicy::Full => {
-            FsaSet::build(states.iter().map(|s| s.fsa).collect(), overlap_cell)
-        }
+        OverlapPolicy::Full => FsaSet::build(states.iter().map(|s| s.fsa).collect(), overlap_cell),
         OverlapPolicy::Own => FsaSet::build(Vec::new(), overlap_cell),
     };
 
@@ -262,10 +258,7 @@ mod tests {
     }
 
     fn setup() -> (MotionPathIndex, Hotness) {
-        (
-            MotionPathIndex::new(50.0, 1e-3),
-            Hotness::new(SlidingWindow::new(100)),
-        )
+        (MotionPathIndex::new(50.0, 1e-3), Hotness::new(SlidingWindow::new(100)))
     }
 
     fn fsa_around(x: f64, y: f64, r: f64) -> Rect {
@@ -400,10 +393,7 @@ mod tests {
         // Two objects with identical starts and identical single-point
         // FSAs: the second insert dedups onto the first's path.
         let fsa = fsa_around(50.0, 0.0, 0.5);
-        let states = [
-            state(1, (0.0, 0.0), fsa, 0, 10),
-            state(2, (0.0, 0.0), fsa, 0, 10),
-        ];
+        let states = [state(1, (0.0, 0.0), fsa, 0, 10), state(2, (0.0, 0.0), fsa, 0, 10)];
         let (sel, _) = process_batch(&states, &mut index, &mut hotness, 10.0);
         assert_eq!(sel[0].endpoint, sel[1].endpoint);
         assert_eq!(sel[0].path, sel[1].path);
@@ -454,13 +444,8 @@ mod tests {
             state(2, (-50.0, 20.0), f2, 0, 10),
             state(3, (-50.0, 40.0), f3, 0, 10),
         ];
-        let (sel, _) = super::process_batch_with(
-            &states,
-            &mut index,
-            &mut hotness,
-            10.0,
-            OverlapPolicy::Own,
-        );
+        let (sel, _) =
+            super::process_batch_with(&states, &mut index, &mut hotness, 10.0, OverlapPolicy::Own);
         // Objects 1 and 2 mint their own centroids (no overlap logic).
         assert_eq!(sel[0].endpoint, f1.centroid());
         assert_eq!(sel[0].case, CaseKind::NewVertex);

@@ -146,11 +146,7 @@ mod tests {
             (3.0, 0.999_977_909_5),
         ];
         for (x, want) in cases {
-            assert!(
-                (erf(x) - want).abs() < 1e-9,
-                "erf({x}) = {} want {want}",
-                erf(x)
-            );
+            assert!((erf(x) - want).abs() < 1e-9, "erf({x}) = {} want {want}", erf(x));
         }
     }
 
@@ -186,11 +182,7 @@ mod tests {
             (-1.0, 0.158_655_253_9),
         ];
         for (z, want) in cases {
-            assert!(
-                (phi(z) - want).abs() < 1e-8,
-                "phi({z}) = {} want {want}",
-                phi(z)
-            );
+            assert!((phi(z) - want).abs() < 1e-8, "phi({z}) = {} want {want}", phi(z));
         }
     }
 

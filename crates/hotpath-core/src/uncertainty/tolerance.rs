@@ -99,13 +99,18 @@ pub struct ToleranceTable {
 impl ToleranceTable {
     /// Builds a table for tolerance `(eps, delta)` covering
     /// `sigma in [0, sigma_max]` with `steps` grid intervals.
-    pub fn build(eps: f64, delta: f64, sigma_max: f64, steps: usize, fallback: FallbackPolicy) -> Self {
+    pub fn build(
+        eps: f64,
+        delta: f64,
+        sigma_max: f64,
+        steps: usize,
+        fallback: FallbackPolicy,
+    ) -> Self {
         assert!(steps >= 1, "need at least one grid interval");
         assert!(sigma_max > 0.0, "sigma_max must be positive");
         let sigma_step = sigma_max / steps as f64;
-        let widths = (0..=steps)
-            .map(|i| half_width_exact(eps, delta, i as f64 * sigma_step))
-            .collect();
+        let widths =
+            (0..=steps).map(|i| half_width_exact(eps, delta, i as f64 * sigma_step)).collect();
         ToleranceTable { eps, delta, sigma_step, widths, fallback }
     }
 
@@ -196,8 +201,16 @@ pub struct ToleranceTable2D {
 
 impl ToleranceTable2D {
     /// Builds the per-axis table for a 2-D `(eps, delta)` tolerance.
-    pub fn build(eps: f64, delta: f64, sigma_max: f64, steps: usize, fallback: FallbackPolicy) -> Self {
-        ToleranceTable2D { axis: ToleranceTable::build(eps, delta / 2.0, sigma_max, steps, fallback) }
+    pub fn build(
+        eps: f64,
+        delta: f64,
+        sigma_max: f64,
+        steps: usize,
+        fallback: FallbackPolicy,
+    ) -> Self {
+        ToleranceTable2D {
+            axis: ToleranceTable::build(eps, delta / 2.0, sigma_max, steps, fallback),
+        }
     }
 
     /// The underlying per-axis table.

@@ -108,8 +108,8 @@ mod tests {
         let p = Point::ORIGIN;
         let samples: Vec<f64> = (0..4000).map(|_| noise.apply(p, &mut rng).x).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.05, "uniform mean {mean}");
         // Var of U[-1,1] = 1/3.
         assert!((var - 1.0 / 3.0).abs() < 0.03, "uniform var {var}");
@@ -123,10 +123,7 @@ mod tests {
         let n = 8000;
         let samples: Vec<GaussianPoint> = (0..n).map(|_| noise.measure(p, &mut rng)).collect();
         let mean_x = samples.iter().map(|g| g.mean.x).sum::<f64>() / n as f64;
-        let var_x = samples
-            .iter()
-            .map(|g| (g.mean.x - mean_x) * (g.mean.x - mean_x))
-            .sum::<f64>()
+        let var_x = samples.iter().map(|g| (g.mean.x - mean_x) * (g.mean.x - mean_x)).sum::<f64>()
             / n as f64;
         assert!((mean_x - 10.0).abs() < 0.1, "mean {mean_x}");
         assert!((var_x - 4.0).abs() < 0.35, "var {var_x}");

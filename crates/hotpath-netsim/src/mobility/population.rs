@@ -105,10 +105,7 @@ impl Population {
     /// Spawns `n` walkers at random nodes of `net`.
     pub fn new(net: &RoadNetwork, params: PopulationParams) -> Self {
         assert!(params.n > 0, "population must be non-empty");
-        assert!(
-            (0.0..=1.0).contains(&params.agility),
-            "agility must be a probability"
-        );
+        assert!((0.0..=1.0).contains(&params.agility), "agility must be a probability");
         let mut rng = SmallRng::seed_from_u64(params.seed);
         let walkers: Vec<Walker> = (0..params.n)
             .map(|_| {
@@ -120,13 +117,7 @@ impl Population {
         // random, so the subset is unbiased.
         let movers = (params.agility * params.n as f64).round() as usize;
         let is_mover = (0..params.n).map(|i| i < movers).collect();
-        Population {
-            walkers,
-            is_mover,
-            noise: UniformNoise::new(params.err),
-            params,
-            rng,
-        }
+        Population { walkers, is_mover, noise: UniformNoise::new(params.err), params, rng }
     }
 
     /// Number of objects.
@@ -239,11 +230,7 @@ mod tests {
         pop.tick(&net, Timestamp(6), &mut out);
         prev.extend(out.iter().map(|m| m.truth));
         pop.tick(&net, Timestamp(7), &mut out);
-        let still = out
-            .iter()
-            .zip(prev.iter())
-            .filter(|(m, p)| m.truth == **p)
-            .count();
+        let still = out.iter().zip(prev.iter()).filter(|(m, p)| m.truth == **p).count();
         assert!(still > 150, "expected most objects standing, got {still}/200");
     }
 

@@ -47,7 +47,12 @@ pub struct Walker {
 
 impl Walker {
     /// Creates a walker at `start`, immediately choosing a first link.
-    pub fn new<R: Rng>(net: &RoadNetwork, start: NodeId, policy: ChoicePolicy, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        net: &RoadNetwork,
+        start: NodeId,
+        policy: ChoicePolicy,
+        rng: &mut R,
+    ) -> Self {
         let link = choose_link(net, start, None, policy, rng);
         Walker { from: start, link, offset: 0.0, policy }
     }
@@ -140,11 +145,7 @@ fn choose_link<R: Rng>(
             }
         }
     };
-    let total: f64 = incident
-        .iter()
-        .filter(|&&l| Some(l) != exclude)
-        .map(|&l| weight_of(l))
-        .sum();
+    let total: f64 = incident.iter().filter(|&&l| Some(l) != exclude).map(|&l| weight_of(l)).sum();
     debug_assert!(total > 0.0);
     let mut pick = rng.gen_range(0.0..total);
     for &l in incident {
@@ -158,11 +159,7 @@ fn choose_link<R: Rng>(
         pick -= w;
     }
     // Floating-point slack: fall back to the last eligible link.
-    *incident
-        .iter()
-        .rev()
-        .find(|&&l| Some(l) != exclude)
-        .expect("at least one eligible link")
+    *incident.iter().rev().find(|&&l| Some(l) != exclude).expect("at least one eligible link")
 }
 
 #[cfg(test)]
@@ -246,15 +243,18 @@ mod tests {
         let mut heavy = 0;
         let trials = 2000;
         for _ in 0..trials {
-            let l = choose_link(&net, node, None, ChoicePolicy::Weighted { avoid_u_turn: false }, &mut rng);
+            let l = choose_link(
+                &net,
+                node,
+                None,
+                ChoicePolicy::Weighted { avoid_u_turn: false },
+                &mut rng,
+            );
             if net.link(l).class.weight() >= 8.0 {
                 heavy += 1;
             }
         }
-        assert!(
-            heavy as f64 / trials as f64 > 0.6,
-            "heavy links picked only {heavy}/{trials}"
-        );
+        assert!(heavy as f64 / trials as f64 > 0.6, "heavy links picked only {heavy}/{trials}");
     }
 
     #[test]

@@ -48,13 +48,7 @@ impl NetworkParams {
 
     /// A small network for fast tests (keeps the same structure).
     pub fn tiny(seed: u64) -> Self {
-        NetworkParams {
-            nodes: 100,
-            links: 160,
-            area_side: 2_000.0,
-            seed,
-            central_compression: 1.5,
-        }
+        NetworkParams { nodes: 100, links: 160, area_side: 2_000.0, seed, central_compression: 1.5 }
     }
 }
 
@@ -282,12 +276,7 @@ mod tests {
     fn different_seeds_differ() {
         let a = generate(NetworkParams { seed: 1, ..NetworkParams::athens() });
         let b = generate(NetworkParams { seed: 2, ..NetworkParams::athens() });
-        let same = a
-            .nodes()
-            .iter()
-            .zip(b.nodes())
-            .filter(|(x, y)| x.pos == y.pos)
-            .count();
+        let same = a.nodes().iter().zip(b.nodes()).filter(|(x, y)| x.pos == y.pos).count();
         assert!(same < a.node_count() / 10, "seeds produced near-identical layouts");
     }
 
@@ -302,7 +291,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot connect")]
     fn rejects_too_few_links() {
-        let _ = generate(NetworkParams { nodes: 100, links: 50, area_side: 1000.0, seed: 0, central_compression: 1.0 });
+        let _ = generate(NetworkParams {
+            nodes: 100,
+            links: 50,
+            area_side: 1000.0,
+            seed: 0,
+            central_compression: 1.0,
+        });
     }
 
     #[test]

@@ -43,12 +43,8 @@ impl RoadClass {
     }
 
     /// All classes, heaviest first.
-    pub const ALL: [RoadClass; 4] = [
-        RoadClass::Motorway,
-        RoadClass::Highway,
-        RoadClass::Primary,
-        RoadClass::Secondary,
-    ];
+    pub const ALL: [RoadClass; 4] =
+        [RoadClass::Motorway, RoadClass::Highway, RoadClass::Primary, RoadClass::Secondary];
 }
 
 /// A crossroad.
@@ -199,9 +195,7 @@ impl RoadNetwork {
 
     /// Total road length in meters.
     pub fn total_length(&self) -> f64 {
-        (0..self.links.len())
-            .map(|i| self.link_length(LinkId(i as u32)))
-            .sum()
+        (0..self.links.len()).map(|i| self.link_length(LinkId(i as u32))).sum()
     }
 }
 
@@ -283,9 +277,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "dense")]
     fn rejects_sparse_node_ids() {
-        let _ = RoadNetwork::new(
-            vec![Node { id: NodeId(5), pos: Point::ORIGIN }],
-            vec![],
-        );
+        let _ = RoadNetwork::new(vec![Node { id: NodeId(5), pos: Point::ORIGIN }], vec![]);
     }
 }

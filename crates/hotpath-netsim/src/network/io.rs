@@ -41,10 +41,7 @@ pub fn from_text(text: &str) -> Result<RoadNetwork, String> {
         let mut parts = line.split_whitespace();
         let kind = parts.next().expect("non-empty line");
         let mut field = |name: &str| -> Result<String, String> {
-            parts
-                .next()
-                .map(str::to_owned)
-                .ok_or(format!("line {}: missing {name}", lineno + 1))
+            parts.next().map(str::to_owned).ok_or(format!("line {}: missing {name}", lineno + 1))
         };
         match kind {
             "node" => {
@@ -70,8 +67,7 @@ pub fn from_text(text: &str) -> Result<RoadNetwork, String> {
 }
 
 fn parse<T: std::str::FromStr>(s: &str, lineno: usize) -> Result<T, String> {
-    s.parse()
-        .map_err(|_| format!("line {}: cannot parse '{s}'", lineno + 1))
+    s.parse().map_err(|_| format!("line {}: cannot parse '{s}'", lineno + 1))
 }
 
 fn class_tag(c: RoadClass) -> &'static str {

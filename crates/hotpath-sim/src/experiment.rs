@@ -43,13 +43,7 @@ pub struct Fig8Row {
 fn run_row(params: SimulationParams) -> (f64, f64, f64, f64, f64) {
     let res = run(params);
     let s = &res.summary;
-    (
-        s.mean_index_size,
-        s.mean_dp_index_size,
-        s.mean_score,
-        s.mean_dp_score,
-        s.mean_time_ms,
-    )
+    (s.mean_index_size, s.mean_dp_index_size, s.mean_score, s.mean_dp_score, s.mean_time_ms)
 }
 
 /// Figure 7: vary the number of objects; `base` supplies every other
@@ -90,10 +84,7 @@ pub fn format_fig7(rows: &[Fig7Row]) -> String {
             ]
         })
         .collect();
-    report::table(
-        &["N", "SP paths", "DP paths", "SP score", "DP score", "SP ms/epoch"],
-        &data,
-    )
+    report::table(&["N", "SP paths", "DP paths", "SP score", "DP score", "SP ms/epoch"], &data)
 }
 
 /// Formats the Figure 8 series.
@@ -111,22 +102,15 @@ pub fn format_fig8(rows: &[Fig8Row]) -> String {
             ]
         })
         .collect();
-    report::table(
-        &["eps", "SP paths", "DP paths", "SP score", "DP score", "SP ms/epoch"],
-        &data,
-    )
+    report::table(&["eps", "SP paths", "DP paths", "SP score", "DP score", "SP ms/epoch"], &data)
 }
 
 /// Figure 9: run the default configuration and return all motion paths
 /// with hotness > 0 (the "discovered network"), plus the run itself.
 pub fn figure9(params: SimulationParams) -> (Vec<(Segment, u32)>, SimulationResult) {
     let res = run(params);
-    let paths: Vec<(Segment, u32)> = res
-        .coordinator
-        .hot_paths()
-        .iter()
-        .map(|h| (h.path.seg, h.hotness))
-        .collect();
+    let paths: Vec<(Segment, u32)> =
+        res.coordinator.hot_paths().iter().map(|h| (h.path.seg, h.hotness)).collect();
     (paths, res)
 }
 
@@ -464,13 +448,15 @@ pub fn uncertainty_sweep(sigmas: &[f64], eps: f64, delta: f64, seed: u64) -> Vec
                     table.clone(),
                 );
                 for t in 1..=horizon {
-                    let truth =
-                        Point::new(8.0 * t as f64, m as f64 * 1000.0 + (t as f64 * 0.1).sin() * 2.0);
+                    let truth = Point::new(
+                        8.0 * t as f64,
+                        m as f64 * 1000.0 + (t as f64 * 0.1).sin() * 2.0,
+                    );
                     let g = noise.measure(truth, &mut rng);
                     if let Some(state) = filter.observe_gaussian(g, Timestamp(t)) {
                         reports += 1;
-                        let _ = filter
-                            .receive_endpoint(TimePoint::new(state.fsa.centroid(), state.te));
+                        let _ =
+                            filter.receive_endpoint(TimePoint::new(state.fsa.centroid(), state.te));
                     }
                 }
                 dropped += filter.stats().dropped;
@@ -521,10 +507,7 @@ mod extension_tests {
     fn compression_tighter_eps_means_more_segments() {
         let tight = compression_quality(300, 2.0);
         let loose = compression_quality(300, 15.0);
-        assert!(
-            tight.raytrace_segments >= loose.raytrace_segments,
-            "{tight:?} vs {loose:?}"
-        );
+        assert!(tight.raytrace_segments >= loose.raytrace_segments, "{tight:?} vs {loose:?}");
         assert!(tight.nopw_segments >= loose.nopw_segments);
     }
 
@@ -536,9 +519,6 @@ mod extension_tests {
         let w: Vec<f64> = rows.iter().map(|r| r.half_width.unwrap_or(0.0)).collect();
         assert!(w[0] > w[1] && w[1] > w[2], "{w:?}");
         // Noisier sensors report at least as often.
-        assert!(
-            rows[2].reports_per_mover >= rows[0].reports_per_mover,
-            "{rows:?}"
-        );
+        assert!(rows[2].reports_per_mover >= rows[0].reports_per_mover, "{rows:?}");
     }
 }

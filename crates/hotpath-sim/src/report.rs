@@ -136,12 +136,7 @@ pub fn network_map(net: &RoadNetwork, cols: usize, rows: usize) -> AsciiMap {
 }
 
 /// Draws a set of weighted paths over the network bounds (Figures 9-10).
-pub fn paths_map(
-    bounds: Rect,
-    paths: &[(Segment, u32)],
-    cols: usize,
-    rows: usize,
-) -> AsciiMap {
+pub fn paths_map(bounds: Rect, paths: &[(Segment, u32)], cols: usize, rows: usize) -> AsciiMap {
     let mut map = AsciiMap::new(bounds, cols, rows);
     for (seg, hot) in paths {
         map.draw_segment(seg, *hot);
@@ -182,10 +177,7 @@ mod tests {
     fn map_draws_diagonal() {
         let bounds = Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
         let mut map = AsciiMap::new(bounds, 20, 20);
-        map.draw_segment(
-            &Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)),
-            1,
-        );
+        map.draw_segment(&Segment::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)), 1);
         let s = map.render();
         assert!(s.contains('.') || s.contains('@'));
         // Roughly one mark per row.

@@ -111,10 +111,7 @@ enum Client {
 }
 
 impl Client {
-    fn observe(
-        &mut self,
-        m: &Measurement,
-    ) -> Option<hotpath_core::raytrace::ClientState> {
+    fn observe(&mut self, m: &Measurement) -> Option<hotpath_core::raytrace::ClientState> {
         match self {
             Client::Plain(f) => f.observe(m.observed),
             Client::Hinted(f) => f.observe(m.observed),
@@ -187,9 +184,8 @@ pub fn run(params: SimulationParams) -> SimulationResult {
             }
         })
         .collect();
-    let mut dp = params
-        .run_dp
-        .then(|| DpHotSegments::new(params.eps, params.dp_policy, config.window));
+    let mut dp =
+        params.run_dp.then(|| DpHotSegments::new(params.eps, params.dp_policy, config.window));
 
     let mut per_epoch = Vec::new();
     let mut measurements_total = 0u64;
@@ -263,10 +259,7 @@ mod tests {
     fn quick_run_discovers_paths() {
         let res = run(SimulationParams::quick(200, 3));
         assert!(!res.per_epoch.is_empty());
-        assert!(
-            res.coordinator.index_size() > 0,
-            "no motion paths discovered"
-        );
+        assert!(res.coordinator.index_size() > 0, "no motion paths discovered");
         assert!(res.summary.mean_index_size > 0.0);
         assert!(res.summary.mean_score > 0.0, "top-k never scored");
         // The filter must compress: far fewer reports than measurements.
@@ -282,8 +275,7 @@ mod tests {
         let res = run(SimulationParams::quick(150, 4));
         let dp = res.dp.expect("dp enabled by default");
         assert!(dp.index_size() > 0, "DP stored nothing");
-        let with_dp: Vec<_> =
-            res.per_epoch.iter().filter(|e| e.dp_index_size.is_some()).collect();
+        let with_dp: Vec<_> = res.per_epoch.iter().filter(|e| e.dp_index_size.is_some()).collect();
         assert_eq!(with_dp.len(), res.per_epoch.len());
     }
 
@@ -312,9 +304,7 @@ mod tests {
         }
         // And there are at least as many pending expiry events as hot
         // paths (each live path holds >= 1 live crossing).
-        assert!(
-            res.coordinator.hotness().pending_events() >= res.coordinator.hotness().len()
-        );
+        assert!(res.coordinator.hotness().pending_events() >= res.coordinator.hotness().len());
     }
 
     #[test]

@@ -42,11 +42,7 @@ fn main() {
     let make_pop = |policy, seed| {
         Population::new(
             &net,
-            PopulationParams {
-                policy,
-                agility: 0.5,
-                ..PopulationParams::paper_defaults(n, seed)
-            },
+            PopulationParams { policy, agility: 0.5, ..PopulationParams::paper_defaults(n, seed) },
         )
     };
 

@@ -61,8 +61,7 @@ fn main() {
                     coordinator.index_size()
                 );
                 for hp in coordinator.top_n(3) {
-                    let fleeing =
-                        hp.path.end().dist_l2(&danger) > hp.path.start().dist_l2(&danger);
+                    let fleeing = hp.path.end().dist_l2(&danger) > hp.path.start().dist_l2(&danger);
                     println!(
                         "        hotness {:3}  {:6.0} m  {}",
                         hp.hotness,
@@ -70,11 +69,8 @@ fn main() {
                         if fleeing { "AWAY from fire" } else { "toward fire (!)" },
                     );
                 }
-                last_report = coordinator
-                    .hot_paths()
-                    .iter()
-                    .map(|h| (h.path.seg, h.hotness))
-                    .collect();
+                last_report =
+                    coordinator.hot_paths().iter().map(|h| (h.path.seg, h.hotness)).collect();
             }
         }
     }

@@ -79,10 +79,7 @@ fn main() {
         .iter()
         .filter(|hp| hp.path.end().dist_l2(&venue_pos) < hp.path.start().dist_l2(&venue_pos))
         .min_by(|a, b| {
-            a.path
-                .end()
-                .dist_l2(&venue_pos)
-                .total_cmp(&b.path.end().dist_l2(&venue_pos))
+            a.path.end().dist_l2(&venue_pos).total_cmp(&b.path.end().dist_l2(&venue_pos))
         });
     match ad_spot {
         Some(hp) => println!(

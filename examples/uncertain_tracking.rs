@@ -8,18 +8,21 @@
 //! Run with: `cargo run --release -p hotpath-sim --example uncertain_tracking`
 
 use hotpath_core::geometry::Point;
+use hotpath_core::geometry::TimePoint;
 use hotpath_core::raytrace::UncertainRayTraceFilter;
 use hotpath_core::time::Timestamp;
 use hotpath_core::uncertainty::{half_width_exact, FallbackPolicy, ToleranceTable2D};
 use hotpath_core::ObjectId;
-use hotpath_core::geometry::TimePoint;
 use hotpath_netsim::mobility::GaussianNoise;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn main() {
     let (eps, delta) = (10.0, 0.05);
-    println!("tolerance: eps = {eps} m with confidence 1 - delta = {:.0}%\n", (1.0 - delta) * 100.0);
+    println!(
+        "tolerance: eps = {eps} m with confidence 1 - delta = {:.0}%\n",
+        (1.0 - delta) * 100.0
+    );
 
     println!("== tolerance interval half-width vs device noise ==");
     println!("{:>10}  {:>12}", "sigma (m)", "half-width");

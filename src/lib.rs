@@ -1,0 +1,18 @@
+//! # hotpath
+//!
+//! Thin facade over the hot-motion-path workspace ("On-Line Discovery of
+//! Hot Motion Paths", Sacharidis et al., EDBT 2008). It re-exports the
+//! member crates so the root-level integration tests and examples have a
+//! single owning package, and so downstream users can depend on one crate.
+
+#![warn(missing_docs)]
+
+pub use hotpath_baseline as baseline;
+pub use hotpath_core as core;
+pub use hotpath_netsim as netsim;
+pub use hotpath_sim as sim;
+
+/// Re-export of the core prelude for one-line imports.
+pub mod prelude {
+    pub use hotpath_core::prelude::*;
+}

@@ -33,13 +33,7 @@ fn dp_achieves_reuse_via_mbb_matching() {
         dp.index_size(),
         res.coordinator.index_size()
     );
-    let max_sp_hot = res
-        .coordinator
-        .hot_paths()
-        .iter()
-        .map(|h| h.hotness)
-        .max()
-        .unwrap_or(0);
+    let max_sp_hot = res.coordinator.hot_paths().iter().map(|h| h.hotness).max().unwrap_or(0);
     assert!(
         max_dp_hot >= max_sp_hot,
         "DP hotness {max_dp_hot} should upper-bound SinglePath {max_sp_hot}"

@@ -98,12 +98,7 @@ fn tighter_tolerance_means_more_chain_elements() {
     };
     let (_t1, loose) = drive(20.0, 10, wavy());
     let (_t2, tight) = drive(2.0, 10, wavy());
-    assert!(
-        tight.len() > loose.len(),
-        "tight {} !> loose {}",
-        tight.len(),
-        loose.len()
-    );
+    assert!(tight.len() > loose.len(), "tight {} !> loose {}", tight.len(), loose.len());
 }
 
 #[test]

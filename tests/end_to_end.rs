@@ -42,12 +42,7 @@ fn case_mix_covers_all_three_cases_at_scale() {
     let res = run(SimulationParams::quick(400, 103));
     let p = res.coordinator.processing_stats();
     assert!(p.case3 > 0, "no new vertices ever minted");
-    assert!(
-        p.case1 + p.case2 > 0,
-        "no reuse at all: case1={} case2={}",
-        p.case1,
-        p.case2
-    );
+    assert!(p.case1 + p.case2 > 0, "no reuse at all: case1={} case2={}", p.case1, p.case2);
 }
 
 #[test]

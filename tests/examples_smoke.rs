@@ -1,0 +1,37 @@
+//! Smoke test: every example must build and run to completion.
+//!
+//! Examples are the repo's executable documentation; without this gate
+//! they rot silently because `cargo test` compiles them but never runs
+//! them. All six finish in well under a second each, so running them
+//! sequentially inside one test keeps the suite fast and avoids build
+//! lock contention from parallel nested cargo invocations.
+
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "commuter_rush",
+    "evacuation",
+    "network_discovery",
+    "quickstart",
+    "targeted_advertising",
+    "uncertain_tracking",
+];
+
+#[test]
+fn every_example_runs_to_completion() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    for name in EXAMPLES {
+        let output = Command::new(&cargo)
+            .args(["run", "--quiet", "--example", name])
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+        assert!(
+            output.status.success(),
+            "example {name} exited with {}:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
+}

@@ -28,7 +28,8 @@ fn delayed_response_buffers_and_recovers() {
         assert!(f.observe(tp(-1000.0 - (t - 2) as f64, 0.0, t)).is_none());
         assert!(f.is_waiting());
     }
-    assert_eq!(f.buffered_len(), 49); // violator + 48 late points
+    // violator + 48 late points
+    assert_eq!(f.buffered_len(), 49);
     // The first response arrives; the backlog replays. The violator
     // seeds the new FSA, but the apex->violator jump implies an extreme
     // velocity the remaining backlog cannot sustain: the filter
@@ -111,7 +112,7 @@ fn recovery_after_long_outage_still_validates_chains() {
         }
         // Outage: the response to the first report arrives only at t = 45.
         if t == 45 {
-            let pending: Vec<_> = states.drain(..).collect();
+            let pending: Vec<_> = std::mem::take(&mut states);
             for s in pending {
                 let e = TimePoint::new(s.fsa.centroid(), s.te);
                 endpoints.push((s, e));

@@ -48,8 +48,7 @@ fn run_uncertain(sigma: f64, seed: u64) -> (u64, usize) {
         coordinator.advance_time(now);
         if config.epochs.is_epoch(now) {
             for resp in coordinator.process_epoch(now) {
-                if let Some(state) =
-                    clients[resp.object.0 as usize].receive_endpoint(resp.endpoint)
+                if let Some(state) = clients[resp.object.0 as usize].receive_endpoint(resp.endpoint)
                 {
                     coordinator.submit(state);
                 }

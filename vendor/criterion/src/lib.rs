@@ -1,0 +1,344 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset the workspace's benches use — benchmark groups,
+//! [`BenchmarkId`], [`Throughput`], `iter` / `iter_batched`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with the same names
+//! and signatures as criterion 0.5, so the real crate can be swapped back
+//! in without touching bench sources.
+//!
+//! Measurement is deliberately simple: each sample times a fixed batch of
+//! iterations with [`std::time::Instant`] and the harness reports the
+//! median, minimum, and maximum per-iteration time. There is no outlier
+//! analysis, saved baselines, or HTML report.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, one per `criterion_group!` target list.
+pub struct Criterion {
+    default_sample_size: usize,
+    filter: Option<String>,
+    list_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 20, filter: None, list_only: false }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`cargo bench -- <filter>`,
+    /// `--list`); unrecognized flags are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--list" => self.list_only = true,
+                "--bench" | "--test" | "--profile-time" => {
+                    // Consume flags cargo forwards; `--profile-time` and
+                    // `--bench` take no value in the forms cargo emits, but
+                    // skip a value for `--profile-time` if one follows.
+                    if arg == "--profile-time" {
+                        let _ = args.next();
+                    }
+                }
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.default_sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None, throughput: None }
+    }
+
+    /// Prints the closing summary (no-op in the vendored harness).
+    pub fn final_summary(&mut self) {}
+
+    fn should_run(&self, full_id: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// Identifies one benchmark within a group: a function name plus an
+/// optional parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// Id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId { function: function.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId { function, parameter: None }
+    }
+}
+
+/// Units of work per iteration, used to report throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iteration processes this many abstract elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost across iterations.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Many iterations per setup (cheap inputs).
+    SmallInput,
+    /// Few iterations per setup (expensive inputs).
+    LargeInput,
+    /// One iteration per setup.
+    PerIteration,
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares the amount of work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.into().render());
+        self.run_one(&full_id, |b| f(b));
+        self
+    }
+
+    /// Benchmarks a closure with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id.into().render());
+        self.run_one(&full_id, |b| f(b, input));
+        self
+    }
+
+    fn run_one(&mut self, full_id: &str, mut f: impl FnMut(&mut Bencher)) {
+        if !self.criterion.should_run(full_id) {
+            return;
+        }
+        if self.criterion.list_only {
+            println!("{full_id}: benchmark");
+            return;
+        }
+        let samples = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        let mut bencher = Bencher { samples, per_iter: Vec::with_capacity(samples) };
+        f(&mut bencher);
+        bencher.report(full_id, self.throughput);
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark measurement driver handed to the bench closure.
+pub struct Bencher {
+    samples: usize,
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times per sample to get a
+    /// readable wall-clock measurement.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: aim for ~2ms of work per sample, at least 1 iteration.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+
+        self.per_iter.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.per_iter.push(start.elapsed() / iters);
+        }
+    }
+
+    /// Times `routine` over fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.per_iter.clear();
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.per_iter.push(start.elapsed());
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine borrows the input.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.per_iter.clear();
+        for _ in 0..self.samples {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.per_iter.push(start.elapsed());
+        }
+    }
+
+    fn report(&mut self, full_id: &str, throughput: Option<Throughput>) {
+        if self.per_iter.is_empty() {
+            println!("{full_id}: no measurements");
+            return;
+        }
+        self.per_iter.sort_unstable();
+        let median = self.per_iter[self.per_iter.len() / 2];
+        let lo = self.per_iter[0];
+        let hi = self.per_iter[self.per_iter.len() - 1];
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+                format!("  thrpt: {:.3} Melem/s", n as f64 / median.as_nanos() as f64 * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
+                format!(
+                    "  thrpt: {:.3} MiB/s",
+                    n as f64 / median.as_nanos() as f64 * 1e9 / (1024.0 * 1024.0)
+                )
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{full_id}: time [{lo:?} {median:?} {hi:?}] (median of {} samples){rate}",
+            self.per_iter.len()
+        );
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("vendored");
+        g.sample_size(3);
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        g.bench_with_input(BenchmarkId::new("sum_to", 50u64), &50u64, |b, &n| {
+            b.iter_batched(|| n, |n| (0..n).sum::<u64>(), BatchSize::SmallInput);
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 10).render(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(10).render(), "10");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+}

@@ -1,0 +1,128 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset the workspace's property suites use: the
+//! [`proptest!`] macro, range and tuple strategies, [`Strategy::prop_map`],
+//! [`collection::vec`], `prop_assert!` / `prop_assert_eq!` / `prop_assume!`,
+//! and [`test_runner::ProptestConfig`]. Module paths and names mirror
+//! proptest 1.x so the real crate can be swapped back in without source
+//! changes.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **Deterministic.** Every run draws from a fixed-seed RNG
+//!   ([`ProptestConfig::rng_seed`], default [`DEFAULT_RNG_SEED`]); there is
+//!   no environment-dependent entropy, so CI failures always reproduce.
+//! * **No shrinking.** A failing case reports the generated input and the
+//!   case number instead of a minimized counterexample.
+//!
+//! [`ProptestConfig::rng_seed`]: test_runner::ProptestConfig::rng_seed
+//! [`DEFAULT_RNG_SEED`]: test_runner::DEFAULT_RNG_SEED
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection;
+
+/// Convenient glob-import mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::prop_assert;
+    pub use crate::prop_assert_eq;
+    pub use crate::prop_assume;
+    pub use crate::proptest;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+}
+
+/// Defines property tests.
+///
+/// Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(<expr>)]` inner attribute followed by `#[test]`
+/// functions whose arguments are drawn from strategies with
+/// `name in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($config);
+            let outcome = runner.run(
+                &($($strat,)+),
+                |($($arg,)+)| -> $crate::test_runner::TestCaseResult {
+                    $body
+                    Ok(())
+                },
+            );
+            if let Err(message) = outcome {
+                panic!("{}", message);
+            }
+        }
+    )*};
+}
+
+/// Fails the current test case with a message unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current test case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: `{left:?}`\n right: `{right:?}`"
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: `{left:?}`\n right: `{right:?}`: {}",
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Rejects the current test case (it counts as neither pass nor fail)
+/// unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}

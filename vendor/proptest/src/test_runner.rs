@@ -1,0 +1,114 @@
+//! Deterministic test-case runner.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::strategy::Strategy;
+
+/// Fixed default RNG seed: all property runs are reproducible unless a
+/// config overrides [`ProptestConfig::rng_seed`].
+pub const DEFAULT_RNG_SEED: u64 = 0xEDB7_2008_5EED;
+
+/// Runner configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of rejected cases (`prop_assume!` failures) tolerated
+    /// before the run aborts.
+    pub max_global_rejects: u32,
+    /// Seed for the case-generation RNG. Fixed by default so that tier-1
+    /// runs are deterministic.
+    pub rng_seed: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 65_536, rng_seed: DEFAULT_RNG_SEED }
+    }
+}
+
+impl ProptestConfig {
+    /// Returns the default config with `cases` successful cases required.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` and should not be counted.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Builds a rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Outcome of one test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Executes test cases against a strategy until the configured number of
+/// cases passes, a case fails, or too many cases are rejected.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: SmallRng,
+}
+
+impl TestRunner {
+    /// Builds a runner seeded from the config.
+    pub fn new(config: ProptestConfig) -> Self {
+        let rng = SmallRng::seed_from_u64(config.rng_seed);
+        TestRunner { config, rng }
+    }
+
+    /// Runs the test closure over generated inputs.
+    ///
+    /// Returns `Err(message)` describing the first failing case, including
+    /// the generated input, the case index, and the seed to reproduce.
+    pub fn run<S: Strategy>(
+        &mut self,
+        strategy: &S,
+        test: impl Fn(S::Value) -> TestCaseResult,
+    ) -> Result<(), String> {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            let shown = format!("{value:?}");
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        return Err(format!(
+                            "too many rejected cases ({rejected}) after {passed} passes; \
+                             weaken prop_assume! or widen the strategies"
+                        ));
+                    }
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    return Err(format!(
+                        "test case #{index} failed: {message}\n\
+                         input: {shown}\n\
+                         (rng_seed = {seed:#x}, no shrinking in vendored proptest)",
+                        index = passed + rejected,
+                        seed = self.config.rng_seed,
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
