@@ -1,0 +1,159 @@
+//! Captures bench baselines and gates perf regressions against them.
+//!
+//! ```text
+//! bench_gate capture [--dir <repo-root>]
+//! bench_gate check [--tolerance <frac>] [--dir <repo-root>]
+//! ```
+//!
+//! Both modes drive `cargo bench` for the gated targets with the
+//! vendored criterion's `CRITERION_CAPTURE` hook, collecting one median
+//! per benchmark. `capture` writes them to checked-in
+//! `BENCH_<target>.json` snapshots at the repo root; `check` re-runs
+//! and exits nonzero when any benchmark got slower than
+//! `baseline * (1 + tolerance)` or disappeared. New benchmarks are
+//! reported but never fail the gate — capture a fresh baseline to adopt
+//! them.
+//!
+//! Re-baselining intentionally (e.g. after an accepted perf trade-off):
+//! `cargo run --release -p hotpath-bench --bin bench_gate -- capture`
+//! and commit the updated `BENCH_*.json`.
+
+use hotpath_bench::gate::{compare, has_failures, Snapshot, Verdict};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The `cargo bench` targets with checked-in baselines.
+const GATED_BENCHES: &[&str] = &["micro_raytrace", "fig8"];
+
+/// Default relative slack: CI runners and developer machines differ, so
+/// the gate catches structural regressions (2x+), not single-digit
+/// percent noise.
+const DEFAULT_TOLERANCE: f64 = 1.0;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode: Option<String> = None;
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut dir = PathBuf::from(".");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "capture" | "check" => mode = Some(args[i].clone()),
+            "--tolerance" => {
+                i += 1;
+                tolerance = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&t: &f64| t >= 0.0 && t.is_finite())
+                    .unwrap_or_else(|| usage("--tolerance needs a non-negative number"));
+            }
+            "--dir" => {
+                i += 1;
+                dir = PathBuf::from(args.get(i).unwrap_or_else(|| usage("--dir needs a path")));
+            }
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+
+    match mode.as_deref() {
+        Some("capture") => capture(&dir),
+        Some("check") => check(&dir, tolerance),
+        _ => usage("need a mode: capture or check"),
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: bench_gate <capture|check> [--tolerance <frac>] [--dir <repo-root>]");
+    std::process::exit(2);
+}
+
+fn baseline_path(dir: &Path, bench: &str) -> PathBuf {
+    dir.join(format!("BENCH_{bench}.json"))
+}
+
+/// Runs one `cargo bench` target with the capture hook and collects the
+/// resulting snapshot. `dir` is the workspace the bench runs in — the
+/// same root the baselines live under, so `--dir` can never compare one
+/// checkout's measurements against another's baselines.
+fn run_bench(dir: &Path, bench: &str) -> Snapshot {
+    let capture_file = std::env::temp_dir()
+        .join(format!("criterion-capture-{bench}-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&capture_file);
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    eprintln!("bench_gate: running cargo bench -p hotpath-bench --bench {bench}");
+    let status = Command::new(cargo)
+        .args(["bench", "-p", "hotpath-bench", "--bench", bench])
+        .current_dir(dir)
+        .env("CRITERION_CAPTURE", &capture_file)
+        .status()
+        .unwrap_or_else(|e| {
+            eprintln!("bench_gate: failed to spawn cargo: {e}");
+            std::process::exit(2);
+        });
+    if !status.success() {
+        eprintln!("bench_gate: cargo bench --bench {bench} failed ({status})");
+        std::process::exit(2);
+    }
+    let jsonl = std::fs::read_to_string(&capture_file).unwrap_or_else(|e| {
+        eprintln!("bench_gate: no capture produced at {}: {e}", capture_file.display());
+        std::process::exit(2);
+    });
+    let _ = std::fs::remove_file(&capture_file);
+    let snap = Snapshot::from_capture(bench, &jsonl);
+    if snap.entries.is_empty() {
+        eprintln!("bench_gate: bench {bench} captured zero measurements");
+        std::process::exit(2);
+    }
+    snap
+}
+
+fn capture(dir: &Path) {
+    for &bench in GATED_BENCHES {
+        let snap = run_bench(dir, bench);
+        let path = baseline_path(dir, bench);
+        std::fs::write(&path, snap.to_json()).unwrap_or_else(|e| {
+            eprintln!("bench_gate: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        println!("wrote {} ({} entries)", path.display(), snap.entries.len());
+    }
+}
+
+fn check(dir: &Path, tolerance: f64) {
+    let mut failed = false;
+    for &bench in GATED_BENCHES {
+        let path = baseline_path(dir, bench);
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!(
+                "bench_gate: missing baseline {} ({e}); run `bench_gate capture` and commit it",
+                path.display()
+            );
+            std::process::exit(2);
+        });
+        let baseline = Snapshot::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("bench_gate: bad baseline {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        let current = run_bench(dir, bench);
+        let rows = compare(&baseline, &current, tolerance);
+        println!("== {bench} (tolerance +{:.0}%)", tolerance * 100.0);
+        for (id, verdict) in &rows {
+            match verdict {
+                Verdict::Ok(r) => println!("   ok         {id}  ({:.2}x)", r),
+                Verdict::Regressed(r) => println!("   REGRESSED  {id}  ({:.2}x baseline)", r),
+                Verdict::Missing => println!("   MISSING    {id}  (in baseline, not measured)"),
+                Verdict::New => println!("   new        {id}  (not in baseline)"),
+            }
+        }
+        if has_failures(&rows) {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("bench_gate: FAIL — regressions above tolerance (or missing benches)");
+        std::process::exit(1);
+    }
+    println!("bench_gate: all gated benches within tolerance");
+}

@@ -1,21 +1,27 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [fig7|fig8|fig9|fig10|claims|hinted|all] [--scale paper|mid|quick]
+//! experiments [fig7|fig8|fig9|fig10|claims|hinted|all]
+//!             [--scale paper|mid|quick] [--shards N] [--csv <dir>]
 //! ```
 //!
-//! Defaults: `all --scale mid`. `--scale paper` runs the exact
-//! Section 6.1 parameters (N up to 100 000 — allow several minutes).
+//! Defaults: `all --scale mid --shards 1`. `--scale paper` runs the
+//! exact Section 6.1 parameters (N up to 100 000 — allow several
+//! minutes). `--shards N` partitions the coordinator into `N` shards
+//! (Phase A runs on one thread per shard); results are identical at
+//! every shard count, only the wall clock changes.
 
 use hotpath_bench::Scale;
 use hotpath_sim::experiment::{figure10, figure7, figure8, figure9, format_fig7, format_fig8};
 use hotpath_sim::report::{network_map, paths_map};
 use hotpath_sim::simulation::{run, SimulationParams};
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = "all".to_string();
     let mut scale = Scale::Mid;
+    let mut shards = 1usize;
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
@@ -26,6 +32,14 @@ fn main() {
                     .get(i)
                     .and_then(|s| Scale::parse(s))
                     .unwrap_or_else(|| usage("bad --scale value"));
+            }
+            "--shards" => {
+                i += 1;
+                shards = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--shards needs a positive integer"));
             }
             "--csv" => {
                 i += 1;
@@ -41,52 +55,54 @@ fn main() {
         i += 1;
     }
 
-    println!("# Hot Motion Paths — experiment reproduction (scale: {scale:?})");
+    println!("# Hot Motion Paths — experiment reproduction (scale: {scale:?}, shards: {shards})");
     println!();
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| usage(&format!("--csv: {e}")));
     }
+    let wall = Instant::now();
     match which.as_str() {
-        "fig7" => fig7(scale, csv_dir.as_deref()),
-        "fig8" => fig8(scale, csv_dir.as_deref()),
-        "fig9" => fig9(scale),
-        "fig10" => fig10_(scale),
-        "claims" => claims(scale),
-        "hinted" => hinted(scale),
-        "ablate" => ablate(scale),
-        "filters" => filters(scale),
+        "fig7" => fig7(scale, shards, csv_dir.as_deref()),
+        "fig8" => fig8(scale, shards, csv_dir.as_deref()),
+        "fig9" => fig9(scale, shards),
+        "fig10" => fig10_(scale, shards),
+        "claims" => claims(scale, shards),
+        "hinted" => hinted(scale, shards),
+        "ablate" => ablate(scale, shards),
+        "filters" => filters(scale, shards),
         "compress" => compress(),
         "uncertain" => uncertain(),
         "all" => {
-            fig7(scale, csv_dir.as_deref());
-            fig8(scale, csv_dir.as_deref());
-            fig9(scale);
-            fig10_(scale);
-            claims(scale);
-            hinted(scale);
-            ablate(scale);
-            filters(scale);
+            fig7(scale, shards, csv_dir.as_deref());
+            fig8(scale, shards, csv_dir.as_deref());
+            fig9(scale, shards);
+            fig10_(scale, shards);
+            claims(scale, shards);
+            hinted(scale, shards);
+            ablate(scale, shards);
+            filters(scale, shards);
             compress();
             uncertain();
         }
         _ => unreachable!(),
     }
+    println!("total wall clock: {:.2} s", wall.elapsed().as_secs_f64());
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: experiments [fig7|fig8|fig9|fig10|claims|hinted|ablate|filters|compress|uncertain|all] \
-         [--scale paper|mid|quick] [--csv <dir>]"
+         [--scale paper|mid|quick] [--shards N] [--csv <dir>]"
     );
     std::process::exit(2);
 }
 
 /// Figure 7 (a-c): vary N at eps = 10.
-fn fig7(scale: Scale, csv_dir: Option<&std::path::Path>) {
+fn fig7(scale: Scale, shards: usize, csv_dir: Option<&std::path::Path>) {
     println!("## Figure 7 — varying the number of objects (eps = 10 m)");
     println!("   panels: (a) index size, (b) top-10 score, (c) SinglePath ms/epoch");
-    let rows = figure7(&scale.fig7_ns(), scale.base(2008));
+    let rows = figure7(&scale.fig7_ns(), SimulationParams { shards, ..scale.base(2008) });
     println!("{}", format_fig7(&rows));
     if let Some(dir) = csv_dir {
         let data: Vec<Vec<String>> = rows
@@ -122,11 +138,11 @@ fn fig7(scale: Scale, csv_dir: Option<&std::path::Path>) {
 }
 
 /// Figure 8 (a-c): vary eps at the scale's fixed N.
-fn fig8(scale: Scale, csv_dir: Option<&std::path::Path>) {
+fn fig8(scale: Scale, shards: usize, csv_dir: Option<&std::path::Path>) {
     let n = scale.fig8_n();
     println!("## Figure 8 — varying the tolerance (N = {n})");
     println!("   panels: (a) index size, (b) top-10 score, (c) SinglePath ms/epoch");
-    let base = SimulationParams { n, ..scale.base(2009) };
+    let base = SimulationParams { n, shards, ..scale.base(2009) };
     let rows = figure8(&scale.fig8_eps(), base);
     println!("{}", format_fig8(&rows));
     if let Some(dir) = csv_dir {
@@ -163,9 +179,9 @@ fn fig8(scale: Scale, csv_dir: Option<&std::path::Path>) {
 }
 
 /// Figure 9: the discovered network map.
-fn fig9(scale: Scale) {
+fn fig9(scale: Scale, shards: usize) {
     println!("## Figure 9 — all motion paths with hotness > 0 (vs the hidden network)");
-    let params = SimulationParams { n: scale.map_n(), ..scale.base(2010) };
+    let params = SimulationParams { n: scale.map_n(), shards, ..scale.base(2010) };
     let (paths, res) = figure9(params);
     let (cols, rows_) = (96, 30);
     let net = network_map(&res.network, cols, rows_);
@@ -183,9 +199,9 @@ fn fig9(scale: Scale) {
 }
 
 /// Figure 10: top-20 hottest paths in the center.
-fn fig10_(scale: Scale) {
+fn fig10_(scale: Scale, shards: usize) {
     println!("## Figure 10 — top 20 hottest motion paths, city center");
-    let params = SimulationParams { n: scale.map_n(), ..scale.base(2010) };
+    let params = SimulationParams { n: scale.map_n(), shards, ..scale.base(2010) };
     let (paths, center, _res) = figure10(params, 20);
     let map = paths_map(center, &paths, 72, 24);
     print!("{}", indent(&map.render()));
@@ -198,12 +214,12 @@ fn fig10_(scale: Scale) {
 }
 
 /// The in-text claims of Section 6.2.
-fn claims(scale: Scale) {
+fn claims(scale: Scale, shards: usize) {
     println!("## Section 6.2 in-text claims");
     // Claim i: at the largest N, SinglePath stores ~16% more segments
     // than DP (10,896 vs 9,416 in the paper).
     let n = *scale.fig7_ns().last().expect("non-empty sweep");
-    let res = run(SimulationParams { n, ..scale.base(2008) });
+    let res = run(SimulationParams { n, shards, ..scale.base(2008) });
     let sp = res.summary.mean_index_size;
     let dp = res.summary.mean_dp_index_size;
     println!(
@@ -211,7 +227,7 @@ fn claims(scale: Scale) {
         100.0 * (sp - dp) / dp.max(1.0)
     );
     // Claim ii: SinglePath can beat DP on score (paper: at N=20000).
-    let rows = figure7(&scale.fig7_ns(), scale.base(2008));
+    let rows = figure7(&scale.fig7_ns(), SimulationParams { shards, ..scale.base(2008) });
     let wins: Vec<usize> = rows.iter().filter(|r| r.sp_score > r.dp_score).map(|r| r.n).collect();
     println!("   (ii) SinglePath score beats DP at N in {wins:?} (paper: at N=20,000)");
     // Claim iii is printed by fig8's shape line.
@@ -227,10 +243,10 @@ fn claims(scale: Scale) {
 }
 
 /// The Section 7 feedback extension ablation.
-fn hinted(scale: Scale) {
+fn hinted(scale: Scale, shards: usize) {
     println!("## Section 7 extension — hinted RayTrace ablation");
     let n = scale.fig8_n();
-    let base = SimulationParams { n, run_dp: false, ..scale.base(2011) };
+    let base = SimulationParams { n, shards, run_dp: false, ..scale.base(2011) };
     let plain = run(base);
     let hinted = run(SimulationParams { hints: true, ..base });
     println!(
@@ -249,11 +265,11 @@ fn hinted(scale: Scale) {
 }
 
 /// Ablation of the Cases-2/3 FSA-overlap machinery (Example 2).
-fn ablate(scale: Scale) {
+fn ablate(scale: Scale, shards: usize) {
     use hotpath_core::strategy::OverlapPolicy;
     println!("## Ablation — Algorithm 2 overlap analysis vs naive vertices");
     let n = scale.fig8_n();
-    let base = SimulationParams { n, run_dp: false, ..scale.base(2012) };
+    let base = SimulationParams { n, shards, run_dp: false, ..scale.base(2012) };
     let full = run(base);
     let own = run(SimulationParams { overlap: OverlapPolicy::Own, ..base });
     for (tag, res) in [("full (Alg. 2)", &full), ("own-centroid ", &own)] {
@@ -277,11 +293,11 @@ fn ablate(scale: Scale) {
 }
 
 /// Communication-economy comparison of client filters (extension).
-fn filters(scale: Scale) {
+fn filters(scale: Scale, shards: usize) {
     use hotpath_sim::experiment::filter_economy;
     println!("## Filter economy — naive vs dead reckoning vs RayTrace");
     let n = scale.fig8_n();
-    let e = filter_economy(SimulationParams { n, run_dp: false, ..scale.base(2013) });
+    let e = filter_economy(SimulationParams { n, shards, run_dp: false, ..scale.base(2013) });
     let pct = |msgs: u64| 100.0 * msgs as f64 / e.naive_msgs.max(1) as f64;
     println!("   measurements        : {:>12}", e.measurements);
     println!(

@@ -1,0 +1,256 @@
+//! Bench-baseline capture and regression gating.
+//!
+//! The vendored criterion harness appends one JSON line per benchmark
+//! (`{"id":"...","median_ns":...}`) to the file named by the
+//! `CRITERION_CAPTURE` environment variable. This module turns those
+//! captures into checked-in `BENCH_<name>.json` snapshots and compares
+//! fresh captures against them with a relative tolerance, so perf PRs
+//! can assert no-regression in CI (`bench_gate check --tolerance T`).
+//!
+//! No serde in the offline build environment, so the snapshot format is
+//! a deliberately tiny JSON dialect written and parsed here: objects
+//! with string `"id"` and numeric `"median_ns"` fields. The parser is
+//! shared by the JSONL capture stream and the pretty snapshot files.
+
+use std::fmt::Write as _;
+
+/// One benchmark's captured median.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchEntry {
+    /// Full criterion id, `group/function/param`.
+    pub id: String,
+    /// Median wall time per iteration in nanoseconds.
+    pub median_ns: f64,
+}
+
+/// A named set of benchmark medians (one `cargo bench` target).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// The bench target name (e.g. `micro_raytrace`).
+    pub bench: String,
+    /// Captured entries, in capture order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl Snapshot {
+    /// Builds a snapshot from the raw `CRITERION_CAPTURE` stream of one
+    /// bench target. Duplicate ids keep the *last* capture (re-runs
+    /// within a process supersede earlier ones).
+    pub fn from_capture(bench: &str, jsonl: &str) -> Snapshot {
+        let mut entries: Vec<BenchEntry> = Vec::new();
+        for e in parse_entries(jsonl) {
+            if let Some(slot) = entries.iter_mut().find(|x| x.id == e.id) {
+                *slot = e;
+            } else {
+                entries.push(e);
+            }
+        }
+        Snapshot { bench: bench.to_string(), entries }
+    }
+
+    /// Renders the checked-in snapshot file.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"bench\": \"{}\",", self.bench);
+        let _ = writeln!(out, "  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            // Same sanitization as the capture hook: the parser has no
+            // escape support, so ids must stay quote- and
+            // backslash-free for the file to round-trip.
+            let id: String =
+                e.id.chars().map(|c| if c == '"' || c == '\\' { '_' } else { c }).collect();
+            let _ =
+                writeln!(out, "    {{\"id\": \"{id}\", \"median_ns\": {}}}{comma}", e.median_ns);
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Parses a snapshot file produced by [`Snapshot::to_json`].
+    pub fn from_json(text: &str) -> Result<Snapshot, String> {
+        let bench = extract_string(text, "\"bench\"")
+            .ok_or_else(|| "snapshot missing \"bench\" field".to_string())?;
+        let entries = parse_entries(text);
+        if entries.is_empty() {
+            return Err(format!("snapshot for '{bench}' has no entries"));
+        }
+        Ok(Snapshot { bench, entries })
+    }
+
+    /// Looks up an entry by id.
+    pub fn get(&self, id: &str) -> Option<&BenchEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+}
+
+/// Scans `text` for every `{"id": "...", "median_ns": ...}` object.
+fn parse_entries(text: &str) -> Vec<BenchEntry> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(idpos) = rest.find("\"id\"") {
+        let tail = &rest[idpos..];
+        let Some(id) = extract_string(tail, "\"id\"") else { break };
+        // Scope the median search to this object: an entry missing its
+        // median_ns must be dropped, not paired with the next entry's.
+        let body = &tail["\"id\"".len()..];
+        let scope = &body[..body.find("\"id\"").unwrap_or(body.len())];
+        let median = extract_number(scope, "\"median_ns\"");
+        // Advance past this id either way so a malformed object cannot
+        // loop forever.
+        rest = body;
+        if let Some(median_ns) = median {
+            out.push(BenchEntry { id, median_ns });
+        }
+    }
+    out
+}
+
+/// Extracts the string value following `key` (`"key" : "value"`).
+fn extract_string(text: &str, key: &str) -> Option<String> {
+    let at = text.find(key)? + key.len();
+    let tail = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let tail = tail.strip_prefix('"')?;
+    let end = tail.find('"')?;
+    Some(tail[..end].to_string())
+}
+
+/// Extracts the numeric value following `key` (`"key" : 123.4`).
+fn extract_number(text: &str, key: &str) -> Option<f64> {
+    let at = text.find(key)? + key.len();
+    let tail = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = tail
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E')
+        })
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// The verdict of one baseline-vs-current comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Verdict {
+    /// Within tolerance (ratio of current to baseline).
+    Ok(f64),
+    /// Slower than `baseline * (1 + tolerance)`.
+    Regressed(f64),
+    /// Present in the baseline but not re-measured.
+    Missing,
+    /// Measured now but absent from the baseline (informational).
+    New,
+}
+
+/// Compares `current` against `baseline`: every baseline entry must be
+/// re-measured and stay within `baseline * (1 + tolerance)`. Returns
+/// `(id, verdict)` rows in baseline order, then `New` rows.
+pub fn compare(baseline: &Snapshot, current: &Snapshot, tolerance: f64) -> Vec<(String, Verdict)> {
+    let mut rows = Vec::new();
+    for b in &baseline.entries {
+        let verdict = match current.get(&b.id) {
+            None => Verdict::Missing,
+            Some(c) => {
+                let ratio = c.median_ns / b.median_ns.max(f64::MIN_POSITIVE);
+                if ratio > 1.0 + tolerance {
+                    Verdict::Regressed(ratio)
+                } else {
+                    Verdict::Ok(ratio)
+                }
+            }
+        };
+        rows.push((b.id.clone(), verdict));
+    }
+    for c in &current.entries {
+        if baseline.get(&c.id).is_none() {
+            rows.push((c.id.clone(), Verdict::New));
+        }
+    }
+    rows
+}
+
+/// True when any row fails the gate (regressed or missing).
+pub fn has_failures(rows: &[(String, Verdict)]) -> bool {
+    rows.iter().any(|(_, v)| matches!(v, Verdict::Regressed(_) | Verdict::Missing))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(bench: &str, entries: &[(&str, f64)]) -> Snapshot {
+        Snapshot {
+            bench: bench.to_string(),
+            entries: entries
+                .iter()
+                .map(|&(id, m)| BenchEntry { id: id.to_string(), median_ns: m })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn capture_round_trips_through_snapshot_json() {
+        let jsonl = "{\"id\":\"g/f/1\",\"median_ns\":12}\n{\"id\":\"g/f/2\",\"median_ns\":34.5}\n";
+        let s = Snapshot::from_capture("micro", jsonl);
+        assert_eq!(s.entries.len(), 2);
+        let parsed = Snapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(parsed, s);
+        assert_eq!(parsed.get("g/f/2").unwrap().median_ns, 34.5);
+    }
+
+    #[test]
+    fn duplicate_capture_ids_keep_the_last() {
+        let jsonl = "{\"id\":\"a\",\"median_ns\":10}\n{\"id\":\"a\",\"median_ns\":20}\n";
+        let s = Snapshot::from_capture("b", jsonl);
+        assert_eq!(s.entries.len(), 1);
+        assert_eq!(s.entries[0].median_ns, 20.0);
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let jsonl = "garbage\n{\"id\":\"ok\",\"median_ns\":5}\n{\"id\":\"broken\"}\n";
+        let s = Snapshot::from_capture("b", jsonl);
+        let ids: Vec<&str> = s.entries.iter().map(|e| e.id.as_str()).collect();
+        assert_eq!(ids, ["ok"]);
+    }
+
+    #[test]
+    fn entry_without_median_cannot_steal_the_next_entrys_value() {
+        let jsonl = "{\"id\":\"broken\"}\n{\"id\":\"ok\",\"median_ns\":5}\n";
+        let s = Snapshot::from_capture("b", jsonl);
+        assert_eq!(s.entries.len(), 1);
+        assert_eq!(s.entries[0].id, "ok");
+        assert_eq!(s.entries[0].median_ns, 5.0);
+    }
+
+    #[test]
+    fn from_json_rejects_empty_snapshots() {
+        assert!(Snapshot::from_json("{\"bench\": \"x\", \"entries\": []}").is_err());
+        assert!(Snapshot::from_json("not json at all").is_err());
+    }
+
+    #[test]
+    fn compare_flags_regressions_within_tolerance() {
+        let base = snap("b", &[("fast", 100.0), ("slow", 1000.0)]);
+        // fast regressed 3x; slow improved.
+        let cur = snap("b", &[("fast", 300.0), ("slow", 500.0)]);
+        let rows = compare(&base, &cur, 0.5);
+        assert_eq!(rows[0], ("fast".into(), Verdict::Regressed(3.0)));
+        assert!(matches!(rows[1].1, Verdict::Ok(r) if (r - 0.5).abs() < 1e-12));
+        assert!(has_failures(&rows));
+        // A generous tolerance passes everything.
+        assert!(!has_failures(&compare(&base, &cur, 2.5)));
+    }
+
+    #[test]
+    fn compare_reports_missing_and_new() {
+        let base = snap("b", &[("gone", 10.0)]);
+        let cur = snap("b", &[("fresh", 10.0)]);
+        let rows = compare(&base, &cur, 1.0);
+        assert_eq!(rows[0], ("gone".into(), Verdict::Missing));
+        assert_eq!(rows[1], ("fresh".into(), Verdict::New));
+        assert!(has_failures(&rows));
+        // New-only rows are not failures.
+        assert!(!has_failures(&compare(&snap("b", &[]), &cur, 1.0)));
+    }
+}

@@ -13,6 +13,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod gate;
+
 use hotpath_netsim::network::NetworkParams;
 use hotpath_sim::simulation::SimulationParams;
 

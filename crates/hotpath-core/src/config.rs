@@ -72,6 +72,11 @@ pub struct Config {
     /// Quantization grain for exact vertex identity (meters). Vertices
     /// within the same grain cell are treated as the same vertex.
     pub vertex_grain: f64,
+    /// Coordinator shards: the grid index and hotness table are
+    /// partitioned by start-vertex cell key and epochs run Phase A on
+    /// one scoped thread per shard. `1` (the default) is the sequential
+    /// coordinator; results are identical at every shard count.
+    pub shards: usize,
 }
 
 impl Config {
@@ -84,6 +89,7 @@ impl Config {
             k: 10,
             grid_cell: 250.0,
             vertex_grain: 1e-3,
+            shards: 1,
         }
     }
 
@@ -118,6 +124,13 @@ impl Config {
         self.grid_cell = cell;
         self
     }
+
+    /// Builder-style shard-count override.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        self.shards = shards;
+        self
+    }
 }
 
 impl Default for Config {
@@ -147,13 +160,26 @@ mod tests {
             .with_window(50)
             .with_epoch(5)
             .with_k(20)
-            .with_grid_cell(100.0);
+            .with_grid_cell(100.0)
+            .with_shards(4);
         assert_eq!(c.tolerance.eps(), 5.0);
         assert_eq!(c.tolerance.delta(), Some(0.1));
         assert_eq!(c.window.len, 50);
         assert_eq!(c.epochs.lambda, 5);
         assert_eq!(c.k, 20);
         assert_eq!(c.grid_cell, 100.0);
+        assert_eq!(c.shards, 4);
+    }
+
+    #[test]
+    fn defaults_are_sequential() {
+        assert_eq!(Config::paper_defaults().shards, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be positive")]
+    fn rejects_zero_shards() {
+        let _ = Config::paper_defaults().with_shards(0);
     }
 
     #[test]

@@ -1,15 +1,35 @@
 //! The coordinator: epoch-batched processing of client states, index and
 //! hotness maintenance, and top-`k` / score queries (Sections 3.1, 5).
+//!
+//! # Sharding
+//!
+//! The coordinator partitions its MotionPath index and hotness table
+//! into [`Config::shards`] shards keyed by the grid cell of a path's
+//! *start vertex*. Phase A of SinglePath (Case 1 — the steady-state hot
+//! loop) is exactly shard-local under that key: a state's candidate
+//! paths all start at its own vertex, so candidate sets, cross-object
+//! boosts, and intra-batch crossing visibility never span shards. Each
+//! epoch therefore runs Phase A on one scoped thread per shard
+//! (`std::thread::scope`, no extra dependencies), while Phase B (Cases
+//! 2-3, the rare deferred states whose FSA-overlap analysis is
+//! inherently global) runs sequentially in the front against a merged
+//! view of all shards. Path ids are drawn from one front-side counter,
+//! so results — selections, responses, ids, statistics — are identical
+//! at every shard count, and `shards = 1` is the sequential coordinator.
 
 use crate::config::Config;
-use crate::geometry::{Point, TimePoint};
+use crate::fxhash::FxHashMap;
+use crate::geometry::{Point, Rect, TimePoint};
 use crate::hotness::Hotness;
-use crate::index::MotionPathIndex;
+use crate::index::{point_lt, MotionPathIndex};
 use crate::motion_path::{MotionPath, PathId};
 use crate::raytrace::hinted::PathHint;
 use crate::raytrace::ClientState;
 use crate::stats::{CommStats, ProcessingStats};
-use crate::strategy::{process_batch_with, OverlapPolicy, Selection};
+use crate::strategy::{
+    build_fsa_set, phase_a, phase_b, process_batch_with, CaseTally, OverlapPolicy, PathStore,
+    PhaseAOutput, Selection,
+};
 use crate::time::Timestamp;
 use crate::ObjectId;
 use std::time::Instant;
@@ -49,13 +69,103 @@ pub struct HotPath {
     pub score: f64,
 }
 
+/// One shard of coordinator state: the slice of the MotionPath index and
+/// hotness table owning every path whose start vertex routes here.
+#[derive(Debug)]
+struct Shard {
+    index: MotionPathIndex,
+    hotness: Hotness,
+}
+
+/// Deterministic point-to-shard routing: quantize to the vertex grain
+/// (so float-noisy copies of one vertex agree), derive the grid cell in
+/// integer space, and hash the cell key.
+#[derive(Clone, Copy, Debug)]
+struct ShardRouter {
+    grain: f64,
+    units_per_cell: i64,
+    shards: usize,
+}
+
+impl ShardRouter {
+    fn new(config: &Config) -> Self {
+        let units = (config.grid_cell / config.vertex_grain).round().max(1.0) as i64;
+        ShardRouter { grain: config.vertex_grain, units_per_cell: units, shards: config.shards }
+    }
+
+    fn shard_of(&self, p: &Point) -> usize {
+        if self.shards == 1 {
+            return 0;
+        }
+        let (qx, qy) = p.quantize(self.grain);
+        let cx = qx.div_euclid(self.units_per_cell);
+        let cy = qy.div_euclid(self.units_per_cell);
+        let h = (cx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (cy as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        ((h ^ (h >> 31)) % self.shards as u64) as usize
+    }
+}
+
+/// The [`PathStore`] Phase B sees when the coordinator is sharded: range
+/// queries merge every shard's answer into the view one index would
+/// give; insertions route to the owning shard and draw ids from the
+/// front's global counter.
+struct ShardedStore<'a> {
+    shards: &'a mut [Shard],
+    router: ShardRouter,
+    next_id: &'a mut u64,
+}
+
+impl PathStore for ShardedStore<'_> {
+    fn end_vertices_in(&self, fsa: &Rect) -> Vec<(Point, Vec<PathId>)> {
+        debug_assert!(self.shards.len() > 1, "single-shard epochs take the sequential path");
+        // Merge by quantized vertex key: a vertex can terminate paths
+        // stored in several shards (their starts live elsewhere). The
+        // representative point per key is the lexicographically smallest
+        // raw endpoint — the same canonical choice the single-index
+        // query makes, so the merged view is identical to sequential
+        // even when float-noisy vertex copies span shards.
+        let mut by_key: FxHashMap<(i64, i64), (Point, Vec<PathId>)> = FxHashMap::default();
+        for shard in self.shards.iter() {
+            for (p, ids) in shard.index.end_vertices_in(fsa) {
+                let slot = by_key
+                    .entry(self.shards[0].index.vertex_key(&p))
+                    .or_insert_with(|| (p, Vec::new()));
+                if point_lt(&p, &slot.0) {
+                    slot.0 = p;
+                }
+                slot.1.extend(ids);
+            }
+        }
+        let mut out: Vec<(Point, Vec<PathId>)> = by_key.into_values().collect();
+        out.sort_by(|a, b| a.0.x.total_cmp(&b.0.x).then(a.0.y.total_cmp(&b.0.y)));
+        for (_, ids) in &mut out {
+            ids.sort_unstable();
+        }
+        out
+    }
+
+    fn hotness_of(&self, id: PathId) -> u32 {
+        // Ids are globally unique; only the owning shard contributes.
+        self.shards.iter().map(|s| s.hotness.get(id)).sum()
+    }
+
+    fn commit(&mut self, start: Point, end: Point, te: Timestamp) -> (PathId, bool, Point) {
+        let shard = &mut self.shards[self.router.shard_of(&start)];
+        let (id, created) = shard.index.insert_with(start, end, self.next_id);
+        shard.hotness.record_crossing(id, te);
+        (id, created, shard.index.get(id).expect("just inserted").end())
+    }
+}
+
 /// The central coordinator.
 #[derive(Debug)]
 pub struct Coordinator {
     config: Config,
-    index: MotionPathIndex,
-    hotness: Hotness,
+    shards: Vec<Shard>,
+    router: ShardRouter,
     pending: Vec<ClientState>,
+    next_path_id: u64,
     comm: CommStats,
     processing: ProcessingStats,
     hints_enabled: bool,
@@ -65,11 +175,19 @@ pub struct Coordinator {
 impl Coordinator {
     /// Creates a coordinator for the given configuration.
     pub fn new(config: Config) -> Self {
+        assert!(config.shards > 0, "shard count must be positive");
+        let shards = (0..config.shards)
+            .map(|_| Shard {
+                index: MotionPathIndex::new(config.grid_cell, config.vertex_grain),
+                hotness: Hotness::new(config.window),
+            })
+            .collect();
         Coordinator {
+            router: ShardRouter::new(&config),
             config,
-            index: MotionPathIndex::new(config.grid_cell, config.vertex_grain),
-            hotness: Hotness::new(config.window),
+            shards,
             pending: Vec::new(),
+            next_path_id: 0,
             comm: CommStats::default(),
             processing: ProcessingStats::default(),
             hints_enabled: false,
@@ -92,11 +210,12 @@ impl Coordinator {
 
     /// The configuration in force.
     pub fn config(&self) -> &Config {
-        self.config_ref()
+        &self.config
     }
 
-    fn config_ref(&self) -> &Config {
-        &self.config
+    /// Number of shards the index and hotness table are split into.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
     }
 
     /// Accepts a state message (buffered until the next epoch).
@@ -114,8 +233,10 @@ impl Coordinator {
     /// the index (call once per timestamp; cheap when nothing expires).
     pub fn advance_time(&mut self, now: Timestamp) {
         let start = Instant::now();
-        for dead in self.hotness.advance(now) {
-            self.index.remove(dead);
+        for shard in &mut self.shards {
+            for dead in shard.hotness.advance(now) {
+                shard.index.remove(dead);
+            }
         }
         self.processing.expiry_time += start.elapsed();
     }
@@ -127,13 +248,20 @@ impl Coordinator {
         let states = std::mem::take(&mut self.pending);
         let start = Instant::now();
         let overlap_cell = (2.0 * self.config.tolerance.eps()).max(1e-6);
-        let (selections, tally) = process_batch_with(
-            &states,
-            &mut self.index,
-            &mut self.hotness,
-            overlap_cell,
-            self.overlap_policy,
-        );
+        let (selections, tally) = if self.shards.len() == 1 {
+            // Sequential fast path — the pre-sharding coordinator,
+            // bit for bit (one index, its own id counter, no threads).
+            let shard = &mut self.shards[0];
+            process_batch_with(
+                &states,
+                &mut shard.index,
+                &mut shard.hotness,
+                overlap_cell,
+                self.overlap_policy,
+            )
+        } else {
+            self.process_batch_sharded(&states, overlap_cell)
+        };
         self.processing.strategy_time += start.elapsed();
         self.processing.epochs += 1;
         self.processing.states_processed += states.len() as u64;
@@ -142,6 +270,75 @@ impl Coordinator {
         self.processing.case3 += tally.case3;
 
         selections.iter().map(|sel| self.respond(sel)).collect()
+    }
+
+    /// The sharded epoch: parallel Phase A per shard, then the global
+    /// sequential Phase B over the merged store.
+    fn process_batch_sharded(
+        &mut self,
+        states: &[ClientState],
+        overlap_cell: f64,
+    ) -> (Vec<Selection>, CaseTally) {
+        // Partition batch positions by the shard owning each start.
+        let mut parts: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
+        for (i, st) in states.iter().enumerate() {
+            parts[self.router.shard_of(&st.start)].push(i as u32);
+        }
+
+        let mut outputs: Vec<PhaseAOutput> = Vec::with_capacity(self.shards.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.shards.len());
+            let mut work: Vec<(&mut Shard, &Vec<u32>)> =
+                self.shards.iter_mut().zip(&parts).filter(|(_, seqs)| !seqs.is_empty()).collect();
+            // Run one slice on the current thread: a populated epoch
+            // then uses exactly `shards` threads, and a single-shard
+            // epoch spawns none at all.
+            let inline = work.pop();
+            for (shard, seqs) in work {
+                handles.push(
+                    scope.spawn(|| phase_a(states, seqs, &mut shard.index, &mut shard.hotness)),
+                );
+            }
+            if let Some((shard, seqs)) = inline {
+                outputs.push(phase_a(states, seqs, &mut shard.index, &mut shard.hotness));
+            }
+            for h in handles {
+                outputs.push(h.join().expect("shard worker panicked"));
+            }
+        });
+
+        // Merge: selections back into batch order, deferred positions
+        // sorted so Phase B runs in the order the sequential pass would.
+        let mut tally = CaseTally::default();
+        let mut tagged: Vec<(u32, Selection)> = Vec::with_capacity(states.len());
+        let mut deferred: Vec<u32> = Vec::new();
+        for out in outputs {
+            tally.case1 += out.tally.case1;
+            tally.case2 += out.tally.case2;
+            tally.case3 += out.tally.case3;
+            tagged.extend(out.selections);
+            deferred.extend(out.deferred);
+        }
+        tagged.sort_unstable_by_key(|&(seq, _)| seq);
+        deferred.sort_unstable();
+        let mut selections: Vec<Selection> = tagged.into_iter().map(|(_, s)| s).collect();
+
+        let fsas = build_fsa_set(states, overlap_cell, self.overlap_policy);
+        let mut store = ShardedStore {
+            shards: &mut self.shards,
+            router: self.router,
+            next_id: &mut self.next_path_id,
+        };
+        phase_b(
+            states,
+            &deferred,
+            &mut store,
+            &fsas,
+            self.overlap_policy,
+            &mut tally,
+            &mut selections,
+        );
+        (selections, tally)
     }
 
     /// Builds (and accounts) the endpoint response for one selection.
@@ -162,29 +359,39 @@ impl Coordinator {
 
     /// The hottest path leaving the vertex at `p`, if any.
     pub fn hottest_from(&self, p: &Point) -> Option<MotionPath> {
-        self.index
+        // Paths starting at `p`'s vertex all live in its owning shard.
+        let shard = &self.shards[self.router.shard_of(p)];
+        shard
+            .index
             .paths_starting_at(p)
             .iter()
-            .max_by_key(|&&id| (self.hotness.get(id), std::cmp::Reverse(id)))
-            .and_then(|&id| self.index.get(id))
+            .max_by_key(|&&id| (shard.hotness.get(id), std::cmp::Reverse(id)))
+            .and_then(|&id| shard.index.get(id))
             .copied()
     }
 
     /// Number of motion paths currently stored (the paper's *index size*
     /// metric, Figures 7a / 8a).
     pub fn index_size(&self) -> usize {
-        self.index.len()
+        self.shards.iter().map(|s| s.index.len()).sum()
+    }
+
+    /// Looks up a stored path by id across all shards.
+    pub fn path(&self, id: PathId) -> Option<&MotionPath> {
+        self.shards.iter().find_map(|s| s.index.get(id))
     }
 
     /// All stored paths with positive hotness, unordered.
     pub fn hot_paths(&self) -> Vec<HotPath> {
-        self.hotness
+        self.shards
             .iter()
-            .filter_map(|(id, h)| {
-                self.index.get(id).map(|p| HotPath {
-                    path: *p,
-                    hotness: h,
-                    score: h as f64 * p.length(),
+            .flat_map(|shard| {
+                shard.hotness.iter().filter_map(|(id, h)| {
+                    shard.index.get(id).map(|p| HotPath {
+                        path: *p,
+                        hotness: h,
+                        score: h as f64 * p.length(),
+                    })
                 })
             })
             .collect()
@@ -196,7 +403,8 @@ impl Coordinator {
         self.top_n(self.config.k)
     }
 
-    /// The top-`n` hottest motion paths for an explicit `n`.
+    /// The top-`n` hottest motion paths for an explicit `n`, merged
+    /// across shards.
     pub fn top_n(&self, n: usize) -> Vec<HotPath> {
         let mut all = self.hot_paths();
         all.sort_by(|a, b| {
@@ -229,19 +437,38 @@ impl Coordinator {
         &self.processing
     }
 
-    /// Read access to the index (diagnostics / reporting).
-    pub fn index(&self) -> &MotionPathIndex {
-        &self.index
-    }
-
-    /// Read access to the hotness table.
-    pub fn hotness(&self) -> &Hotness {
-        &self.hotness
-    }
-
     /// Current hotness of a specific path.
     pub fn hotness_of(&self, id: PathId) -> u32 {
-        self.hotness.get(id)
+        self.shards.iter().map(|s| s.hotness.get(id)).sum()
+    }
+
+    /// Number of paths with positive hotness, across all shards.
+    pub fn hot_count(&self) -> usize {
+        self.shards.iter().map(|s| s.hotness.len()).sum()
+    }
+
+    /// Live expiry events pending in the hotness tables (diagnostics).
+    pub fn pending_expiry_events(&self) -> usize {
+        self.shards.iter().map(|s| s.hotness.pending_events()).sum()
+    }
+
+    /// Internal-consistency audit: every shard's index must be
+    /// self-consistent, every path must live in the shard its start
+    /// vertex routes to, and path ids must be globally unique.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard.index.check_consistency().map_err(|e| format!("shard {i}: {e}"))?;
+            for p in shard.index.iter() {
+                if self.router.shard_of(&p.start()) != i {
+                    return Err(format!("path {} misrouted to shard {i}", p.id));
+                }
+                if !seen.insert(p.id) {
+                    return Err(format!("duplicate path id {} across shards", p.id));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -368,5 +595,82 @@ mod tests {
         assert_eq!(p.epochs, 2);
         assert_eq!(p.states_processed, 2);
         assert_eq!(p.case1 + p.case2 + p.case3, 2);
+    }
+
+    /// Drives the same deterministic multi-epoch workload through
+    /// coordinators at several shard counts and demands identical
+    /// observable behavior — responses (order included), path ids,
+    /// top-k, scores, stats.
+    #[test]
+    fn sharded_epochs_match_sequential_exactly() {
+        type Responses = Vec<(u64, f64, f64, u64)>;
+        type TopK = Vec<(u64, f64, f64, f64, u32)>;
+        fn drive(shards: usize) -> (Responses, TopK, u64) {
+            let mut c = Coordinator::new(cfg().with_k(5).with_shards(shards));
+            let mut responses = Vec::new();
+            // A deterministic pseudo-random workload spread over many
+            // grid cells (so several shards are actually populated),
+            // with recurring corridors so all three cases fire.
+            let mut s = 42u64;
+            let mut rand = || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s >> 33
+            };
+            for epoch in 1..=12u64 {
+                let now = Timestamp(epoch * 10);
+                let n = 40 + (rand() % 20) as usize;
+                for i in 0..n {
+                    let corridor = rand() % 12;
+                    let sx = (corridor * 400) as f64;
+                    let sy = ((rand() % 5) * 300) as f64;
+                    let ex = sx + 60.0 + (rand() % 3) as f64 * 5.0;
+                    let ey = sy + (rand() % 40) as f64;
+                    c.submit(state(i as u64, (sx, sy), (ex, ey), now.raw() - 10, now.raw() - 1));
+                }
+                for r in c.process_epoch(now) {
+                    responses.push((
+                        r.object.0,
+                        r.endpoint.p.x,
+                        r.endpoint.p.y,
+                        r.endpoint.t.raw(),
+                    ));
+                }
+            }
+            c.check_consistency().unwrap();
+            let top: Vec<(u64, f64, f64, f64, u32)> = c
+                .top_n(20)
+                .iter()
+                .map(|h| (h.path.id.0, h.path.start().x, h.path.end().x, h.score, h.hotness))
+                .collect();
+            (responses, top, c.processing_stats().case1)
+        }
+
+        let base = drive(1);
+        for shards in [2, 3, 8] {
+            let got = drive(shards);
+            assert_eq!(base.0, got.0, "responses diverged at {shards} shards");
+            assert_eq!(base.1, got.1, "top-k diverged at {shards} shards");
+            assert_eq!(base.2, got.2, "case tallies diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_state_is_consistent_and_aggregates_add_up() {
+        let mut c = Coordinator::new(cfg().with_shards(4));
+        for obj in 0..20u64 {
+            let x = (obj % 5) as f64 * 600.0;
+            c.submit(state(obj, (x, 0.0), (x + 50.0, 0.0), 0, 9));
+        }
+        let _ = c.process_epoch(Timestamp(10));
+        assert_eq!(c.num_shards(), 4);
+        c.check_consistency().unwrap();
+        assert_eq!(c.index_size(), 5);
+        assert_eq!(c.hot_count(), 5);
+        assert!(c.pending_expiry_events() >= c.hot_count());
+        // Every hot path is reachable through the aggregate lookup.
+        for hp in c.hot_paths() {
+            assert!(c.path(hp.path.id).is_some());
+            assert_eq!(c.hotness_of(hp.path.id), hp.hotness);
+        }
     }
 }

@@ -19,6 +19,12 @@ pub struct Hotness {
     counts: FxHashMap<PathId, u32>,
     /// Min-heap of `(expiry, id)`; head is the next interval to expire.
     queue: BinaryHeap<Reverse<(Timestamp, PathId)>>,
+    /// Tombstones for [`Hotness::forget`]-ed ids: how many queued events
+    /// belong to each forgotten id, so [`Hotness::advance`] can reclaim
+    /// them instead of decrementing a live counter.
+    dead: FxHashMap<PathId, u32>,
+    /// Total events covered by `dead` (kept in sync for O(1) accounting).
+    dead_events: usize,
     /// Total crossings ever recorded (diagnostics).
     recorded: u64,
 }
@@ -26,7 +32,14 @@ pub struct Hotness {
 impl Hotness {
     /// Creates an empty table over the given window.
     pub fn new(window: SlidingWindow) -> Self {
-        Hotness { window, counts: FxHashMap::default(), queue: BinaryHeap::new(), recorded: 0 }
+        Hotness {
+            window,
+            counts: FxHashMap::default(),
+            queue: BinaryHeap::new(),
+            dead: FxHashMap::default(),
+            dead_events: 0,
+            recorded: 0,
+        }
     }
 
     /// The sliding window in force.
@@ -63,8 +76,16 @@ impl Hotness {
         self.counts.iter().map(|(&id, &h)| (id, h))
     }
 
-    /// Pending expiry events (diagnostics; equals the sum of counters).
+    /// Pending *live* expiry events (diagnostics; equals the sum of
+    /// counters). Events tombstoned by [`Hotness::forget`] are excluded
+    /// even while they still occupy the queue awaiting reclamation.
     pub fn pending_events(&self) -> usize {
+        self.queue.len() - self.dead_events
+    }
+
+    /// Physical queue occupancy including not-yet-reclaimed tombstoned
+    /// events (diagnostics for leak tests).
+    pub fn queued_events(&self) -> usize {
         self.queue.len()
     }
 
@@ -80,11 +101,23 @@ impl Hotness {
     pub fn advance(&mut self, now: Timestamp) -> Vec<PathId> {
         let mut died = Vec::new();
         while let Some(&Reverse((expiry, id))) = self.queue.peek() {
+            // Reclaim tombstoned events whenever they surface at the
+            // head, regardless of their expiry — forgotten ids must not
+            // keep the queue inflated for a whole window.
+            if let Some(n) = self.dead.get_mut(&id) {
+                self.queue.pop();
+                *n -= 1;
+                self.dead_events -= 1;
+                if *n == 0 {
+                    self.dead.remove(&id);
+                }
+                continue;
+            }
             if expiry > now {
                 break;
             }
             self.queue.pop();
-            // Stale events for forgotten ids are skipped (lazy deletion).
+            // Defensive: a counter should always exist for a live event.
             let Some(count) = self.counts.get_mut(&id) else { continue };
             *count -= 1;
             if *count == 0 {
@@ -96,15 +129,22 @@ impl Hotness {
     }
 
     /// Drops a path outright (used when the caller removes a path for
-    /// reasons other than expiry). Pending expiry events for it become
-    /// no-ops only if the count is zeroed here, so this also forgets the
-    /// counter; the stale heap entries are guarded by the `counts`
-    /// lookup in [`Hotness::advance`] — hence this must only be called
-    /// for ids that will never be recorded again.
+    /// reasons other than expiry). The counter's outstanding expiry
+    /// events are tombstoned and reclaimed by [`Hotness::advance`] as
+    /// they surface at the queue head, so long runs with many forgotten
+    /// paths do not accumulate stale events for a whole window.
+    ///
+    /// Only call this for ids that will never be recorded again: events
+    /// carry no generation, so a crossing recorded after `forget` whose
+    /// expiry precedes a tombstoned event's would be reclaimed in its
+    /// place, letting the stale event keep the counter alive too long.
     pub fn forget(&mut self, id: PathId) {
-        self.counts.remove(&id);
-        // Lazy deletion: heap entries for `id` will find no counter.
-        // advance() must tolerate that.
+        if let Some(n) = self.counts.remove(&id) {
+            if n > 0 {
+                *self.dead.entry(id).or_insert(0) += n;
+                self.dead_events += n as usize;
+            }
+        }
     }
 }
 
@@ -221,6 +261,51 @@ mod tests {
         hot.record_crossing(PathId(1), Timestamp(0));
         hot.forget(PathId(1));
         assert_eq!(hot.get(PathId(1)), 0);
+        assert!(hot.is_empty());
+    }
+
+    #[test]
+    fn forget_reclaims_pending_events() {
+        let mut hot = h(100);
+        hot.record_crossing(PathId(1), Timestamp(0)); // expiry 100
+        hot.record_crossing(PathId(1), Timestamp(5)); // expiry 105
+        hot.record_crossing(PathId(2), Timestamp(3)); // expiry 103
+        assert_eq!(hot.pending_events(), 3);
+
+        hot.forget(PathId(1));
+        // Tombstoned events stop counting as pending immediately...
+        assert_eq!(hot.pending_events(), 1);
+        assert_eq!(hot.queued_events(), 3);
+
+        // ...and advance reclaims them from the queue head long before
+        // their natural expiry (here at t = 4, expiries are 100+).
+        assert!(hot.advance(Timestamp(4)).is_empty());
+        assert_eq!(hot.queued_events(), 2, "head tombstone not reclaimed");
+        assert_eq!(hot.pending_events(), 1);
+
+        // The live path expires normally; the buried tombstone goes with
+        // it once it reaches the head.
+        assert_eq!(hot.advance(Timestamp(103)), vec![PathId(2)]);
+        assert_eq!(hot.queued_events(), 0);
+        assert_eq!(hot.pending_events(), 0);
+    }
+
+    #[test]
+    fn forget_heavy_churn_does_not_leak() {
+        // A long run that records and immediately forgets distinct ids:
+        // without reclamation the queue would hold every event for a
+        // whole window (here 10_000 timestamps deep).
+        let mut hot = h(10_000);
+        for i in 0..1_000u64 {
+            hot.advance(Timestamp(i));
+            hot.record_crossing(PathId(i), Timestamp(i));
+            hot.forget(PathId(i));
+        }
+        hot.advance(Timestamp(1_000));
+        assert_eq!(hot.pending_events(), 0);
+        // Everything reclaimable from the head has been reclaimed; the
+        // queue is empty even though no event has naturally expired.
+        assert_eq!(hot.queued_events(), 0);
         assert!(hot.is_empty());
     }
 }

@@ -5,5 +5,5 @@ mod motion_path_index;
 mod rtree;
 
 pub use grid::{CellKey, EndKind, EndpointGrid, Entry};
-pub use motion_path_index::{MotionPathIndex, VertexKey};
+pub use motion_path_index::{point_lt, MotionPathIndex, VertexKey};
 pub use rtree::RTree;

@@ -20,6 +20,12 @@ use crate::motion_path::{MotionPath, PathId};
 /// Quantized vertex key.
 pub type VertexKey = (i64, i64);
 
+/// Lexicographic `(x, y)` order on raw points (total, NaN-safe).
+#[inline]
+pub fn point_lt(a: &Point, b: &Point) -> bool {
+    a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)).is_lt()
+}
+
 /// The coordinator's path store.
 #[derive(Clone, Debug)]
 pub struct MotionPathIndex {
@@ -79,13 +85,27 @@ impl MotionPathIndex {
     /// exists, returns the existing id instead — crossings of an
     /// identical geometry belong to one path, not duplicates.
     pub fn insert(&mut self, start: Point, end: Point) -> (PathId, bool) {
+        let mut next = self.next_id;
+        let out = self.insert_with(start, end, &mut next);
+        self.next_id = next;
+        out
+    }
+
+    /// [`MotionPathIndex::insert`] drawing fresh ids from an external
+    /// counter instead of the index's own. The sharded coordinator keeps
+    /// one global counter across its per-shard indexes so path ids stay
+    /// globally unique — and identical to the sequential coordinator's
+    /// allocation, since all insertions happen in the (sequential)
+    /// Phase B in batch order. `next` is advanced only when a path is
+    /// actually created.
+    pub fn insert_with(&mut self, start: Point, end: Point, next: &mut u64) -> (PathId, bool) {
         let skey = self.vertex_key(&start);
         let ekey = self.vertex_key(&end);
         if let Some(existing) = self.find_exact(skey, ekey) {
             return (existing, false);
         }
-        let id = PathId(self.next_id);
-        self.next_id += 1;
+        let id = PathId(*next);
+        *next += 1;
         let path = MotionPath::new(id, start, end);
         self.grid.insert(Entry { endpoint: start, path: id, other: end, kind: EndKind::Start });
         self.grid.insert(Entry { endpoint: end, path: id, other: start, kind: EndKind::End });
@@ -140,15 +160,23 @@ impl MotionPathIndex {
 
     /// Case-2 query (Alg. 2 GetCandidateVertices): distinct end vertices
     /// inside `fsa`, each with the ids of the paths converging to it.
+    ///
+    /// When float-noisy copies of one vertex (same quantized key,
+    /// different raw coordinates) converge, the group's representative
+    /// point is the lexicographically smallest raw endpoint — canonical,
+    /// so the answer is independent of hash-iteration order and of how
+    /// the group is split across coordinator shards.
     pub fn end_vertices_in(&self, fsa: &Rect) -> Vec<(Point, Vec<PathId>)> {
         let mut by_vertex: FxHashMap<VertexKey, (Point, Vec<PathId>)> = FxHashMap::default();
         self.grid.for_each_in(fsa, |entry| {
             if entry.kind == EndKind::End {
-                by_vertex
+                let slot = by_vertex
                     .entry(self.vertex_key(&entry.endpoint))
-                    .or_insert_with(|| (entry.endpoint, Vec::new()))
-                    .1
-                    .push(entry.path);
+                    .or_insert_with(|| (entry.endpoint, Vec::new()));
+                if point_lt(&entry.endpoint, &slot.0) {
+                    slot.0 = entry.endpoint;
+                }
+                slot.1.push(entry.path);
             }
         });
         let mut out: Vec<(Point, Vec<PathId>)> = by_vertex.into_values().collect();
@@ -301,6 +329,27 @@ mod tests {
         // Quantized identity: a float-noisy copy of v matches.
         let noisy = Point::new(10.0 + 1e-5, 10.0 - 1e-5);
         assert_eq!(i.paths_starting_at(&noisy).len(), 2);
+    }
+
+    #[test]
+    fn noisy_vertex_group_representative_is_canonical() {
+        // Two paths end at float-noisy copies of one vertex (same
+        // quantized key): the group's representative must be the
+        // lexicographically smallest raw point regardless of insertion
+        // order — this is what keeps sharded Phase B identical to
+        // sequential when such a group spans shards.
+        let lo = Point::new(50.0, 50.0);
+        let hi = Point::new(50.0 + 2e-4, 50.0);
+        let fsa = Rect::new(Point::new(40.0, 40.0), Point::new(60.0, 60.0));
+        for (first, second) in [(lo, hi), (hi, lo)] {
+            let mut i = idx();
+            i.insert(Point::new(0.0, 0.0), first);
+            i.insert(Point::new(100.0, 0.0), second);
+            let verts = i.end_vertices_in(&fsa);
+            assert_eq!(verts.len(), 1, "noisy copies must share a group");
+            assert_eq!(verts[0].0, lo, "representative not canonical");
+            assert_eq!(verts[0].1.len(), 2);
+        }
     }
 
     #[test]

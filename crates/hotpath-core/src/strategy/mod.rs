@@ -6,5 +6,6 @@ mod singlepath;
 
 pub use overlap::FsaSet;
 pub use singlepath::{
-    process_batch, process_batch_with, CaseKind, CaseTally, OverlapPolicy, Selection,
+    build_fsa_set, phase_a, phase_b, process_batch, process_batch_with, CaseKind, CaseTally,
+    OverlapPolicy, PathStore, PhaseAOutput, Selection, SingleStore,
 };

@@ -20,7 +20,7 @@
 
 use super::overlap::FsaSet;
 use crate::fxhash::FxHashMap;
-use crate::geometry::Point;
+use crate::geometry::{Point, Rect};
 use crate::hotness::Hotness;
 use crate::index::MotionPathIndex;
 use crate::motion_path::PathId;
@@ -83,39 +83,84 @@ pub enum OverlapPolicy {
     Own,
 }
 
-/// Runs the SinglePath strategy over one epoch's batch of states.
+/// Read/write surface Phase B (Cases 2-3) needs from path storage.
 ///
-/// `overlap_cell` sizes the FSA-overlap grid (use ~`2 eps`); it affects
-/// performance only. Selections are deterministic: ties break toward
-/// longer paths, then lower ids / lexicographically smaller vertices.
-pub fn process_batch(
-    states: &[ClientState],
-    index: &mut MotionPathIndex,
-    hotness: &mut Hotness,
-    overlap_cell: f64,
-) -> (Vec<Selection>, CaseTally) {
-    process_batch_with(states, index, hotness, overlap_cell, OverlapPolicy::Full)
+/// The sequential coordinator answers it from one `(index, hotness)`
+/// pair; the sharded coordinator merges the per-shard structures so the
+/// global Phase B sees exactly the view a single index would present.
+pub trait PathStore {
+    /// Distinct end vertices inside `fsa` with their converging paths,
+    /// sorted by `(x, y)` with ids ascending (the Case-2 query).
+    fn end_vertices_in(&self, fsa: &Rect) -> Vec<(Point, Vec<PathId>)>;
+    /// Current hotness of `id` (zero when unknown).
+    fn hotness_of(&self, id: PathId) -> u32;
+    /// Inserts (or dedups onto) the path `start -> end`, records a
+    /// crossing exiting at `te`, and returns `(id, created, endpoint)`
+    /// where `endpoint` is the stored path's end vertex.
+    fn commit(&mut self, start: Point, end: Point, te: Timestamp) -> (PathId, bool, Point);
 }
 
-/// [`process_batch`] with an explicit overlap policy (ablation hook).
-pub fn process_batch_with(
-    states: &[ClientState],
-    index: &mut MotionPathIndex,
-    hotness: &mut Hotness,
-    overlap_cell: f64,
-    policy: OverlapPolicy,
-) -> (Vec<Selection>, CaseTally) {
-    let mut tally = CaseTally::default();
-    if states.is_empty() {
-        return (Vec::new(), tally);
+/// The sequential store: one index, one hotness table.
+pub struct SingleStore<'a> {
+    /// The motion-path index.
+    pub index: &'a mut MotionPathIndex,
+    /// The hotness table.
+    pub hotness: &'a mut Hotness,
+}
+
+impl PathStore for SingleStore<'_> {
+    fn end_vertices_in(&self, fsa: &Rect) -> Vec<(Point, Vec<PathId>)> {
+        self.index.end_vertices_in(fsa)
     }
 
+    fn hotness_of(&self, id: PathId) -> u32 {
+        self.hotness.get(id)
+    }
+
+    fn commit(&mut self, start: Point, end: Point, te: Timestamp) -> (PathId, bool, Point) {
+        let (id, created) = self.index.insert(start, end);
+        self.hotness.record_crossing(id, te);
+        (id, created, self.index.get(id).expect("just inserted").end())
+    }
+}
+
+/// The outcome of [`phase_a`] over one shard's slice of the batch.
+pub struct PhaseAOutput {
+    /// Case-1 selections tagged with their global batch position.
+    pub selections: Vec<(u32, Selection)>,
+    /// Global batch positions deferred to Phase B (empty candidate set).
+    pub deferred: Vec<u32>,
+    /// Case tallies (only `case1` can be non-zero here).
+    pub tally: CaseTally,
+}
+
+/// Phase A — Case 1 (Alg. 2 lines 4-7, 13-20) over the states at batch
+/// positions `seqs` (in order) against one shard's index and hotness.
+///
+/// Sharding by start-vertex cell keeps Phase A exact: a state's
+/// candidate paths all start at its own vertex, so candidate sets,
+/// cross-object boosts, and intra-batch crossing visibility never span
+/// shards — running each shard's slice independently produces the same
+/// selections the sequential pass would.
+pub fn phase_a(
+    states: &[ClientState],
+    seqs: &[u32],
+    index: &mut MotionPathIndex,
+    hotness: &mut Hotness,
+) -> PhaseAOutput {
     // Candidate-path generation (Alg. 2 lines 4-7).
-    let candidate_paths: Vec<Vec<PathId>> =
-        states.iter().map(|st| index.paths_from_into(&st.start, &st.fsa)).collect();
+    let candidate_paths: Vec<Vec<PathId>> = seqs
+        .iter()
+        .map(|&i| {
+            let st = &states[i as usize];
+            index.paths_from_into(&st.start, &st.fsa)
+        })
+        .collect();
 
     // Cross-object boost (lines 13-15): a path appearing in several CP
-    // sets gains one rank unit per additional set.
+    // sets gains one rank unit per additional set. Candidate paths start
+    // at the reporting object's vertex, so every occurrence of an id is
+    // in this slice — the count equals the whole batch's.
     let mut occurrences: FxHashMap<PathId, u32> = FxHashMap::default();
     for cp in &candidate_paths {
         for &id in cp {
@@ -123,22 +168,19 @@ pub fn process_batch_with(
         }
     }
 
-    // FSA overlap structure (lines 8-12), shared across Cases 2-3.
-    // Built empty under the `Own` ablation (never queried there).
-    let fsas = match policy {
-        OverlapPolicy::Full => FsaSet::build(states.iter().map(|s| s.fsa).collect(), overlap_cell),
-        OverlapPolicy::Own => FsaSet::build(Vec::new(), overlap_cell),
+    let mut out = PhaseAOutput {
+        selections: Vec::with_capacity(seqs.len()),
+        deferred: Vec::new(),
+        tally: CaseTally::default(),
     };
 
-    let mut selections = Vec::with_capacity(states.len());
-    let mut deferred: Vec<usize> = Vec::new();
-
-    // Phase A — Case 1 (lines 16-20). Processing order is batch order;
-    // each recorded crossing is immediately visible to later selections.
-    for (i, st) in states.iter().enumerate() {
-        let cp = &candidate_paths[i];
+    // Case 1 (lines 16-20). Processing order is batch order; each
+    // recorded crossing is immediately visible to later selections.
+    for (k, &i) in seqs.iter().enumerate() {
+        let st = &states[i as usize];
+        let cp = &candidate_paths[k];
         if cp.is_empty() {
-            deferred.push(i);
+            out.deferred.push(i);
             continue;
         }
         let best = cp
@@ -160,28 +202,43 @@ pub fn process_batch_with(
             })
             .expect("non-empty candidate set");
         hotness.record_crossing(best, st.te);
-        tally.case1 += 1;
-        selections.push(Selection {
-            object: st.object,
-            path: best,
-            endpoint: index.get(best).expect("candidate must exist").end(),
-            te: st.te,
-            case: CaseKind::ExistingPath,
-            created: false,
-        });
+        out.tally.case1 += 1;
+        out.selections.push((
+            i,
+            Selection {
+                object: st.object,
+                path: best,
+                endpoint: index.get(best).expect("candidate must exist").end(),
+                te: st.te,
+                case: CaseKind::ExistingPath,
+                created: false,
+            },
+        ));
     }
+    out
+}
 
-    // Phase B — Cases 2 and 3 (lines 21-37). Sequential, so paths minted
-    // for earlier objects are visible to later ones ("newly generated
-    // motion paths will also provide additional vertices").
-    for &i in &deferred {
-        let st = &states[i];
+/// Phase B — Cases 2 and 3 (Alg. 2 lines 21-37) over the deferred batch
+/// positions, in order, against a [`PathStore`]. Sequential, so paths
+/// minted for earlier objects are visible to later ones ("newly
+/// generated motion paths will also provide additional vertices").
+pub fn phase_b<S: PathStore>(
+    states: &[ClientState],
+    deferred: &[u32],
+    store: &mut S,
+    fsas: &FsaSet,
+    policy: OverlapPolicy,
+    tally: &mut CaseTally,
+    selections: &mut Vec<Selection>,
+) {
+    for &i in deferred {
+        let st = &states[i as usize];
 
         // Available vertices with converging-path hotness plus stabbing
         // depth (lines 22-26).
         let mut best: Option<(u32, bool, Point)> = None; // (rank, existing, vertex)
-        for (vertex, incoming) in index.end_vertices_in(&st.fsa) {
-            let converging: u32 = incoming.iter().map(|&id| hotness.get(id)).sum();
+        for (vertex, incoming) in store.end_vertices_in(&st.fsa) {
+            let converging: u32 = incoming.iter().map(|&id| store.hotness_of(id)).sum();
             let boost = match policy {
                 OverlapPolicy::Full => fsas.stab_count(&vertex) as u32,
                 OverlapPolicy::Own => 0,
@@ -213,8 +270,7 @@ pub fn process_batch_with(
             (0, false, st.fsa.centroid())
         });
 
-        let (id, created) = index.insert(st.start, vertex);
-        hotness.record_crossing(id, st.te);
+        let (id, created, endpoint) = store.commit(st.start, vertex, st.te);
         if existing {
             tally.case2 += 1;
         } else {
@@ -223,13 +279,58 @@ pub fn process_batch_with(
         selections.push(Selection {
             object: st.object,
             path: id,
-            endpoint: index.get(id).expect("just inserted").end(),
+            endpoint,
             te: st.te,
             case: if existing { CaseKind::ExistingVertex } else { CaseKind::NewVertex },
             created,
         });
     }
+}
 
+/// Builds the epoch's FSA-overlap structure for `policy` (Alg. 2 lines
+/// 8-12, shared across Cases 2-3; built empty under the `Own` ablation,
+/// which never queries it).
+pub fn build_fsa_set(states: &[ClientState], overlap_cell: f64, policy: OverlapPolicy) -> FsaSet {
+    match policy {
+        OverlapPolicy::Full => FsaSet::build(states.iter().map(|s| s.fsa).collect(), overlap_cell),
+        OverlapPolicy::Own => FsaSet::build(Vec::new(), overlap_cell),
+    }
+}
+
+/// Runs the SinglePath strategy over one epoch's batch of states.
+///
+/// `overlap_cell` sizes the FSA-overlap grid (use ~`2 eps`); it affects
+/// performance only. Selections are deterministic: ties break toward
+/// longer paths, then lower ids / lexicographically smaller vertices.
+pub fn process_batch(
+    states: &[ClientState],
+    index: &mut MotionPathIndex,
+    hotness: &mut Hotness,
+    overlap_cell: f64,
+) -> (Vec<Selection>, CaseTally) {
+    process_batch_with(states, index, hotness, overlap_cell, OverlapPolicy::Full)
+}
+
+/// [`process_batch`] with an explicit overlap policy (ablation hook).
+pub fn process_batch_with(
+    states: &[ClientState],
+    index: &mut MotionPathIndex,
+    hotness: &mut Hotness,
+    overlap_cell: f64,
+    policy: OverlapPolicy,
+) -> (Vec<Selection>, CaseTally) {
+    let mut tally = CaseTally::default();
+    if states.is_empty() {
+        return (Vec::new(), tally);
+    }
+
+    let fsas = build_fsa_set(states, overlap_cell, policy);
+    let seqs: Vec<u32> = (0..states.len() as u32).collect();
+    let a = phase_a(states, &seqs, index, hotness);
+    tally = a.tally;
+    let mut selections: Vec<Selection> = a.selections.into_iter().map(|(_, s)| s).collect();
+    let mut store = SingleStore { index, hotness };
+    phase_b(states, &a.deferred, &mut store, &fsas, policy, &mut tally, &mut selections);
     (selections, tally)
 }
 

@@ -9,11 +9,11 @@ fn full_pipeline_discovers_and_maintains_paths() {
     assert!(res.coordinator.index_size() > 0, "no paths discovered");
     assert!(res.summary.mean_score > 0.0);
     // Index internal consistency after a full run.
-    res.coordinator.index().check_consistency().unwrap();
+    res.coordinator.check_consistency().unwrap();
     // Every hot path is indexed and every hotness is positive.
     for hp in res.coordinator.hot_paths() {
         assert!(hp.hotness >= 1);
-        assert!(res.coordinator.index().get(hp.path.id).is_some());
+        assert!(res.coordinator.path(hp.path.id).is_some());
     }
 }
 

@@ -1,0 +1,125 @@
+//! Integration coverage for the netsim motivating scenarios
+//! (`sporting_event`, `evacuation` — Section 1 of the paper), asserting
+//! that the sharded coordinator reports exactly what the sequential one
+//! does over a full run: same top-k (ids, geometry, hotness, score),
+//! same per-epoch index sizes, same communication counters.
+
+use hotpath_core::config::{Config, Tolerance};
+use hotpath_core::coordinator::Coordinator;
+use hotpath_core::raytrace::RayTraceFilter;
+use hotpath_core::time::Timestamp;
+use hotpath_core::ObjectId;
+use hotpath_netsim::mobility::Population;
+use hotpath_netsim::network::{generate, NetworkParams, RoadNetwork};
+use hotpath_netsim::scenarios::{evacuation, nearest_node, sporting_event};
+
+/// One top-k row: `(id, start, end, hotness, score bits)`.
+type TopKRow = (u64, (f64, f64), (f64, f64), u32, u64);
+
+/// Everything observable a run produces.
+#[derive(PartialEq, Debug)]
+struct RunTrace {
+    /// `(index size, top-k score bits)` at every epoch boundary.
+    per_epoch: Vec<(usize, u64)>,
+    /// Final top-10.
+    top_k: Vec<TopKRow>,
+    /// Final uplink/downlink message counts.
+    comm: (u64, u64),
+}
+
+/// Drives a scenario population through a coordinator, exactly as the
+/// examples do: RayTrace filters client-side, epoch batches server-side.
+fn drive(net: &RoadNetwork, mut crowd: Population, n: usize, shards: usize) -> RunTrace {
+    let config = Config::paper_defaults()
+        .with_tolerance(Tolerance::crisp(10.0))
+        .with_window(40)
+        .with_epoch(5)
+        .with_k(10)
+        .with_shards(shards);
+    let mut coordinator = Coordinator::new(config);
+    let mut clients: Vec<RayTraceFilter> = (0..n)
+        .map(|i| {
+            let obj = ObjectId(i as u64);
+            RayTraceFilter::new(obj, crowd.seed_timepoint(net, obj, Timestamp(0)), 10.0)
+        })
+        .collect();
+
+    let mut batch = Vec::new();
+    let mut per_epoch = Vec::new();
+    for t in 1..=150u64 {
+        let now = Timestamp(t);
+        crowd.tick(net, now, &mut batch);
+        for m in &batch {
+            if let Some(state) = clients[m.object.0 as usize].observe(m.observed) {
+                coordinator.submit(state);
+            }
+        }
+        coordinator.advance_time(now);
+        if config.epochs.is_epoch(now) {
+            for resp in coordinator.process_epoch(now) {
+                if let Some(state) = clients[resp.object.0 as usize].receive_endpoint(resp.endpoint)
+                {
+                    coordinator.submit(state);
+                }
+            }
+            per_epoch.push((coordinator.index_size(), coordinator.top_k_score().to_bits()));
+        }
+    }
+
+    coordinator.check_consistency().expect("sharded state inconsistent");
+    let top_k = coordinator
+        .top_k()
+        .iter()
+        .map(|h| {
+            (
+                h.path.id.0,
+                (h.path.start().x, h.path.start().y),
+                (h.path.end().x, h.path.end().y),
+                h.hotness,
+                h.score.to_bits(),
+            )
+        })
+        .collect();
+    let comm = coordinator.comm_stats();
+    RunTrace { per_epoch, top_k, comm: (comm.uplink_msgs, comm.downlink_msgs) }
+}
+
+#[test]
+fn sporting_event_sharded_matches_sequential() {
+    let net = generate(NetworkParams::tiny(21));
+    let venue = nearest_node(&net, net.bounds().centroid());
+    let n = 300;
+    let sequential = drive(&net, sporting_event(&net, n, venue, 22), n, 1);
+    assert!(!sequential.top_k.is_empty(), "scenario discovered no hot paths");
+    assert!(sequential.per_epoch.iter().any(|&(size, _)| size > 0));
+    for shards in [2, 4] {
+        let sharded = drive(&net, sporting_event(&net, n, venue, 22), n, shards);
+        assert_eq!(sequential, sharded, "divergence at {shards} shards");
+    }
+}
+
+#[test]
+fn evacuation_sharded_matches_sequential() {
+    let net = generate(NetworkParams::tiny(23));
+    let danger = net.bounds().centroid();
+    let n = 300;
+    let sequential = drive(&net, evacuation(&net, n, danger, 24), n, 1);
+    assert!(!sequential.top_k.is_empty(), "scenario discovered no hot paths");
+    for shards in [2, 4] {
+        let sharded = drive(&net, evacuation(&net, n, danger, 24), n, shards);
+        assert_eq!(sequential, sharded, "divergence at {shards} shards");
+    }
+}
+
+#[test]
+fn scenario_crowds_produce_meaningful_top_k() {
+    // The untested scenarios must actually exercise the pipeline: the
+    // sporting-event crowd converges, so its hottest corridors should
+    // out-heat the typical path.
+    let net = generate(NetworkParams::tiny(25));
+    let venue = nearest_node(&net, net.bounds().centroid());
+    let n = 300;
+    let trace = drive(&net, sporting_event(&net, n, venue, 26), n, 2);
+    let hottest = trace.top_k.first().map(|&(_, _, _, h, _)| h).unwrap_or(0);
+    assert!(hottest >= 3, "no corridor heated up (hottest = {hottest})");
+}

@@ -32,7 +32,7 @@ fn crossing_expires_exactly_at_te_plus_w() {
     // Dead at te + W = 57.
     c.advance_time(Timestamp(57));
     assert_eq!(c.index_size(), 0);
-    c.index().check_consistency().unwrap();
+    c.check_consistency().unwrap();
 }
 
 #[test]
