@@ -11,7 +11,14 @@
 //! Measurement is deliberately simple: each sample times a fixed batch of
 //! iterations with [`std::time::Instant`] and the harness reports the
 //! median, minimum, and maximum per-iteration time. There is no outlier
-//! analysis, saved baselines, or HTML report.
+//! analysis or HTML report.
+//!
+//! One extension beyond upstream: when the `CRITERION_CAPTURE`
+//! environment variable names a file, every benchmark appends a JSON
+//! line `{"id":"<group/function/param>","median_ns":<float>}` to it.
+//! The workspace's `bench_gate` binary drives `cargo bench` with this
+//! set to capture checked-in `BENCH_*.json` baselines and to gate CI on
+//! perf regressions.
 
 #![warn(missing_docs)]
 
@@ -287,6 +294,28 @@ impl Bencher {
             "{full_id}: time [{lo:?} {median:?} {hi:?}] (median of {} samples){rate}",
             self.per_iter.len()
         );
+        capture(full_id, median);
+    }
+}
+
+/// Appends the measurement to the `CRITERION_CAPTURE` file when set.
+fn capture(full_id: &str, median: Duration) {
+    let Ok(path) = std::env::var("CRITERION_CAPTURE") else { return };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write as _;
+    // Ids are interpolated into JSON verbatim; strip the two characters
+    // that would corrupt it (no escape support in the gate's parser).
+    let id: String = full_id.chars().map(|c| if c == '"' || c == '\\' { '_' } else { c }).collect();
+    let line = format!("{{\"id\":\"{id}\",\"median_ns\":{}}}\n", median.as_nanos());
+    match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        Ok(mut f) => {
+            if let Err(e) = f.write_all(line.as_bytes()) {
+                eprintln!("criterion: capture write to {path} failed: {e}");
+            }
+        }
+        Err(e) => eprintln!("criterion: cannot open capture file {path}: {e}"),
     }
 }
 
