@@ -123,7 +123,8 @@ impl DpHotSegments {
         });
         match best {
             Some((_, id)) => {
-                self.hotness.record_crossing(id, te);
+                let length = self.segments[&id].length();
+                self.hotness.record_crossing(id, te, length);
                 id
             }
             None => {
@@ -131,7 +132,7 @@ impl DpHotSegments {
                 self.next_id += 1;
                 self.segments.insert(id, candidate);
                 self.add_to_grid(id, &candidate);
-                self.hotness.record_crossing(id, te);
+                self.hotness.record_crossing(id, te, candidate.length());
                 id
             }
         }

@@ -1,25 +1,29 @@
 //! Hotness table micro-bench (Section 5.2): hash updates are expected
-//! O(1), heap churn O(log n).
+//! O(1) plus O(log n) rank maintenance, heap churn O(log n), and the
+//! incremental top-k walk O(k) regardless of the hot-set size.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use hotpath_core::hotness::Hotness;
 use hotpath_core::motion_path::PathId;
 use hotpath_core::time::{SlidingWindow, Timestamp};
 
+fn loaded(n: u64) -> Hotness {
+    let mut h = Hotness::new(SlidingWindow::new(100));
+    for i in 0..n {
+        let id = i % 1000;
+        h.record_crossing(PathId(id), Timestamp(i), (id % 97) as f64);
+    }
+    h
+}
+
 fn bench_hotness(c: &mut Criterion) {
     let mut g = c.benchmark_group("hotness");
     for n in [1_000u64, 100_000] {
         g.bench_with_input(BenchmarkId::new("record", n), &n, |b, &n| {
             b.iter_batched(
-                || {
-                    let mut h = Hotness::new(SlidingWindow::new(100));
-                    for i in 0..n {
-                        h.record_crossing(PathId(i % 1000), Timestamp(i));
-                    }
-                    h
-                },
+                || loaded(n),
                 |mut h| {
-                    h.record_crossing(PathId(7), Timestamp(n));
+                    h.record_crossing(PathId(7), Timestamp(n), 7.0);
                     h
                 },
                 BatchSize::LargeInput,
@@ -27,19 +31,18 @@ fn bench_hotness(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("advance_full_window", n), &n, |b, &n| {
             b.iter_batched(
-                || {
-                    let mut h = Hotness::new(SlidingWindow::new(100));
-                    for i in 0..n {
-                        h.record_crossing(PathId(i % 1000), Timestamp(i));
-                    }
-                    h
-                },
+                || loaded(n),
                 |mut h| {
                     h.advance(Timestamp(n + 200));
                     h
                 },
                 BatchSize::LargeInput,
             );
+        });
+        // The incremental rank walk: flat across hot-set sizes.
+        let h = loaded(n);
+        g.bench_with_input(BenchmarkId::new("top8", n), &h, |b, h| {
+            b.iter(|| h.top_iter().take(8).map(|(id, hot)| id.0 + hot as u64).sum::<u64>());
         });
     }
     g.finish();

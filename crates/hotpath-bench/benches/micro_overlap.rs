@@ -30,6 +30,21 @@ fn bench_overlap(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("stab", n), &set, |b, set| {
             b.iter(|| set.stab_count(&Point::new(2_500.0, 2_500.0)));
         });
+        // The stamped-bitmap dedup query (allocation- and sort-free
+        // after warm-up; the wrapper clones the hit list out).
+        g.bench_with_input(BenchmarkId::new("intersecting", n), &set, |b, set| {
+            b.iter(|| set.intersecting(&clip));
+        });
+        // Parallel rasterization across the shard-style worker pool:
+        // identical output, scoped threads for the build. Only sized
+        // where the thread clamp (one chunk per 64 rects) actually
+        // engages workers — at n=100 it would silently re-measure the
+        // sequential path under a parallel label.
+        if n >= 1_000 {
+            g.bench_with_input(BenchmarkId::new("build_threads4", n), &rs, |b, rs| {
+                b.iter(|| FsaSet::build_parallel(rs.clone(), 20.0, 4));
+            });
+        }
     }
     g.finish();
 }

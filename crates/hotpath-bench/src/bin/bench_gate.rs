@@ -1,9 +1,13 @@
 //! Captures bench baselines and gates perf regressions against them.
 //!
 //! ```text
-//! bench_gate capture [--dir <repo-root>]
-//! bench_gate check [--tolerance <frac>] [--dir <repo-root>]
+//! bench_gate capture [--dir <repo-root>] [--captures-dir <dir>]
+//! bench_gate check [--tolerance <frac>] [--dir <repo-root>] [--captures-dir <dir>]
 //! ```
+//!
+//! `--captures-dir` keeps the raw per-bench `CRITERION_CAPTURE` JSONL
+//! streams under the given directory (`<bench>.jsonl`) instead of a
+//! deleted temp file — CI uploads them as a workflow artifact.
 //!
 //! Both modes drive `cargo bench` for the gated targets with the
 //! vendored criterion's `CRITERION_CAPTURE` hook, collecting one median
@@ -23,7 +27,8 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 /// The `cargo bench` targets with checked-in baselines.
-const GATED_BENCHES: &[&str] = &["micro_raytrace", "fig8"];
+const GATED_BENCHES: &[&str] =
+    &["micro_raytrace", "fig8", "micro_topk", "micro_hotness", "micro_overlap"];
 
 /// Default relative slack: CI runners and developer machines differ, so
 /// the gate catches structural regressions (2x+), not single-digit
@@ -35,6 +40,7 @@ fn main() {
     let mut mode: Option<String> = None;
     let mut tolerance = DEFAULT_TOLERANCE;
     let mut dir = PathBuf::from(".");
+    let mut captures_dir: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -51,21 +57,41 @@ fn main() {
                 i += 1;
                 dir = PathBuf::from(args.get(i).unwrap_or_else(|| usage("--dir needs a path")));
             }
+            "--captures-dir" => {
+                i += 1;
+                captures_dir = Some(PathBuf::from(
+                    args.get(i).unwrap_or_else(|| usage("--captures-dir needs a path")),
+                ));
+            }
             other => usage(&format!("unknown argument '{other}'")),
         }
         i += 1;
     }
 
+    // The capture path reaches the bench subprocess through an env var,
+    // and cargo runs benches from the package dir — absolutize it.
+    if let Some(d) = captures_dir.take() {
+        let abs = std::fs::create_dir_all(&d)
+            .and_then(|()| std::fs::canonicalize(&d))
+            .unwrap_or_else(|e| {
+                eprintln!("bench_gate: cannot create --captures-dir {}: {e}", d.display());
+                std::process::exit(2);
+            });
+        captures_dir = Some(abs);
+    }
     match mode.as_deref() {
-        Some("capture") => capture(&dir),
-        Some("check") => check(&dir, tolerance),
+        Some("capture") => capture(&dir, captures_dir.as_deref()),
+        Some("check") => check(&dir, tolerance, captures_dir.as_deref()),
         _ => usage("need a mode: capture or check"),
     }
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: bench_gate <capture|check> [--tolerance <frac>] [--dir <repo-root>]");
+    eprintln!(
+        "usage: bench_gate <capture|check> [--tolerance <frac>] [--dir <repo-root>] \
+         [--captures-dir <dir>]"
+    );
     std::process::exit(2);
 }
 
@@ -77,9 +103,12 @@ fn baseline_path(dir: &Path, bench: &str) -> PathBuf {
 /// resulting snapshot. `dir` is the workspace the bench runs in — the
 /// same root the baselines live under, so `--dir` can never compare one
 /// checkout's measurements against another's baselines.
-fn run_bench(dir: &Path, bench: &str) -> Snapshot {
-    let capture_file = std::env::temp_dir()
-        .join(format!("criterion-capture-{bench}-{}.jsonl", std::process::id()));
+fn run_bench(dir: &Path, bench: &str, captures_dir: Option<&Path>) -> Snapshot {
+    let capture_file = match captures_dir {
+        Some(d) => d.join(format!("{bench}.jsonl")),
+        None => std::env::temp_dir()
+            .join(format!("criterion-capture-{bench}-{}.jsonl", std::process::id())),
+    };
     let _ = std::fs::remove_file(&capture_file);
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     eprintln!("bench_gate: running cargo bench -p hotpath-bench --bench {bench}");
@@ -100,7 +129,9 @@ fn run_bench(dir: &Path, bench: &str) -> Snapshot {
         eprintln!("bench_gate: no capture produced at {}: {e}", capture_file.display());
         std::process::exit(2);
     });
-    let _ = std::fs::remove_file(&capture_file);
+    if captures_dir.is_none() {
+        let _ = std::fs::remove_file(&capture_file);
+    }
     let snap = Snapshot::from_capture(bench, &jsonl);
     if snap.entries.is_empty() {
         eprintln!("bench_gate: bench {bench} captured zero measurements");
@@ -109,9 +140,9 @@ fn run_bench(dir: &Path, bench: &str) -> Snapshot {
     snap
 }
 
-fn capture(dir: &Path) {
+fn capture(dir: &Path, captures_dir: Option<&Path>) {
     for &bench in GATED_BENCHES {
-        let snap = run_bench(dir, bench);
+        let snap = run_bench(dir, bench, captures_dir);
         let path = baseline_path(dir, bench);
         std::fs::write(&path, snap.to_json()).unwrap_or_else(|e| {
             eprintln!("bench_gate: cannot write {}: {e}", path.display());
@@ -121,7 +152,7 @@ fn capture(dir: &Path) {
     }
 }
 
-fn check(dir: &Path, tolerance: f64) {
+fn check(dir: &Path, tolerance: f64, captures_dir: Option<&Path>) {
     let mut failed = false;
     for &bench in GATED_BENCHES {
         let path = baseline_path(dir, bench);
@@ -136,7 +167,7 @@ fn check(dir: &Path, tolerance: f64) {
             eprintln!("bench_gate: bad baseline {}: {e}", path.display());
             std::process::exit(2);
         });
-        let current = run_bench(dir, bench);
+        let current = run_bench(dir, bench, captures_dir);
         let rows = compare(&baseline, &current, tolerance);
         println!("== {bench} (tolerance +{:.0}%)", tolerance * 100.0);
         for (id, verdict) in &rows {

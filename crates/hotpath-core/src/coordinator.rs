@@ -16,19 +16,36 @@
 //! view of all shards. Path ids are drawn from one front-side counter,
 //! so results — selections, responses, ids, statistics — are identical
 //! at every shard count, and `shards = 1` is the sequential coordinator.
+//!
+//! # Hot-loop allocation discipline
+//!
+//! Steady-state epochs do near-zero heap allocation. Every buffer the
+//! per-epoch path touches is pooled and reused: states are pre-routed to
+//! their owning shard at `submit`/`submit_batch` time (no repartitioning
+//! pass inside `process_epoch`); each shard owns a
+//! [`crate::strategy::ScratchArena`] holding Phase A's CSR candidate
+//! storage, occurrence map, and recycled selection buffers; the front
+//! keeps the merge vectors and the Phase-B vertex-group accumulator
+//! across epochs; the `FsaSet` reuses its stamped `seen` bitmap and
+//! sweep buffers across queries; and the batch vector itself is
+//! recycled once responses are built. Top-k queries never sort the hot
+//! set — each shard's [`Hotness`] maintains an incremental rank
+//! structure, and `top_n` merges `k` entries per shard in O(k·shards).
+//! When touching this path, keep new per-epoch buffers in one of those
+//! pools (shard arena, front scratch, or `FsaSet` scratch), not in
+//! fresh `Vec`s.
 
 use crate::config::Config;
-use crate::fxhash::FxHashMap;
 use crate::geometry::{Point, Rect, TimePoint};
 use crate::hotness::Hotness;
-use crate::index::{point_lt, MotionPathIndex};
+use crate::index::{MotionPathIndex, VertexGroups};
 use crate::motion_path::{MotionPath, PathId};
 use crate::raytrace::hinted::PathHint;
 use crate::raytrace::ClientState;
 use crate::stats::{CommStats, ProcessingStats};
 use crate::strategy::{
-    build_fsa_set, phase_a, phase_b, process_batch_with, CaseTally, OverlapPolicy, PathStore,
-    PhaseAOutput, Selection,
+    build_fsa_set, phase_a, phase_b, process_batch_in, CaseTally, OverlapPolicy, PathStore,
+    PhaseAOutput, ScratchArena, Selection,
 };
 use crate::time::Timestamp;
 use crate::ObjectId;
@@ -70,11 +87,22 @@ pub struct HotPath {
 }
 
 /// One shard of coordinator state: the slice of the MotionPath index and
-/// hotness table owning every path whose start vertex routes here.
+/// hotness table owning every path whose start vertex routes here, plus
+/// the shard's reusable Phase-A scratch arena.
 #[derive(Debug)]
 struct Shard {
     index: MotionPathIndex,
     hotness: Hotness,
+    scratch: ScratchArena,
+}
+
+/// Front-side buffers reused across sharded epochs: the Phase-A merge
+/// vectors and the Phase-B vertex-group accumulator.
+#[derive(Debug, Default)]
+struct FrontScratch {
+    tagged: Vec<(u32, Selection)>,
+    deferred: Vec<u32>,
+    groups: VertexGroups,
 }
 
 /// Deterministic point-to-shard routing: quantize to the vertex grain
@@ -117,32 +145,21 @@ struct ShardedStore<'a> {
 }
 
 impl PathStore for ShardedStore<'_> {
-    fn end_vertices_in(&self, fsa: &Rect) -> Vec<(Point, Vec<PathId>)> {
+    fn end_vertices_into(&self, fsa: &Rect, out: &mut VertexGroups) {
         debug_assert!(self.shards.len() > 1, "single-shard epochs take the sequential path");
         // Merge by quantized vertex key: a vertex can terminate paths
         // stored in several shards (their starts live elsewhere). The
-        // representative point per key is the lexicographically smallest
-        // raw endpoint — the same canonical choice the single-index
-        // query makes, so the merged view is identical to sequential
-        // even when float-noisy vertex copies span shards.
-        let mut by_key: FxHashMap<(i64, i64), (Point, Vec<PathId>)> = FxHashMap::default();
+        // accumulator keeps the lexicographically smallest raw endpoint
+        // per key — the same canonical choice the single-index query
+        // makes, so the merged view is identical to sequential even
+        // when float-noisy vertex copies span shards.
+        out.clear();
         for shard in self.shards.iter() {
-            for (p, ids) in shard.index.end_vertices_in(fsa) {
-                let slot = by_key
-                    .entry(self.shards[0].index.vertex_key(&p))
-                    .or_insert_with(|| (p, Vec::new()));
-                if point_lt(&p, &slot.0) {
-                    slot.0 = p;
-                }
-                slot.1.extend(ids);
-            }
+            shard.index.for_each_end_in(fsa, |entry| {
+                out.push(shard.index.vertex_key(&entry.endpoint), entry.endpoint, entry.path);
+            });
         }
-        let mut out: Vec<(Point, Vec<PathId>)> = by_key.into_values().collect();
-        out.sort_by(|a, b| a.0.x.total_cmp(&b.0.x).then(a.0.y.total_cmp(&b.0.y)));
-        for (_, ids) in &mut out {
-            ids.sort_unstable();
-        }
-        out
+        out.finish();
     }
 
     fn hotness_of(&self, id: PathId) -> u32 {
@@ -153,8 +170,9 @@ impl PathStore for ShardedStore<'_> {
     fn commit(&mut self, start: Point, end: Point, te: Timestamp) -> (PathId, bool, Point) {
         let shard = &mut self.shards[self.router.shard_of(&start)];
         let (id, created) = shard.index.insert_with(start, end, self.next_id);
-        shard.hotness.record_crossing(id, te);
-        (id, created, shard.index.get(id).expect("just inserted").end())
+        let path = *shard.index.get(id).expect("just inserted");
+        shard.hotness.record_crossing(id, te, path.length());
+        (id, created, path.end())
     }
 }
 
@@ -165,25 +183,36 @@ pub struct Coordinator {
     shards: Vec<Shard>,
     router: ShardRouter,
     pending: Vec<ClientState>,
+    /// Batch positions pre-routed per shard as states arrive (sharded
+    /// configs only; stays empty at `shards = 1`), so `process_epoch`
+    /// starts Phase A without a repartitioning pass over the batch.
+    pending_parts: Vec<Vec<u32>>,
     next_path_id: u64,
     comm: CommStats,
     processing: ProcessingStats,
     hints_enabled: bool,
     overlap_policy: OverlapPolicy,
+    front: FrontScratch,
 }
 
 impl Coordinator {
     /// Creates a coordinator for the given configuration.
     pub fn new(config: Config) -> Self {
         assert!(config.shards > 0, "shard count must be positive");
-        let shards = (0..config.shards)
+        let shards: Vec<Shard> = (0..config.shards)
             .map(|_| Shard {
                 index: MotionPathIndex::new(config.grid_cell, config.vertex_grain),
                 hotness: Hotness::new(config.window),
+                scratch: ScratchArena::new(),
             })
             .collect();
         Coordinator {
             router: ShardRouter::new(&config),
+            pending_parts: if config.shards > 1 {
+                vec![Vec::new(); config.shards]
+            } else {
+                Vec::new()
+            },
             config,
             shards,
             pending: Vec::new(),
@@ -192,6 +221,7 @@ impl Coordinator {
             processing: ProcessingStats::default(),
             hints_enabled: false,
             overlap_policy: OverlapPolicy::Full,
+            front: FrontScratch::default(),
         }
     }
 
@@ -218,10 +248,26 @@ impl Coordinator {
         self.shards.len()
     }
 
-    /// Accepts a state message (buffered until the next epoch).
+    /// Accepts a state message (buffered until the next epoch). Sharded
+    /// coordinators route the state to its owning shard immediately.
     pub fn submit(&mut self, state: ClientState) {
         self.comm.record_uplink(ClientState::WIRE_BYTES);
+        if self.shards.len() > 1 {
+            let seq = self.pending.len() as u32;
+            self.pending_parts[self.router.shard_of(&state.start)].push(seq);
+        }
         self.pending.push(state);
+    }
+
+    /// Bulk epoch ingest: accepts a whole batch of state messages,
+    /// pre-routing each to its owning shard at submit time — equivalent
+    /// to calling [`Coordinator::submit`] per state (same accounting,
+    /// same order). The batch buffer itself is recycled across epochs,
+    /// so steady-state ingest reuses its retained capacity.
+    pub fn submit_batch(&mut self, states: impl IntoIterator<Item = ClientState>) {
+        for state in states {
+            self.submit(state);
+        }
     }
 
     /// Number of states awaiting the next epoch.
@@ -252,15 +298,23 @@ impl Coordinator {
             // Sequential fast path — the pre-sharding coordinator,
             // bit for bit (one index, its own id counter, no threads).
             let shard = &mut self.shards[0];
-            process_batch_with(
+            process_batch_in(
                 &states,
                 &mut shard.index,
                 &mut shard.hotness,
+                &mut shard.scratch,
                 overlap_cell,
                 self.overlap_policy,
             )
         } else {
-            self.process_batch_sharded(&states, overlap_cell)
+            // The per-shard slices were routed at submit time.
+            let mut parts = std::mem::take(&mut self.pending_parts);
+            let out = self.process_batch_sharded(&states, &parts, overlap_cell);
+            for p in &mut parts {
+                p.clear();
+            }
+            self.pending_parts = parts;
+            out
         };
         self.processing.strategy_time += start.elapsed();
         self.processing.epochs += 1;
@@ -269,61 +323,86 @@ impl Coordinator {
         self.processing.case2 += tally.case2;
         self.processing.case3 += tally.case3;
 
-        selections.iter().map(|sel| self.respond(sel)).collect()
+        let responses = selections.iter().map(|sel| self.respond(sel)).collect();
+        // Recycle the drained batch buffer for the next epoch's ingest.
+        let mut states = states;
+        states.clear();
+        self.pending = states;
+        responses
     }
 
-    /// The sharded epoch: parallel Phase A per shard, then the global
-    /// sequential Phase B over the merged store.
+    /// The sharded epoch: parallel Phase A per shard over the pre-routed
+    /// `parts`, then the global sequential Phase B over the merged
+    /// store.
     fn process_batch_sharded(
         &mut self,
         states: &[ClientState],
+        parts: &[Vec<u32>],
         overlap_cell: f64,
     ) -> (Vec<Selection>, CaseTally) {
-        // Partition batch positions by the shard owning each start.
-        let mut parts: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
-        for (i, st) in states.iter().enumerate() {
-            parts[self.router.shard_of(&st.start)].push(i as u32);
-        }
-
-        let mut outputs: Vec<PhaseAOutput> = Vec::with_capacity(self.shards.len());
+        let mut outputs: Vec<(usize, PhaseAOutput)> = Vec::with_capacity(self.shards.len());
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.shards.len());
-            let mut work: Vec<(&mut Shard, &Vec<u32>)> =
-                self.shards.iter_mut().zip(&parts).filter(|(_, seqs)| !seqs.is_empty()).collect();
+            let mut work: Vec<(usize, &mut Shard, &Vec<u32>)> = self
+                .shards
+                .iter_mut()
+                .zip(parts)
+                .enumerate()
+                .filter(|(_, (_, seqs))| !seqs.is_empty())
+                .map(|(i, (shard, seqs))| (i, shard, seqs))
+                .collect();
             // Run one slice on the current thread: a populated epoch
             // then uses exactly `shards` threads, and a single-shard
             // epoch spawns none at all.
             let inline = work.pop();
-            for (shard, seqs) in work {
-                handles.push(
-                    scope.spawn(|| phase_a(states, seqs, &mut shard.index, &mut shard.hotness)),
-                );
+            for (i, shard, seqs) in work {
+                handles.push((
+                    i,
+                    scope.spawn(|| {
+                        phase_a(
+                            states,
+                            seqs,
+                            &mut shard.index,
+                            &mut shard.hotness,
+                            &mut shard.scratch,
+                        )
+                    }),
+                ));
             }
-            if let Some((shard, seqs)) = inline {
-                outputs.push(phase_a(states, seqs, &mut shard.index, &mut shard.hotness));
+            if let Some((i, shard, seqs)) = inline {
+                outputs.push((
+                    i,
+                    phase_a(states, seqs, &mut shard.index, &mut shard.hotness, &mut shard.scratch),
+                ));
             }
-            for h in handles {
-                outputs.push(h.join().expect("shard worker panicked"));
+            for (i, h) in handles {
+                outputs.push((i, h.join().expect("shard worker panicked")));
             }
         });
 
         // Merge: selections back into batch order, deferred positions
         // sorted so Phase B runs in the order the sequential pass would.
+        // The merge vectors and each shard's Phase-A buffers are pooled.
         let mut tally = CaseTally::default();
-        let mut tagged: Vec<(u32, Selection)> = Vec::with_capacity(states.len());
-        let mut deferred: Vec<u32> = Vec::new();
-        for out in outputs {
+        let mut tagged = std::mem::take(&mut self.front.tagged);
+        let mut deferred = std::mem::take(&mut self.front.deferred);
+        for (i, mut out) in outputs {
             tally.case1 += out.tally.case1;
             tally.case2 += out.tally.case2;
             tally.case3 += out.tally.case3;
-            tagged.extend(out.selections);
-            deferred.extend(out.deferred);
+            tagged.append(&mut out.selections);
+            deferred.append(&mut out.deferred);
+            self.shards[i].scratch.recycle(out);
         }
         tagged.sort_unstable_by_key(|&(seq, _)| seq);
         deferred.sort_unstable();
-        let mut selections: Vec<Selection> = tagged.into_iter().map(|(_, s)| s).collect();
+        let mut selections: Vec<Selection> = tagged.drain(..).map(|(_, s)| s).collect();
+        self.front.tagged = tagged;
 
-        let fsas = build_fsa_set(states, overlap_cell, self.overlap_policy);
+        // Rasterize the epoch's FSAs on the shard worker pool; results
+        // are identical at every thread count.
+        let fsas = build_fsa_set(states, overlap_cell, self.overlap_policy, self.shards.len());
+        let mut groups = std::mem::take(&mut self.front.groups);
         let mut store = ShardedStore {
             shards: &mut self.shards,
             router: self.router,
@@ -337,7 +416,11 @@ impl Coordinator {
             self.overlap_policy,
             &mut tally,
             &mut selections,
+            &mut groups,
         );
+        deferred.clear();
+        self.front.deferred = deferred;
+        self.front.groups = groups;
         (selections, tally)
     }
 
@@ -404,22 +487,48 @@ impl Coordinator {
     }
 
     /// The top-`n` hottest motion paths for an explicit `n`, merged
-    /// across shards.
+    /// across shards. O(n·shards) — each shard's incremental rank
+    /// structure yields its own hottest `n` without sorting, and the
+    /// global answer is a subset of their union; the hot-set size `P`
+    /// never enters the cost.
     pub fn top_n(&self, n: usize) -> Vec<HotPath> {
-        let mut all = self.hot_paths();
-        all.sort_by(|a, b| {
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut merged: Vec<HotPath> = Vec::with_capacity(n * self.shards.len().min(4));
+        for shard in &self.shards {
+            merged.extend(
+                shard
+                    .hotness
+                    .top_iter()
+                    .filter_map(|(id, h)| {
+                        shard.index.get(id).map(|p| HotPath {
+                            path: *p,
+                            hotness: h,
+                            score: h as f64 * p.length(),
+                        })
+                    })
+                    .take(n),
+            );
+        }
+        merged.sort_by(|a, b| {
             b.hotness
                 .cmp(&a.hotness)
                 .then_with(|| b.path.length().total_cmp(&a.path.length()))
                 .then_with(|| a.path.id.cmp(&b.path.id))
         });
-        all.truncate(n);
-        all
+        merged.truncate(n);
+        merged
     }
 
     /// The score of the top-`k` set: the average of `hotness x length`
-    /// over its members (Section 3.1). Zero when no paths are hot.
+    /// over its members (Section 3.1). Zero when no paths are hot —
+    /// short-circuited before any merge work; member scores come
+    /// straight from the top-k entries, not a second pass.
     pub fn top_k_score(&self) -> f64 {
+        if self.hot_count() == 0 {
+            return 0.0;
+        }
         let top = self.top_k();
         if top.is_empty() {
             return 0.0;
@@ -454,11 +563,15 @@ impl Coordinator {
 
     /// Internal-consistency audit: every shard's index must be
     /// self-consistent, every path must live in the shard its start
-    /// vertex routes to, and path ids must be globally unique.
+    /// vertex routes to, path ids must be globally unique, each shard's
+    /// incremental hotness rank must agree with its counter table, and
+    /// the merged incremental top-k must equal the sort-based oracle
+    /// over the full hot set.
     pub fn check_consistency(&self) -> Result<(), String> {
         let mut seen = std::collections::HashSet::new();
         for (i, shard) in self.shards.iter().enumerate() {
             shard.index.check_consistency().map_err(|e| format!("shard {i}: {e}"))?;
+            shard.hotness.check_consistency().map_err(|e| format!("shard {i} hotness: {e}"))?;
             for p in shard.index.iter() {
                 if self.router.shard_of(&p.start()) != i {
                     return Err(format!("path {} misrouted to shard {i}", p.id));
@@ -466,6 +579,27 @@ impl Coordinator {
                 if !seen.insert(p.id) {
                     return Err(format!("duplicate path id {} across shards", p.id));
                 }
+            }
+        }
+        // The incremental rank path must reproduce the naive full sort
+        // at every depth (the pre-incremental `top_n` implementation).
+        let mut oracle = self.hot_paths();
+        oracle.sort_by(|a, b| {
+            b.hotness
+                .cmp(&a.hotness)
+                .then_with(|| b.path.length().total_cmp(&a.path.length()))
+                .then_with(|| a.path.id.cmp(&b.path.id))
+        });
+        let fast = self.top_n(oracle.len().max(1));
+        if fast.len() != oracle.len() {
+            return Err(format!("top_n returned {} of {} hot paths", fast.len(), oracle.len()));
+        }
+        for (f, o) in fast.iter().zip(&oracle) {
+            if f.path.id != o.path.id || f.hotness != o.hotness || f.score != o.score {
+                return Err(format!(
+                    "incremental top-k diverged from full sort at {} (oracle {})",
+                    f.path.id, o.path.id
+                ));
             }
         }
         Ok(())
@@ -651,6 +785,75 @@ mod tests {
             assert_eq!(base.0, got.0, "responses diverged at {shards} shards");
             assert_eq!(base.1, got.1, "top-k diverged at {shards} shards");
             assert_eq!(base.2, got.2, "case tallies diverged at {shards} shards");
+        }
+    }
+
+    /// `submit_batch` must be observationally identical to a loop of
+    /// `submit` calls — same responses, same comm accounting, same
+    /// state — at 1 shard and many.
+    #[test]
+    fn submit_batch_matches_individual_submits() {
+        for shards in [1usize, 3] {
+            let mk_states = || {
+                (0..30u64).map(|obj| {
+                    let x = (obj % 6) as f64 * 500.0;
+                    state(obj, (x, 0.0), (x + 50.0, (obj % 3) as f64 * 10.0), 0, 9)
+                })
+            };
+            let mut a = Coordinator::new(cfg().with_shards(shards));
+            for s in mk_states() {
+                a.submit(s);
+            }
+            let mut b = Coordinator::new(cfg().with_shards(shards));
+            b.submit_batch(mk_states());
+            assert_eq!(a.pending_len(), b.pending_len());
+
+            let ra: Vec<(u64, u64)> = a
+                .process_epoch(Timestamp(10))
+                .iter()
+                .map(|r| (r.object.0, r.endpoint.t.raw()))
+                .collect();
+            let rb: Vec<(u64, u64)> = b
+                .process_epoch(Timestamp(10))
+                .iter()
+                .map(|r| (r.object.0, r.endpoint.t.raw()))
+                .collect();
+            assert_eq!(ra, rb, "responses diverged at {shards} shards");
+            assert_eq!(a.comm_stats().uplink_msgs, b.comm_stats().uplink_msgs);
+            assert_eq!(a.index_size(), b.index_size());
+            assert_eq!(a.top_k_score().to_bits(), b.top_k_score().to_bits());
+            a.check_consistency().unwrap();
+            b.check_consistency().unwrap();
+        }
+    }
+
+    /// Steady-state epochs must not leak state through the recycled
+    /// buffers: many epochs over the same coordinator keep producing
+    /// consistent answers (and the oracle check inside
+    /// `check_consistency` pins incremental top-k == full sort).
+    #[test]
+    fn recycled_epoch_buffers_stay_clean_over_many_epochs() {
+        for shards in [1usize, 4] {
+            let mut c = Coordinator::new(cfg().with_shards(shards));
+            for epoch in 1..=20u64 {
+                let now = Timestamp(epoch * 10);
+                for obj in 0..25u64 {
+                    let x = (obj % 5) as f64 * 600.0;
+                    let y = ((obj + epoch) % 4) as f64 * 300.0;
+                    c.submit_batch(std::iter::once(state(
+                        obj,
+                        (x, y),
+                        (x + 40.0, y),
+                        now.raw() - 10,
+                        now.raw() - 1,
+                    )));
+                }
+                let responses = c.process_epoch(now);
+                assert_eq!(responses.len(), 25);
+                assert_eq!(c.pending_len(), 0);
+                c.check_consistency().unwrap();
+            }
+            assert!(c.hot_count() > 0);
         }
     }
 

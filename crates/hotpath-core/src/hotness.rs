@@ -5,18 +5,46 @@
 //! decrements counters as crossings age out. When a counter reaches
 //! zero the path id is surfaced so the caller can delete the path from
 //! the MotionPath index.
+//!
+//! Alongside the counters the table maintains an **incremental rank
+//! structure**: an ordered set keyed by `(hotness desc, length desc,
+//! id asc)` — exactly the coordinator's top-k order — updated on every
+//! [`Hotness::record_crossing`], [`Hotness::advance`], and
+//! [`Hotness::forget`]. Top-k queries walk the first `k` entries in
+//! O(k + log P) instead of materializing and sorting the whole hot set.
 
 use crate::fxhash::FxHashMap;
 use crate::motion_path::PathId;
 use crate::time::{SlidingWindow, Timestamp};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeSet, BinaryHeap};
+
+/// Rank-set key: `(hotness desc, length desc, id asc)`. Lengths are
+/// non-negative finite floats, so their IEEE-754 bit patterns order the
+/// same way `f64::total_cmp` does.
+type RankKey = (Reverse<u32>, Reverse<u64>, PathId);
+
+#[inline]
+fn rank_key(count: u32, len_bits: u64, id: PathId) -> RankKey {
+    (Reverse(count), Reverse(len_bits), id)
+}
+
+/// Per-path state: the live crossing count and the path's length (bit
+/// pattern), pinned at first recording — path geometry is immutable, so
+/// every crossing of one id carries the same length.
+#[derive(Clone, Copy, Debug)]
+struct PathHeat {
+    count: u32,
+    len_bits: u64,
+}
 
 /// The hotness table plus expiry queue.
 #[derive(Clone, Debug)]
 pub struct Hotness {
     window: SlidingWindow,
-    counts: FxHashMap<PathId, u32>,
+    counts: FxHashMap<PathId, PathHeat>,
+    /// Incremental top-k: every hot path, ordered hottest-first.
+    rank: BTreeSet<RankKey>,
     /// Min-heap of `(expiry, id)`; head is the next interval to expire.
     queue: BinaryHeap<Reverse<(Timestamp, PathId)>>,
     /// Tombstones for [`Hotness::forget`]-ed ids: how many queued events
@@ -35,6 +63,7 @@ impl Hotness {
         Hotness {
             window,
             counts: FxHashMap::default(),
+            rank: BTreeSet::new(),
             queue: BinaryHeap::new(),
             dead: FxHashMap::default(),
             dead_events: 0,
@@ -49,8 +78,17 @@ impl Hotness {
 
     /// Records that an object crossed `id`, exiting at `te`: the counter
     /// is incremented and `<te + W, id>` en-heaped (Section 5.2).
-    pub fn record_crossing(&mut self, id: PathId, te: Timestamp) {
-        *self.counts.entry(id).or_insert(0) += 1;
+    /// `length` is the path's length — the top-k tie-break key — and is
+    /// pinned at the first recording of each id (geometry is immutable).
+    pub fn record_crossing(&mut self, id: PathId, te: Timestamp, length: f64) {
+        debug_assert!(length >= 0.0 && length.is_finite(), "bad path length {length}");
+        let heat =
+            self.counts.entry(id).or_insert(PathHeat { count: 0, len_bits: length.to_bits() });
+        if heat.count > 0 {
+            self.rank.remove(&rank_key(heat.count, heat.len_bits, id));
+        }
+        heat.count += 1;
+        self.rank.insert(rank_key(heat.count, heat.len_bits, id));
         self.queue.push(Reverse((self.window.expiry_of(te), id)));
         self.recorded += 1;
     }
@@ -58,7 +96,7 @@ impl Hotness {
     /// Current hotness of `id` (zero when unknown).
     #[inline]
     pub fn get(&self, id: PathId) -> u32 {
-        self.counts.get(&id).copied().unwrap_or(0)
+        self.counts.get(&id).map(|h| h.count).unwrap_or(0)
     }
 
     /// Number of paths with positive hotness.
@@ -73,7 +111,44 @@ impl Hotness {
 
     /// Iterates over `(id, hotness)` pairs with positive hotness.
     pub fn iter(&self) -> impl Iterator<Item = (PathId, u32)> + '_ {
-        self.counts.iter().map(|(&id, &h)| (id, h))
+        self.counts.iter().map(|(&id, &h)| (id, h.count))
+    }
+
+    /// Iterates over `(id, hotness)` pairs hottest-first — the order of
+    /// the incremental rank structure: `(hotness desc, length desc,
+    /// id asc)`. Taking the first `k` answers a top-k query in
+    /// O(k + log P); no sort, no allocation.
+    pub fn top_iter(&self) -> impl Iterator<Item = (PathId, u32)> + '_ {
+        self.rank.iter().map(|&(Reverse(count), _, id)| (id, count))
+    }
+
+    /// Audits the incremental rank structure against the counter table:
+    /// the two must describe the same multiset of `(id, hotness,
+    /// length)` triples at all times.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        if self.rank.len() != self.counts.len() {
+            return Err(format!(
+                "rank set has {} entries for {} hot paths",
+                self.rank.len(),
+                self.counts.len()
+            ));
+        }
+        for (&id, heat) in &self.counts {
+            if !self.rank.contains(&rank_key(heat.count, heat.len_bits, id)) {
+                return Err(format!("rank set lost {id} (hotness {})", heat.count));
+            }
+        }
+        // Live-event accounting: every unit of hotness has exactly one
+        // pending expiry event (tombstoned events are excluded by
+        // `pending_events`).
+        let total: usize = self.counts.values().map(|h| h.count as usize).sum();
+        if total != self.pending_events() {
+            return Err(format!(
+                "{total} units of hotness vs {} pending expiry events",
+                self.pending_events()
+            ));
+        }
+        Ok(())
     }
 
     /// Pending *live* expiry events (diagnostics; equals the sum of
@@ -118,11 +193,15 @@ impl Hotness {
             }
             self.queue.pop();
             // Defensive: a counter should always exist for a live event.
-            let Some(count) = self.counts.get_mut(&id) else { continue };
-            *count -= 1;
-            if *count == 0 {
+            let Some(heat) = self.counts.get_mut(&id) else { continue };
+            self.rank.remove(&rank_key(heat.count, heat.len_bits, id));
+            heat.count -= 1;
+            if heat.count == 0 {
                 self.counts.remove(&id);
                 died.push(id);
+            } else {
+                let heat = *heat;
+                self.rank.insert(rank_key(heat.count, heat.len_bits, id));
             }
         }
         died
@@ -139,10 +218,11 @@ impl Hotness {
     /// expiry precedes a tombstoned event's would be reclaimed in its
     /// place, letting the stale event keep the counter alive too long.
     pub fn forget(&mut self, id: PathId) {
-        if let Some(n) = self.counts.remove(&id) {
-            if n > 0 {
-                *self.dead.entry(id).or_insert(0) += n;
-                self.dead_events += n as usize;
+        if let Some(heat) = self.counts.remove(&id) {
+            self.rank.remove(&rank_key(heat.count, heat.len_bits, id));
+            if heat.count > 0 {
+                *self.dead.entry(id).or_insert(0) += heat.count;
+                self.dead_events += heat.count as usize;
             }
         }
     }
@@ -159,9 +239,9 @@ mod tests {
     #[test]
     fn crossings_accumulate() {
         let mut hot = h(100);
-        hot.record_crossing(PathId(1), Timestamp(10));
-        hot.record_crossing(PathId(1), Timestamp(20));
-        hot.record_crossing(PathId(2), Timestamp(15));
+        hot.record_crossing(PathId(1), Timestamp(10), 1.0);
+        hot.record_crossing(PathId(1), Timestamp(20), 1.0);
+        hot.record_crossing(PathId(2), Timestamp(15), 1.0);
         assert_eq!(hot.get(PathId(1)), 2);
         assert_eq!(hot.get(PathId(2)), 1);
         assert_eq!(hot.get(PathId(3)), 0);
@@ -173,7 +253,7 @@ mod tests {
     #[test]
     fn expiry_at_te_plus_w() {
         let mut hot = h(100);
-        hot.record_crossing(PathId(1), Timestamp(10));
+        hot.record_crossing(PathId(1), Timestamp(10), 1.0);
         // Still hot one granule before expiry.
         assert!(hot.advance(Timestamp(109)).is_empty());
         assert_eq!(hot.get(PathId(1)), 1);
@@ -187,8 +267,8 @@ mod tests {
     #[test]
     fn staggered_crossings_expire_independently() {
         let mut hot = h(50);
-        hot.record_crossing(PathId(7), Timestamp(0));
-        hot.record_crossing(PathId(7), Timestamp(30));
+        hot.record_crossing(PathId(7), Timestamp(0), 1.0);
+        hot.record_crossing(PathId(7), Timestamp(30), 1.0);
         // First crossing expires at 50; path stays hot.
         assert!(hot.advance(Timestamp(50)).is_empty());
         assert_eq!(hot.get(PathId(7)), 1);
@@ -200,7 +280,7 @@ mod tests {
     fn advance_handles_batched_expiries() {
         let mut hot = h(10);
         for i in 0..5u64 {
-            hot.record_crossing(PathId(i), Timestamp(i));
+            hot.record_crossing(PathId(i), Timestamp(i), 1.0);
         }
         let mut died = hot.advance(Timestamp(100));
         died.sort_unstable();
@@ -211,7 +291,7 @@ mod tests {
     #[test]
     fn advance_is_idempotent_per_timestamp() {
         let mut hot = h(10);
-        hot.record_crossing(PathId(1), Timestamp(0));
+        hot.record_crossing(PathId(1), Timestamp(0), 1.0);
         assert_eq!(hot.advance(Timestamp(10)), vec![PathId(1)]);
         assert!(hot.advance(Timestamp(10)).is_empty());
         assert!(hot.advance(Timestamp(11)).is_empty());
@@ -238,7 +318,7 @@ mod tests {
             // te must not precede now in our usage (crossings end at or
             // before the current epoch); allow small past offsets.
             let te = Timestamp(now.saturating_sub(rand() % 5));
-            hot.record_crossing(PathId(id), te);
+            hot.record_crossing(PathId(id), te, 1.0);
             crossings.push((id, te));
 
             for check_id in 0..8u64 {
@@ -255,10 +335,97 @@ mod tests {
         }
     }
 
+    /// The naive full-sort reference the rank structure must track:
+    /// `(hotness desc, length desc, id asc)`.
+    fn oracle_order(hot: &Hotness, lengths: &dyn Fn(PathId) -> f64) -> Vec<(PathId, u32)> {
+        let mut all: Vec<(PathId, u32)> = hot.iter().collect();
+        all.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| lengths(b.0).total_cmp(&lengths(a.0)))
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        all
+    }
+
+    #[test]
+    fn top_iter_orders_by_hotness_length_id() {
+        let mut hot = h(100);
+        let len = |id: PathId| [30.0, 10.0, 30.0, 50.0][id.0 as usize];
+        for (id, crossings) in [(0u64, 2), (1, 2), (2, 1), (3, 1)] {
+            for _ in 0..crossings {
+                hot.record_crossing(PathId(id), Timestamp(0), len(PathId(id)));
+            }
+        }
+        // Hotness 2 beats 1; equal hotness breaks to longer; equal
+        // length (none here at equal hotness) would break to lower id.
+        let got: Vec<(PathId, u32)> = hot.top_iter().collect();
+        assert_eq!(got, vec![(PathId(0), 2), (PathId(1), 2), (PathId(3), 1), (PathId(2), 1)]);
+        assert_eq!(got, oracle_order(&hot, &len));
+        hot.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn rank_tracks_advance_and_forget() {
+        let mut hot = h(50);
+        let len = |_: PathId| 1.0;
+        hot.record_crossing(PathId(1), Timestamp(0), 1.0); // expires at 50
+        hot.record_crossing(PathId(1), Timestamp(40), 1.0); // expires at 90
+        hot.record_crossing(PathId(2), Timestamp(40), 1.0);
+        hot.record_crossing(PathId(3), Timestamp(40), 1.0);
+        assert_eq!(hot.top_iter().next(), Some((PathId(1), 2)));
+
+        // First crossing of 1 expires: 1 drops to hotness 1, and the
+        // rank falls back to id order among the three singletons.
+        hot.advance(Timestamp(50));
+        assert_eq!(hot.top_iter().collect::<Vec<_>>(), oracle_order(&hot, &len));
+        assert_eq!(hot.top_iter().next(), Some((PathId(1), 1)));
+
+        hot.forget(PathId(1));
+        assert_eq!(hot.top_iter().next(), Some((PathId(2), 1)));
+        assert_eq!(hot.top_iter().count(), 2);
+        hot.check_consistency().unwrap();
+
+        // Everything expires; the rank set drains with the counters.
+        hot.advance(Timestamp(1_000));
+        assert_eq!(hot.top_iter().count(), 0);
+        hot.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn rank_matches_oracle_under_random_churn() {
+        // Deterministic pseudo-random schedule of record / advance /
+        // forget; the incremental order must equal the full sort at
+        // every step (the sort-based oracle of the old top_n).
+        let mut hot = h(23);
+        let len = |id: PathId| ((id.0 * 37) % 101) as f64;
+        let mut state = 7u64;
+        let mut rand = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut now = 0u64;
+        for step in 0..600 {
+            now += rand() % 3;
+            hot.advance(Timestamp(now));
+            let id = PathId(rand() % 12);
+            if rand() % 7 == 0 {
+                hot.forget(id);
+            } else {
+                hot.record_crossing(id, Timestamp(now), len(id));
+            }
+            assert_eq!(
+                hot.top_iter().collect::<Vec<_>>(),
+                oracle_order(&hot, &len),
+                "divergence at step {step}, t={now}"
+            );
+            hot.check_consistency().unwrap();
+        }
+    }
+
     #[test]
     fn forget_removes_counter() {
         let mut hot = h(100);
-        hot.record_crossing(PathId(1), Timestamp(0));
+        hot.record_crossing(PathId(1), Timestamp(0), 1.0);
         hot.forget(PathId(1));
         assert_eq!(hot.get(PathId(1)), 0);
         assert!(hot.is_empty());
@@ -267,9 +434,9 @@ mod tests {
     #[test]
     fn forget_reclaims_pending_events() {
         let mut hot = h(100);
-        hot.record_crossing(PathId(1), Timestamp(0)); // expiry 100
-        hot.record_crossing(PathId(1), Timestamp(5)); // expiry 105
-        hot.record_crossing(PathId(2), Timestamp(3)); // expiry 103
+        hot.record_crossing(PathId(1), Timestamp(0), 1.0); // expiry 100
+        hot.record_crossing(PathId(1), Timestamp(5), 1.0); // expiry 105
+        hot.record_crossing(PathId(2), Timestamp(3), 1.0); // expiry 103
         assert_eq!(hot.pending_events(), 3);
 
         hot.forget(PathId(1));
@@ -298,7 +465,7 @@ mod tests {
         let mut hot = h(10_000);
         for i in 0..1_000u64 {
             hot.advance(Timestamp(i));
-            hot.record_crossing(PathId(i), Timestamp(i));
+            hot.record_crossing(PathId(i), Timestamp(i), 1.0);
             hot.forget(PathId(i));
         }
         hot.advance(Timestamp(1_000));

@@ -3,7 +3,9 @@
 mod grid;
 mod motion_path_index;
 mod rtree;
+mod vertex_groups;
 
 pub use grid::{CellKey, EndKind, EndpointGrid, Entry};
 pub use motion_path_index::{point_lt, MotionPathIndex, VertexKey};
 pub use rtree::RTree;
+pub use vertex_groups::VertexGroups;

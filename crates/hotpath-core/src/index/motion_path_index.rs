@@ -13,6 +13,7 @@
 //! and the grain merely guards against float noise.
 
 use super::grid::{EndKind, EndpointGrid, Entry};
+use super::vertex_groups::VertexGroups;
 use crate::fxhash::FxHashMap;
 use crate::geometry::{Point, Rect};
 use crate::motion_path::{MotionPath, PathId};
@@ -148,14 +149,34 @@ impl MotionPathIndex {
     /// Case-1 query (Alg. 2 GetCandidatePaths): paths starting at the
     /// vertex of `start` whose end vertex lies inside `fsa`.
     pub fn paths_from_into(&self, start: &Point, fsa: &Rect) -> Vec<PathId> {
-        let skey = self.vertex_key(start);
         let mut out = Vec::new();
+        self.paths_from_into_buf(start, fsa, &mut out);
+        out
+    }
+
+    /// [`MotionPathIndex::paths_from_into`] appending into a caller
+    /// buffer — the allocation-free form the epoch hot loop uses (the
+    /// buffer lives in the shard's scratch arena and is reused across
+    /// states and epochs).
+    pub fn paths_from_into_buf(&self, start: &Point, fsa: &Rect, out: &mut Vec<PathId>) {
+        let skey = self.vertex_key(start);
         self.grid.for_each_in(fsa, |entry| {
             if entry.kind == EndKind::End && self.vertex_key(&entry.other) == skey {
                 out.push(entry.path);
             }
         });
-        out
+    }
+
+    /// Visits every *end*-vertex grid entry inside `fsa` (the raw form
+    /// of the Case-2 query; [`MotionPathIndex::end_vertices_into`] and
+    /// the sharded coordinator's merged store group these into vertex
+    /// groups without intermediate allocation).
+    pub fn for_each_end_in(&self, fsa: &Rect, mut f: impl FnMut(&Entry)) {
+        self.grid.for_each_in(fsa, |entry| {
+            if entry.kind == EndKind::End {
+                f(entry);
+            }
+        });
     }
 
     /// Case-2 query (Alg. 2 GetCandidateVertices): distinct end vertices
@@ -167,25 +188,20 @@ impl MotionPathIndex {
     /// so the answer is independent of hash-iteration order and of how
     /// the group is split across coordinator shards.
     pub fn end_vertices_in(&self, fsa: &Rect) -> Vec<(Point, Vec<PathId>)> {
-        let mut by_vertex: FxHashMap<VertexKey, (Point, Vec<PathId>)> = FxHashMap::default();
-        self.grid.for_each_in(fsa, |entry| {
-            if entry.kind == EndKind::End {
-                let slot = by_vertex
-                    .entry(self.vertex_key(&entry.endpoint))
-                    .or_insert_with(|| (entry.endpoint, Vec::new()));
-                if point_lt(&entry.endpoint, &slot.0) {
-                    slot.0 = entry.endpoint;
-                }
-                slot.1.push(entry.path);
-            }
+        let mut groups = VertexGroups::new();
+        self.end_vertices_into(fsa, &mut groups);
+        groups.to_vec()
+    }
+
+    /// [`MotionPathIndex::end_vertices_in`] writing into a reusable
+    /// [`VertexGroups`] accumulator (cleared here) instead of
+    /// materializing a fresh vector of vectors per call.
+    pub fn end_vertices_into(&self, fsa: &Rect, out: &mut VertexGroups) {
+        out.clear();
+        self.for_each_end_in(fsa, |entry| {
+            out.push(self.vertex_key(&entry.endpoint), entry.endpoint, entry.path);
         });
-        let mut out: Vec<(Point, Vec<PathId>)> = by_vertex.into_values().collect();
-        // Deterministic order for reproducible selection.
-        out.sort_by(|a, b| a.0.x.total_cmp(&b.0.x).then(a.0.y.total_cmp(&b.0.y)));
-        for (_, ids) in &mut out {
-            ids.sort_unstable();
-        }
-        out
+        out.finish();
     }
 
     /// Paths leaving the vertex of `p` (hinted-extension adjacency).

@@ -6,6 +6,6 @@ mod singlepath;
 
 pub use overlap::FsaSet;
 pub use singlepath::{
-    build_fsa_set, phase_a, phase_b, process_batch, process_batch_with, CaseKind, CaseTally,
-    OverlapPolicy, PathStore, PhaseAOutput, Selection, SingleStore,
+    build_fsa_set, phase_a, phase_b, process_batch, process_batch_in, process_batch_with, CaseKind,
+    CaseTally, OverlapPolicy, PathStore, PhaseAOutput, ScratchArena, Selection, SingleStore,
 };

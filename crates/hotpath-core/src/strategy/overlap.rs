@@ -15,6 +15,32 @@
 
 use crate::fxhash::FxHashMap;
 use crate::geometry::{Point, Rect};
+use std::cell::RefCell;
+
+/// Reusable query scratch: the stamped `seen` bitmap behind the
+/// allocation- and sort-free [`FsaSet::intersecting`], plus the buffers
+/// of the [`FsaSet::max_depth_region`] slab sweep. Lives in a `RefCell`
+/// so the epoch-scoped set keeps its shared-query API; Phase B (the
+/// only consumer) is sequential, and the set is never shared across
+/// threads after construction.
+#[derive(Clone, Debug, Default)]
+struct QueryScratch {
+    /// Per-rect generation stamps: `stamps[i] == gen` means rect `i` was
+    /// already accepted by the current `intersecting` call.
+    stamps: Vec<u32>,
+    /// Current stamp generation (bumped per call; stamps are cleared
+    /// only on the rare wrap-around).
+    gen: u32,
+    /// Accepted rect indices, ascending.
+    hits: Vec<u32>,
+    /// `max_depth_region`: rects clipped to the query window.
+    local: Vec<Rect>,
+    /// `max_depth_region`: candidate slab boundaries.
+    xs: Vec<f64>,
+    /// `max_depth_region`: the y-sweep event buffer, reused across every
+    /// slab of every call instead of reallocated per slab.
+    events: Vec<(f64, i32)>,
+}
 
 /// An epoch-scoped set of FSA rectangles with depth queries.
 #[derive(Clone, Debug)]
@@ -22,24 +48,71 @@ pub struct FsaSet {
     rects: Vec<Rect>,
     cell: f64,
     grid: FxHashMap<(i64, i64), Vec<u32>>,
+    scratch: RefCell<QueryScratch>,
 }
 
 impl FsaSet {
     /// Builds the set. `cell` should be on the order of an FSA diameter
     /// (e.g. `2 eps`); it only affects performance, not results.
     pub fn build(rects: Vec<Rect>, cell: f64) -> Self {
+        Self::build_parallel(rects, cell, 1)
+    }
+
+    /// [`FsaSet::build`] rasterizing on up to `threads` scoped worker
+    /// threads. Rects are split into contiguous index chunks, each chunk
+    /// rasterized into its own sub-grid, and the sub-grids merged in
+    /// chunk order — so every cell's id list is ascending exactly as the
+    /// sequential build produces, and the result is bit-for-bit
+    /// identical at every thread count.
+    pub fn build_parallel(rects: Vec<Rect>, cell: f64, threads: usize) -> Self {
         assert!(cell > 0.0 && cell.is_finite(), "cell must be positive");
+        // One chunk per thread, but never spawn for trivially small
+        // epochs where rasterization is cheaper than a thread launch.
+        let threads = threads.max(1).min(rects.len() / 64).max(1);
         let mut grid: FxHashMap<(i64, i64), Vec<u32>> = FxHashMap::default();
+        if threads == 1 {
+            Self::rasterize(&rects, cell, 0, &mut grid);
+        } else {
+            let chunk = rects.len().div_ceil(threads);
+            let mut parts: Vec<FxHashMap<(i64, i64), Vec<u32>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = rects
+                    .chunks(chunk)
+                    .enumerate()
+                    .map(|(c, slice)| {
+                        scope.spawn(move || {
+                            let mut part = FxHashMap::default();
+                            Self::rasterize(slice, cell, (c * chunk) as u32, &mut part);
+                            part
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("rasterizer panicked")).collect()
+            });
+            // Chunks hold disjoint ascending id ranges; appending them in
+            // chunk order keeps every cell's list ascending, matching the
+            // sequential single-pass build.
+            for part in &mut parts {
+                for (key, ids) in part.drain() {
+                    grid.entry(key).or_default().extend(ids);
+                }
+            }
+            debug_assert!(grid.values().all(|ids| ids.windows(2).all(|w| w[0] < w[1])));
+        }
+        FsaSet { rects, cell, grid, scratch: RefCell::new(QueryScratch::default()) }
+    }
+
+    /// Rasterizes `rects` (whose global indices start at `base`) into
+    /// `grid`: each rect's index is pushed into every cell it covers.
+    fn rasterize(rects: &[Rect], cell: f64, base: u32, grid: &mut FxHashMap<(i64, i64), Vec<u32>>) {
         for (i, r) in rects.iter().enumerate() {
             let (lx, ly) = Self::key(cell, &r.lo());
             let (hx, hy) = Self::key(cell, &r.hi());
             for cx in lx..=hx {
                 for cy in ly..=hy {
-                    grid.entry((cx, cy)).or_default().push(i as u32);
+                    grid.entry((cx, cy)).or_default().push(base + i as u32);
                 }
             }
         }
-        FsaSet { rects, cell, grid }
     }
 
     #[inline]
@@ -66,21 +139,50 @@ impl FsaSet {
     }
 
     /// Indices of FSAs intersecting `r` (deduplicated, ascending).
+    /// Allocating convenience wrapper over the stamped internal query
+    /// (tests and diagnostics; the hot loop goes through
+    /// [`FsaSet::max_depth_region`], which reads the scratch directly).
     pub fn intersecting(&self, r: &Rect) -> Vec<u32> {
+        let mut s = self.scratch.borrow_mut();
+        self.collect_intersecting(r, &mut s);
+        let mut out = s.hits.clone();
+        out.sort_unstable();
+        out
+    }
+
+    /// The stamped dedup query behind [`FsaSet::intersecting`]: no
+    /// allocation and no sort in the steady state. Every candidate id is
+    /// stamped with the call's generation on first acceptance and
+    /// pushed once, in grid-walk encounter order — deterministic (the
+    /// cell walk and per-cell id lists are fixed by construction) but
+    /// not ascending; the only order-sensitive consumer is the public
+    /// wrapper above, which sorts its own copy. O(candidates), never a
+    /// pass over the whole id space.
+    fn collect_intersecting(&self, r: &Rect, s: &mut QueryScratch) {
+        s.hits.clear();
+        if s.stamps.len() < self.rects.len() {
+            s.stamps.resize(self.rects.len(), 0);
+        }
+        s.gen = match s.gen.checked_add(1) {
+            Some(g) => g,
+            None => {
+                s.stamps.fill(0);
+                1
+            }
+        };
         let (lx, ly) = Self::key(self.cell, &r.lo());
         let (hx, hy) = Self::key(self.cell, &r.hi());
-        let mut out: Vec<u32> = Vec::new();
         for cx in lx..=hx {
             for cy in ly..=hy {
-                if let Some(v) = self.grid.get(&(cx, cy)) {
-                    out.extend(v.iter().copied());
+                let Some(v) = self.grid.get(&(cx, cy)) else { continue };
+                for &i in v {
+                    if s.stamps[i as usize] != s.gen && self.rects[i as usize].intersects(r) {
+                        s.stamps[i as usize] = s.gen;
+                        s.hits.push(i);
+                    }
                 }
             }
         }
-        out.sort_unstable();
-        out.dedup();
-        out.retain(|&i| self.rects[i as usize].intersects(r));
-        out
     }
 
     /// The deepest region of the arrangement restricted to `clip`: a
@@ -90,28 +192,30 @@ impl FsaSet {
     /// Closed-set semantics throughout: rectangles touching only at an
     /// edge still overlap there, matching [`Rect::intersects`].
     pub fn max_depth_region(&self, clip: &Rect) -> Option<(Rect, usize)> {
-        let local: Vec<Rect> = self
-            .intersecting(clip)
-            .into_iter()
-            .map(|i| {
-                self.rects[i as usize]
-                    .intersection(clip)
-                    .expect("intersecting() guarantees overlap")
-            })
-            .collect();
+        let mut scratch = self.scratch.borrow_mut();
+        self.collect_intersecting(clip, &mut scratch);
+        let QueryScratch { hits, local, xs, events, .. } = &mut *scratch;
+        local.clear();
+        local.extend(hits.iter().map(|&i| {
+            self.rects[i as usize]
+                .intersection(clip)
+                .expect("collect_intersecting guarantees overlap")
+        }));
         if local.is_empty() {
             return None;
         }
+        let local: &[Rect] = local;
         // Candidate x-slabs: between (and at) every pair of consecutive
         // distinct x-boundaries.
-        let mut xs: Vec<f64> = local.iter().flat_map(|r| [r.lo().x, r.hi().x]).collect();
+        xs.clear();
+        xs.extend(local.iter().flat_map(|r| [r.lo().x, r.hi().x]));
         xs.sort_by(f64::total_cmp);
         xs.dedup();
 
         let mut best: Option<(Rect, usize)> = None;
-        let mut consider = |slab_lo: f64, slab_hi: f64, local: &[Rect]| {
+        let mut consider = |slab_lo: f64, slab_hi: f64, events: &mut Vec<(f64, i32)>| {
             // Rects whose x-range covers the whole slab (closed).
-            let mut events: Vec<(f64, i32)> = Vec::new();
+            events.clear();
             for r in local {
                 if r.lo().x <= slab_lo && slab_hi <= r.hi().x {
                     events.push((r.lo().y, 1));
@@ -127,7 +231,7 @@ impl FsaSet {
             // Pass 1: the maximum depth in this slab.
             let mut depth = 0i32;
             let mut d_max = 0i32;
-            for &(_, delta) in &events {
+            for &(_, delta) in events.iter() {
                 depth += delta;
                 d_max = d_max.max(depth);
             }
@@ -138,7 +242,7 @@ impl FsaSet {
             let mut depth = 0i32;
             let mut y_lo = f64::NAN;
             let mut y_hi = f64::NAN;
-            for &(y, delta) in &events {
+            for &(y, delta) in events.iter() {
                 depth += delta;
                 if y_lo.is_nan() && depth == d_max {
                     y_lo = y;
@@ -157,13 +261,13 @@ impl FsaSet {
         // Full-width slabs first: at equal depth a proper slab beats a
         // degenerate boundary line (larger region, better centroid).
         for i in 0..xs.len().saturating_sub(1) {
-            consider(xs[i], xs[i + 1], &local);
+            consider(xs[i], xs[i + 1], events);
         }
         // Boundary lines catch depth achieved only where rectangles
         // touch edge-to-edge; they replace the best only when strictly
         // deeper.
-        for &x in &xs {
-            consider(x, x, &local);
+        for &x in xs.iter() {
+            consider(x, x, events);
         }
         best
     }
@@ -197,6 +301,75 @@ mod tests {
         assert_eq!(set.stab_count(&Point::new(12.0, 12.0)), 2); // R23
         assert_eq!(set.stab_count(&Point::new(8.0, 8.0)), 3); // R123
         assert_eq!(set.stab_count(&Point::new(-5.0, -5.0)), 0);
+    }
+
+    /// Pins the stamped-bitmap query's contract: ascending, deduped
+    /// output on every call, with the generation counter isolating
+    /// repeated and interleaved queries from each other.
+    #[test]
+    fn intersecting_order_is_ascending_across_repeated_calls() {
+        // Many identical rects over tiny cells: each id lands in many
+        // cells, so the stamp dedup does real work, and the stamp range
+        // scan must still emit ids ascending.
+        let mut rects = example2();
+        rects.extend(example2()); // ids 3..6 duplicate 0..3
+        let set = FsaSet::build(rects, 2.0);
+        for _ in 0..3 {
+            assert_eq!(set.intersecting(&r(7.0, 7.0, 9.0, 9.0)), vec![0, 1, 2, 3, 4, 5]);
+            // A disjoint query between identical ones must not inherit
+            // stale stamps from the previous generation.
+            assert!(set.intersecting(&r(100.0, 100.0, 101.0, 101.0)).is_empty());
+            assert_eq!(set.intersecting(&r(0.0, 0.0, 1.0, 1.0)), vec![0, 3]);
+            // Interleave the sweep (which shares the scratch) and
+            // re-check: the hit list must be rebuilt, not reused.
+            let _ = set.max_depth_region(&r(0.0, 0.0, 16.0, 16.0));
+            assert_eq!(set.intersecting(&r(15.0, 5.0, 15.5, 5.5)), vec![1, 4]);
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_at_every_thread_count() {
+        // 300 deterministic rects; compare every query the strategy
+        // issues between the sequential build and parallel builds.
+        let mut state = 5u64;
+        let mut rand = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 2000) as f64 / 10.0
+        };
+        let rects: Vec<Rect> = (0..300)
+            .map(|_| {
+                let x = rand();
+                let y = rand();
+                r(x, y, x + rand() * 0.1 + 1.0, y + rand() * 0.1 + 1.0)
+            })
+            .collect();
+        let sequential = FsaSet::build(rects.clone(), 15.0);
+        for threads in [2, 3, 8] {
+            let parallel = FsaSet::build_parallel(rects.clone(), 15.0, threads);
+            for probe in 0..60 {
+                let q = r(
+                    (probe * 7 % 200) as f64,
+                    (probe * 13 % 200) as f64,
+                    (probe * 7 % 200) as f64 + 8.0,
+                    (probe * 13 % 200) as f64 + 8.0,
+                );
+                assert_eq!(
+                    sequential.intersecting(&q),
+                    parallel.intersecting(&q),
+                    "intersecting diverged at {threads} threads"
+                );
+                assert_eq!(
+                    sequential.max_depth_region(&q),
+                    parallel.max_depth_region(&q),
+                    "max_depth diverged at {threads} threads"
+                );
+                assert_eq!(
+                    sequential.stab_count(&q.centroid()),
+                    parallel.stab_count(&q.centroid()),
+                    "stab diverged at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

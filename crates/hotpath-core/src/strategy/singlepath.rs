@@ -22,7 +22,7 @@ use super::overlap::FsaSet;
 use crate::fxhash::FxHashMap;
 use crate::geometry::{Point, Rect};
 use crate::hotness::Hotness;
-use crate::index::MotionPathIndex;
+use crate::index::{MotionPathIndex, VertexGroups};
 use crate::motion_path::PathId;
 use crate::raytrace::ClientState;
 use crate::time::Timestamp;
@@ -90,8 +90,10 @@ pub enum OverlapPolicy {
 /// global Phase B sees exactly the view a single index would present.
 pub trait PathStore {
     /// Distinct end vertices inside `fsa` with their converging paths,
-    /// sorted by `(x, y)` with ids ascending (the Case-2 query).
-    fn end_vertices_in(&self, fsa: &Rect) -> Vec<(Point, Vec<PathId>)>;
+    /// grouped into `out` in canonical order — by `(x, y)` with ids
+    /// ascending (the Case-2 query). `out` is a reusable accumulator;
+    /// implementations clear it first.
+    fn end_vertices_into(&self, fsa: &Rect, out: &mut VertexGroups);
     /// Current hotness of `id` (zero when unknown).
     fn hotness_of(&self, id: PathId) -> u32;
     /// Inserts (or dedups onto) the path `start -> end`, records a
@@ -109,8 +111,8 @@ pub struct SingleStore<'a> {
 }
 
 impl PathStore for SingleStore<'_> {
-    fn end_vertices_in(&self, fsa: &Rect) -> Vec<(Point, Vec<PathId>)> {
-        self.index.end_vertices_in(fsa)
+    fn end_vertices_into(&self, fsa: &Rect, out: &mut VertexGroups) {
+        self.index.end_vertices_into(fsa, out);
     }
 
     fn hotness_of(&self, id: PathId) -> u32 {
@@ -119,8 +121,50 @@ impl PathStore for SingleStore<'_> {
 
     fn commit(&mut self, start: Point, end: Point, te: Timestamp) -> (PathId, bool, Point) {
         let (id, created) = self.index.insert(start, end);
-        self.hotness.record_crossing(id, te);
-        (id, created, self.index.get(id).expect("just inserted").end())
+        let end_point = self.index.get(id).expect("just inserted").end();
+        self.hotness.record_crossing(id, te, self.index.get(id).expect("just inserted").length());
+        (id, created, end_point)
+    }
+}
+
+/// Reusable per-shard scratch for the epoch hot loop: every buffer the
+/// SinglePath phases need, kept alive across epochs so the steady state
+/// allocates nothing. Candidate paths live in a flat CSR layout instead
+/// of one `Vec` per state; hash maps are cleared, never dropped; and the
+/// Phase-A output vectors are recycled through
+/// [`ScratchArena::recycle`] after the coordinator merges them.
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    /// Flattened candidate-path ids (CSR values).
+    cp_ids: Vec<PathId>,
+    /// CSR offsets: the candidate set of `seqs[k]` is
+    /// `cp_ids[cp_off[k]..cp_off[k + 1]]`.
+    cp_off: Vec<u32>,
+    /// Cross-object occurrence counts, cleared each epoch.
+    occurrences: FxHashMap<PathId, u32>,
+    /// Vertex grouping for the sequential Phase B.
+    pub(crate) groups: VertexGroups,
+    /// Recycled Phase-A selection buffer.
+    selections_pool: Vec<(u32, Selection)>,
+    /// Recycled Phase-A deferred buffer.
+    deferred_pool: Vec<u32>,
+    /// Recycled identity `seqs` slice for the sequential batch path.
+    seqs_pool: Vec<u32>,
+}
+
+impl ScratchArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a drained [`PhaseAOutput`]'s buffers to the pool so the
+    /// next epoch reuses their capacity.
+    pub fn recycle(&mut self, mut out: PhaseAOutput) {
+        out.selections.clear();
+        out.deferred.clear();
+        self.selections_pool = out.selections;
+        self.deferred_pool = out.deferred;
     }
 }
 
@@ -135,7 +179,8 @@ pub struct PhaseAOutput {
 }
 
 /// Phase A — Case 1 (Alg. 2 lines 4-7, 13-20) over the states at batch
-/// positions `seqs` (in order) against one shard's index and hotness.
+/// positions `seqs` (in order) against one shard's index and hotness,
+/// using the shard's [`ScratchArena`] for every intermediate buffer.
 ///
 /// Sharding by start-vertex cell keeps Phase A exact: a state's
 /// candidate paths all start at its own vertex, so candidate sets,
@@ -147,30 +192,34 @@ pub fn phase_a(
     seqs: &[u32],
     index: &mut MotionPathIndex,
     hotness: &mut Hotness,
+    scratch: &mut ScratchArena,
 ) -> PhaseAOutput {
-    // Candidate-path generation (Alg. 2 lines 4-7).
-    let candidate_paths: Vec<Vec<PathId>> = seqs
-        .iter()
-        .map(|&i| {
-            let st = &states[i as usize];
-            index.paths_from_into(&st.start, &st.fsa)
-        })
-        .collect();
+    // Candidate-path generation (Alg. 2 lines 4-7) into the CSR scratch.
+    scratch.cp_ids.clear();
+    scratch.cp_off.clear();
+    scratch.cp_off.reserve(seqs.len() + 1);
+    scratch.cp_off.push(0);
+    for &i in seqs {
+        let st = &states[i as usize];
+        index.paths_from_into_buf(&st.start, &st.fsa, &mut scratch.cp_ids);
+        scratch.cp_off.push(scratch.cp_ids.len() as u32);
+    }
 
     // Cross-object boost (lines 13-15): a path appearing in several CP
     // sets gains one rank unit per additional set. Candidate paths start
     // at the reporting object's vertex, so every occurrence of an id is
     // in this slice — the count equals the whole batch's.
-    let mut occurrences: FxHashMap<PathId, u32> = FxHashMap::default();
-    for cp in &candidate_paths {
-        for &id in cp {
-            *occurrences.entry(id).or_insert(0) += 1;
-        }
+    scratch.occurrences.clear();
+    for &id in &scratch.cp_ids {
+        *scratch.occurrences.entry(id).or_insert(0) += 1;
     }
+    let occurrences = &scratch.occurrences;
 
+    let mut selections = std::mem::take(&mut scratch.selections_pool);
+    selections.reserve(seqs.len());
     let mut out = PhaseAOutput {
-        selections: Vec::with_capacity(seqs.len()),
-        deferred: Vec::new(),
+        selections,
+        deferred: std::mem::take(&mut scratch.deferred_pool),
         tally: CaseTally::default(),
     };
 
@@ -178,7 +227,7 @@ pub fn phase_a(
     // recorded crossing is immediately visible to later selections.
     for (k, &i) in seqs.iter().enumerate() {
         let st = &states[i as usize];
-        let cp = &candidate_paths[k];
+        let cp = &scratch.cp_ids[scratch.cp_off[k] as usize..scratch.cp_off[k + 1] as usize];
         if cp.is_empty() {
             out.deferred.push(i);
             continue;
@@ -201,14 +250,15 @@ pub fn phase_a(
                     .then_with(|| b.cmp(&a)) // lower id wins ties
             })
             .expect("non-empty candidate set");
-        hotness.record_crossing(best, st.te);
+        let chosen = index.get(best).expect("candidate must exist");
+        hotness.record_crossing(best, st.te, chosen.length());
         out.tally.case1 += 1;
         out.selections.push((
             i,
             Selection {
                 object: st.object,
                 path: best,
-                endpoint: index.get(best).expect("candidate must exist").end(),
+                endpoint: chosen.end(),
                 te: st.te,
                 case: CaseKind::ExistingPath,
                 created: false,
@@ -222,6 +272,9 @@ pub fn phase_a(
 /// positions, in order, against a [`PathStore`]. Sequential, so paths
 /// minted for earlier objects are visible to later ones ("newly
 /// generated motion paths will also provide additional vertices").
+/// `groups` is the reusable vertex-group accumulator the Case-2 query
+/// fills per deferred state.
+#[allow(clippy::too_many_arguments)]
 pub fn phase_b<S: PathStore>(
     states: &[ClientState],
     deferred: &[u32],
@@ -230,6 +283,7 @@ pub fn phase_b<S: PathStore>(
     policy: OverlapPolicy,
     tally: &mut CaseTally,
     selections: &mut Vec<Selection>,
+    groups: &mut VertexGroups,
 ) {
     for &i in deferred {
         let st = &states[i as usize];
@@ -237,7 +291,8 @@ pub fn phase_b<S: PathStore>(
         // Available vertices with converging-path hotness plus stabbing
         // depth (lines 22-26).
         let mut best: Option<(u32, bool, Point)> = None; // (rank, existing, vertex)
-        for (vertex, incoming) in store.end_vertices_in(&st.fsa) {
+        store.end_vertices_into(&st.fsa, groups);
+        for (&vertex, incoming) in groups.iter() {
             let converging: u32 = incoming.iter().map(|&id| store.hotness_of(id)).sum();
             let boost = match policy {
                 OverlapPolicy::Full => fsas.stab_count(&vertex) as u32,
@@ -289,10 +344,19 @@ pub fn phase_b<S: PathStore>(
 
 /// Builds the epoch's FSA-overlap structure for `policy` (Alg. 2 lines
 /// 8-12, shared across Cases 2-3; built empty under the `Own` ablation,
-/// which never queries it).
-pub fn build_fsa_set(states: &[ClientState], overlap_cell: f64, policy: OverlapPolicy) -> FsaSet {
+/// which never queries it). `threads` bounds the parallel rasterization
+/// of [`FsaSet::build_parallel`] — results are identical at every
+/// thread count.
+pub fn build_fsa_set(
+    states: &[ClientState],
+    overlap_cell: f64,
+    policy: OverlapPolicy,
+    threads: usize,
+) -> FsaSet {
     match policy {
-        OverlapPolicy::Full => FsaSet::build(states.iter().map(|s| s.fsa).collect(), overlap_cell),
+        OverlapPolicy::Full => {
+            FsaSet::build_parallel(states.iter().map(|s| s.fsa).collect(), overlap_cell, threads)
+        }
         OverlapPolicy::Own => FsaSet::build(Vec::new(), overlap_cell),
     }
 }
@@ -312,10 +376,26 @@ pub fn process_batch(
 }
 
 /// [`process_batch`] with an explicit overlap policy (ablation hook).
+/// Allocates a throwaway scratch arena; steady-state callers (the
+/// coordinator) hold a persistent arena and use [`process_batch_in`].
 pub fn process_batch_with(
     states: &[ClientState],
     index: &mut MotionPathIndex,
     hotness: &mut Hotness,
+    overlap_cell: f64,
+    policy: OverlapPolicy,
+) -> (Vec<Selection>, CaseTally) {
+    let mut scratch = ScratchArena::new();
+    process_batch_in(states, index, hotness, &mut scratch, overlap_cell, policy)
+}
+
+/// The allocation-disciplined batch entry point: every intermediate
+/// buffer comes from `scratch`, which the caller keeps across epochs.
+pub fn process_batch_in(
+    states: &[ClientState],
+    index: &mut MotionPathIndex,
+    hotness: &mut Hotness,
+    scratch: &mut ScratchArena,
     overlap_cell: f64,
     policy: OverlapPolicy,
 ) -> (Vec<Selection>, CaseTally) {
@@ -324,13 +404,28 @@ pub fn process_batch_with(
         return (Vec::new(), tally);
     }
 
-    let fsas = build_fsa_set(states, overlap_cell, policy);
-    let seqs: Vec<u32> = (0..states.len() as u32).collect();
-    let a = phase_a(states, &seqs, index, hotness);
+    let fsas = build_fsa_set(states, overlap_cell, policy, 1);
+    let mut seqs = std::mem::take(&mut scratch.seqs_pool);
+    seqs.clear();
+    seqs.extend(0..states.len() as u32);
+    let mut a = phase_a(states, &seqs, index, hotness, scratch);
+    scratch.seqs_pool = seqs;
     tally = a.tally;
-    let mut selections: Vec<Selection> = a.selections.into_iter().map(|(_, s)| s).collect();
+    let mut selections: Vec<Selection> = a.selections.drain(..).map(|(_, s)| s).collect();
+    let deferred = std::mem::take(&mut a.deferred);
     let mut store = SingleStore { index, hotness };
-    phase_b(states, &a.deferred, &mut store, &fsas, policy, &mut tally, &mut selections);
+    phase_b(
+        states,
+        &deferred,
+        &mut store,
+        &fsas,
+        policy,
+        &mut tally,
+        &mut selections,
+        &mut scratch.groups,
+    );
+    a.deferred = deferred;
+    scratch.recycle(a);
     (selections, tally)
 }
 
@@ -372,9 +467,9 @@ mod tests {
         let s = Point::new(0.0, 0.0);
         let (cold, _) = index.insert(s, Point::new(100.0, 1.0));
         let (hot, _) = index.insert(s, Point::new(100.0, -1.0));
-        hotness.record_crossing(cold, Timestamp(0));
+        hotness.record_crossing(cold, Timestamp(0), 1.0);
         for _ in 0..5 {
-            hotness.record_crossing(hot, Timestamp(0));
+            hotness.record_crossing(hot, Timestamp(0), 1.0);
         }
 
         let st = state(1, (0.0, 0.0), fsa_around(100.0, 0.0, 5.0), 0, 10);
@@ -396,11 +491,11 @@ mod tests {
         let (mut index, mut hotness) = setup();
         let s_shared = Point::new(0.0, 0.0);
         let (b, _) = index.insert(s_shared, Point::new(100.0, 0.0));
-        hotness.record_crossing(b, Timestamp(0));
+        hotness.record_crossing(b, Timestamp(0), 1.0);
         let s_solo = Point::new(0.0, 50.0);
         let (a, _) = index.insert(s_solo, Point::new(100.0, 2.0));
-        hotness.record_crossing(a, Timestamp(0));
-        hotness.record_crossing(a, Timestamp(0));
+        hotness.record_crossing(a, Timestamp(0), 1.0);
+        hotness.record_crossing(a, Timestamp(0), 1.0);
 
         // Object 9's FSA sees both paths' ends; it starts where both A
         // and B start... but Case 1 requires matching starts, so give
@@ -408,9 +503,9 @@ mod tests {
         let (mut index, mut hotness) = setup();
         let (a, _) = index.insert(s_shared, Point::new(100.0, 2.0));
         let (b, _) = index.insert(s_shared, Point::new(100.0, 0.0));
-        hotness.record_crossing(a, Timestamp(0));
-        hotness.record_crossing(a, Timestamp(0));
-        hotness.record_crossing(b, Timestamp(0));
+        hotness.record_crossing(a, Timestamp(0), 1.0);
+        hotness.record_crossing(a, Timestamp(0), 1.0);
+        hotness.record_crossing(b, Timestamp(0), 1.0);
 
         // Three objects whose FSAs contain only B's end; one object
         // seeing both.
@@ -436,8 +531,8 @@ mod tests {
         // elsewhere — so no Case-1 match for our object.
         let v = Point::new(100.0, 0.0);
         let (incoming, _) = index.insert(Point::new(200.0, 0.0), v);
-        hotness.record_crossing(incoming, Timestamp(0));
-        hotness.record_crossing(incoming, Timestamp(0));
+        hotness.record_crossing(incoming, Timestamp(0), 1.0);
+        hotness.record_crossing(incoming, Timestamp(0), 1.0);
 
         let st = state(1, (0.0, 0.0), fsa_around(100.0, 0.0, 5.0), 0, 10);
         let (sel, tally) = process_batch(&[st], &mut index, &mut hotness, 20.0);
@@ -511,7 +606,7 @@ mod tests {
         // A mix: existing path for object 1, nothing for object 2.
         let s1 = Point::new(0.0, 0.0);
         let (p, _) = index.insert(s1, Point::new(30.0, 0.0));
-        hotness.record_crossing(p, Timestamp(0));
+        hotness.record_crossing(p, Timestamp(0), 1.0);
         let states = [
             state(1, (0.0, 0.0), fsa_around(30.0, 0.0, 3.0), 0, 10),
             state(2, (500.0, 500.0), fsa_around(530.0, 500.0, 3.0), 0, 10),
@@ -567,8 +662,8 @@ mod tests {
         let s = Point::new(0.0, 0.0);
         let (short, _) = index.insert(s, Point::new(50.0, 0.0));
         let (long, _) = index.insert(s, Point::new(52.0, 0.0));
-        hotness.record_crossing(short, Timestamp(0));
-        hotness.record_crossing(long, Timestamp(0));
+        hotness.record_crossing(short, Timestamp(0), 1.0);
+        hotness.record_crossing(long, Timestamp(0), 1.0);
         let st = state(1, (0.0, 0.0), fsa_around(51.0, 0.0, 2.0), 0, 10);
         let (sel, _) = process_batch(&[st], &mut index, &mut hotness, 10.0);
         assert_eq!(sel[0].path, long);

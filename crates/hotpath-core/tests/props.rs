@@ -191,7 +191,7 @@ proptest! {
         for (id, gap) in schedule {
             now += gap;
             hot.advance(Timestamp(now));
-            hot.record_crossing(PathId(id), Timestamp(now));
+            hot.record_crossing(PathId(id), Timestamp(now), 1.0);
             crossings.push((id, now));
             for check in 0u64..6 {
                 let expect = crossings
@@ -200,6 +200,43 @@ proptest! {
                     .count() as u32;
                 prop_assert_eq!(hot.get(PathId(check)), expect);
             }
+        }
+    }
+
+    // The incremental top-k rank structure must match a naive full sort
+    // of the hot set — `(hotness desc, length desc, id asc)`, the
+    // coordinator's `top_n` order — after any schedule of records,
+    // expiries, and forgets.
+    #[test]
+    fn hotness_top_iter_matches_full_sort(
+        schedule in prop::collection::vec((0u64..10, 0u64..4, 0u64..7), 1..250),
+        window in 1u64..60,
+    ) {
+        let length = |id: PathId| ((id.0 * 29) % 83) as f64;
+        let mut hot = Hotness::new(SlidingWindow::new(window));
+        let mut now = 0u64;
+        let mut forgotten: Vec<u64> = Vec::new();
+        for (id, gap, action) in schedule {
+            now += gap;
+            hot.advance(Timestamp(now));
+            if action == 0 {
+                // `forget` contracts: an id is never recorded again.
+                hot.forget(PathId(id));
+                forgotten.push(id);
+            } else if !forgotten.contains(&id) {
+                hot.record_crossing(PathId(id), Timestamp(now), length(PathId(id)));
+            }
+
+            let mut oracle: Vec<(PathId, u32)> = hot.iter().collect();
+            oracle.sort_by(|a, b| {
+                b.1.cmp(&a.1)
+                    .then_with(|| length(b.0).total_cmp(&length(a.0)))
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            let fast: Vec<(PathId, u32)> = hot.top_iter().collect();
+            prop_assert_eq!(fast, oracle);
+            prop_assert!(hot.check_consistency().is_ok());
+            prop_assert!(hot.queued_events() >= hot.pending_events());
         }
     }
 

@@ -10,6 +10,8 @@
 use crate::mobility::{ChoicePolicy, Population, PopulationParams};
 use crate::network::{NodeId, RoadNetwork};
 use hotpath_core::geometry::Point;
+use hotpath_core::time::Timestamp;
+use hotpath_core::ObjectId;
 
 /// A sporting-event crowd: `n` objects drifting toward `venue`.
 ///
@@ -39,6 +41,58 @@ pub fn evacuation(net: &RoadNetwork, n: usize, danger: Point, seed: u64) -> Popu
         ..PopulationParams::paper_defaults(n, seed)
     };
     Population::new(net, params)
+}
+
+/// A sensor-dropout window: between `from` (inclusive) and `until`
+/// (exclusive) every `stride`-th object's sensor goes dark and reports
+/// nothing. Hot-path discovery should ride it out — crossings recorded
+/// before the outage stay in the sliding window, so the top-k keeps
+/// naming the popular corridors while a slice of the fleet is silent.
+#[derive(Clone, Copy, Debug)]
+pub struct DropoutWindow {
+    /// First dark timestamp.
+    pub from: Timestamp,
+    /// First timestamp with sensors back online.
+    pub until: Timestamp,
+    /// Every `stride`-th object (by id) drops out; `1` silences everyone.
+    pub stride: u64,
+}
+
+impl DropoutWindow {
+    /// Creates a window; `stride` must be positive.
+    pub fn new(from: Timestamp, until: Timestamp, stride: u64) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        assert!(from <= until, "window must not be inverted");
+        DropoutWindow { from, until, stride }
+    }
+
+    /// True while the outage is in force at `t`.
+    pub fn contains(&self, t: Timestamp) -> bool {
+        self.from <= t && t < self.until
+    }
+
+    /// True when `obj`'s sensor is dark at `t` (its measurement must be
+    /// discarded before it reaches the client filter).
+    pub fn drops(&self, obj: ObjectId, t: Timestamp) -> bool {
+        obj.0.is_multiple_of(self.stride) && self.contains(t)
+    }
+}
+
+/// A sensor-dropout scenario: a sporting-event crowd (so hot corridors
+/// form) plus a validated [`DropoutWindow`] silencing every `stride`-th
+/// sensor over `[from, until)`. The driver consults
+/// [`DropoutWindow::drops`] per measurement; integration tests assert
+/// the top-k stays stable across the outage.
+pub fn sensor_dropout(
+    net: &RoadNetwork,
+    n: usize,
+    venue: NodeId,
+    seed: u64,
+    from: Timestamp,
+    until: Timestamp,
+    stride: u64,
+) -> (Population, DropoutWindow) {
+    (sporting_event(net, n, venue, seed), DropoutWindow::new(from, until, stride))
 }
 
 /// The node closest to a point (e.g. to place a venue near the center).
@@ -113,6 +167,32 @@ mod tests {
             }
         }
         assert!(last > first, "crowd did not flee: first {first}, last {last}");
+    }
+
+    #[test]
+    fn dropout_window_silences_the_right_objects() {
+        let w = DropoutWindow::new(Timestamp(10), Timestamp(20), 3);
+        // In force only inside [10, 20).
+        assert!(!w.contains(Timestamp(9)));
+        assert!(w.contains(Timestamp(10)));
+        assert!(w.contains(Timestamp(19)));
+        assert!(!w.contains(Timestamp(20)));
+        // Objects 0, 3, 6, ... drop; the rest keep reporting.
+        assert!(w.drops(ObjectId(0), Timestamp(15)));
+        assert!(w.drops(ObjectId(3), Timestamp(15)));
+        assert!(!w.drops(ObjectId(1), Timestamp(15)));
+        assert!(!w.drops(ObjectId(3), Timestamp(25)));
+    }
+
+    #[test]
+    fn sensor_dropout_builds_window_and_converging_crowd() {
+        let net = generate(NetworkParams::tiny(8));
+        let venue = nearest_node(&net, net.bounds().centroid());
+        let (pop, w) = sensor_dropout(&net, 10, venue, 9, Timestamp(5), Timestamp(10), 2);
+        assert!(w.drops(ObjectId(4), Timestamp(7)));
+        assert!(!w.drops(ObjectId(5), Timestamp(7)));
+        // Same crowd profile as the sporting event (converging walkers).
+        assert_eq!(pop.params().agility, sporting_event(&net, 10, venue, 9).params().agility);
     }
 
     #[test]

@@ -205,14 +205,15 @@ pub fn run(params: SimulationParams) -> SimulationResult {
         population.tick(&network, now, &mut batch);
         measurements_total += batch.len() as u64;
 
-        for m in &batch {
-            if let Some(state) = clients[m.object.0 as usize].observe(m) {
-                coordinator.submit(state);
-            }
-            if let Some(dp) = dp.as_mut() {
+        if let Some(dp) = dp.as_mut() {
+            for m in &batch {
                 dp.observe(m.object, m.observed);
             }
         }
+        // Bulk ingest: states are pre-routed to their owning shard as
+        // they stream in, so the epoch starts with no partitioning pass.
+        coordinator
+            .submit_batch(batch.iter().filter_map(|m| clients[m.object.0 as usize].observe(m)));
 
         coordinator.advance_time(now);
         if let Some(dp) = dp.as_mut() {
@@ -224,11 +225,9 @@ pub fn run(params: SimulationParams) -> SimulationResult {
             let start = Instant::now();
             let responses = coordinator.process_epoch(now);
             let elapsed = start.elapsed();
-            for resp in &responses {
-                if let Some(state) = clients[resp.object.0 as usize].receive(resp) {
-                    coordinator.submit(state);
-                }
-            }
+            coordinator.submit_batch(
+                responses.iter().filter_map(|resp| clients[resp.object.0 as usize].receive(resp)),
+            );
             let comm_now = coordinator.comm_stats();
             per_epoch.push(EpochMetrics {
                 epoch: config.epochs.epoch_index(now),

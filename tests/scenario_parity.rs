@@ -11,7 +11,9 @@ use hotpath_core::time::Timestamp;
 use hotpath_core::ObjectId;
 use hotpath_netsim::mobility::Population;
 use hotpath_netsim::network::{generate, NetworkParams, RoadNetwork};
-use hotpath_netsim::scenarios::{evacuation, nearest_node, sporting_event};
+use hotpath_netsim::scenarios::{
+    evacuation, nearest_node, sensor_dropout, sporting_event, DropoutWindow,
+};
 
 /// One top-k row: `(id, start, end, hotness, score bits)`.
 type TopKRow = (u64, (f64, f64), (f64, f64), u32, u64);
@@ -122,4 +124,115 @@ fn scenario_crowds_produce_meaningful_top_k() {
     let trace = drive(&net, sporting_event(&net, n, venue, 26), n, 2);
     let hottest = trace.top_k.first().map(|&(_, _, _, h, _)| h).unwrap_or(0);
     assert!(hottest >= 3, "no corridor heated up (hottest = {hottest})");
+}
+
+/// Drives the sensor-dropout scenario: measurements from dark sensors
+/// are discarded before they reach the client filters, and the
+/// surviving states go in through `submit_batch` (the pre-routed bulk
+/// ingest path). Returns `(top-1 id at outage start, top-k ids at
+/// outage end, final trace)`.
+fn drive_dropout(
+    net: &RoadNetwork,
+    mut crowd: Population,
+    window: DropoutWindow,
+    n: usize,
+    shards: usize,
+) -> (u64, Vec<u64>, RunTrace) {
+    let config = Config::paper_defaults()
+        .with_tolerance(Tolerance::crisp(10.0))
+        .with_window(60)
+        .with_epoch(5)
+        .with_k(10)
+        .with_shards(shards);
+    let mut coordinator = Coordinator::new(config);
+    let mut clients: Vec<RayTraceFilter> = (0..n)
+        .map(|i| {
+            let obj = ObjectId(i as u64);
+            RayTraceFilter::new(obj, crowd.seed_timepoint(net, obj, Timestamp(0)), 10.0)
+        })
+        .collect();
+
+    let mut batch = Vec::new();
+    let mut per_epoch = Vec::new();
+    let mut top_at_start = None;
+    let mut top_ids_at_end = Vec::new();
+    for t in 1..=150u64 {
+        let now = Timestamp(t);
+        crowd.tick(net, now, &mut batch);
+        coordinator.submit_batch(batch.iter().filter_map(|m| {
+            if window.drops(m.object, now) {
+                return None; // the sensor is dark: nothing observed
+            }
+            clients[m.object.0 as usize].observe(m.observed)
+        }));
+        coordinator.advance_time(now);
+        if config.epochs.is_epoch(now) {
+            let responses = coordinator.process_epoch(now);
+            coordinator.submit_batch(responses.iter().filter_map(|resp| {
+                clients[resp.object.0 as usize].receive_endpoint(resp.endpoint)
+            }));
+            per_epoch.push((coordinator.index_size(), coordinator.top_k_score().to_bits()));
+            if top_at_start.is_none() && now >= window.from {
+                top_at_start = coordinator.top_k().first().map(|h| h.path.id.0);
+            }
+            if now >= window.until && top_ids_at_end.is_empty() {
+                top_ids_at_end = coordinator.top_k().iter().map(|h| h.path.id.0).collect();
+            }
+        }
+    }
+
+    coordinator.check_consistency().expect("sharded state inconsistent");
+    let top_k = coordinator
+        .top_k()
+        .iter()
+        .map(|h| {
+            (
+                h.path.id.0,
+                (h.path.start().x, h.path.start().y),
+                (h.path.end().x, h.path.end().y),
+                h.hotness,
+                h.score.to_bits(),
+            )
+        })
+        .collect();
+    let comm = coordinator.comm_stats();
+    let trace = RunTrace { per_epoch, top_k, comm: (comm.uplink_msgs, comm.downlink_msgs) };
+    (top_at_start.expect("no epoch inside the outage"), top_ids_at_end, trace)
+}
+
+#[test]
+fn sensor_dropout_top_k_stays_stable_and_sharded_matches_sequential() {
+    let net = generate(NetworkParams::tiny(27));
+    let venue = nearest_node(&net, net.bounds().centroid());
+    let n = 300;
+    // Let corridors heat up for ~80 ticks, then silence every other
+    // sensor for 25 ticks — shorter than the 60-tick hotness window, so
+    // pre-outage crossings keep the hot set alive throughout.
+    let (crowd, window) = sensor_dropout(&net, n, venue, 28, Timestamp(80), Timestamp(105), 2);
+    let (top_start, top_end_ids, sequential) = drive_dropout(&net, crowd, window, n, 1);
+
+    // Stability across the outage: the pre-outage hottest corridor is
+    // still in the top-k when sensors come back, and the score never
+    // collapses to zero during the dark window.
+    assert!(!sequential.top_k.is_empty(), "scenario discovered no hot paths");
+    assert!(
+        top_end_ids.contains(&top_start),
+        "pre-outage top path {top_start} fell out of the post-outage top-k {top_end_ids:?}"
+    );
+    let epoch_of = |t: u64| (t / 5) as usize - 1; // epoch boundaries at 5, 10, ...
+    for e in epoch_of(window.from.raw())..=epoch_of(window.until.raw()) {
+        let (_, score_bits) = sequential.per_epoch[e];
+        assert!(
+            f64::from_bits(score_bits) > 0.0,
+            "top-k score collapsed during outage (epoch {e})"
+        );
+    }
+
+    // And the whole run is bit-for-bit identical sharded vs sequential.
+    let shards = 4;
+    let (crowd, window) = sensor_dropout(&net, n, venue, 28, Timestamp(80), Timestamp(105), 2);
+    let (s_start, s_end_ids, sharded) = drive_dropout(&net, crowd, window, n, shards);
+    assert_eq!(sequential, sharded, "divergence at {shards} shards");
+    assert_eq!(top_start, s_start);
+    assert_eq!(top_end_ids, s_end_ids);
 }
