@@ -22,13 +22,13 @@
 //! `cargo run --release -p hotpath-bench --bin bench_gate -- capture`
 //! and commit the updated `BENCH_*.json`.
 
-use hotpath_bench::gate::{compare, has_failures, Snapshot, Verdict};
+use hotpath_bench::gate::{compare, has_failures, margin_table, Snapshot};
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
 /// The `cargo bench` targets with checked-in baselines.
 const GATED_BENCHES: &[&str] =
-    &["micro_raytrace", "fig8", "micro_topk", "micro_hotness", "micro_overlap"];
+    &["micro_raytrace", "fig8", "micro_topk", "micro_hotness", "micro_overlap", "micro_scenario"];
 
 /// Default relative slack: CI runners and developer machines differ, so
 /// the gate catches structural regressions (2x+), not single-digit
@@ -170,14 +170,10 @@ fn check(dir: &Path, tolerance: f64, captures_dir: Option<&Path>) {
         let current = run_bench(dir, bench, captures_dir);
         let rows = compare(&baseline, &current, tolerance);
         println!("== {bench} (tolerance +{:.0}%)", tolerance * 100.0);
-        for (id, verdict) in &rows {
-            match verdict {
-                Verdict::Ok(r) => println!("   ok         {id}  ({:.2}x)", r),
-                Verdict::Regressed(r) => println!("   REGRESSED  {id}  ({:.2}x baseline)", r),
-                Verdict::Missing => println!("   MISSING    {id}  (in baseline, not measured)"),
-                Verdict::New => println!("   new        {id}  (not in baseline)"),
-            }
-        }
+        // The margin table shows how close each benchmark sits to the
+        // gate: 100% headroom = at/below baseline, 0% = about to trip,
+        // negative = regressed.
+        print!("{}", margin_table(&rows, &baseline, &current, tolerance));
         if has_failures(&rows) {
             failed = true;
         }

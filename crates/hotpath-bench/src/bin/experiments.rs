@@ -3,6 +3,8 @@
 //! ```text
 //! experiments [fig7|fig8|fig9|fig10|claims|hinted|all]
 //!             [--scale paper|mid|quick] [--shards N] [--csv <dir>]
+//! experiments scenario <name|all> [--scale ...] [--shards N]
+//!             [--sigma s1,s2,...] [--fallback reject|minimal[:w]|all]
 //! ```
 //!
 //! Defaults: `all --scale mid --shards 1`. `--scale paper` runs the
@@ -10,18 +12,31 @@
 //! minutes). `--shards N` partitions the coordinator into `N` shards
 //! (Phase A runs on one thread per shard); results are identical at
 //! every shard count, only the wall clock changes.
+//!
+//! `scenario` drives the netsim scenario registry: each named workload
+//! runs crisp with its invariants verified (exit 1 on violation), with
+//! sequential-vs-sharded parity asserted when `--shards > 1`, then
+//! sweeps the `(sigma, fallback)` uncertainty grid.
 
 use hotpath_bench::Scale;
+use hotpath_core::uncertainty::FallbackPolicy;
+use hotpath_netsim::scenario::{spec, REGISTRY};
 use hotpath_sim::experiment::{figure10, figure7, figure8, figure9, format_fig7, format_fig8};
 use hotpath_sim::report::{network_map, paths_map};
+use hotpath_sim::scenario_run::{
+    check_parity_against, run_named, scenario_sigma_sweep, ScenarioRunParams,
+};
 use hotpath_sim::simulation::{run, SimulationParams};
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = "all".to_string();
+    let mut scenario_name: Option<String> = None;
     let mut scale = Scale::Mid;
     let mut shards = 1usize;
+    let mut sigmas: Option<Vec<f64>> = None;
+    let mut fallbacks: Option<Vec<FallbackPolicy>> = None;
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
@@ -41,10 +56,43 @@ fn main() {
                     .filter(|&n| n > 0)
                     .unwrap_or_else(|| usage("--shards needs a positive integer"));
             }
+            "--sigma" => {
+                i += 1;
+                let list = args.get(i).unwrap_or_else(|| usage("--sigma needs a comma list"));
+                let parsed: Option<Vec<f64>> = list
+                    .split(',')
+                    .map(|s| s.trim().parse::<f64>().ok().filter(|v| *v >= 0.0))
+                    .collect();
+                sigmas =
+                    Some(parsed.unwrap_or_else(|| usage("--sigma needs non-negative numbers")));
+            }
+            "--fallback" => {
+                i += 1;
+                let tag = args.get(i).unwrap_or_else(|| usage("--fallback needs a policy"));
+                fallbacks = Some(if tag == "all" {
+                    vec![FallbackPolicy::Reject, FallbackPolicy::MinimalArea(0.5)]
+                } else {
+                    vec![FallbackPolicy::parse(tag).unwrap_or_else(|| {
+                        usage("--fallback takes reject, minimal, minimal:<w>, or all")
+                    })]
+                });
+            }
             "--csv" => {
                 i += 1;
                 let dir = args.get(i).unwrap_or_else(|| usage("--csv needs a directory"));
                 csv_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "scenario" => {
+                i += 1;
+                let name = args.get(i).unwrap_or_else(|| usage("scenario needs a name (or 'all')"));
+                if name != "all" && spec(name).is_none() {
+                    usage(&format!(
+                        "unknown scenario '{name}' (available: {})",
+                        REGISTRY.iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
+                    ));
+                }
+                which = "scenario".to_string();
+                scenario_name = Some(name.clone());
             }
             w @ ("fig7" | "fig8" | "fig9" | "fig10" | "claims" | "hinted" | "ablate"
             | "filters" | "compress" | "uncertain" | "all") => {
@@ -62,6 +110,13 @@ fn main() {
     }
     let wall = Instant::now();
     match which.as_str() {
+        "scenario" => scenario(
+            scenario_name.as_deref().unwrap_or("all"),
+            scale,
+            shards,
+            sigmas.as_deref(),
+            fallbacks.as_deref(),
+        ),
         "fig7" => fig7(scale, shards, csv_dir.as_deref()),
         "fig8" => fig8(scale, shards, csv_dir.as_deref()),
         "fig9" => fig9(scale, shards),
@@ -93,9 +148,94 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: experiments [fig7|fig8|fig9|fig10|claims|hinted|ablate|filters|compress|uncertain|all] \
-         [--scale paper|mid|quick] [--shards N] [--csv <dir>]"
+         [--scale paper|mid|quick] [--shards N] [--csv <dir>]\n       \
+         experiments scenario <name|all> [--scale paper|mid|quick] [--shards N] \
+         [--sigma s1,s2,...] [--fallback reject|minimal[:<w>]|all]"
     );
     std::process::exit(2);
+}
+
+/// The scenario subsystem: crisp run + invariants (+ parity when
+/// sharded), then the `(sigma, fallback)` uncertainty sweep.
+fn scenario(
+    name: &str,
+    scale: Scale,
+    shards: usize,
+    sigmas: Option<&[f64]>,
+    fallbacks: Option<&[FallbackPolicy]>,
+) {
+    let scenario_scale = scale.scenario_params(2015);
+    let base = ScenarioRunParams { shards, ..ScenarioRunParams::default() };
+    // Near-edge default grid: eps = 10 solves up to sigma ~ 5.1, so the
+    // last point forces the fallback policy to act.
+    let default_sigmas = [0.5, 2.0, 6.0];
+    let sigmas = sigmas.unwrap_or(&default_sigmas);
+    let default_fallbacks = [FallbackPolicy::Reject];
+    let fallbacks = fallbacks.unwrap_or(&default_fallbacks);
+    let selected: Vec<&str> =
+        if name == "all" { REGISTRY.iter().map(|s| s.name).collect() } else { vec![name] };
+    let mut failures = 0usize;
+    for spec in REGISTRY.iter().filter(|s| selected.contains(&s.name)) {
+        println!("## Scenario `{}` — {}", spec.name, spec.summary);
+        let res = run_named(spec.name, &scenario_scale, &base).expect("registered scenario");
+        let s = &res.summary;
+        println!(
+            "   crisp : {:>7.0} paths/epoch, score {:>9.1}, {:>8} reports / {:>9} measurements, \
+             {:.2} ms/epoch",
+            s.mean_index_size,
+            s.mean_score,
+            res.filter_stats.reports,
+            s.measurements,
+            s.mean_time_ms
+        );
+        match &res.invariants {
+            Ok(()) => println!("   invariants: ok"),
+            Err(e) => {
+                failures += 1;
+                println!("   invariants: FAILED — {e}");
+            }
+        }
+        if shards > 1 {
+            // The crisp run above already ran sharded; only the fresh
+            // sequential reference costs an extra run.
+            match check_parity_against(&res, spec.name, &scenario_scale, &base) {
+                Ok(()) => println!("   parity: sequential == {shards}-shard, bit for bit"),
+                Err(e) => {
+                    failures += 1;
+                    println!("   parity: FAILED — {e}");
+                }
+            }
+        }
+        let cells = scenario_sigma_sweep(spec.name, &scenario_scale, &base, sigmas, fallbacks)
+            .expect("registered scenario");
+        println!("   uncertainty sweep (eps = {}, delta = {}):", base.eps, base.delta);
+        let data: Vec<Vec<String>> = cells
+            .iter()
+            .map(|c| {
+                vec![
+                    format!("{:?}", c.fallback),
+                    format!("{:.1}", c.sigma),
+                    c.reports.to_string(),
+                    c.dropped.to_string(),
+                    format!("{:.0}", c.mean_index),
+                    format!("{:.1}", c.mean_score),
+                    c.invariant_failure.as_deref().unwrap_or("ok").to_string(),
+                ]
+            })
+            .collect();
+        let table = hotpath_sim::report::table(
+            &["fallback", "sigma", "reports", "dropped", "paths", "score", "invariants"],
+            &data,
+        );
+        for line in table.lines() {
+            println!("   {line}");
+        }
+        println!();
+    }
+    if failures > 0 {
+        eprintln!("scenario: {failures} failure(s)");
+        std::process::exit(1);
+    }
 }
 
 /// Figure 7 (a-c): vary N at eps = 10.

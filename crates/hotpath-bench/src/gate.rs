@@ -174,6 +174,93 @@ pub fn has_failures(rows: &[(String, Verdict)]) -> bool {
     rows.iter().any(|(_, v)| matches!(v, Verdict::Regressed(_) | Verdict::Missing))
 }
 
+/// Human-scale wall time: `12.3ns`, `4.56us`, `7.89ms`, `1.23s`.
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1}ns")
+    } else if ns < 1e6 {
+        format!("{:.2}us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
+    }
+}
+
+/// Renders the comparison as a margin table: baseline vs measured vs
+/// the tolerance budget, with per-benchmark headroom (how far the
+/// measurement sits from tripping the gate — 100% = at baseline or
+/// better than it, 0% = at the limit, negative = regressed). CI logs
+/// show at a glance which gated benches are drifting toward the cliff.
+pub fn margin_table(
+    rows: &[(String, Verdict)],
+    baseline: &Snapshot,
+    current: &Snapshot,
+    tolerance: f64,
+) -> String {
+    let limit = 1.0 + tolerance;
+    let mut table: Vec<[String; 6]> = vec![[
+        "status".into(),
+        "benchmark".into(),
+        "baseline".into(),
+        "measured".into(),
+        "ratio".into(),
+        "headroom".into(),
+    ]];
+    for (id, verdict) in rows {
+        let base = baseline.get(id).map(|e| e.median_ns);
+        let cur = current.get(id).map(|e| e.median_ns);
+        let (status, ratio) = match verdict {
+            Verdict::Ok(r) => ("ok", Some(*r)),
+            Verdict::Regressed(r) => ("REGRESSED", Some(*r)),
+            Verdict::Missing => ("MISSING", None),
+            Verdict::New => ("new", None),
+        };
+        // At tolerance 0 the budget is empty: at-or-below baseline is
+        // full headroom, anything slower has none (avoids 0/0).
+        let headroom = ratio.map(|r| {
+            if tolerance > 0.0 {
+                100.0 * (limit - r.max(1.0)) / (limit - 1.0)
+            } else if r <= 1.0 {
+                100.0
+            } else {
+                0.0
+            }
+        });
+        let dash = || "-".to_string();
+        table.push([
+            status.to_string(),
+            id.clone(),
+            base.map(format_ns).unwrap_or_else(dash),
+            cur.map(format_ns).unwrap_or_else(dash),
+            ratio.map(|r| format!("{r:.2}x")).unwrap_or_else(dash),
+            headroom.map(|h| format!("{h:.0}%")).unwrap_or_else(dash),
+        ]);
+    }
+    let mut widths = [0usize; 6];
+    for row in &table {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for row in &table {
+        let _ = write!(out, "  ");
+        for (i, (cell, w)) in row.iter().zip(widths).enumerate() {
+            // Left-align the name columns, right-align the numbers.
+            if i <= 1 {
+                let _ = write!(out, "{cell:<w$}  ");
+            } else {
+                let _ = write!(out, "{cell:>w$}  ");
+            }
+        }
+        let trimmed = out.trim_end().len();
+        out.truncate(trimmed);
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +327,52 @@ mod tests {
         assert!(has_failures(&rows));
         // A generous tolerance passes everything.
         assert!(!has_failures(&compare(&base, &cur, 2.5)));
+    }
+
+    #[test]
+    fn margin_table_shows_headroom_per_bench() {
+        let base = snap("b", &[("fast", 100.0), ("slow", 2_000_000.0), ("gone", 10.0)]);
+        let cur = snap("b", &[("fast", 150.0), ("slow", 1_000_000.0), ("fresh", 42.0)]);
+        let rows = compare(&base, &cur, 1.0);
+        let table = margin_table(&rows, &base, &cur, 1.0);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 1 + rows.len(), "header plus one line per row");
+        assert!(lines[0].contains("headroom"));
+        // fast: ratio 1.50x of a 2.00x limit -> 50% headroom left.
+        let fast = lines.iter().find(|l| l.contains("fast")).unwrap();
+        assert!(fast.contains("1.50x") && fast.contains("50%"), "{fast}");
+        assert!(fast.contains("100.0ns") && fast.contains("150.0ns"));
+        // slow improved: full headroom, human-scale units.
+        let slow = lines.iter().find(|l| l.contains("slow")).unwrap();
+        assert!(slow.contains("100%") && slow.contains("2.00ms") && slow.contains("1.00ms"));
+        // Missing and new rows render with dashes, not numbers.
+        let gone = lines.iter().find(|l| l.contains("gone")).unwrap();
+        assert!(gone.contains("MISSING") && gone.contains('-'));
+        let fresh = lines.iter().find(|l| l.contains("fresh")).unwrap();
+        assert!(fresh.contains("new"));
+    }
+
+    #[test]
+    fn margin_table_handles_zero_tolerance() {
+        let base = snap("b", &[("same", 100.0), ("worse", 100.0)]);
+        let cur = snap("b", &[("same", 100.0), ("worse", 140.0)]);
+        let rows = compare(&base, &cur, 0.0);
+        let table = margin_table(&rows, &base, &cur, 0.0);
+        assert!(!table.contains("NaN") && !table.contains("inf"), "{table}");
+        let same = table.lines().find(|l| l.contains("same")).unwrap();
+        assert!(same.contains("100%"), "{same}");
+        let worse = table.lines().find(|l| l.contains("worse")).unwrap();
+        assert!(worse.contains("0%"), "{worse}");
+    }
+
+    #[test]
+    fn margin_table_flags_regressions_with_negative_headroom() {
+        let base = snap("b", &[("hot", 100.0)]);
+        let cur = snap("b", &[("hot", 250.0)]);
+        let rows = compare(&base, &cur, 0.5);
+        let table = margin_table(&rows, &base, &cur, 0.5);
+        let hot = table.lines().find(|l| l.contains("hot")).unwrap();
+        assert!(hot.contains("REGRESSED") && hot.contains("-200%"), "{hot}");
     }
 
     #[test]

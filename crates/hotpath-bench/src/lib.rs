@@ -90,6 +90,20 @@ impl Scale {
             Scale::Quick => 800,
         }
     }
+
+    /// Workload scale for the scenario subsystem (`experiments scenario`).
+    pub fn scenario_params(self, seed: u64) -> hotpath_netsim::scenario::ScenarioParams {
+        use hotpath_netsim::scenario::ScenarioParams;
+        match self {
+            Scale::Paper => {
+                ScenarioParams { n: 20_000, seed, duration: 250, network: NetworkParams::athens() }
+            }
+            Scale::Mid => {
+                ScenarioParams { n: 5_000, seed, duration: 150, network: NetworkParams::athens() }
+            }
+            Scale::Quick => ScenarioParams { n: 300, ..ScenarioParams::quick(seed) },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -119,5 +133,15 @@ mod tests {
     #[test]
     fn quick_scale_is_small() {
         assert!(Scale::Quick.fig7_ns().iter().max().unwrap() <= &1_000);
+    }
+
+    #[test]
+    fn scenario_params_scale_with_the_level() {
+        let quick = Scale::Quick.scenario_params(7);
+        let mid = Scale::Mid.scenario_params(7);
+        let paper = Scale::Paper.scenario_params(7);
+        assert!(quick.n < mid.n && mid.n < paper.n);
+        assert_eq!(quick.seed, 7);
+        assert_eq!(paper.duration, 250);
     }
 }

@@ -51,6 +51,17 @@ pub struct FilterStats {
     pub dropped: u64,
 }
 
+impl FilterStats {
+    /// Accumulates another filter's counters (fleet-wide aggregation).
+    pub fn merge(&mut self, other: &FilterStats) {
+        self.observed += other.observed;
+        self.absorbed += other.absorbed;
+        self.reports += other.reports;
+        self.buffered += other.buffered;
+        self.dropped += other.dropped;
+    }
+}
+
 /// A buffered observation: timestamp plus its tolerance rectangle. The
 /// SSA machinery only ever needs the rectangle, which lets the crisp and
 /// uncertain variants share this core.

@@ -75,7 +75,25 @@ pub enum FallbackPolicy {
     /// Drop the measurement (the caller may retry or skip).
     Reject,
     /// Retroactively assign a predefined minimal half-width (meters).
+    /// Tables cap it at their smallest solvable width, so a hopeless
+    /// measurement never receives a wider interval than a barely
+    /// solvable one (width stays monotone non-increasing in sigma).
     MinimalArea(f64),
+}
+
+impl FallbackPolicy {
+    /// Parses a CLI/config tag: `reject`, `minimal`, or `minimal:<w>`
+    /// (width in meters; bare `minimal` uses 0.5 m).
+    pub fn parse(s: &str) -> Option<FallbackPolicy> {
+        match s {
+            "reject" => Some(FallbackPolicy::Reject),
+            "minimal" => Some(FallbackPolicy::MinimalArea(0.5)),
+            _ => {
+                let w: f64 = s.strip_prefix("minimal:")?.parse().ok()?;
+                (w > 0.0 && w.is_finite()).then_some(FallbackPolicy::MinimalArea(w))
+            }
+        }
+    }
 }
 
 /// Precomputed `(eps, delta) -> half-width` lookup table over a sigma
@@ -94,6 +112,10 @@ pub struct ToleranceTable {
     /// `None` once sigma exceeds the solvable range.
     widths: Vec<Option<f64>>,
     fallback: FallbackPolicy,
+    /// Smallest solvable width on the grid (the width at the noisiest
+    /// solvable node); fallback widths are capped here so the returned
+    /// width is monotone non-increasing in sigma.
+    min_solvable: f64,
 }
 
 impl ToleranceTable {
@@ -108,10 +130,17 @@ impl ToleranceTable {
     ) -> Self {
         assert!(steps >= 1, "need at least one grid interval");
         assert!(sigma_max > 0.0, "sigma_max must be positive");
+        if let FallbackPolicy::MinimalArea(w) = fallback {
+            assert!(w > 0.0 && w.is_finite(), "MinimalArea width must be positive and finite");
+        }
         let sigma_step = sigma_max / steps as f64;
-        let widths =
+        let widths: Vec<Option<f64>> =
             (0..=steps).map(|i| half_width_exact(eps, delta, i as f64 * sigma_step)).collect();
-        ToleranceTable { eps, delta, sigma_step, widths, fallback }
+        // Widths decrease in sigma, so the last solvable node holds the
+        // grid minimum (sigma = 0 always solves to exactly eps).
+        let min_solvable =
+            widths.iter().rev().find_map(|w| *w).expect("sigma = 0 is always solvable");
+        ToleranceTable { eps, delta, sigma_step, widths, fallback, min_solvable }
     }
 
     /// The tolerance radius this table was built for.
@@ -146,7 +175,10 @@ impl ToleranceTable {
         };
         solved.or(match self.fallback {
             FallbackPolicy::Reject => None,
-            FallbackPolicy::MinimalArea(w) => Some(w),
+            // Capped at the grid's smallest solvable width: a hopeless
+            // measurement must never get a wider interval than a barely
+            // solvable one.
+            FallbackPolicy::MinimalArea(w) => Some(w.min(self.min_solvable)),
         })
     }
 }
@@ -297,10 +329,47 @@ mod tests {
     fn table_fallback_policies() {
         let reject = ToleranceTable::build(10.0, 0.05, 6.0, 16, FallbackPolicy::Reject);
         assert_eq!(reject.half_width(50.0), None);
-        let minimal = ToleranceTable::build(10.0, 0.05, 6.0, 16, FallbackPolicy::MinimalArea(0.5));
-        assert_eq!(minimal.half_width(50.0), Some(0.5));
+        let minimal = ToleranceTable::build(10.0, 0.05, 6.0, 16, FallbackPolicy::MinimalArea(0.05));
+        assert_eq!(minimal.half_width(50.0), Some(0.05));
         assert_eq!(minimal.eps(), 10.0);
         assert_eq!(minimal.delta(), 0.05);
+    }
+
+    #[test]
+    fn fallback_width_is_capped_at_the_smallest_solvable_width() {
+        // A huge configured width must not hand unsolvable measurements
+        // a wider interval than the noisiest solvable sigma gets.
+        let table = ToleranceTable::build(10.0, 0.05, 6.0, 64, FallbackPolicy::MinimalArea(100.0));
+        let fallback = table.half_width(50.0).unwrap();
+        let reject = ToleranceTable::build(10.0, 0.05, 6.0, 64, FallbackPolicy::Reject);
+        let edge = (0..640)
+            .rev()
+            .find_map(|i| reject.half_width(i as f64 * 0.01))
+            .expect("some sigma solvable");
+        assert!(fallback <= edge, "fallback {fallback} wider than solvable edge {edge}");
+        // And the resulting width function is monotone non-increasing.
+        let mut prev = f64::INFINITY;
+        for i in 0..120 {
+            let w = table.half_width(i as f64 * 0.05).unwrap();
+            assert!(w <= prev + 1e-9, "width not monotone at sigma={}", i as f64 * 0.05);
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn fallback_policy_parses_cli_tags() {
+        assert_eq!(FallbackPolicy::parse("reject"), Some(FallbackPolicy::Reject));
+        assert_eq!(FallbackPolicy::parse("minimal"), Some(FallbackPolicy::MinimalArea(0.5)));
+        assert_eq!(FallbackPolicy::parse("minimal:2.5"), Some(FallbackPolicy::MinimalArea(2.5)));
+        assert_eq!(FallbackPolicy::parse("minimal:0"), None);
+        assert_eq!(FallbackPolicy::parse("minimal:-1"), None);
+        assert_eq!(FallbackPolicy::parse("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "MinimalArea width must be positive")]
+    fn build_rejects_nonpositive_minimal_width() {
+        let _ = ToleranceTable::build(10.0, 0.05, 6.0, 16, FallbackPolicy::MinimalArea(0.0));
     }
 
     #[test]

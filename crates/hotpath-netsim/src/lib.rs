@@ -25,4 +25,5 @@
 
 pub mod mobility;
 pub mod network;
+pub mod scenario;
 pub mod scenarios;

@@ -21,7 +21,7 @@
 
 use super::noise::UniformNoise;
 use super::walker::{ChoicePolicy, Walker};
-use crate::network::{NodeId, RoadNetwork};
+use crate::network::{ClosureSet, NodeId, RoadNetwork};
 use hotpath_core::geometry::{Point, TimePoint};
 use hotpath_core::time::Timestamp;
 use hotpath_core::ObjectId;
@@ -145,10 +145,52 @@ impl Population {
         }
     }
 
+    /// Retargets walkers individually: `f` receives each object id and
+    /// returns the new policy, or `None` to leave that walker alone.
+    /// Positions and mover assignments are preserved — this is how a
+    /// rush-hour scenario points different commuters at different hubs.
+    pub fn retarget(&mut self, mut f: impl FnMut(ObjectId) -> Option<ChoicePolicy>) {
+        for (i, w) in self.walkers.iter_mut().enumerate() {
+            if let Some(policy) = f(ObjectId(i as u64)) {
+                w.set_policy(policy);
+            }
+        }
+    }
+
+    /// Number of objects currently moving (under
+    /// [`AgilityModel::FixedMovers`]).
+    pub fn movers(&self) -> usize {
+        self.is_mover.iter().filter(|&&m| m).count()
+    }
+
+    /// Sets the number of concurrently moving objects (clamped to `N`):
+    /// the first `movers` walkers move, the rest stand. Only meaningful
+    /// under [`AgilityModel::FixedMovers`]; lets scenarios model
+    /// time-varying load (rush-hour surges, overnight lulls).
+    pub fn set_movers(&mut self, movers: usize) {
+        let movers = movers.min(self.walkers.len());
+        for (i, m) in self.is_mover.iter_mut().enumerate() {
+            *m = i < movers;
+        }
+    }
+
     /// Initial (seed) timepoint of an object at simulation start: its
     /// exact position at `t`, used to seed the RayTrace filters.
     pub fn seed_timepoint(&self, net: &RoadNetwork, obj: ObjectId, t: Timestamp) -> TimePoint {
         TimePoint::new(self.walkers[obj.0 as usize].position(net), t)
+    }
+
+    /// The link `obj` currently stands or travels on (ground truth; the
+    /// algorithms never see it — scenarios use it to verify invariants
+    /// such as "nobody drives a closed road").
+    pub fn walker_link(&self, obj: ObjectId) -> crate::network::LinkId {
+        self.walkers[obj.0 as usize].link()
+    }
+
+    /// True when `obj` is currently in the moving subset (under
+    /// [`AgilityModel::FixedMovers`]).
+    pub fn is_mover(&self, obj: ObjectId) -> bool {
+        self.is_mover[obj.0 as usize]
     }
 
     /// Advances one timestamp: each object moves with probability
@@ -156,6 +198,19 @@ impl Population {
     /// emits one noisy measurement. `out` is cleared and filled (reused
     /// across ticks to avoid per-tick allocation).
     pub fn tick(&mut self, net: &RoadNetwork, t: Timestamp, out: &mut Vec<Measurement>) {
+        self.tick_avoiding(net, t, None, out)
+    }
+
+    /// [`Self::tick`] with road closures: movers finish their current
+    /// link but never choose a `closed` link at a crossroad that still
+    /// has an open exit. `None` behaves exactly like [`Self::tick`].
+    pub fn tick_avoiding(
+        &mut self,
+        net: &RoadNetwork,
+        t: Timestamp,
+        closed: Option<&ClosureSet>,
+        out: &mut Vec<Measurement>,
+    ) {
         out.clear();
         for (i, w) in self.walkers.iter_mut().enumerate() {
             let moved = match self.params.agility_model {
@@ -163,7 +218,7 @@ impl Population {
                 AgilityModel::Bernoulli => self.rng.gen_bool(self.params.agility),
             };
             let truth = if moved {
-                w.advance(net, self.params.displacement, &mut self.rng)
+                w.advance_avoiding(net, self.params.displacement, closed, &mut self.rng)
             } else {
                 if !self.params.measure_when_stopped {
                     continue;
@@ -313,5 +368,55 @@ mod tests {
         let mut pop = Population::new(&net, params);
         let out = pop.tick_collect(&net, Timestamp(1));
         assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn set_movers_scales_the_moving_subset() {
+        let net = net();
+        let mut params = PopulationParams::paper_defaults(100, 11);
+        params.measure_when_stopped = false;
+        let mut pop = Population::new(&net, params);
+        assert_eq!(pop.movers(), 10); // alpha = 0.1
+        pop.set_movers(60);
+        assert_eq!(pop.movers(), 60);
+        assert_eq!(pop.tick_collect(&net, Timestamp(1)).len(), 60);
+        pop.set_movers(5);
+        assert_eq!(pop.tick_collect(&net, Timestamp(2)).len(), 5);
+        // Clamped at N.
+        pop.set_movers(10_000);
+        assert_eq!(pop.movers(), 100);
+        assert!(pop.is_mover(ObjectId(99)));
+    }
+
+    #[test]
+    fn retarget_changes_individual_policies() {
+        let net = net();
+        let mut pop = Population::new(&net, PopulationParams::paper_defaults(10, 12));
+        let target = net.bounds().centroid();
+        // Point the even walkers at the center, leave the odd ones.
+        pop.retarget(|obj| (obj.0 % 2 == 0).then_some(ChoicePolicy::Toward(target)));
+        // No panic, and the population still ticks deterministically.
+        let a = pop.tick_collect(&net, Timestamp(1));
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn tick_avoiding_none_matches_tick() {
+        let net = net();
+        let run = |avoid: bool| {
+            let mut pop = Population::new(&net, PopulationParams::paper_defaults(80, 13));
+            let mut out = Vec::new();
+            let mut all = Vec::new();
+            for t in 1..=40 {
+                if avoid {
+                    pop.tick_avoiding(&net, Timestamp(t), None, &mut out);
+                } else {
+                    pop.tick(&net, Timestamp(t), &mut out);
+                }
+                all.extend(out.iter().map(|m| (m.object.0, m.observed.p)));
+            }
+            all
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -6,7 +6,7 @@
 //! displacements `s` — "the next location will be along that link or at
 //! the opposite end node (at most)".
 
-use crate::network::{LinkId, NodeId, RoadNetwork};
+use crate::network::{ClosureSet, LinkId, NodeId, RoadNetwork};
 use hotpath_core::geometry::Point;
 use rand::Rng;
 
@@ -89,6 +89,21 @@ impl Walker {
     /// paper. When a node is reached, the next link is chosen so the
     /// following move continues immediately.
     pub fn advance<R: Rng>(&mut self, net: &RoadNetwork, displacement: f64, rng: &mut R) -> Point {
+        self.advance_avoiding(net, displacement, None, rng)
+    }
+
+    /// Like [`Self::advance`], but link choice at crossroads skips
+    /// `closed` links while an open incident link exists. A walker
+    /// already on a link that closes under it finishes that link first
+    /// (it is physically there); a fully sealed crossroad falls back to
+    /// the ordinary choice so nobody is stranded forever.
+    pub fn advance_avoiding<R: Rng>(
+        &mut self,
+        net: &RoadNetwork,
+        displacement: f64,
+        closed: Option<&ClosureSet>,
+        rng: &mut R,
+    ) -> Point {
         debug_assert!(displacement > 0.0);
         let len = net.link_length(self.link);
         let remaining = len - self.offset;
@@ -100,7 +115,8 @@ impl Walker {
             let arrived = net.other_end(self.link, self.from);
             let came_from = self.link;
             self.from = arrived;
-            self.link = choose_link(net, arrived, Some(came_from), self.policy, rng);
+            self.link =
+                choose_link_avoiding(net, arrived, Some(came_from), self.policy, closed, rng);
             self.offset = 0.0;
         }
         self.position(net)
@@ -116,12 +132,31 @@ fn choose_link<R: Rng>(
     policy: ChoicePolicy,
     rng: &mut R,
 ) -> LinkId {
+    choose_link_avoiding(net, node, arrived_by, policy, None, rng)
+}
+
+/// [`choose_link`] with an additional closure exclusion: closed links
+/// are ineligible while at least one open incident link exists (a fully
+/// sealed crossroad ignores the closures rather than strand the walker).
+fn choose_link_avoiding<R: Rng>(
+    net: &RoadNetwork,
+    node: NodeId,
+    arrived_by: Option<LinkId>,
+    policy: ChoicePolicy,
+    closed: Option<&ClosureSet>,
+    rng: &mut R,
+) -> LinkId {
     let incident = net.incident(node);
     assert!(!incident.is_empty(), "isolated node {node:?}");
+    // Honor closures only when an open link remains at this node.
+    let closed = closed.filter(|c| incident.iter().any(|&l| !c.is_closed(l)));
+    let is_closed = |l: LinkId| closed.is_some_and(|c| c.is_closed(l));
+    let open_count = incident.iter().filter(|&&l| !is_closed(l)).count();
     let exclude = match policy {
-        ChoicePolicy::Weighted { avoid_u_turn: true } if incident.len() > 1 => arrived_by,
+        ChoicePolicy::Weighted { avoid_u_turn: true } if open_count > 1 => arrived_by,
         _ => None,
     };
+    let eligible = |l: LinkId| Some(l) != exclude && !is_closed(l);
     let here = net.node(node).pos;
     let weight_of = |l: LinkId| -> f64 {
         let base = net.link(l).class.weight();
@@ -145,11 +180,11 @@ fn choose_link<R: Rng>(
             }
         }
     };
-    let total: f64 = incident.iter().filter(|&&l| Some(l) != exclude).map(|&l| weight_of(l)).sum();
+    let total: f64 = incident.iter().filter(|&&l| eligible(l)).map(|&l| weight_of(l)).sum();
     debug_assert!(total > 0.0);
     let mut pick = rng.gen_range(0.0..total);
     for &l in incident {
-        if Some(l) == exclude {
+        if !eligible(l) {
             continue;
         }
         let w = weight_of(l);
@@ -159,7 +194,7 @@ fn choose_link<R: Rng>(
         pick -= w;
     }
     // Floating-point slack: fall back to the last eligible link.
-    *incident.iter().rev().find(|&&l| Some(l) != exclude).expect("at least one eligible link")
+    *incident.iter().rev().find(|&&l| eligible(l)).expect("at least one eligible link")
 }
 
 #[cfg(test)]
@@ -306,5 +341,59 @@ mod tests {
             (0..100).map(|_| w.advance(&net, 10.0, &mut rng)).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn closed_links_are_never_chosen_while_alternatives_exist() {
+        use crate::network::ClosureSet;
+        let net = net();
+        // Close roughly a third of the network; walkers must keep moving
+        // and, once their current link is finished, never enter a closed
+        // link from a crossroad that still has an open one.
+        let mut closed = ClosureSet::none(&net);
+        for i in (0..net.link_count()).step_by(3) {
+            closed.close(LinkId(i as u32));
+        }
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut w = Walker::new(&net, NodeId(2), ChoicePolicy::default(), &mut rng);
+        // Let the walker clear whatever link it spawned on.
+        let spawn_link = w.link();
+        for _ in 0..1000 {
+            w.advance_avoiding(&net, 10.0, Some(&closed), &mut rng);
+            if w.link() != spawn_link {
+                break;
+            }
+        }
+        for _ in 0..2000 {
+            w.advance_avoiding(&net, 10.0, Some(&closed), &mut rng);
+            if closed.is_closed(w.link()) {
+                // Only legal when the crossroad it came through had no
+                // open exit at all.
+                let node = w.from;
+                let all_sealed = net.incident(node).iter().all(|&l| closed.is_closed(l));
+                assert!(all_sealed, "entered closed link {:?} at open node {node:?}", w.link());
+            }
+        }
+    }
+
+    #[test]
+    fn closures_at_fully_sealed_nodes_do_not_strand() {
+        use crate::network::ClosureSet;
+        let net = net();
+        let mut closed = ClosureSet::none(&net);
+        for i in 0..net.link_count() {
+            closed.close(LinkId(i as u32));
+        }
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut w = Walker::new(&net, NodeId(4), ChoicePolicy::default(), &mut rng);
+        // Everything closed: walkers behave as if nothing were.
+        let mut moved = 0.0;
+        let mut prev = w.position(&net);
+        for _ in 0..50 {
+            let p = w.advance_avoiding(&net, 10.0, Some(&closed), &mut rng);
+            moved += prev.dist_l2(&p);
+            prev = p;
+        }
+        assert!(moved > 0.0, "walker stranded by total closure");
     }
 }

@@ -199,6 +199,47 @@ impl RoadNetwork {
     }
 }
 
+/// A set of closed (impassable) links — road works, accidents, or the
+/// authorities sealing an area mid-evacuation. Walkers already on a
+/// closed link finish it (they are physically there) but never choose a
+/// closed link at a crossroad while an open alternative exists.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClosureSet {
+    closed: Vec<bool>,
+}
+
+impl ClosureSet {
+    /// An empty closure set sized for `net` (everything open).
+    pub fn none(net: &RoadNetwork) -> Self {
+        ClosureSet { closed: vec![false; net.link_count()] }
+    }
+
+    /// Closes a link (idempotent).
+    pub fn close(&mut self, link: LinkId) {
+        self.closed[link.0 as usize] = true;
+    }
+
+    /// Reopens a link (idempotent).
+    pub fn open(&mut self, link: LinkId) {
+        self.closed[link.0 as usize] = false;
+    }
+
+    /// True when `link` is closed.
+    pub fn is_closed(&self, link: LinkId) -> bool {
+        self.closed.get(link.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Number of closed links.
+    pub fn closed_count(&self) -> usize {
+        self.closed.iter().filter(|&&c| c).count()
+    }
+
+    /// Iterates over the closed link ids.
+    pub fn iter_closed(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.closed.iter().enumerate().filter_map(|(i, &c)| c.then_some(LinkId(i as u32)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,5 +319,20 @@ mod tests {
     #[should_panic(expected = "dense")]
     fn rejects_sparse_node_ids() {
         let _ = RoadNetwork::new(vec![Node { id: NodeId(5), pos: Point::ORIGIN }], vec![]);
+    }
+
+    #[test]
+    fn closure_set_tracks_links() {
+        let net = square();
+        let mut closed = ClosureSet::none(&net);
+        assert_eq!(closed.closed_count(), 0);
+        assert!(!closed.is_closed(LinkId(2)));
+        closed.close(LinkId(2));
+        closed.close(LinkId(2)); // idempotent
+        assert!(closed.is_closed(LinkId(2)));
+        assert_eq!(closed.closed_count(), 1);
+        assert_eq!(closed.iter_closed().collect::<Vec<_>>(), vec![LinkId(2)]);
+        closed.open(LinkId(2));
+        assert_eq!(closed.closed_count(), 0);
     }
 }

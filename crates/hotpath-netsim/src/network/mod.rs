@@ -6,4 +6,4 @@ mod graph;
 pub mod io;
 
 pub use generator::{generate, NetworkParams};
-pub use graph::{Link, LinkId, Node, NodeId, RoadClass, RoadNetwork};
+pub use graph::{ClosureSet, Link, LinkId, Node, NodeId, RoadClass, RoadNetwork};

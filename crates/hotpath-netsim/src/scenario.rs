@@ -1,0 +1,820 @@
+//! The unified scenario subsystem: every workload that feeds the
+//! hot-path pipeline is a [`Scenario`] — a named, seeded generator of
+//! per-tick measurement batches with scenario-specific invariants the
+//! driver can verify after a run.
+//!
+//! The [`REGISTRY`] lists every built-in scenario; `experiments
+//! scenario <name|all>` (hotpath-bench) and the integration tests build
+//! them through [`build`]. Scenarios own their network, population, and
+//! event schedule (surge windows, road closures, sensor outages), so a
+//! driver only needs `tick` + `seed_timepoint` — exactly the interface
+//! the paper's evaluation loop uses.
+//!
+//! Built-ins:
+//! * `sporting_event` — a crowd converging on a venue (Section 1);
+//! * `evacuation` — a crowd fleeing a danger point (Section 1);
+//! * `sensor_dropout` — a converging crowd with a mid-run sensor outage;
+//! * `rush_hour_surge` — a time-varying Poisson surge of commuters
+//!   concentrated on the network's hub vertices (stresses shard
+//!   imbalance: most paths start in a few cells);
+//! * `evacuation_reroute` — an evacuation whose arterial escape routes
+//!   close mid-run, forcing correlated path churn and hotness decay.
+
+use crate::mobility::{ChoicePolicy, Measurement, Population, PopulationParams};
+use crate::network::{generate, ClosureSet, NetworkParams, NodeId, RoadClass, RoadNetwork};
+use crate::scenarios::{evacuation, nearest_node, sensor_dropout, sporting_event, DropoutWindow};
+use hotpath_core::geometry::TimePoint;
+use hotpath_core::time::Timestamp;
+use hotpath_core::ObjectId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale knobs every scenario understands. Scenario-specific structure
+/// (surge timing, closure sets, outage windows) derives from these
+/// deterministically, so one `(params, name)` pair fully describes a
+/// workload.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioParams {
+    /// Number of moving objects `N`.
+    pub n: usize,
+    /// RNG seed (network, population, and event draws all derive from
+    /// it — same seed, same measurement stream, bit for bit).
+    pub seed: u64,
+    /// Run length in timestamps.
+    pub duration: u64,
+    /// The road network to generate.
+    pub network: NetworkParams,
+}
+
+impl ScenarioParams {
+    /// CI-friendly defaults: a tiny network, 300 objects, 150 ticks.
+    pub fn quick(seed: u64) -> Self {
+        ScenarioParams { n: 300, seed, duration: 150, network: NetworkParams::tiny(seed) }
+    }
+}
+
+/// One epoch boundary as the driver observed it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochSample {
+    /// The boundary timestamp.
+    pub timestamp: Timestamp,
+    /// Motion paths stored after processing.
+    pub index_size: usize,
+    /// Top-k score after processing.
+    pub top_k_score: f64,
+    /// Top-k path ids, hottest first (ties broken as the coordinator
+    /// breaks them).
+    pub top_ids: Vec<u64>,
+    /// The hottest path's hotness (crossing count), when any.
+    pub top_hotness: Option<u32>,
+}
+
+/// Everything a driver run exposes to [`Scenario::check_invariants`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Per-epoch observations in order.
+    pub per_epoch: Vec<EpochSample>,
+    /// Final top-k as `(path id, hotness)`, hottest first.
+    pub final_top_k: Vec<(u64, u32)>,
+    /// Measurements the scenario emitted over the whole run.
+    pub measurements: u64,
+    /// Client state reports that reached the coordinator.
+    pub reports: u64,
+}
+
+impl ScenarioOutcome {
+    /// The first epoch at or after `t`.
+    pub fn epoch_at(&self, t: Timestamp) -> Option<&EpochSample> {
+        self.per_epoch.iter().find(|e| e.timestamp >= t)
+    }
+}
+
+/// A named, seeded workload: the one interface every driver (simulation
+/// harness, experiments CLI, benches, tests) uses to pull measurement
+/// streams.
+pub trait Scenario {
+    /// Registry name (stable; used by CLIs and reports).
+    fn name(&self) -> &'static str;
+    /// The network the population walks (for map rendering and ground
+    /// truth; the hot-path algorithms never see it).
+    fn network(&self) -> &RoadNetwork;
+    /// Number of objects.
+    fn n(&self) -> usize;
+    /// Run length in timestamps.
+    fn duration(&self) -> u64;
+    /// Sliding-window length this scenario's invariants assume (e.g.
+    /// the dropout outage must be shorter than the window).
+    fn window_hint(&self) -> u64 {
+        40
+    }
+    /// The exact position of `obj` at simulation start (seeds the
+    /// client filters).
+    fn seed_timepoint(&self, obj: ObjectId, t: Timestamp) -> TimePoint;
+    /// Advances one timestamp and fills `out` with the surviving
+    /// measurements (scenario events — outages, closures, surges —
+    /// already applied). `out` is cleared first; reuse it across ticks.
+    fn tick(&mut self, t: Timestamp, out: &mut Vec<Measurement>);
+    /// Verifies the scenario's expected story against what the driver
+    /// observed (plus any ground truth tracked during `tick`). Called
+    /// once, after the final tick.
+    fn check_invariants(&self, outcome: &ScenarioOutcome) -> Result<(), String>;
+}
+
+/// A registry row: name, one-line story, and builder.
+#[derive(Clone, Copy)]
+pub struct ScenarioSpec {
+    /// Stable scenario name (CLI argument).
+    pub name: &'static str,
+    /// One-line description for listings.
+    pub summary: &'static str,
+    /// Builds the scenario at the given scale.
+    pub build: fn(&ScenarioParams) -> Box<dyn Scenario>,
+}
+
+/// Every built-in scenario, in presentation order.
+pub const REGISTRY: &[ScenarioSpec] = &[
+    ScenarioSpec {
+        name: "sporting_event",
+        summary: "crowd converging on a venue along weighted arterials",
+        build: |p| Box::new(SportingEventScenario::new(p)),
+    },
+    ScenarioSpec {
+        name: "evacuation",
+        summary: "crowd fleeing a danger point along popular escape routes",
+        build: |p| Box::new(EvacuationScenario::new(p)),
+    },
+    ScenarioSpec {
+        name: "sensor_dropout",
+        summary: "converging crowd with a mid-run sensor outage window",
+        build: |p| Box::new(SensorDropoutScenario::new(p)),
+    },
+    ScenarioSpec {
+        name: "rush_hour_surge",
+        summary: "time-varying Poisson commuter surge concentrated on hub vertices",
+        build: |p| Box::new(RushHourSurgeScenario::new(p)),
+    },
+    ScenarioSpec {
+        name: "evacuation_reroute",
+        summary: "evacuation with mid-run arterial closures forcing path churn",
+        build: |p| Box::new(EvacuationRerouteScenario::new(p)),
+    },
+];
+
+/// Looks up a registry row by name.
+pub fn spec(name: &str) -> Option<&'static ScenarioSpec> {
+    REGISTRY.iter().find(|s| s.name == name)
+}
+
+/// Builds a registered scenario by name at the given scale.
+pub fn build(name: &str, params: &ScenarioParams) -> Option<Box<dyn Scenario>> {
+    spec(name).map(|s| (s.build)(params))
+}
+
+/// Shared sanity floor: the pipeline discovered something and scored it.
+fn require_discovery(name: &str, outcome: &ScenarioOutcome) -> Result<(), String> {
+    if outcome.reports == 0 {
+        return Err(format!("{name}: no client ever reported"));
+    }
+    if outcome.final_top_k.is_empty() {
+        return Err(format!("{name}: empty final top-k"));
+    }
+    if !outcome.per_epoch.iter().any(|e| e.top_k_score > 0.0) {
+        return Err(format!("{name}: top-k never scored"));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// sporting_event
+// ---------------------------------------------------------------------
+
+/// A crowd drifting toward a central venue (Section 1's targeted
+/// advertising story) behind the [`Scenario`] interface.
+pub struct SportingEventScenario {
+    net: RoadNetwork,
+    pop: Population,
+    params: ScenarioParams,
+}
+
+impl SportingEventScenario {
+    /// Builds the scenario: venue at the node nearest the map center.
+    pub fn new(params: &ScenarioParams) -> Self {
+        let net = generate(params.network);
+        let venue = nearest_node(&net, net.bounds().centroid());
+        let pop = sporting_event(&net, params.n, venue, params.seed.wrapping_add(1));
+        SportingEventScenario { net, pop, params: *params }
+    }
+}
+
+impl Scenario for SportingEventScenario {
+    fn name(&self) -> &'static str {
+        "sporting_event"
+    }
+    fn network(&self) -> &RoadNetwork {
+        &self.net
+    }
+    fn n(&self) -> usize {
+        self.params.n
+    }
+    fn duration(&self) -> u64 {
+        self.params.duration
+    }
+    fn seed_timepoint(&self, obj: ObjectId, t: Timestamp) -> TimePoint {
+        self.pop.seed_timepoint(&self.net, obj, t)
+    }
+    fn tick(&mut self, t: Timestamp, out: &mut Vec<Measurement>) {
+        self.pop.tick(&self.net, t, out);
+    }
+    fn check_invariants(&self, outcome: &ScenarioOutcome) -> Result<(), String> {
+        require_discovery(self.name(), outcome)?;
+        // The crowd converges, so some corridor must heat up beyond a
+        // single crossing.
+        let hottest = outcome.final_top_k.first().map(|&(_, h)| h).unwrap_or(0);
+        if hottest < 2 {
+            return Err(format!("sporting_event: no corridor heated up (hottest {hottest})"));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// evacuation
+// ---------------------------------------------------------------------
+
+/// A crowd fleeing the map center (Section 1's emergency-response
+/// story) behind the [`Scenario`] interface.
+pub struct EvacuationScenario {
+    net: RoadNetwork,
+    pop: Population,
+    params: ScenarioParams,
+}
+
+impl EvacuationScenario {
+    /// Builds the scenario: danger at the map centroid.
+    pub fn new(params: &ScenarioParams) -> Self {
+        let net = generate(params.network);
+        let danger = net.bounds().centroid();
+        let pop = evacuation(&net, params.n, danger, params.seed.wrapping_add(1));
+        EvacuationScenario { net, pop, params: *params }
+    }
+}
+
+impl Scenario for EvacuationScenario {
+    fn name(&self) -> &'static str {
+        "evacuation"
+    }
+    fn network(&self) -> &RoadNetwork {
+        &self.net
+    }
+    fn n(&self) -> usize {
+        self.params.n
+    }
+    fn duration(&self) -> u64 {
+        self.params.duration
+    }
+    fn seed_timepoint(&self, obj: ObjectId, t: Timestamp) -> TimePoint {
+        self.pop.seed_timepoint(&self.net, obj, t)
+    }
+    fn tick(&mut self, t: Timestamp, out: &mut Vec<Measurement>) {
+        self.pop.tick(&self.net, t, out);
+    }
+    fn check_invariants(&self, outcome: &ScenarioOutcome) -> Result<(), String> {
+        require_discovery(self.name(), outcome)
+    }
+}
+
+// ---------------------------------------------------------------------
+// sensor_dropout
+// ---------------------------------------------------------------------
+
+/// A converging crowd whose every `stride`-th sensor goes dark over a
+/// mid-run window; the top-k must ride the outage out.
+pub struct SensorDropoutScenario {
+    net: RoadNetwork,
+    pop: Population,
+    window: DropoutWindow,
+    params: ScenarioParams,
+}
+
+impl SensorDropoutScenario {
+    /// Builds the scenario; the outage silences every other sensor over
+    /// the middle of the run, shorter than the hotness window.
+    pub fn new(params: &ScenarioParams) -> Self {
+        let net = generate(params.network);
+        let venue = nearest_node(&net, net.bounds().centroid());
+        let from = params.duration * 8 / 15;
+        let until = from + params.duration / 6;
+        let (pop, window) = sensor_dropout(
+            &net,
+            params.n,
+            venue,
+            params.seed.wrapping_add(1),
+            Timestamp(from),
+            Timestamp(until),
+            2,
+        );
+        SensorDropoutScenario { net, pop, window, params: *params }
+    }
+
+    /// The outage window.
+    pub fn dropout_window(&self) -> DropoutWindow {
+        self.window
+    }
+}
+
+impl Scenario for SensorDropoutScenario {
+    fn name(&self) -> &'static str {
+        "sensor_dropout"
+    }
+    fn network(&self) -> &RoadNetwork {
+        &self.net
+    }
+    fn n(&self) -> usize {
+        self.params.n
+    }
+    fn duration(&self) -> u64 {
+        self.params.duration
+    }
+    fn window_hint(&self) -> u64 {
+        // The outage must be shorter than the sliding window so
+        // pre-outage crossings keep the hot set alive.
+        60
+    }
+    fn seed_timepoint(&self, obj: ObjectId, t: Timestamp) -> TimePoint {
+        self.pop.seed_timepoint(&self.net, obj, t)
+    }
+    fn tick(&mut self, t: Timestamp, out: &mut Vec<Measurement>) {
+        self.pop.tick(&self.net, t, out);
+        out.retain(|m| !self.window.drops(m.object, t));
+    }
+    fn check_invariants(&self, outcome: &ScenarioOutcome) -> Result<(), String> {
+        require_discovery(self.name(), outcome)?;
+        // Stability: the hottest pre-outage corridor is still in the
+        // top-k when the sensors come back...
+        let at_start =
+            outcome.epoch_at(self.window.from).ok_or("sensor_dropout: no epoch at outage start")?;
+        let Some(&top_start) = at_start.top_ids.first() else {
+            return Err("sensor_dropout: empty top-k at outage start".into());
+        };
+        let at_end = outcome
+            .epoch_at(self.window.until)
+            .ok_or("sensor_dropout: no epoch after outage end")?;
+        if !at_end.top_ids.contains(&top_start) {
+            return Err(format!(
+                "sensor_dropout: pre-outage top path {top_start} fell out of the post-outage \
+                 top-k {:?}",
+                at_end.top_ids
+            ));
+        }
+        // ...and the score never collapses while sensors are dark.
+        for e in &outcome.per_epoch {
+            if e.timestamp >= self.window.from
+                && e.timestamp <= self.window.until
+                && e.top_k_score <= 0.0
+            {
+                return Err(format!(
+                    "sensor_dropout: top-k score collapsed during the outage (t={:?})",
+                    e.timestamp
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// rush_hour_surge
+// ---------------------------------------------------------------------
+
+/// Samples a Poisson count with rate `lambda` (Knuth for small rates, a
+/// clamped normal approximation for large ones — exact enough for load
+/// shaping, and free of `exp(-lambda)` underflow).
+fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let limit = (-lambda).exp();
+        let mut product: f64 = rng.gen_range(0.0..1.0);
+        let mut count = 0usize;
+        while product > limit {
+            product *= rng.gen_range(0.0..1.0f64);
+            count += 1;
+        }
+        count
+    } else {
+        // Normal approximation N(lambda, lambda), Box-Muller.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (lambda + lambda.sqrt() * z).round().max(0.0) as usize
+    }
+}
+
+/// A commuter rush hour: object activity follows a time-varying Poisson
+/// surge, and the surging commuters all head for a handful of hub
+/// vertices (the heaviest crossroads), concentrating path starts on a
+/// few grid cells — the worst case for the sharded coordinator's
+/// start-vertex routing.
+pub struct RushHourSurgeScenario {
+    net: RoadNetwork,
+    pop: Population,
+    rng: SmallRng,
+    hubs: Vec<NodeId>,
+    params: ScenarioParams,
+    base_movers: usize,
+    surge_from: u64,
+    surge_until: u64,
+    /// Largest concurrent mover count observed (ground truth for the
+    /// surge invariant).
+    peak_movers: usize,
+}
+
+impl RushHourSurgeScenario {
+    /// Builds the scenario: surge over the middle 40% of the run, rate
+    /// peaking at half the population, targets spread over the top-3
+    /// hub vertices.
+    pub fn new(params: &ScenarioParams) -> Self {
+        let net = generate(params.network);
+        let hubs = Self::hub_nodes(&net, 3);
+        let pop = Population::new(
+            &net,
+            PopulationParams {
+                // Off-peak trickle; the surge raises activity on top.
+                agility: 0.1,
+                ..PopulationParams::paper_defaults(params.n, params.seed.wrapping_add(1))
+            },
+        );
+        let base_movers = pop.movers();
+        RushHourSurgeScenario {
+            net,
+            pop,
+            rng: SmallRng::seed_from_u64(params.seed.wrapping_add(2)),
+            hubs,
+            params: *params,
+            base_movers,
+            surge_from: params.duration * 3 / 10,
+            surge_until: params.duration * 7 / 10,
+            peak_movers: base_movers,
+        }
+    }
+
+    /// The `k` nodes with the largest incident link weight (degree
+    /// weighted by road class) — the arterial interchanges commuters
+    /// funnel through. Ties break toward the smaller id.
+    pub fn hub_nodes(net: &RoadNetwork, k: usize) -> Vec<NodeId> {
+        let mut ranked: Vec<(f64, NodeId)> = net
+            .nodes()
+            .iter()
+            .map(|n| {
+                let w: f64 = net.incident(n.id).iter().map(|&l| net.link(l).class.weight()).sum();
+                (w, n.id)
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        ranked.truncate(k);
+        ranked.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// The surge's Poisson rate at `t`: a triangle ramping from 0 at the
+    /// surge edges to `n/2` at its midpoint.
+    fn surge_rate(&self, t: u64) -> f64 {
+        if t < self.surge_from || t >= self.surge_until {
+            return 0.0;
+        }
+        let span = (self.surge_until - self.surge_from).max(1) as f64;
+        let mid = self.surge_from as f64 + span / 2.0;
+        let dist = (t as f64 - mid).abs() / (span / 2.0);
+        (1.0 - dist).max(0.0) * self.params.n as f64 * 0.5
+    }
+
+    /// The hub nodes the surge converges on.
+    pub fn hubs(&self) -> &[NodeId] {
+        &self.hubs
+    }
+}
+
+impl Scenario for RushHourSurgeScenario {
+    fn name(&self) -> &'static str {
+        "rush_hour_surge"
+    }
+    fn network(&self) -> &RoadNetwork {
+        &self.net
+    }
+    fn n(&self) -> usize {
+        self.params.n
+    }
+    fn duration(&self) -> u64 {
+        self.params.duration
+    }
+    fn seed_timepoint(&self, obj: ObjectId, t: Timestamp) -> TimePoint {
+        self.pop.seed_timepoint(&self.net, obj, t)
+    }
+    fn tick(&mut self, t: Timestamp, out: &mut Vec<Measurement>) {
+        let raw = t.raw();
+        if raw == self.surge_from {
+            // The morning commute begins: everyone picks a hub.
+            let hubs: Vec<_> = self.hubs.iter().map(|&h| self.net.node(h).pos).collect();
+            self.pop.retarget(|obj| Some(ChoicePolicy::Toward(hubs[obj.0 as usize % hubs.len()])));
+        }
+        if raw == self.surge_until {
+            // Surge over: back to undirected weighted wandering.
+            self.pop.retarget(|_| Some(ChoicePolicy::default()));
+        }
+        let rate = self.surge_rate(raw);
+        let surging = poisson(&mut self.rng, rate);
+        let movers = (self.base_movers + surging).min(self.params.n);
+        self.pop.set_movers(movers);
+        self.peak_movers = self.peak_movers.max(movers);
+        self.pop.tick(&self.net, t, out);
+    }
+    fn check_invariants(&self, outcome: &ScenarioOutcome) -> Result<(), String> {
+        require_discovery(self.name(), outcome)?;
+        // The surge must actually have surged.
+        if self.peak_movers <= self.base_movers {
+            return Err(format!(
+                "rush_hour_surge: surge never rose above the base load ({} movers)",
+                self.base_movers
+            ));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// evacuation_reroute
+// ---------------------------------------------------------------------
+
+/// An evacuation whose arterial escape routes (motorways and highways)
+/// close mid-run: walkers must reroute onto the side streets, the old
+/// hot corridors stop being crossed and decay out of the window, and
+/// fresh ones form — maximal churn for the hotness expiry machinery.
+pub struct EvacuationRerouteScenario {
+    net: RoadNetwork,
+    pop: Population,
+    closed: ClosureSet,
+    params: ScenarioParams,
+    closure_at: u64,
+    /// First tick by which every mover has had time to finish the link
+    /// it was on when the closures landed.
+    grace_until: u64,
+    /// Movers seen on a closed link after the grace period, at a
+    /// crossroad that still had an open exit (must stay zero).
+    violations: usize,
+}
+
+impl EvacuationRerouteScenario {
+    /// Builds the scenario: danger at the centroid, arterials close at
+    /// 40% of the run.
+    pub fn new(params: &ScenarioParams) -> Self {
+        let net = generate(params.network);
+        let danger = net.bounds().centroid();
+        let pop = evacuation(&net, params.n, danger, params.seed.wrapping_add(1));
+        let mut closed = ClosureSet::none(&net);
+        for l in net.links() {
+            if matches!(l.class, RoadClass::Motorway | RoadClass::Highway) {
+                closed.close(l.id);
+            }
+        }
+        let closure_at = params.duration * 2 / 5;
+        // Longest link over the paper's 10 m displacement, plus slack.
+        let max_link = (0..net.link_count())
+            .map(|i| net.link_length(crate::network::LinkId(i as u32)))
+            .fold(0.0f64, f64::max);
+        let grace = (max_link / pop.params().displacement).ceil() as u64 + 2;
+        EvacuationRerouteScenario {
+            net,
+            pop,
+            closed,
+            params: *params,
+            closure_at,
+            grace_until: closure_at + grace,
+            violations: 0,
+        }
+    }
+
+    /// The closure set applied at `closure_at`.
+    pub fn closures(&self) -> &ClosureSet {
+        &self.closed
+    }
+
+    /// The tick the closures land on.
+    pub fn closure_at(&self) -> u64 {
+        self.closure_at
+    }
+}
+
+impl Scenario for EvacuationRerouteScenario {
+    fn name(&self) -> &'static str {
+        "evacuation_reroute"
+    }
+    fn network(&self) -> &RoadNetwork {
+        &self.net
+    }
+    fn n(&self) -> usize {
+        self.params.n
+    }
+    fn duration(&self) -> u64 {
+        self.params.duration
+    }
+    fn seed_timepoint(&self, obj: ObjectId, t: Timestamp) -> TimePoint {
+        self.pop.seed_timepoint(&self.net, obj, t)
+    }
+    fn tick(&mut self, t: Timestamp, out: &mut Vec<Measurement>) {
+        let raw = t.raw();
+        let closed = (raw >= self.closure_at).then_some(&self.closed);
+        self.pop.tick_avoiding(&self.net, t, closed, out);
+        if raw >= self.grace_until {
+            // Ground truth: after the grace period no mover may still be
+            // driving a closed road, unless it came through a crossroad
+            // with no open exit at all.
+            for i in 0..self.params.n {
+                let obj = ObjectId(i as u64);
+                if !self.pop.is_mover(obj) {
+                    continue;
+                }
+                let link = self.pop.walker_link(obj);
+                if !self.closed.is_closed(link) {
+                    continue;
+                }
+                let l = self.net.link(link);
+                let sealed = |node: NodeId| {
+                    self.net.incident(node).iter().all(|&x| self.closed.is_closed(x))
+                };
+                if !sealed(l.a) && !sealed(l.b) {
+                    self.violations += 1;
+                }
+            }
+        }
+    }
+    fn check_invariants(&self, outcome: &ScenarioOutcome) -> Result<(), String> {
+        require_discovery(self.name(), outcome)?;
+        if self.closed.closed_count() == 0 {
+            return Err("evacuation_reroute: nothing was closed".into());
+        }
+        if self.violations > 0 {
+            return Err(format!(
+                "evacuation_reroute: {} mover-ticks on closed links after the grace period",
+                self.violations
+            ));
+        }
+        // The pipeline must keep discovering after the reroute: some
+        // post-grace epoch still scores. On large networks the longest
+        // link can push the grace period to the end of the run, so the
+        // checkpoint clamps to the final epoch — the pipeline must at
+        // minimum survive the closures to the finish line.
+        let last = outcome.per_epoch.last().ok_or("evacuation_reroute: no epochs observed")?;
+        let check_from = self.grace_until.min(last.timestamp.raw());
+        let recovered = outcome
+            .per_epoch
+            .iter()
+            .any(|e| e.timestamp.raw() >= check_from && e.top_k_score > 0.0);
+        if !recovered {
+            return Err("evacuation_reroute: top-k never recovered after the closures".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lists_five_scenarios_with_unique_names() {
+        assert!(REGISTRY.len() >= 5);
+        let mut names: Vec<&str> = REGISTRY.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), REGISTRY.len(), "duplicate scenario names");
+        for required in [
+            "sporting_event",
+            "evacuation",
+            "sensor_dropout",
+            "rush_hour_surge",
+            "evacuation_reroute",
+        ] {
+            assert!(spec(required).is_some(), "missing scenario {required}");
+        }
+        assert!(spec("no_such_scenario").is_none());
+    }
+
+    #[test]
+    fn every_registered_scenario_builds_and_ticks() {
+        let params = ScenarioParams { n: 60, ..ScenarioParams::quick(5) };
+        let mut out = Vec::new();
+        for s in REGISTRY {
+            let mut scenario = (s.build)(&params);
+            assert_eq!(scenario.name(), s.name);
+            assert_eq!(scenario.n(), 60);
+            let mut total = 0usize;
+            for t in 1..=30u64 {
+                scenario.tick(Timestamp(t), &mut out);
+                total += out.len();
+            }
+            assert!(total > 0, "{} emitted nothing", s.name);
+            let seed = scenario.seed_timepoint(ObjectId(0), Timestamp(0));
+            assert!(scenario.network().bounds().expand(1.0).contains(&seed.p));
+        }
+    }
+
+    #[test]
+    fn scenario_streams_are_deterministic_per_seed() {
+        let params = ScenarioParams { n: 50, ..ScenarioParams::quick(77) };
+        for s in REGISTRY {
+            let run = || {
+                let mut scenario = (s.build)(&params);
+                let mut out = Vec::new();
+                let mut all = Vec::new();
+                for t in 1..=40u64 {
+                    scenario.tick(Timestamp(t), &mut out);
+                    all.extend(out.iter().map(|m| (m.object.0, m.observed.p, m.truth)));
+                }
+                all
+            };
+            assert_eq!(run(), run(), "{} not deterministic", s.name);
+        }
+    }
+
+    #[test]
+    fn rush_hour_surge_raises_and_releases_load() {
+        let params = ScenarioParams { n: 200, ..ScenarioParams::quick(9) };
+        let mut s = RushHourSurgeScenario::new(&params);
+        let base = s.base_movers;
+        let mut out = Vec::new();
+        let mut mid_peak = 0usize;
+        for t in 1..=params.duration {
+            s.tick(Timestamp(t), &mut out);
+            let mid = params.duration / 2;
+            if t.abs_diff(mid) < 10 {
+                mid_peak = mid_peak.max(s.pop.movers());
+            }
+        }
+        assert!(mid_peak > base, "no surge at midpoint: {mid_peak} <= {base}");
+        assert!(s.peak_movers > base);
+        // After the surge the mover count falls back to the base level.
+        assert_eq!(s.pop.movers(), base);
+    }
+
+    #[test]
+    fn hub_nodes_are_the_heaviest_crossroads() {
+        let net = generate(NetworkParams::tiny(3));
+        let hubs = RushHourSurgeScenario::hub_nodes(&net, 3);
+        assert_eq!(hubs.len(), 3);
+        let weight = |id: NodeId| -> f64 {
+            net.incident(id).iter().map(|&l| net.link(l).class.weight()).sum()
+        };
+        let min_hub = hubs.iter().map(|&h| weight(h)).fold(f64::INFINITY, f64::min);
+        for n in net.nodes() {
+            if !hubs.contains(&n.id) {
+                assert!(weight(n.id) <= min_hub + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn evacuation_reroute_closes_arterials_and_tracks_no_violations() {
+        let params = ScenarioParams { n: 120, ..ScenarioParams::quick(11) };
+        let mut s = EvacuationRerouteScenario::new(&params);
+        assert!(s.closures().closed_count() > 0, "no arterials to close");
+        let mut out = Vec::new();
+        for t in 1..=params.duration {
+            s.tick(Timestamp(t), &mut out);
+        }
+        assert_eq!(s.violations, 0, "movers kept driving closed roads");
+    }
+
+    #[test]
+    fn poisson_sampler_tracks_the_rate() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for &lambda in &[0.0, 2.5, 12.0, 80.0] {
+            let n = 4000;
+            let total: usize = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.1,
+                "poisson mean {mean} far from lambda {lambda}"
+            );
+        }
+    }
+
+    #[test]
+    fn outcome_epoch_lookup() {
+        let sample = |t: u64| EpochSample {
+            timestamp: Timestamp(t),
+            index_size: 1,
+            top_k_score: 1.0,
+            top_ids: vec![7],
+            top_hotness: Some(2),
+        };
+        let outcome = ScenarioOutcome {
+            per_epoch: vec![sample(5), sample(10), sample(15)],
+            final_top_k: vec![(7, 2)],
+            measurements: 10,
+            reports: 3,
+        };
+        assert_eq!(outcome.epoch_at(Timestamp(9)).unwrap().timestamp, Timestamp(10));
+        assert_eq!(outcome.epoch_at(Timestamp(15)).unwrap().timestamp, Timestamp(15));
+        assert!(outcome.epoch_at(Timestamp(16)).is_none());
+    }
+}

@@ -25,4 +25,5 @@
 pub mod experiment;
 pub mod metrics;
 pub mod report;
+pub mod scenario_run;
 pub mod simulation;

@@ -1,0 +1,410 @@
+//! The scenario driver: runs any registered [`Scenario`] through the
+//! full client-filter + coordinator pipeline, records the same
+//! per-epoch metrics as the figure experiments, verifies the scenario's
+//! invariants, and sweeps the `(sigma, FallbackPolicy)` uncertainty
+//! grid.
+//!
+//! Crisp mode (`sigma = 0`) feeds the scenario's own measurements
+//! (population noise included) through [`RayTraceFilter`]s. Uncertain
+//! mode (`sigma > 0`) replaces the sensor model: each true position is
+//! re-measured by a Gaussian device with the given sigma and flows
+//! through [`UncertainRayTraceFilter`]s, so one scenario exercises the
+//! whole Section 4.1 machinery — including both fallback policies.
+
+use crate::metrics::{EpochMetrics, Summary};
+use hotpath_core::config::{Config, Tolerance};
+use hotpath_core::coordinator::Coordinator;
+use hotpath_core::raytrace::{ClientState, FilterStats, RayTraceFilter, UncertainRayTraceFilter};
+use hotpath_core::time::Timestamp;
+use hotpath_core::uncertainty::{FallbackPolicy, ToleranceTable2D};
+use hotpath_core::ObjectId;
+use hotpath_netsim::mobility::{GaussianNoise, Measurement};
+use hotpath_netsim::scenario::{build, EpochSample, Scenario, ScenarioOutcome, ScenarioParams};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Driver knobs; defaults mirror the scenario integration tests.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioRunParams {
+    /// Tolerance `eps` in meters.
+    pub eps: f64,
+    /// Failure probability `delta` of the `(eps, delta)` tolerance
+    /// (uncertain mode only).
+    pub delta: f64,
+    /// Gaussian sensor sigma; `0` runs the crisp pipeline.
+    pub sigma: f64,
+    /// What to do with unsolvably noisy measurements (uncertain mode).
+    pub fallback: FallbackPolicy,
+    /// Sliding window `W`; `None` uses the scenario's hint.
+    pub window: Option<u64>,
+    /// Epoch length.
+    pub epoch: u64,
+    /// Top-k size.
+    pub k: usize,
+    /// Coordinator shards (1 = sequential; results are identical at
+    /// every shard count).
+    pub shards: usize,
+    /// Seed for the driver's Gaussian re-measurement device (kept apart
+    /// from the scenario seed so noise and workload vary independently).
+    pub noise_seed: u64,
+}
+
+impl Default for ScenarioRunParams {
+    fn default() -> Self {
+        ScenarioRunParams {
+            eps: 10.0,
+            delta: 0.05,
+            sigma: 0.0,
+            fallback: FallbackPolicy::Reject,
+            window: None,
+            epoch: 5,
+            k: 10,
+            shards: 1,
+            noise_seed: 0x5eed,
+        }
+    }
+}
+
+impl ScenarioRunParams {
+    /// The core [`Config`] for `scenario` under these knobs.
+    pub fn config(&self, scenario: &dyn Scenario) -> Config {
+        Config::paper_defaults()
+            .with_tolerance(if self.sigma > 0.0 {
+                Tolerance::uncertain(self.eps, self.delta)
+            } else {
+                Tolerance::crisp(self.eps)
+            })
+            .with_window(self.window.unwrap_or_else(|| scenario.window_hint()))
+            .with_epoch(self.epoch)
+            .with_k(self.k)
+            .with_grid_cell((8.0 * self.eps).max(50.0))
+            .with_shards(self.shards)
+    }
+}
+
+/// Everything a scenario run produces.
+pub struct ScenarioRunResult {
+    /// The observations handed to the invariant hook.
+    pub outcome: ScenarioOutcome,
+    /// Per-epoch metrics (same shape as the figure experiments; DP
+    /// columns unused).
+    pub per_epoch: Vec<EpochMetrics>,
+    /// Aggregates over the run.
+    pub summary: Summary,
+    /// The scenario's verdict on its own invariants.
+    pub invariants: Result<(), String>,
+    /// Aggregate client-filter statistics (incl. drops under
+    /// [`FallbackPolicy::Reject`]).
+    pub filter_stats: FilterStats,
+    /// Final coordinator state.
+    pub coordinator: Coordinator,
+}
+
+/// One client: crisp or uncertain, mirroring the simulation driver.
+enum Client {
+    Crisp(RayTraceFilter),
+    Uncertain(UncertainRayTraceFilter),
+}
+
+impl Client {
+    fn receive(&mut self, endpoint: hotpath_core::geometry::TimePoint) -> Option<ClientState> {
+        match self {
+            Client::Crisp(f) => f.receive_endpoint(endpoint),
+            Client::Uncertain(f) => f.receive_endpoint(endpoint),
+        }
+    }
+
+    fn stats(&self) -> FilterStats {
+        match self {
+            Client::Crisp(f) => f.stats(),
+            Client::Uncertain(f) => f.stats(),
+        }
+    }
+}
+
+/// Runs `scenario` end to end and verifies its invariants.
+pub fn run_scenario(scenario: &mut dyn Scenario, params: &ScenarioRunParams) -> ScenarioRunResult {
+    assert!(params.sigma >= 0.0, "sigma must be non-negative");
+    let config = params.config(scenario);
+    let n = scenario.n();
+    let table = (params.sigma > 0.0).then(|| {
+        // Cover the requested sigma with headroom; the fallback policy
+        // decides what happens beyond the solvable range.
+        let sigma_max = (params.sigma * 1.5).max(8.0);
+        ToleranceTable2D::build(params.eps, params.delta, sigma_max, 256, params.fallback)
+    });
+    let mut clients: Vec<Client> = (0..n)
+        .map(|i| {
+            let obj = ObjectId(i as u64);
+            let seed_tp = scenario.seed_timepoint(obj, Timestamp(0));
+            match &table {
+                Some(table) => {
+                    Client::Uncertain(UncertainRayTraceFilter::new(obj, seed_tp, table.clone()))
+                }
+                None => Client::Crisp(RayTraceFilter::new(obj, seed_tp, params.eps)),
+            }
+        })
+        .collect();
+    let mut coordinator = Coordinator::new(config);
+    let noise = GaussianNoise::new(params.sigma);
+    let mut rng = SmallRng::seed_from_u64(params.noise_seed);
+
+    let mut batch: Vec<Measurement> = Vec::new();
+    let mut per_epoch = Vec::new();
+    let mut samples = Vec::new();
+    let mut measurements = 0u64;
+    let mut comm_snapshot = coordinator.comm_stats();
+
+    for t in 1..=scenario.duration() {
+        let now = Timestamp(t);
+        scenario.tick(now, &mut batch);
+        measurements += batch.len() as u64;
+        coordinator.submit_batch(batch.iter().filter_map(|m| {
+            match &mut clients[m.object.0 as usize] {
+                Client::Crisp(f) => f.observe(m.observed),
+                Client::Uncertain(f) => {
+                    // The Gaussian device re-measures the true position; the
+                    // scenario's own (uniform) sensor noise is replaced, not
+                    // stacked.
+                    let g = noise.measure(m.truth, &mut rng);
+                    f.observe_gaussian(g, now)
+                }
+            }
+        }));
+        coordinator.advance_time(now);
+        if config.epochs.is_epoch(now) {
+            let reporting = coordinator.pending_len();
+            let start = Instant::now();
+            let responses = coordinator.process_epoch(now);
+            let elapsed = start.elapsed();
+            coordinator.submit_batch(
+                responses
+                    .iter()
+                    .filter_map(|resp| clients[resp.object.0 as usize].receive(resp.endpoint)),
+            );
+            let comm_now = coordinator.comm_stats();
+            let top = coordinator.top_k();
+            samples.push(EpochSample {
+                timestamp: now,
+                index_size: coordinator.index_size(),
+                top_k_score: coordinator.top_k_score(),
+                top_ids: top.iter().map(|h| h.path.id.0).collect(),
+                top_hotness: top.first().map(|h| h.hotness),
+            });
+            per_epoch.push(EpochMetrics {
+                epoch: config.epochs.epoch_index(now),
+                timestamp: now,
+                reporting,
+                index_size: coordinator.index_size(),
+                top_k_score: coordinator.top_k_score(),
+                processing: elapsed,
+                comm: comm_now.since(&comm_snapshot),
+                dp_index_size: None,
+                dp_score: None,
+            });
+            comm_snapshot = comm_now;
+        }
+    }
+
+    let mut filter_stats = FilterStats::default();
+    for c in &clients {
+        filter_stats.merge(&c.stats());
+    }
+    let outcome = ScenarioOutcome {
+        per_epoch: samples,
+        final_top_k: coordinator.top_k().iter().map(|h| (h.path.id.0, h.hotness)).collect(),
+        measurements,
+        reports: filter_stats.reports,
+    };
+    coordinator.check_consistency().expect("coordinator state inconsistent");
+    let invariants = scenario.check_invariants(&outcome);
+    let summary = Summary::from_epochs(&per_epoch, measurements);
+    ScenarioRunResult { outcome, per_epoch, summary, invariants, filter_stats, coordinator }
+}
+
+/// Builds a registered scenario and runs it; `None` when the name is
+/// unknown.
+pub fn run_named(
+    name: &str,
+    scale: &ScenarioParams,
+    params: &ScenarioRunParams,
+) -> Option<ScenarioRunResult> {
+    let mut scenario = build(name, scale)?;
+    Some(run_scenario(scenario.as_mut(), params))
+}
+
+/// The observable fingerprint of a run used by the parity checks:
+/// per-epoch `(index size, score bits, top-k ids)`, final top-k, and
+/// communication counters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParityTrace {
+    per_epoch: Vec<(usize, u64, Vec<u64>)>,
+    final_top_k: Vec<(u64, u32)>,
+    comm: (u64, u64),
+}
+
+/// Extracts the parity fingerprint of a completed run.
+pub fn parity_trace(res: &ScenarioRunResult) -> ParityTrace {
+    let comm = res.coordinator.comm_stats();
+    ParityTrace {
+        per_epoch: res
+            .outcome
+            .per_epoch
+            .iter()
+            .map(|e| (e.index_size, e.top_k_score.to_bits(), e.top_ids.clone()))
+            .collect(),
+        final_top_k: res.outcome.final_top_k.clone(),
+        comm: (comm.uplink_msgs, comm.downlink_msgs),
+    }
+}
+
+/// Verifies that an already-completed `shards > 1` run is bit-for-bit
+/// identical to a fresh sequential run of the same scenario (rebuilt
+/// from the same `scale`, so both see the same measurement stream).
+/// Use this when the sharded run is already in hand — it costs one run
+/// instead of two.
+pub fn check_parity_against(
+    sharded: &ScenarioRunResult,
+    name: &str,
+    scale: &ScenarioParams,
+    params: &ScenarioRunParams,
+) -> Result<(), String> {
+    let p = ScenarioRunParams { shards: 1, ..*params };
+    let sequential =
+        run_named(name, scale, &p).ok_or_else(|| format!("unknown scenario {name}"))?;
+    if parity_trace(&sequential) != parity_trace(sharded) {
+        return Err(format!("{name}: sequential vs sharded runs diverged"));
+    }
+    Ok(())
+}
+
+/// Verifies that a scenario behaves bit-for-bit identically sequential
+/// vs `shards`-way sharded: per-epoch index/score series, final top-k
+/// (ids and hotness), and communication counters. Runs both from
+/// scratch; prefer [`check_parity_against`] when the sharded run
+/// already exists.
+pub fn check_scenario_parity(
+    name: &str,
+    scale: &ScenarioParams,
+    params: &ScenarioRunParams,
+    shards: usize,
+) -> Result<(), String> {
+    let p = ScenarioRunParams { shards, ..*params };
+    let sharded = run_named(name, scale, &p).ok_or_else(|| format!("unknown scenario {name}"))?;
+    check_parity_against(&sharded, name, scale, params)
+}
+
+/// One cell of the `(sigma, fallback)` uncertainty grid.
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    /// Sensor sigma for this cell.
+    pub sigma: f64,
+    /// Fallback policy for this cell.
+    pub fallback: FallbackPolicy,
+    /// Client state reports over the run.
+    pub reports: u64,
+    /// Measurements dropped as unsolvable (only under `Reject`).
+    pub dropped: u64,
+    /// Mean index size per epoch.
+    pub mean_index: f64,
+    /// Mean top-k score per epoch.
+    pub mean_score: f64,
+    /// Did the scenario's invariants hold? (`None` = held; `Some(why)`
+    /// otherwise — informational under heavy noise, where a starved
+    /// pipeline is expected behavior.)
+    pub invariant_failure: Option<String>,
+}
+
+/// Runs `name` across the full `sigmas x fallbacks` grid. Every cell
+/// rebuilds the scenario from the same `scale`, so cells differ only in
+/// the sensor model — the paper's Section 4.1 sweep generalized to any
+/// workload.
+pub fn scenario_sigma_sweep(
+    name: &str,
+    scale: &ScenarioParams,
+    base: &ScenarioRunParams,
+    sigmas: &[f64],
+    fallbacks: &[FallbackPolicy],
+) -> Option<Vec<SweepCell>> {
+    let mut cells = Vec::with_capacity(sigmas.len() * fallbacks.len());
+    for &fallback in fallbacks {
+        for &sigma in sigmas {
+            let params = ScenarioRunParams { sigma, fallback, ..*base };
+            let res = run_named(name, scale, &params)?;
+            cells.push(SweepCell {
+                sigma,
+                fallback,
+                reports: res.filter_stats.reports,
+                dropped: res.filter_stats.dropped,
+                mean_index: res.summary.mean_index_size,
+                mean_score: res.summary.mean_score,
+                invariant_failure: res.invariants.err(),
+            });
+        }
+    }
+    Some(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotpath_netsim::scenario::REGISTRY;
+
+    fn quick_scale(seed: u64) -> ScenarioParams {
+        ScenarioParams { n: 200, ..ScenarioParams::quick(seed) }
+    }
+
+    #[test]
+    fn every_registered_scenario_runs_and_holds_its_invariants() {
+        for spec in REGISTRY {
+            let res = run_named(spec.name, &quick_scale(41), &ScenarioRunParams::default())
+                .expect("registered scenario");
+            assert!(res.summary.epochs > 0, "{}: no epochs", spec.name);
+            res.invariants.as_ref().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert!(res.filter_stats.reports > 0);
+            assert_eq!(res.filter_stats.dropped, 0, "crisp mode cannot drop");
+        }
+    }
+
+    #[test]
+    fn unknown_scenario_is_none() {
+        assert!(run_named("nope", &quick_scale(1), &ScenarioRunParams::default()).is_none());
+    }
+
+    #[test]
+    fn scenario_parity_holds_for_the_registry() {
+        for spec in REGISTRY {
+            check_scenario_parity(spec.name, &quick_scale(42), &ScenarioRunParams::default(), 2)
+                .unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn uncertain_mode_runs_a_scenario() {
+        let params = ScenarioRunParams { sigma: 1.5, ..ScenarioRunParams::default() };
+        let res = run_named("sporting_event", &quick_scale(43), &params).unwrap();
+        assert!(res.filter_stats.reports > 0, "uncertain pipeline silent");
+        assert!(res.coordinator.index_size() > 0);
+    }
+
+    #[test]
+    fn sigma_sweep_covers_the_grid_and_policies_diverge_under_heavy_noise() {
+        let scale = quick_scale(44);
+        let base = ScenarioRunParams::default();
+        let sigmas = [1.0, 6.0];
+        let fallbacks = [FallbackPolicy::Reject, FallbackPolicy::MinimalArea(0.5)];
+        let cells = scenario_sigma_sweep("evacuation", &scale, &base, &sigmas, &fallbacks).unwrap();
+        assert_eq!(cells.len(), 4);
+        // sigma = 6 > eps/1.96: unsolvable everywhere. Reject starves...
+        let starved =
+            cells.iter().find(|c| c.sigma == 6.0 && c.fallback == FallbackPolicy::Reject).unwrap();
+        assert!(starved.dropped > 0, "reject under hopeless noise must drop");
+        assert_eq!(starved.reports, 0);
+        // ...while MinimalArea keeps the stream flowing, drop-free.
+        let flowing =
+            cells.iter().find(|c| c.sigma == 6.0 && c.fallback != FallbackPolicy::Reject).unwrap();
+        assert_eq!(flowing.dropped, 0, "minimal-area must not drop");
+        assert!(flowing.reports > 0, "minimal-area under noise must keep reporting");
+    }
+}

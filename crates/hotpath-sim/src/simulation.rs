@@ -246,12 +246,7 @@ pub fn run(params: SimulationParams) -> SimulationResult {
 
     let mut filter_stats = hotpath_core::raytrace::FilterStats::default();
     for c in &clients {
-        let s = c.stats();
-        filter_stats.observed += s.observed;
-        filter_stats.absorbed += s.absorbed;
-        filter_stats.reports += s.reports;
-        filter_stats.buffered += s.buffered;
-        filter_stats.dropped += s.dropped;
+        filter_stats.merge(&c.stats());
     }
 
     let summary = Summary::from_epochs(&per_epoch, measurements_total);

@@ -2,7 +2,11 @@
 //! (`sporting_event`, `evacuation` — Section 1 of the paper), asserting
 //! that the sharded coordinator reports exactly what the sequential one
 //! does over a full run: same top-k (ids, geometry, hotness, score),
-//! same per-epoch index sizes, same communication counters.
+//! same per-epoch index sizes, same communication counters. The second
+//! half pins the registered `Scenario` subsystem the same way: the two
+//! event-driven workloads (`rush_hour_surge`, `evacuation_reroute`) are
+//! bit-for-bit identical sequential vs 4-shard, and a proptest holds
+//! every registered generator to seed-determinism.
 
 use hotpath_core::config::{Config, Tolerance};
 use hotpath_core::coordinator::Coordinator;
@@ -235,4 +239,101 @@ fn sensor_dropout_top_k_stays_stable_and_sharded_matches_sequential() {
     assert_eq!(sequential, sharded, "divergence at {shards} shards");
     assert_eq!(top_start, s_start);
     assert_eq!(top_end_ids, s_end_ids);
+}
+
+// ---------------------------------------------------------------------
+// Scenario-subsystem parity: the registered workloads through the
+// shared driver (hotpath-sim::scenario_run).
+// ---------------------------------------------------------------------
+
+use hotpath_netsim::scenario::{build, ScenarioParams, REGISTRY};
+use hotpath_sim::scenario_run::{run_named, ScenarioRunParams, ScenarioRunResult};
+use proptest::prelude::*;
+
+/// One epoch of a driver trace: `(index size, score bits, top-k ids)`.
+type EpochRow = (usize, u64, Vec<u64>);
+
+/// The full observable trace of a driver run, geometry included.
+fn full_trace(res: &ScenarioRunResult) -> (Vec<EpochRow>, Vec<TopKRow>, (u64, u64)) {
+    let per_epoch = res
+        .outcome
+        .per_epoch
+        .iter()
+        .map(|e| (e.index_size, e.top_k_score.to_bits(), e.top_ids.clone()))
+        .collect();
+    let top_k = res
+        .coordinator
+        .top_k()
+        .iter()
+        .map(|h| {
+            (
+                h.path.id.0,
+                (h.path.start().x, h.path.start().y),
+                (h.path.end().x, h.path.end().y),
+                h.hotness,
+                h.score.to_bits(),
+            )
+        })
+        .collect();
+    let comm = res.coordinator.comm_stats();
+    (per_epoch, top_k, (comm.uplink_msgs, comm.downlink_msgs))
+}
+
+/// Pins one registered scenario bit-for-bit sequential vs `shards`.
+fn pin_scenario_parity(name: &str, seed: u64, shards: usize) {
+    let scale = ScenarioParams { n: 300, ..ScenarioParams::quick(seed) };
+    let run = |shards: usize| {
+        let params = ScenarioRunParams { shards, ..ScenarioRunParams::default() };
+        run_named(name, &scale, &params).expect("registered scenario")
+    };
+    let sequential = run(1);
+    sequential.invariants.as_ref().unwrap_or_else(|e| panic!("{name} invariants: {e}"));
+    assert!(!sequential.outcome.final_top_k.is_empty(), "{name} discovered no hot paths");
+    let sharded = run(shards);
+    sharded.coordinator.check_consistency().expect("sharded state inconsistent");
+    assert_eq!(
+        full_trace(&sequential),
+        full_trace(&sharded),
+        "{name}: divergence at {shards} shards"
+    );
+}
+
+#[test]
+fn rush_hour_surge_sharded_matches_sequential() {
+    pin_scenario_parity("rush_hour_surge", 31, 4);
+}
+
+#[test]
+fn evacuation_reroute_sharded_matches_sequential() {
+    pin_scenario_parity("evacuation_reroute", 33, 4);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every registered scenario generator is a pure function of its
+    /// seed: two builds at the same `(seed, n)` produce identical
+    /// measurement streams, event schedules included.
+    #[test]
+    fn scenario_generators_are_deterministic_per_seed(
+        seed in 0u64..10_000,
+        n in 20usize..120,
+        which in 0usize..REGISTRY.len(),
+    ) {
+        let spec = &REGISTRY[which];
+        let scale = ScenarioParams { n, ..ScenarioParams::quick(seed) };
+        let stream = || {
+            let mut scenario = build(spec.name, &scale).expect("registered");
+            let mut out = Vec::new();
+            let mut all = Vec::new();
+            for t in 1..=60u64 {
+                scenario.tick(Timestamp(t), &mut out);
+                all.extend(out.iter().map(|m| {
+                    (m.object.0, m.observed.p.x.to_bits(), m.observed.p.y.to_bits(), m.observed.t)
+                }));
+            }
+            all
+        };
+        prop_assert_eq!(stream(), stream());
+    }
 }
