@@ -1,0 +1,77 @@
+//! Engine-backend micro-bench: the same synthetic multi-epoch workload
+//! driven through [`SyncEngine`] and [`PipelinedEngine`] (1 and 2
+//! shards). The backends are bit-for-bit identical, so any spread is
+//! pure scheduling: the pipelined engine moves the publish stage and
+//! per-tick expiry onto its worker, which pays off on multi-core hosts
+//! and must never structurally regress the single-core case (the
+//! engine's double-buffer bookkeeping is O(1) per state).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hotpath_core::config::Config;
+use hotpath_core::coordinator::Coordinator;
+use hotpath_core::engine::EngineKind;
+use hotpath_core::geometry::{Point, Rect};
+use hotpath_core::raytrace::ClientState;
+use hotpath_core::time::Timestamp;
+use hotpath_core::ObjectId;
+
+/// Drives one full run — 12 epochs x 10 ticks x 40 states — through
+/// the given backend and returns the final index size (kept live so
+/// nothing is optimized away).
+fn drive(kind: EngineKind, shards: usize) -> usize {
+    let config = Config::paper_defaults().with_epoch(10).with_window(80).with_shards(shards);
+    let mut engine = kind.build(Coordinator::new(config));
+    let mut s = 0x5eed_u64;
+    let mut rand = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s >> 33
+    };
+    for epoch in 0..12u64 {
+        for tick in 1..=10u64 {
+            let now = Timestamp(epoch * 10 + tick);
+            for i in 0..40u64 {
+                let (a, b) = (rand(), rand());
+                let x = (a % 10 * 400) as f64;
+                let y = (b % 5 * 300) as f64;
+                let end = Point::new(x + 45.0 + (a % 4) as f64 * 3.0, y + (b % 20) as f64);
+                engine.submit(ClientState {
+                    object: ObjectId(i),
+                    start: Point::new(x, y),
+                    ts: Timestamp(now.raw().saturating_sub(5)),
+                    fsa: Rect::new(end - Point::new(2.0, 2.0), end + Point::new(2.0, 2.0)),
+                    te: now,
+                });
+            }
+            engine.advance_time(now);
+            if tick == 10 {
+                let _ = engine.process_epoch(now);
+            }
+        }
+    }
+    let snap = engine.snapshot();
+    let size = snap.index_size;
+    let _ = engine.finish();
+    size
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    for (kind, shards) in [
+        (EngineKind::Sync, 1usize),
+        (EngineKind::Pipelined, 1),
+        (EngineKind::Sync, 2),
+        (EngineKind::Pipelined, 2),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new(format!("{kind}"), shards),
+            &(kind, shards),
+            |b, &(kind, shards)| {
+                b.iter(|| drive(kind, shards));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -66,10 +66,13 @@ fn bench_topk(c: &mut Criterion) {
         });
         // The pre-incremental implementation, kept as a measured
         // reference: materialize the hot set, sort, truncate. Scales
-        // with P while `top_k` stays flat.
+        // with P while `top_k` stays flat. (`hot_paths` itself is now
+        // cached between mutations, so after the first iteration this
+        // measures copy + sort — still the O(P log P) the old query
+        // path paid per read.)
         g.bench_with_input(BenchmarkId::new("naive_full_sort", p), &coord, |b, coord| {
             b.iter(|| {
-                let mut all = coord.hot_paths();
+                let mut all = coord.hot_paths().to_vec();
                 all.sort_by(|a, b| {
                     b.hotness
                         .cmp(&a.hotness)

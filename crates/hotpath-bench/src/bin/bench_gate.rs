@@ -27,8 +27,15 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 /// The `cargo bench` targets with checked-in baselines.
-const GATED_BENCHES: &[&str] =
-    &["micro_raytrace", "fig8", "micro_topk", "micro_hotness", "micro_overlap", "micro_scenario"];
+const GATED_BENCHES: &[&str] = &[
+    "micro_raytrace",
+    "fig8",
+    "micro_topk",
+    "micro_hotness",
+    "micro_overlap",
+    "micro_scenario",
+    "micro_pipeline",
+];
 
 /// Default relative slack: CI runners and developer machines differ, so
 /// the gate catches structural regressions (2x+), not single-digit

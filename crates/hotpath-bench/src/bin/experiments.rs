@@ -2,12 +2,17 @@
 //!
 //! ```text
 //! experiments [fig7|fig8|fig9|fig10|claims|hinted|all]
-//!             [--scale paper|mid|quick] [--shards N] [--csv <dir>]
+//!             [--scale paper|mid|quick] [--shards N]
+//!             [--engine sync|pipelined] [--csv <dir>]
 //! experiments scenario <name|all> [--scale ...] [--shards N]
+//!             [--engine sync|pipelined] [--csv <dir>]
 //!             [--sigma s1,s2,...] [--fallback reject|minimal[:w]|all]
 //! ```
 //!
-//! Defaults: `all --scale mid --shards 1`. `--scale paper` runs the
+//! Defaults: `all --scale mid --shards 1 --engine sync`. `--engine
+//! pipelined` runs every epoch through the double-buffered engine
+//! backend (ingest overlaps the publish stage and expiry on a worker
+//! thread); results are bit-for-bit identical to `sync`. `--scale paper` runs the
 //! exact Section 6.1 parameters (N up to 100 000 — allow several
 //! minutes). `--shards N` partitions the coordinator into `N` shards
 //! (Phase A runs on one thread per shard); results are identical at
@@ -15,10 +20,13 @@
 //!
 //! `scenario` drives the netsim scenario registry: each named workload
 //! runs crisp with its invariants verified (exit 1 on violation), with
-//! sequential-vs-sharded parity asserted when `--shards > 1`, then
-//! sweeps the `(sigma, fallback)` uncertainty grid.
+//! parity against a fresh sequential `sync` reference asserted whenever
+//! `--shards > 1` or `--engine pipelined`, then sweeps the `(sigma,
+//! fallback)` uncertainty grid. `--csv <dir>` additionally writes each
+//! scenario's per-epoch metric series to `<dir>/scenario_<name>.csv`.
 
 use hotpath_bench::Scale;
+use hotpath_core::engine::EngineKind;
 use hotpath_core::uncertainty::FallbackPolicy;
 use hotpath_netsim::scenario::{spec, REGISTRY};
 use hotpath_sim::experiment::{figure10, figure7, figure8, figure9, format_fig7, format_fig8};
@@ -35,6 +43,7 @@ fn main() {
     let mut scenario_name: Option<String> = None;
     let mut scale = Scale::Mid;
     let mut shards = 1usize;
+    let mut engine = EngineKind::Sync;
     let mut sigmas: Option<Vec<f64>> = None;
     let mut fallbacks: Option<Vec<FallbackPolicy>> = None;
     let mut csv_dir: Option<std::path::PathBuf> = None;
@@ -55,6 +64,13 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .filter(|&n| n > 0)
                     .unwrap_or_else(|| usage("--shards needs a positive integer"));
+            }
+            "--engine" => {
+                i += 1;
+                engine = args
+                    .get(i)
+                    .and_then(|s| EngineKind::parse(s))
+                    .unwrap_or_else(|| usage("--engine takes sync or pipelined"));
             }
             "--sigma" => {
                 i += 1;
@@ -103,7 +119,10 @@ fn main() {
         i += 1;
     }
 
-    println!("# Hot Motion Paths — experiment reproduction (scale: {scale:?}, shards: {shards})");
+    println!(
+        "# Hot Motion Paths — experiment reproduction (scale: {scale:?}, shards: {shards}, \
+         engine: {engine})"
+    );
     println!();
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| usage(&format!("--csv: {e}")));
@@ -114,28 +133,30 @@ fn main() {
             scenario_name.as_deref().unwrap_or("all"),
             scale,
             shards,
+            engine,
             sigmas.as_deref(),
             fallbacks.as_deref(),
+            csv_dir.as_deref(),
         ),
-        "fig7" => fig7(scale, shards, csv_dir.as_deref()),
-        "fig8" => fig8(scale, shards, csv_dir.as_deref()),
-        "fig9" => fig9(scale, shards),
-        "fig10" => fig10_(scale, shards),
-        "claims" => claims(scale, shards),
-        "hinted" => hinted(scale, shards),
-        "ablate" => ablate(scale, shards),
-        "filters" => filters(scale, shards),
+        "fig7" => fig7(scale, shards, engine, csv_dir.as_deref()),
+        "fig8" => fig8(scale, shards, engine, csv_dir.as_deref()),
+        "fig9" => fig9(scale, shards, engine),
+        "fig10" => fig10_(scale, shards, engine),
+        "claims" => claims(scale, shards, engine),
+        "hinted" => hinted(scale, shards, engine),
+        "ablate" => ablate(scale, shards, engine),
+        "filters" => filters(scale, shards, engine),
         "compress" => compress(),
         "uncertain" => uncertain(),
         "all" => {
-            fig7(scale, shards, csv_dir.as_deref());
-            fig8(scale, shards, csv_dir.as_deref());
-            fig9(scale, shards);
-            fig10_(scale, shards);
-            claims(scale, shards);
-            hinted(scale, shards);
-            ablate(scale, shards);
-            filters(scale, shards);
+            fig7(scale, shards, engine, csv_dir.as_deref());
+            fig8(scale, shards, engine, csv_dir.as_deref());
+            fig9(scale, shards, engine);
+            fig10_(scale, shards, engine);
+            claims(scale, shards, engine);
+            hinted(scale, shards, engine);
+            ablate(scale, shards, engine);
+            filters(scale, shards, engine);
             compress();
             uncertain();
         }
@@ -148,24 +169,29 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: experiments [fig7|fig8|fig9|fig10|claims|hinted|ablate|filters|compress|uncertain|all] \
-         [--scale paper|mid|quick] [--shards N] [--csv <dir>]\n       \
+         [--scale paper|mid|quick] [--shards N] [--engine sync|pipelined] [--csv <dir>]\n       \
          experiments scenario <name|all> [--scale paper|mid|quick] [--shards N] \
+         [--engine sync|pipelined] [--csv <dir>] \
          [--sigma s1,s2,...] [--fallback reject|minimal[:<w>]|all]"
     );
     std::process::exit(2);
 }
 
-/// The scenario subsystem: crisp run + invariants (+ parity when
-/// sharded), then the `(sigma, fallback)` uncertainty sweep.
+/// The scenario subsystem: crisp run + invariants (+ parity against the
+/// sequential sync reference when sharded or pipelined), then the
+/// `(sigma, fallback)` uncertainty sweep; `--csv` writes each
+/// scenario's per-epoch series.
 fn scenario(
     name: &str,
     scale: Scale,
     shards: usize,
+    engine: EngineKind,
     sigmas: Option<&[f64]>,
     fallbacks: Option<&[FallbackPolicy]>,
+    csv_dir: Option<&std::path::Path>,
 ) {
     let scenario_scale = scale.scenario_params(2015);
-    let base = ScenarioRunParams { shards, ..ScenarioRunParams::default() };
+    let base = ScenarioRunParams { shards, engine, ..ScenarioRunParams::default() };
     // Near-edge default grid: eps = 10 solves up to sigma ~ 5.1, so the
     // last point forces the fallback policy to act.
     let default_sigmas = [0.5, 2.0, 6.0];
@@ -195,14 +221,26 @@ fn scenario(
                 println!("   invariants: FAILED — {e}");
             }
         }
-        if shards > 1 {
-            // The crisp run above already ran sharded; only the fresh
-            // sequential reference costs an extra run.
+        if shards > 1 || engine != EngineKind::Sync {
+            // The crisp run above already ran sharded/pipelined; only
+            // the fresh sequential sync reference costs an extra run.
             match check_parity_against(&res, spec.name, &scenario_scale, &base) {
-                Ok(()) => println!("   parity: sequential == {shards}-shard, bit for bit"),
+                Ok(()) => {
+                    println!("   parity: sequential sync == {shards}-shard {engine}, bit for bit")
+                }
                 Err(e) => {
                     failures += 1;
                     println!("   parity: FAILED — {e}");
+                }
+            }
+        }
+        if let Some(dir) = csv_dir {
+            let path = dir.join(format!("scenario_{}.csv", spec.name));
+            match std::fs::write(&path, hotpath_sim::report::epoch_metrics_csv(&res.per_epoch)) {
+                Ok(()) => println!("   (per-epoch series written to {})", path.display()),
+                Err(e) => {
+                    failures += 1;
+                    println!("   csv: FAILED — cannot write {}: {e}", path.display());
                 }
             }
         }
@@ -239,10 +277,10 @@ fn scenario(
 }
 
 /// Figure 7 (a-c): vary N at eps = 10.
-fn fig7(scale: Scale, shards: usize, csv_dir: Option<&std::path::Path>) {
+fn fig7(scale: Scale, shards: usize, engine: EngineKind, csv_dir: Option<&std::path::Path>) {
     println!("## Figure 7 — varying the number of objects (eps = 10 m)");
     println!("   panels: (a) index size, (b) top-10 score, (c) SinglePath ms/epoch");
-    let rows = figure7(&scale.fig7_ns(), SimulationParams { shards, ..scale.base(2008) });
+    let rows = figure7(&scale.fig7_ns(), SimulationParams { shards, engine, ..scale.base(2008) });
     println!("{}", format_fig7(&rows));
     if let Some(dir) = csv_dir {
         let data: Vec<Vec<String>> = rows
@@ -278,11 +316,11 @@ fn fig7(scale: Scale, shards: usize, csv_dir: Option<&std::path::Path>) {
 }
 
 /// Figure 8 (a-c): vary eps at the scale's fixed N.
-fn fig8(scale: Scale, shards: usize, csv_dir: Option<&std::path::Path>) {
+fn fig8(scale: Scale, shards: usize, engine: EngineKind, csv_dir: Option<&std::path::Path>) {
     let n = scale.fig8_n();
     println!("## Figure 8 — varying the tolerance (N = {n})");
     println!("   panels: (a) index size, (b) top-10 score, (c) SinglePath ms/epoch");
-    let base = SimulationParams { n, shards, ..scale.base(2009) };
+    let base = SimulationParams { n, shards, engine, ..scale.base(2009) };
     let rows = figure8(&scale.fig8_eps(), base);
     println!("{}", format_fig8(&rows));
     if let Some(dir) = csv_dir {
@@ -319,9 +357,9 @@ fn fig8(scale: Scale, shards: usize, csv_dir: Option<&std::path::Path>) {
 }
 
 /// Figure 9: the discovered network map.
-fn fig9(scale: Scale, shards: usize) {
+fn fig9(scale: Scale, shards: usize, engine: EngineKind) {
     println!("## Figure 9 — all motion paths with hotness > 0 (vs the hidden network)");
-    let params = SimulationParams { n: scale.map_n(), shards, ..scale.base(2010) };
+    let params = SimulationParams { n: scale.map_n(), shards, engine, ..scale.base(2010) };
     let (paths, res) = figure9(params);
     let (cols, rows_) = (96, 30);
     let net = network_map(&res.network, cols, rows_);
@@ -339,9 +377,9 @@ fn fig9(scale: Scale, shards: usize) {
 }
 
 /// Figure 10: top-20 hottest paths in the center.
-fn fig10_(scale: Scale, shards: usize) {
+fn fig10_(scale: Scale, shards: usize, engine: EngineKind) {
     println!("## Figure 10 — top 20 hottest motion paths, city center");
-    let params = SimulationParams { n: scale.map_n(), shards, ..scale.base(2010) };
+    let params = SimulationParams { n: scale.map_n(), shards, engine, ..scale.base(2010) };
     let (paths, center, _res) = figure10(params, 20);
     let map = paths_map(center, &paths, 72, 24);
     print!("{}", indent(&map.render()));
@@ -354,12 +392,12 @@ fn fig10_(scale: Scale, shards: usize) {
 }
 
 /// The in-text claims of Section 6.2.
-fn claims(scale: Scale, shards: usize) {
+fn claims(scale: Scale, shards: usize, engine: EngineKind) {
     println!("## Section 6.2 in-text claims");
     // Claim i: at the largest N, SinglePath stores ~16% more segments
     // than DP (10,896 vs 9,416 in the paper).
     let n = *scale.fig7_ns().last().expect("non-empty sweep");
-    let res = run(SimulationParams { n, shards, ..scale.base(2008) });
+    let res = run(SimulationParams { n, shards, engine, ..scale.base(2008) });
     let sp = res.summary.mean_index_size;
     let dp = res.summary.mean_dp_index_size;
     println!(
@@ -367,7 +405,7 @@ fn claims(scale: Scale, shards: usize) {
         100.0 * (sp - dp) / dp.max(1.0)
     );
     // Claim ii: SinglePath can beat DP on score (paper: at N=20000).
-    let rows = figure7(&scale.fig7_ns(), SimulationParams { shards, ..scale.base(2008) });
+    let rows = figure7(&scale.fig7_ns(), SimulationParams { shards, engine, ..scale.base(2008) });
     let wins: Vec<usize> = rows.iter().filter(|r| r.sp_score > r.dp_score).map(|r| r.n).collect();
     println!("   (ii) SinglePath score beats DP at N in {wins:?} (paper: at N=20,000)");
     // Claim iii is printed by fig8's shape line.
@@ -383,10 +421,10 @@ fn claims(scale: Scale, shards: usize) {
 }
 
 /// The Section 7 feedback extension ablation.
-fn hinted(scale: Scale, shards: usize) {
+fn hinted(scale: Scale, shards: usize, engine: EngineKind) {
     println!("## Section 7 extension — hinted RayTrace ablation");
     let n = scale.fig8_n();
-    let base = SimulationParams { n, shards, run_dp: false, ..scale.base(2011) };
+    let base = SimulationParams { n, shards, engine, run_dp: false, ..scale.base(2011) };
     let plain = run(base);
     let hinted = run(SimulationParams { hints: true, ..base });
     println!(
@@ -405,11 +443,11 @@ fn hinted(scale: Scale, shards: usize) {
 }
 
 /// Ablation of the Cases-2/3 FSA-overlap machinery (Example 2).
-fn ablate(scale: Scale, shards: usize) {
+fn ablate(scale: Scale, shards: usize, engine: EngineKind) {
     use hotpath_core::strategy::OverlapPolicy;
     println!("## Ablation — Algorithm 2 overlap analysis vs naive vertices");
     let n = scale.fig8_n();
-    let base = SimulationParams { n, shards, run_dp: false, ..scale.base(2012) };
+    let base = SimulationParams { n, shards, engine, run_dp: false, ..scale.base(2012) };
     let full = run(base);
     let own = run(SimulationParams { overlap: OverlapPolicy::Own, ..base });
     for (tag, res) in [("full (Alg. 2)", &full), ("own-centroid ", &own)] {
@@ -433,11 +471,12 @@ fn ablate(scale: Scale, shards: usize) {
 }
 
 /// Communication-economy comparison of client filters (extension).
-fn filters(scale: Scale, shards: usize) {
+fn filters(scale: Scale, shards: usize, engine: EngineKind) {
     use hotpath_sim::experiment::filter_economy;
     println!("## Filter economy — naive vs dead reckoning vs RayTrace");
     let n = scale.fig8_n();
-    let e = filter_economy(SimulationParams { n, shards, run_dp: false, ..scale.base(2013) });
+    let e =
+        filter_economy(SimulationParams { n, shards, engine, run_dp: false, ..scale.base(2013) });
     let pct = |msgs: u64| 100.0 * msgs as f64 / e.naive_msgs.max(1) as f64;
     println!("   measurements        : {:>12}", e.measurements);
     println!(

@@ -49,6 +49,8 @@ use crate::strategy::{
 };
 use crate::time::Timestamp;
 use crate::ObjectId;
+use std::cell::RefCell;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The endpoint message `<e, te>` returned to a reporting object at the
@@ -86,6 +88,61 @@ pub struct HotPath {
     pub score: f64,
 }
 
+/// An epoch-stamped, immutable view of everything the read side needs:
+/// the top-k, hot-set size, index size, and the communication/processing
+/// counters as of the publish. The coordinator publishes one at the end
+/// of every [`Coordinator::process_epoch`] (the *publish* stage) and
+/// caches it, so repeated reads between epochs share one allocation —
+/// and the engine layer can hand snapshots across threads without
+/// touching live coordinator state.
+#[derive(Clone, Debug)]
+pub struct HotSnapshot {
+    /// Epochs processed when this snapshot was published (0 before the
+    /// first epoch).
+    pub epoch: u64,
+    /// The clock value at publish time (the epoch's boundary timestamp).
+    pub timestamp: Timestamp,
+    /// The top-`k` hottest paths (config `k`), hottest first.
+    pub top_k: Arc<[HotPath]>,
+    /// The top-k set score (Section 3.1): mean `hotness x length` over
+    /// the members, `0` when nothing is hot.
+    pub top_k_score: f64,
+    /// Paths with positive hotness.
+    pub hot_count: usize,
+    /// Motion paths stored in the index.
+    pub index_size: usize,
+    /// Communication counters as of the publish.
+    pub comm: CommStats,
+    /// Processing counters as of the publish.
+    pub processing: ProcessingStats,
+}
+
+impl HotSnapshot {
+    /// The pre-first-epoch snapshot: empty, stamped zero.
+    pub fn empty() -> Self {
+        HotSnapshot {
+            epoch: 0,
+            timestamp: Timestamp(0),
+            top_k: Arc::from(Vec::new()),
+            top_k_score: 0.0,
+            hot_count: 0,
+            index_size: 0,
+            comm: CommStats::default(),
+            processing: ProcessingStats::default(),
+        }
+    }
+}
+
+/// Lazily rebuilt read-side caches, dropped on any mutation that can
+/// change the hot set (`advance_time`, epoch processing). Interior
+/// mutability keeps the read API `&self`; the coordinator is never
+/// shared across threads (the sharded phases borrow individual shards).
+#[derive(Debug, Default)]
+struct ReadCache {
+    snapshot: Option<Arc<HotSnapshot>>,
+    hot: Option<Arc<[HotPath]>>,
+}
+
 /// One shard of coordinator state: the slice of the MotionPath index and
 /// hotness table owning every path whose start vertex routes here, plus
 /// the shard's reusable Phase-A scratch arena.
@@ -105,23 +162,34 @@ struct FrontScratch {
     groups: VertexGroups,
 }
 
+/// One epoch's sealed ingest: the drained state batch plus its
+/// pre-routed per-shard position slices (empty at one shard). Produced
+/// by the *drain-ingest* stage, consumed by the strategy stages, and
+/// recycled afterwards.
+#[derive(Debug)]
+pub(crate) struct EpochBatch {
+    pub(crate) states: Vec<ClientState>,
+    pub(crate) parts: Vec<Vec<u32>>,
+}
+
 /// Deterministic point-to-shard routing: quantize to the vertex grain
 /// (so float-noisy copies of one vertex agree), derive the grid cell in
-/// integer space, and hash the cell key.
+/// integer space, and hash the cell key. Crate-visible so the pipelined
+/// engine's front buffer can pre-route states with the exact same rule.
 #[derive(Clone, Copy, Debug)]
-struct ShardRouter {
+pub(crate) struct ShardRouter {
     grain: f64,
     units_per_cell: i64,
     shards: usize,
 }
 
 impl ShardRouter {
-    fn new(config: &Config) -> Self {
+    pub(crate) fn new(config: &Config) -> Self {
         let units = (config.grid_cell / config.vertex_grain).round().max(1.0) as i64;
         ShardRouter { grain: config.vertex_grain, units_per_cell: units, shards: config.shards }
     }
 
-    fn shard_of(&self, p: &Point) -> usize {
+    pub(crate) fn shard_of(&self, p: &Point) -> usize {
         if self.shards == 1 {
             return 0;
         }
@@ -193,6 +261,11 @@ pub struct Coordinator {
     hints_enabled: bool,
     overlap_policy: OverlapPolicy,
     front: FrontScratch,
+    /// The latest timestamp the coordinator has been advanced to; stamps
+    /// published snapshots.
+    clock: Timestamp,
+    /// Read-side caches (published snapshot, hot-set enumeration).
+    cache: RefCell<ReadCache>,
 }
 
 impl Coordinator {
@@ -222,6 +295,8 @@ impl Coordinator {
             hints_enabled: false,
             overlap_policy: OverlapPolicy::Full,
             front: FrontScratch::default(),
+            clock: Timestamp(0),
+            cache: RefCell::new(ReadCache::default()),
         }
     }
 
@@ -284,14 +359,68 @@ impl Coordinator {
                 shard.index.remove(dead);
             }
         }
+        self.clock = self.clock.max(now);
+        // Expiry can change the hot set: drop the read caches.
+        *self.cache.get_mut() = ReadCache::default();
         self.processing.expiry_time += start.elapsed();
+    }
+
+    /// Installs a pre-routed epoch batch wholesale (the pipelined
+    /// engine's sealed back buffer): `states` become the pending batch,
+    /// `parts` the per-shard position slices, and the uplink counters —
+    /// accounted at the engine's `submit` time — are merged in. Returns
+    /// the previously retained (cleared) buffers so the caller can reuse
+    /// their capacity as the next front buffer.
+    ///
+    /// Equivalent to a `submit` loop over `states`: the engine routes
+    /// with the same [`ShardRouter`] and accounts the same wire bytes.
+    pub(crate) fn install_routed_batch(
+        &mut self,
+        states: Vec<ClientState>,
+        parts: Vec<Vec<u32>>,
+        uplink_msgs: u64,
+        uplink_bytes: u64,
+    ) -> (Vec<ClientState>, Vec<Vec<u32>>) {
+        debug_assert!(self.pending.is_empty(), "install over an undrained batch");
+        self.comm.uplink_msgs += uplink_msgs;
+        self.comm.uplink_bytes += uplink_bytes;
+        let old_states = std::mem::replace(&mut self.pending, states);
+        let old_parts = std::mem::replace(&mut self.pending_parts, parts);
+        (old_states, old_parts)
     }
 
     /// Runs SinglePath over the pending batch (call at epoch boundaries)
     /// and returns the endpoint responses for all reporting objects.
+    ///
+    /// Internally this is the four named stages of the epoch pipeline —
+    /// *drain-ingest* → *Phase A* → *Phase B* → *publish* — which the
+    /// engine layer ([`crate::engine`]) also drives individually so the
+    /// pipelined engine can hand responses back before the publish stage
+    /// completes.
     pub fn process_epoch(&mut self, now: Timestamp) -> Vec<EndpointResponse> {
+        let batch = self.stage_drain_ingest(now);
+        let selections = self.stage_strategy(&batch);
+        let responses = self.stage_respond(&selections);
+        self.stage_recycle(batch);
+        self.stage_publish();
+        responses
+    }
+
+    /// Stage *drain-ingest*: advance the window clock (expiring dead
+    /// paths) and seal the pending batch — states plus their pre-routed
+    /// per-shard position slices — for the strategy stages.
+    pub(crate) fn stage_drain_ingest(&mut self, now: Timestamp) -> EpochBatch {
         self.advance_time(now);
-        let states = std::mem::take(&mut self.pending);
+        EpochBatch {
+            states: std::mem::take(&mut self.pending),
+            parts: std::mem::take(&mut self.pending_parts),
+        }
+    }
+
+    /// Stages *Phase A* and *Phase B*: run SinglePath over the sealed
+    /// batch (sequentially at one shard, scoped-threaded Phase A plus
+    /// global Phase B otherwise) and account the processing statistics.
+    pub(crate) fn stage_strategy(&mut self, batch: &EpochBatch) -> Vec<Selection> {
         let start = Instant::now();
         let overlap_cell = (2.0 * self.config.tolerance.eps()).max(1e-6);
         let (selections, tally) = if self.shards.len() == 1 {
@@ -299,7 +428,7 @@ impl Coordinator {
             // bit for bit (one index, its own id counter, no threads).
             let shard = &mut self.shards[0];
             process_batch_in(
-                &states,
+                &batch.states,
                 &mut shard.index,
                 &mut shard.hotness,
                 &mut shard.scratch,
@@ -308,27 +437,44 @@ impl Coordinator {
             )
         } else {
             // The per-shard slices were routed at submit time.
-            let mut parts = std::mem::take(&mut self.pending_parts);
-            let out = self.process_batch_sharded(&states, &parts, overlap_cell);
-            for p in &mut parts {
-                p.clear();
-            }
-            self.pending_parts = parts;
-            out
+            self.process_batch_sharded(&batch.states, &batch.parts, overlap_cell)
         };
         self.processing.strategy_time += start.elapsed();
         self.processing.epochs += 1;
-        self.processing.states_processed += states.len() as u64;
+        self.processing.states_processed += batch.states.len() as u64;
         self.processing.case1 += tally.case1;
         self.processing.case2 += tally.case2;
         self.processing.case3 += tally.case3;
+        selections
+    }
 
-        let responses = selections.iter().map(|sel| self.respond(sel)).collect();
-        // Recycle the drained batch buffer for the next epoch's ingest.
-        let mut states = states;
+    /// Builds (and accounts) the endpoint responses for the epoch's
+    /// selections, in batch order.
+    pub(crate) fn stage_respond(&mut self, selections: &[Selection]) -> Vec<EndpointResponse> {
+        selections.iter().map(|sel| self.respond(sel)).collect()
+    }
+
+    /// Returns the drained batch buffers to the pending slots so the
+    /// next epoch's ingest reuses their capacity.
+    pub(crate) fn stage_recycle(&mut self, batch: EpochBatch) {
+        let EpochBatch { mut states, mut parts } = batch;
         states.clear();
+        for p in &mut parts {
+            p.clear();
+        }
         self.pending = states;
-        responses
+        self.pending_parts = parts;
+    }
+
+    /// Stage *publish*: rebuild and cache the epoch-stamped
+    /// [`HotSnapshot`] — the one read path for top-k, hot count, and the
+    /// counters. Returns the published snapshot.
+    pub(crate) fn stage_publish(&mut self) -> Arc<HotSnapshot> {
+        let start = Instant::now();
+        *self.cache.get_mut() = ReadCache::default();
+        let snap = self.snapshot();
+        self.processing.publish_time += start.elapsed();
+        snap
     }
 
     /// The sharded epoch: parallel Phase A per shard over the pre-routed
@@ -464,9 +610,17 @@ impl Coordinator {
         self.shards.iter().find_map(|s| s.index.get(id))
     }
 
-    /// All stored paths with positive hotness, unordered.
-    pub fn hot_paths(&self) -> Vec<HotPath> {
-        self.shards
+    /// All stored paths with positive hotness, unordered. The
+    /// enumeration is cached: repeated reads between mutations share one
+    /// allocation (the cache drops on `advance_time` / epoch
+    /// processing). Callers that need to reorder copy out with
+    /// `.to_vec()`.
+    pub fn hot_paths(&self) -> Arc<[HotPath]> {
+        if let Some(hot) = self.cache.borrow().hot.clone() {
+            return hot;
+        }
+        let hot: Arc<[HotPath]> = self
+            .shards
             .iter()
             .flat_map(|shard| {
                 shard.hotness.iter().filter_map(|(id, h)| {
@@ -477,13 +631,47 @@ impl Coordinator {
                     })
                 })
             })
-            .collect()
+            .collect::<Vec<_>>()
+            .into();
+        self.cache.borrow_mut().hot = Some(hot.clone());
+        hot
+    }
+
+    /// The current [`HotSnapshot`]: the epoch-stamped immutable read
+    /// view published at the end of the last `process_epoch`, rebuilt
+    /// lazily if the window has advanced since. This is the one read
+    /// path — `top_k`, `top_k_score`, and the engine layer all route
+    /// through it.
+    pub fn snapshot(&self) -> Arc<HotSnapshot> {
+        if let Some(snap) = self.cache.borrow().snapshot.clone() {
+            return snap;
+        }
+        let hot_count = self.hot_count();
+        let top: Vec<HotPath> = if hot_count == 0 { Vec::new() } else { self.top_n(self.config.k) };
+        let top_k_score = if top.is_empty() {
+            0.0
+        } else {
+            top.iter().map(|h| h.score).sum::<f64>() / top.len() as f64
+        };
+        let snap = Arc::new(HotSnapshot {
+            epoch: self.processing.epochs,
+            timestamp: self.clock,
+            top_k: top.into(),
+            top_k_score,
+            hot_count,
+            index_size: self.index_size(),
+            comm: self.comm,
+            processing: self.processing,
+        });
+        self.cache.borrow_mut().snapshot = Some(snap.clone());
+        snap
     }
 
     /// The top-`k` hottest motion paths (config `k`), hottest first;
     /// ties break toward longer paths, then lower ids (deterministic).
-    pub fn top_k(&self) -> Vec<HotPath> {
-        self.top_n(self.config.k)
+    /// Served from the cached [`HotSnapshot`] — no per-read allocation.
+    pub fn top_k(&self) -> Arc<[HotPath]> {
+        self.snapshot().top_k.clone()
     }
 
     /// The top-`n` hottest motion paths for an explicit `n`, merged
@@ -522,18 +710,10 @@ impl Coordinator {
     }
 
     /// The score of the top-`k` set: the average of `hotness x length`
-    /// over its members (Section 3.1). Zero when no paths are hot —
-    /// short-circuited before any merge work; member scores come
-    /// straight from the top-k entries, not a second pass.
+    /// over its members (Section 3.1). Zero when no paths are hot.
+    /// Served from the cached [`HotSnapshot`].
     pub fn top_k_score(&self) -> f64 {
-        if self.hot_count() == 0 {
-            return 0.0;
-        }
-        let top = self.top_k();
-        if top.is_empty() {
-            return 0.0;
-        }
-        top.iter().map(|h| h.score).sum::<f64>() / top.len() as f64
+        self.snapshot().top_k_score
     }
 
     /// Communication counters.
@@ -583,7 +763,7 @@ impl Coordinator {
         }
         // The incremental rank path must reproduce the naive full sort
         // at every depth (the pre-incremental `top_n` implementation).
-        let mut oracle = self.hot_paths();
+        let mut oracle = self.hot_paths().to_vec();
         oracle.sort_by(|a, b| {
             b.hotness
                 .cmp(&a.hotness)
@@ -871,7 +1051,7 @@ mod tests {
         assert_eq!(c.hot_count(), 5);
         assert!(c.pending_expiry_events() >= c.hot_count());
         // Every hot path is reachable through the aggregate lookup.
-        for hp in c.hot_paths() {
+        for hp in c.hot_paths().iter() {
             assert!(c.path(hp.path.id).is_some());
             assert_eq!(c.hotness_of(hp.path.id), hp.hotness);
         }

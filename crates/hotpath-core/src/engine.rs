@@ -1,0 +1,536 @@
+//! The engine layer: epoch execution behind one interface, with a
+//! synchronous backend and a pipelined (double-buffered) backend.
+//!
+//! [`Coordinator::process_epoch`] is internally four named stages —
+//! *drain-ingest* → *Phase A* → *Phase B* → *publish* — and an
+//! [`Engine`] decides how those stages are scheduled against ingest:
+//!
+//! * [`SyncEngine`] — today's behavior at any shard count: `submit` goes
+//!   straight to the coordinator, every stage runs on the caller's
+//!   thread inside `process_epoch`.
+//! * [`PipelinedEngine`] — double-buffers the ingest: `submit` /
+//!   `submit_batch` land in an engine-side *front* buffer (pre-routed
+//!   per shard with the coordinator's own [`ShardRouter`] rule) while a
+//!   dedicated worker thread owns the coordinator and runs the epoch
+//!   stages against the sealed *back* buffer. `process_epoch` blocks
+//!   only until the respond stage — the worker then finishes the
+//!   *publish* stage (top-k merge, snapshot build) and the per-tick
+//!   window expiry in the background, overlapped with the caller's next
+//!   ticks of ingest. Reads go through the epoch-stamped
+//!   [`HotSnapshot`], never through live coordinator state.
+//!
+//! Both backends are observationally identical, bit for bit: same
+//! responses in the same order, same snapshots, same communication
+//! accounting, same final coordinator (pinned by the engine-parity
+//! proptests and `tests/scenario_parity.rs`). Responses are causally
+//! required at the epoch boundary — clients seed their next SSA from
+//! them — so the strategy stages cannot move off the boundary's
+//! critical path without changing behavior; what the pipeline overlaps
+//! is everything after the respond stage plus all between-epoch
+//! maintenance. Going further (speculative strategy evaluation,
+//! cross-process shards) is future work recorded in the ROADMAP.
+
+use crate::config::Config;
+use crate::coordinator::{Coordinator, EndpointResponse, HotSnapshot, ShardRouter};
+use crate::raytrace::ClientState;
+use crate::time::Timestamp;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Which epoch-execution backend to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EngineKind {
+    /// Every stage on the caller's thread (today's behavior).
+    #[default]
+    Sync,
+    /// Double-buffered ingest with the epoch stages on a worker thread.
+    Pipelined,
+}
+
+impl EngineKind {
+    /// Parses a CLI tag (`sync` / `pipelined`).
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        match s {
+            "sync" => Some(EngineKind::Sync),
+            "pipelined" => Some(EngineKind::Pipelined),
+            _ => None,
+        }
+    }
+
+    /// Wraps a coordinator in this backend.
+    pub fn build(self, coordinator: Coordinator) -> Box<dyn Engine> {
+        match self {
+            EngineKind::Sync => Box::new(SyncEngine::new(coordinator)),
+            EngineKind::Pipelined => Box::new(PipelinedEngine::spawn(coordinator)),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EngineKind::Sync => "sync",
+            EngineKind::Pipelined => "pipelined",
+        })
+    }
+}
+
+/// Epoch execution behind one interface: buffered ingest, the epoch
+/// boundary, and snapshot-based reads. Both backends are bit-for-bit
+/// identical; only the thread the stages run on differs.
+pub trait Engine {
+    /// Which backend this is.
+    fn kind(&self) -> EngineKind;
+    /// The configuration in force.
+    fn config(&self) -> &Config;
+    /// Accepts one state message for the next epoch.
+    fn submit(&mut self, state: ClientState);
+    /// Accepts a batch of state messages, in order — equivalent to a
+    /// `submit` loop.
+    fn submit_batch(&mut self, states: &mut dyn Iterator<Item = ClientState>);
+    /// States buffered for the next epoch.
+    fn pending_len(&self) -> usize;
+    /// Advances the sliding-window clock (expiry). The pipelined
+    /// backend runs the expiry on its worker, overlapped with ingest.
+    fn advance_time(&mut self, now: Timestamp);
+    /// Runs the epoch ending at `now` and returns its endpoint
+    /// responses. The pipelined backend returns as soon as the respond
+    /// stage completes; publish finishes in the background.
+    fn process_epoch(&mut self, now: Timestamp) -> Vec<EndpointResponse>;
+    /// The snapshot published by the last `process_epoch` (an empty
+    /// epoch-0 snapshot before the first). Blocks until the publish
+    /// stage lands if it is still in flight.
+    fn snapshot(&mut self) -> Arc<HotSnapshot>;
+    /// Tears the engine down and returns the final coordinator (any
+    /// still-buffered ingest is transferred into its pending batch, so
+    /// the result is identical to the sync backend's coordinator).
+    fn finish(self: Box<Self>) -> Coordinator;
+}
+
+// ---------------------------------------------------------------------
+// SyncEngine
+// ---------------------------------------------------------------------
+
+/// The synchronous backend: a thin adapter over [`Coordinator`] that
+/// captures the published snapshot at each boundary.
+pub struct SyncEngine {
+    coordinator: Coordinator,
+    last: Arc<HotSnapshot>,
+}
+
+impl SyncEngine {
+    /// Wraps a coordinator.
+    pub fn new(coordinator: Coordinator) -> Self {
+        SyncEngine { coordinator, last: Arc::new(HotSnapshot::empty()) }
+    }
+}
+
+impl Engine for SyncEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Sync
+    }
+
+    fn config(&self) -> &Config {
+        self.coordinator.config()
+    }
+
+    fn submit(&mut self, state: ClientState) {
+        self.coordinator.submit(state);
+    }
+
+    fn submit_batch(&mut self, states: &mut dyn Iterator<Item = ClientState>) {
+        for state in states {
+            self.coordinator.submit(state);
+        }
+    }
+
+    fn pending_len(&self) -> usize {
+        self.coordinator.pending_len()
+    }
+
+    fn advance_time(&mut self, now: Timestamp) {
+        self.coordinator.advance_time(now);
+    }
+
+    fn process_epoch(&mut self, now: Timestamp) -> Vec<EndpointResponse> {
+        let responses = self.coordinator.process_epoch(now);
+        // `process_epoch` ends with the publish stage, so this is the
+        // freshly published snapshot (comm as of the publish — before
+        // any boundary resubmissions land).
+        self.last = self.coordinator.snapshot();
+        responses
+    }
+
+    fn snapshot(&mut self) -> Arc<HotSnapshot> {
+        self.last.clone()
+    }
+
+    fn finish(self: Box<Self>) -> Coordinator {
+        self.coordinator
+    }
+}
+
+// ---------------------------------------------------------------------
+// PipelinedEngine
+// ---------------------------------------------------------------------
+
+/// Work sent to the engine worker, in program order.
+enum ToWorker {
+    /// Advance the window clock (per-tick expiry, run overlapped).
+    Advance(Timestamp),
+    /// A sealed epoch: the back buffer, its per-shard routing, the
+    /// uplink accounting accumulated at submit time, and the boundary.
+    Seal {
+        states: Vec<ClientState>,
+        parts: Vec<Vec<u32>>,
+        uplink_msgs: u64,
+        uplink_bytes: u64,
+        now: Timestamp,
+    },
+    /// Tear down: transfer any residual front buffer and hand the
+    /// coordinator back.
+    Finish { states: Vec<ClientState>, parts: Vec<Vec<u32>>, uplink_msgs: u64, uplink_bytes: u64 },
+}
+
+/// Replies from the worker. For each `Seal` the worker sends `Epoch`
+/// (as soon as the respond stage completes) and then `Published` (when
+/// the overlapped publish stage lands); `Finish` is answered with
+/// `Done`.
+enum FromWorker {
+    Epoch {
+        responses: Vec<EndpointResponse>,
+        /// The previous epoch's drained buffers, recycled as the next
+        /// front buffer.
+        states_buf: Vec<ClientState>,
+        parts_buf: Vec<Vec<u32>>,
+    },
+    Published(Arc<HotSnapshot>),
+    Done(Box<Coordinator>),
+}
+
+/// The pipelined backend: ingest double-buffering in front, the epoch
+/// stages on a dedicated worker thread that owns the coordinator.
+pub struct PipelinedEngine {
+    config: Config,
+    router: ShardRouter,
+    shards: usize,
+    /// The front buffer: states submitted since the last seal.
+    front: Vec<ClientState>,
+    /// Per-shard batch positions of the front buffer (sharded only).
+    parts: Vec<Vec<u32>>,
+    /// Uplink accounting for the front buffer (merged at seal, exactly
+    /// as `Coordinator::submit` would have recorded it).
+    uplink_msgs: u64,
+    uplink_bytes: u64,
+    tx: Option<Sender<ToWorker>>,
+    rx: Receiver<FromWorker>,
+    worker: Option<JoinHandle<()>>,
+    last: Arc<HotSnapshot>,
+    /// A `Published` reply is still in flight for the last sealed epoch.
+    publish_pending: bool,
+}
+
+impl PipelinedEngine {
+    /// Moves `coordinator` onto a worker thread and returns the engine.
+    pub fn spawn(coordinator: Coordinator) -> Self {
+        let config = *coordinator.config();
+        let shards = config.shards;
+        let router = ShardRouter::new(&config);
+        let (tx, work_rx) = channel::<ToWorker>();
+        let (reply_tx, rx) = channel::<FromWorker>();
+        let worker = std::thread::Builder::new()
+            .name("hotpath-engine".into())
+            .spawn(move || worker_loop(coordinator, work_rx, reply_tx))
+            .expect("spawn engine worker");
+        PipelinedEngine {
+            config,
+            router,
+            shards,
+            front: Vec::new(),
+            parts: if shards > 1 { vec![Vec::new(); shards] } else { Vec::new() },
+            uplink_msgs: 0,
+            uplink_bytes: 0,
+            tx: Some(tx),
+            rx,
+            worker: Some(worker),
+            last: Arc::new(HotSnapshot::empty()),
+            publish_pending: false,
+        }
+    }
+
+    fn send(&self, msg: ToWorker) {
+        self.tx.as_ref().expect("engine already finished").send(msg).expect("engine worker died");
+    }
+
+    /// Consumes the in-flight `Published` reply, if any (the join point
+    /// of the overlapped publish stage).
+    fn drain_publish(&mut self) {
+        if !self.publish_pending {
+            return;
+        }
+        match self.rx.recv().expect("engine worker died") {
+            FromWorker::Published(snap) => self.last = snap,
+            _ => unreachable!("protocol: Seal is answered by Epoch then Published"),
+        }
+        self.publish_pending = false;
+    }
+}
+
+impl Engine for PipelinedEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Pipelined
+    }
+
+    fn config(&self) -> &Config {
+        &self.config
+    }
+
+    fn submit(&mut self, state: ClientState) {
+        // Mirrors `Coordinator::submit` exactly: same wire accounting,
+        // same shard routing, same batch order.
+        self.uplink_msgs += 1;
+        self.uplink_bytes += ClientState::WIRE_BYTES as u64;
+        if self.shards > 1 {
+            let seq = self.front.len() as u32;
+            self.parts[self.router.shard_of(&state.start)].push(seq);
+        }
+        self.front.push(state);
+    }
+
+    fn submit_batch(&mut self, states: &mut dyn Iterator<Item = ClientState>) {
+        for state in states {
+            self.submit(state);
+        }
+    }
+
+    fn pending_len(&self) -> usize {
+        self.front.len()
+    }
+
+    fn advance_time(&mut self, now: Timestamp) {
+        // Expiry runs on the worker, overlapped with whatever the
+        // caller does next (typically the next tick's ingest).
+        self.send(ToWorker::Advance(now));
+    }
+
+    fn process_epoch(&mut self, now: Timestamp) -> Vec<EndpointResponse> {
+        // Join the previous epoch's publish before re-sealing, so at
+        // most one epoch is ever in flight.
+        self.drain_publish();
+        let states = std::mem::take(&mut self.front);
+        let parts = std::mem::take(&mut self.parts);
+        let msg = ToWorker::Seal {
+            states,
+            parts,
+            uplink_msgs: std::mem::take(&mut self.uplink_msgs),
+            uplink_bytes: std::mem::take(&mut self.uplink_bytes),
+            now,
+        };
+        self.send(msg);
+        match self.rx.recv().expect("engine worker died") {
+            FromWorker::Epoch { responses, states_buf, parts_buf } => {
+                // Double-buffer swap: the worker handed back the other
+                // buffer pair, drained and cleared.
+                self.front = states_buf;
+                self.parts = parts_buf;
+                self.publish_pending = true;
+                responses
+            }
+            _ => unreachable!("protocol: Seal is answered by Epoch first"),
+        }
+    }
+
+    fn snapshot(&mut self) -> Arc<HotSnapshot> {
+        self.drain_publish();
+        self.last.clone()
+    }
+
+    fn finish(mut self: Box<Self>) -> Coordinator {
+        self.drain_publish();
+        let msg = ToWorker::Finish {
+            states: std::mem::take(&mut self.front),
+            parts: std::mem::take(&mut self.parts),
+            uplink_msgs: std::mem::take(&mut self.uplink_msgs),
+            uplink_bytes: std::mem::take(&mut self.uplink_bytes),
+        };
+        self.send(msg);
+        let coordinator = match self.rx.recv().expect("engine worker died") {
+            FromWorker::Done(c) => *c,
+            _ => unreachable!("protocol: Finish is answered by Done"),
+        };
+        self.tx = None;
+        if let Some(worker) = self.worker.take() {
+            worker.join().expect("engine worker panicked");
+        }
+        coordinator
+    }
+}
+
+impl Drop for PipelinedEngine {
+    fn drop(&mut self) {
+        // Close the channel so the worker exits, then reap it. A normal
+        // `finish` already took both; this only runs on abandonment.
+        self.tx = None;
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The worker: owns the coordinator, applies overlapped expiry, and
+/// runs the epoch stages for every sealed batch — replying with the
+/// responses before the publish stage so the caller resumes early.
+fn worker_loop(mut coordinator: Coordinator, work: Receiver<ToWorker>, reply: Sender<FromWorker>) {
+    while let Ok(msg) = work.recv() {
+        match msg {
+            ToWorker::Advance(now) => coordinator.advance_time(now),
+            ToWorker::Seal { states, parts, uplink_msgs, uplink_bytes, now } => {
+                let (states_buf, parts_buf) =
+                    coordinator.install_routed_batch(states, parts, uplink_msgs, uplink_bytes);
+                let batch = coordinator.stage_drain_ingest(now);
+                let selections = coordinator.stage_strategy(&batch);
+                let responses = coordinator.stage_respond(&selections);
+                if reply.send(FromWorker::Epoch { responses, states_buf, parts_buf }).is_err() {
+                    break; // engine dropped mid-epoch
+                }
+                // Overlapped tail: the caller is already ingesting the
+                // next epoch while we recycle and publish.
+                coordinator.stage_recycle(batch);
+                let snap = coordinator.stage_publish();
+                if reply.send(FromWorker::Published(snap)).is_err() {
+                    break;
+                }
+            }
+            ToWorker::Finish { states, parts, uplink_msgs, uplink_bytes } => {
+                let _ = coordinator.install_routed_batch(states, parts, uplink_msgs, uplink_bytes);
+                let _ = reply.send(FromWorker::Done(Box::new(coordinator)));
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{Point, Rect};
+    use crate::ObjectId;
+
+    fn cfg(shards: usize) -> Config {
+        Config::paper_defaults().with_epoch(10).with_window(100).with_shards(shards)
+    }
+
+    fn state(obj: u64, start: (f64, f64), end: (f64, f64), te: u64) -> ClientState {
+        let e = Point::new(end.0, end.1);
+        ClientState {
+            object: ObjectId(obj),
+            start: Point::new(start.0, start.1),
+            ts: Timestamp(te.saturating_sub(8)),
+            fsa: Rect::new(e - Point::new(2.0, 2.0), e + Point::new(2.0, 2.0)),
+            te: Timestamp(te),
+        }
+    }
+
+    /// Drives one engine through a deterministic multi-epoch workload
+    /// with mixed single/batch submits and mid-epoch time advances;
+    /// returns everything observable.
+    #[allow(clippy::type_complexity)]
+    fn drive(kind: EngineKind, shards: usize) -> (Vec<Vec<(u64, u64)>>, Vec<(u64, u64, u32)>, u64) {
+        let mut engine = kind.build(Coordinator::new(cfg(shards)));
+        let mut responses_log = Vec::new();
+        let mut s = 7u64;
+        let mut rand = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s >> 33
+        };
+        for epoch in 1..=8u64 {
+            for tick in 1..=10u64 {
+                let now = Timestamp((epoch - 1) * 10 + tick);
+                let n = 3 + (rand() % 5) as usize;
+                let mk = |i: usize, r: u64| {
+                    let corridor = r % 6;
+                    let x = (corridor * 500) as f64;
+                    let y = ((r / 7) % 4 * 300) as f64;
+                    state(i as u64, (x, y), (x + 50.0, y), now.raw())
+                };
+                if rand() % 2 == 0 {
+                    for i in 0..n {
+                        let r = rand();
+                        engine.submit(mk(i, r));
+                    }
+                } else {
+                    let states: Vec<ClientState> =
+                        (0..n).map(|i| (i, rand())).map(|(i, r)| mk(i, r)).collect();
+                    engine.submit_batch(&mut states.into_iter());
+                }
+                engine.advance_time(now);
+                if tick == 10 {
+                    let resp = engine.process_epoch(now);
+                    responses_log
+                        .push(resp.iter().map(|r| (r.object.0, r.endpoint.t.raw())).collect());
+                }
+            }
+        }
+        let snap = engine.snapshot();
+        assert_eq!(snap.epoch, 8);
+        let coordinator = engine.finish();
+        coordinator.check_consistency().unwrap();
+        let top: Vec<(u64, u64, u32)> = coordinator
+            .top_n(10)
+            .iter()
+            .map(|h| (h.path.id.0, h.score.to_bits(), h.hotness))
+            .collect();
+        (responses_log, top, coordinator.comm_stats().uplink_msgs)
+    }
+
+    #[test]
+    fn pipelined_matches_sync_bit_for_bit() {
+        for shards in [1usize, 4] {
+            let sync = drive(EngineKind::Sync, shards);
+            let pipelined = drive(EngineKind::Pipelined, shards);
+            assert_eq!(sync, pipelined, "engines diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn snapshot_is_stamped_and_stable_between_epochs() {
+        let mut engine = EngineKind::Pipelined.build(Coordinator::new(cfg(1)));
+        assert_eq!(engine.snapshot().epoch, 0);
+        engine.submit(state(1, (0.0, 0.0), (50.0, 0.0), 9));
+        assert_eq!(engine.pending_len(), 1);
+        let _ = engine.process_epoch(Timestamp(10));
+        let snap = engine.snapshot();
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.timestamp, Timestamp(10));
+        assert_eq!(snap.index_size, 1);
+        assert_eq!(snap.top_k.len(), 1);
+        assert_eq!(snap.comm.uplink_msgs, 1);
+        // Ingest after the boundary does not disturb the published view.
+        engine.submit(state(2, (0.0, 0.0), (50.0, 0.0), 19));
+        let again = engine.snapshot();
+        assert_eq!(again.comm.uplink_msgs, 1);
+        assert_eq!(engine.pending_len(), 1);
+        let coordinator = engine.finish();
+        // ...but the residual ingest reached the final coordinator.
+        assert_eq!(coordinator.pending_len(), 1);
+        assert_eq!(coordinator.comm_stats().uplink_msgs, 2);
+    }
+
+    #[test]
+    fn dropping_an_unfinished_engine_reaps_the_worker() {
+        let mut engine = PipelinedEngine::spawn(Coordinator::new(cfg(2)));
+        engine.submit(state(1, (0.0, 0.0), (50.0, 0.0), 9));
+        let _ = engine.process_epoch(Timestamp(10));
+        drop(engine); // must not hang or leak the worker
+    }
+
+    #[test]
+    fn engine_kind_parses_and_displays() {
+        assert_eq!(EngineKind::parse("sync"), Some(EngineKind::Sync));
+        assert_eq!(EngineKind::parse("pipelined"), Some(EngineKind::Pipelined));
+        assert_eq!(EngineKind::parse("nope"), None);
+        assert_eq!(EngineKind::Sync.to_string(), "sync");
+        assert_eq!(EngineKind::Pipelined.to_string(), "pipelined");
+    }
+}

@@ -26,6 +26,11 @@
 //! * [`coordinator`] — the epoch-batched coordinator facade tying index,
 //!   hotness, and strategy together, answering top-`k` queries and the
 //!   score metric of Section 3.1.
+//! * [`engine`] — the execution layer over the coordinator: the epoch
+//!   stages (drain-ingest → Phase A → Phase B → publish) behind an
+//!   `Engine` trait, with a synchronous backend and a pipelined backend
+//!   that double-buffers ingest against a worker thread; reads go
+//!   through the epoch-stamped `HotSnapshot`.
 //!
 //! ## Quick example
 //!
@@ -63,6 +68,7 @@
 
 pub mod config;
 pub mod coordinator;
+pub mod engine;
 pub mod fxhash;
 pub mod geometry;
 pub mod hotness;
@@ -87,7 +93,8 @@ impl std::fmt::Display for ObjectId {
 /// Convenient glob-import of the public API.
 pub mod prelude {
     pub use crate::config::{Config, Tolerance};
-    pub use crate::coordinator::{Coordinator, EndpointResponse};
+    pub use crate::coordinator::{Coordinator, EndpointResponse, HotSnapshot};
+    pub use crate::engine::{Engine, EngineKind, PipelinedEngine, SyncEngine};
     pub use crate::geometry::{Point, Rect, Segment, TimePoint, Trajectory};
     pub use crate::hotness::Hotness;
     pub use crate::motion_path::{MotionPath, PathId};

@@ -69,6 +69,9 @@ pub struct ProcessingStats {
     pub strategy_time: Duration,
     /// Accumulated hotness-expiry wall time.
     pub expiry_time: Duration,
+    /// Accumulated snapshot-publish wall time (the epoch pipeline's
+    /// publish stage; the pipelined engine overlaps it with ingest).
+    pub publish_time: Duration,
     /// Case-1 selections (existing path reused).
     pub case1: u64,
     /// Case-2 selections (existing vertex reused).

@@ -18,7 +18,10 @@
 //!   concentrated on the network's hub vertices (stresses shard
 //!   imbalance: most paths start in a few cells);
 //! * `evacuation_reroute` — an evacuation whose arterial escape routes
-//!   close mid-run, forcing correlated path churn and hotness decay.
+//!   close mid-run, forcing correlated path churn and hotness decay;
+//! * `surge_dropout` — a composite built with the [`DropoutOverlay`]
+//!   combinator: the rush-hour surge with a sensor outage at its peak,
+//!   proving registry scenarios compose.
 
 use crate::mobility::{ChoicePolicy, Measurement, Population, PopulationParams};
 use crate::network::{generate, ClosureSet, NetworkParams, NodeId, RoadClass, RoadNetwork};
@@ -157,6 +160,22 @@ pub const REGISTRY: &[ScenarioSpec] = &[
         name: "evacuation_reroute",
         summary: "evacuation with mid-run arterial closures forcing path churn",
         build: |p| Box::new(EvacuationRerouteScenario::new(p)),
+    },
+    ScenarioSpec {
+        name: "surge_dropout",
+        summary: "composite: rush-hour surge with a mid-surge sensor outage window",
+        build: |p| {
+            // The outage lands at the surge's peak (the surge spans
+            // 30-70% of the run) and silences every third sensor —
+            // short enough that the window keeps the corridors hot.
+            let from = p.duration / 2;
+            let until = from + p.duration / 8;
+            Box::new(DropoutOverlay::new(
+                "surge_dropout",
+                Box::new(RushHourSurgeScenario::new(p)),
+                DropoutWindow::new(Timestamp(from), Timestamp(until), 3),
+            ))
+        },
     },
 ];
 
@@ -542,6 +561,74 @@ impl Scenario for RushHourSurgeScenario {
 }
 
 // ---------------------------------------------------------------------
+// combinators
+// ---------------------------------------------------------------------
+
+/// A scenario combinator: overlays a [`DropoutWindow`] on any inner
+/// scenario. The inner scenario generates and schedules everything as
+/// usual; the overlay then discards measurements from dark sensors, so
+/// event machinery composes with outage machinery without either
+/// knowing about the other. Invariants are the inner scenario's, plus
+/// the requirement that the outage actually silenced something.
+pub struct DropoutOverlay {
+    name: &'static str,
+    inner: Box<dyn Scenario>,
+    window: DropoutWindow,
+    /// Measurements the outage swallowed (ground truth for the
+    /// composite's own invariant).
+    dropped: u64,
+}
+
+impl DropoutOverlay {
+    /// Wraps `inner`, silencing sensors per `window`. `name` is the
+    /// composite's registry name.
+    pub fn new(name: &'static str, inner: Box<dyn Scenario>, window: DropoutWindow) -> Self {
+        DropoutOverlay { name, inner, window, dropped: 0 }
+    }
+
+    /// The outage window in force.
+    pub fn window(&self) -> DropoutWindow {
+        self.window
+    }
+}
+
+impl Scenario for DropoutOverlay {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn network(&self) -> &RoadNetwork {
+        self.inner.network()
+    }
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+    fn duration(&self) -> u64 {
+        self.inner.duration()
+    }
+    fn window_hint(&self) -> u64 {
+        // The sliding window must ride out the outage, whatever the
+        // inner scenario assumes.
+        self.inner.window_hint().max(self.window.until.raw() - self.window.from.raw() + 10)
+    }
+    fn seed_timepoint(&self, obj: ObjectId, t: Timestamp) -> TimePoint {
+        self.inner.seed_timepoint(obj, t)
+    }
+    fn tick(&mut self, t: Timestamp, out: &mut Vec<Measurement>) {
+        self.inner.tick(t, out);
+        let before = out.len();
+        out.retain(|m| !self.window.drops(m.object, t));
+        self.dropped += (before - out.len()) as u64;
+    }
+    fn check_invariants(&self, outcome: &ScenarioOutcome) -> Result<(), String> {
+        self.inner.check_invariants(outcome)?;
+        if self.dropped == 0 {
+            return Err(format!("{}: the dropout window never silenced a sensor", self.name));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
 // evacuation_reroute
 // ---------------------------------------------------------------------
 
@@ -681,8 +768,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_lists_five_scenarios_with_unique_names() {
-        assert!(REGISTRY.len() >= 5);
+    fn registry_lists_all_scenarios_with_unique_names() {
+        assert!(REGISTRY.len() >= 6);
         let mut names: Vec<&str> = REGISTRY.iter().map(|s| s.name).collect();
         names.sort_unstable();
         names.dedup();
@@ -693,10 +780,44 @@ mod tests {
             "sensor_dropout",
             "rush_hour_surge",
             "evacuation_reroute",
+            "surge_dropout",
         ] {
             assert!(spec(required).is_some(), "missing scenario {required}");
         }
         assert!(spec("no_such_scenario").is_none());
+    }
+
+    #[test]
+    fn dropout_overlay_silences_the_windowed_sensors_and_delegates() {
+        let params = ScenarioParams { n: 90, ..ScenarioParams::quick(13) };
+        let mut composite = build("surge_dropout", &params).expect("registered composite");
+        assert_eq!(composite.name(), "surge_dropout");
+        assert_eq!(composite.n(), 90);
+        let mut bare = RushHourSurgeScenario::new(&params);
+        let window = DropoutWindow::new(
+            Timestamp(params.duration / 2),
+            Timestamp(params.duration / 2 + params.duration / 8),
+            3,
+        );
+        let (mut out_c, mut out_b) = (Vec::new(), Vec::new());
+        let mut dropped = 0usize;
+        for t in 1..=params.duration {
+            composite.tick(Timestamp(t), &mut out_c);
+            bare.tick(Timestamp(t), &mut out_b);
+            // The composite's stream is exactly the bare stream minus
+            // the dark sensors.
+            let expected: Vec<_> =
+                out_b.iter().filter(|m| !window.drops(m.object, Timestamp(t))).collect();
+            dropped += out_b.len() - expected.len();
+            assert_eq!(out_c.len(), expected.len(), "tick {t}");
+            for (c, b) in out_c.iter().zip(expected) {
+                assert_eq!(c.object, b.object);
+                assert_eq!(c.truth, b.truth);
+            }
+        }
+        assert!(dropped > 0, "the outage never fired at this scale");
+        // The sliding-window hint covers the outage.
+        assert!(composite.window_hint() > params.duration / 8);
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! The shared epoch loop: every driver in this crate — the figure
+//! simulation and the scenario runner — is the same tick/epoch cadence
+//! around an [`Engine`], differing only in where measurements come from
+//! and how client filters observe them. This module owns that cadence
+//! once, parameterized by an [`EpochDriver`] and the engine backend
+//! (`sync` or `pipelined`), so the two drivers cannot drift apart and
+//! both inherit snapshot-based reads: per-epoch metrics come from the
+//! engine's published [`HotSnapshot`], never from live coordinator
+//! state.
+
+use crate::metrics::EpochMetrics;
+use hotpath_core::coordinator::{EndpointResponse, HotSnapshot};
+use hotpath_core::engine::Engine;
+use hotpath_core::raytrace::ClientState;
+use hotpath_core::stats::CommStats;
+use hotpath_core::time::Timestamp;
+use std::time::Instant;
+
+/// What a concrete driver plugs into the shared loop: a measurement
+/// source feeding client filters (ingest), response delivery back into
+/// those filters, and an optional per-epoch observer.
+pub trait EpochDriver {
+    /// Advances one timestamp: generate this tick's measurements, run
+    /// them through the client filters, and submit every escaping state
+    /// to `engine` (in measurement order). Returns the number of raw
+    /// measurements generated.
+    fn tick(&mut self, now: Timestamp, engine: &mut dyn Engine) -> u64;
+
+    /// Delivers one endpoint response to its client filter; a returned
+    /// state is resubmitted by the loop (in response order), seeding the
+    /// next epoch exactly as the paper's Section 3.2 protocol does.
+    fn deliver(&mut self, resp: &EndpointResponse) -> Option<ClientState>;
+
+    /// Observes the epoch's published snapshot; returns the optional DP
+    /// competitor columns for the metrics row.
+    fn on_epoch(&mut self, snap: &HotSnapshot) -> (Option<usize>, Option<f64>) {
+        let _ = snap;
+        (None, None)
+    }
+}
+
+/// What the loop hands back: the per-epoch metric series and the raw
+/// measurement count (totals such as final comm counters come from the
+/// finished engine's coordinator).
+pub struct EpochLoopResult {
+    /// Metrics at every epoch boundary, from the published snapshots.
+    pub per_epoch: Vec<EpochMetrics>,
+    /// Raw measurements the driver generated over the run.
+    pub measurements: u64,
+}
+
+/// Drives `driver` through `duration` timestamps against `engine`:
+/// per-tick ingest + window advance, and at every epoch boundary the
+/// full process/deliver/observe exchange. With the pipelined backend
+/// the engine's publish stage and per-tick expiry run on its worker,
+/// overlapped with this loop's ingest — observable behavior is
+/// identical across backends.
+pub fn run_epoch_loop(
+    engine: &mut dyn Engine,
+    duration: u64,
+    driver: &mut dyn EpochDriver,
+) -> EpochLoopResult {
+    let epochs = engine.config().epochs;
+    let mut per_epoch = Vec::new();
+    let mut measurements = 0u64;
+    let mut comm_prev = CommStats::default();
+    for t in 1..=duration {
+        let now = Timestamp(t);
+        measurements += driver.tick(now, engine);
+        engine.advance_time(now);
+        if epochs.is_epoch(now) {
+            let reporting = engine.pending_len();
+            // Boundary-blocking wall time: for the sync backend this
+            // spans all four stages; for the pipelined backend it ends
+            // at the respond stage (publish overlaps the next ticks) —
+            // the difference between backends is the overlap itself.
+            let start = Instant::now();
+            let responses = engine.process_epoch(now);
+            let elapsed = start.elapsed();
+            {
+                let driver = &mut *driver;
+                engine.submit_batch(&mut responses.iter().filter_map(|r| driver.deliver(r)));
+            }
+            let snap = engine.snapshot();
+            let (dp_index_size, dp_score) = driver.on_epoch(&snap);
+            per_epoch.push(EpochMetrics {
+                epoch: epochs.epoch_index(now),
+                timestamp: now,
+                reporting,
+                index_size: snap.index_size,
+                top_k_score: snap.top_k_score,
+                processing: elapsed,
+                // Snapshot comm is as of the publish: boundary
+                // resubmissions count toward the following epoch.
+                comm: snap.comm.since(&comm_prev),
+                dp_index_size,
+                dp_score,
+            });
+            comm_prev = snap.comm;
+        }
+    }
+    EpochLoopResult { per_epoch, measurements }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotpath_core::config::Config;
+    use hotpath_core::coordinator::Coordinator;
+    use hotpath_core::engine::EngineKind;
+    use hotpath_core::geometry::{Point, Rect};
+    use hotpath_core::ObjectId;
+
+    /// A minimal driver: one object crossing the same corridor each
+    /// tick, responses counted.
+    struct OneCorridor {
+        delivered: usize,
+    }
+
+    impl EpochDriver for OneCorridor {
+        fn tick(&mut self, now: Timestamp, engine: &mut dyn Engine) -> u64 {
+            let end = Point::new(50.0, 0.0);
+            engine.submit(ClientState {
+                object: ObjectId(0),
+                start: Point::new(0.0, 0.0),
+                ts: now,
+                fsa: Rect::new(end - Point::new(2.0, 2.0), end + Point::new(2.0, 2.0)),
+                te: now,
+            });
+            1
+        }
+
+        fn deliver(&mut self, _resp: &EndpointResponse) -> Option<ClientState> {
+            self.delivered += 1;
+            None
+        }
+    }
+
+    #[test]
+    fn loop_produces_one_metrics_row_per_epoch_on_both_backends() {
+        for kind in [EngineKind::Sync, EngineKind::Pipelined] {
+            let config = Config::paper_defaults().with_epoch(5).with_window(50);
+            let mut engine = kind.build(Coordinator::new(config));
+            let mut driver = OneCorridor { delivered: 0 };
+            let out = run_epoch_loop(engine.as_mut(), 20, &mut driver);
+            assert_eq!(out.per_epoch.len(), 4, "{kind}");
+            assert_eq!(out.measurements, 20);
+            assert_eq!(driver.delivered, 20, "{kind}: every state gets a response");
+            for (i, e) in out.per_epoch.iter().enumerate() {
+                assert_eq!(e.epoch, i as u64 + 1);
+                assert_eq!(e.timestamp.raw(), (i as u64 + 1) * 5);
+                assert_eq!(e.reporting, 5);
+                assert!(e.index_size > 0);
+            }
+            let coordinator = engine.finish();
+            coordinator.check_consistency().unwrap();
+            assert_eq!(coordinator.comm_stats().uplink_msgs, 20);
+        }
+    }
+}

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod engine_loop;
 pub mod experiment;
 pub mod metrics;
 pub mod report;

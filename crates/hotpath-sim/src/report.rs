@@ -240,6 +240,45 @@ pub fn csv(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Renders a per-epoch metric series as CSV — one record per epoch
+/// boundary with the quality, timing, and communication columns. Used
+/// by `experiments scenario --csv` so scenario runs can be plotted and
+/// diffed externally.
+pub fn epoch_metrics_csv(rows: &[crate::metrics::EpochMetrics]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|e| {
+            vec![
+                e.epoch.to_string(),
+                e.timestamp.raw().to_string(),
+                e.reporting.to_string(),
+                e.index_size.to_string(),
+                format!("{}", e.top_k_score),
+                format!("{}", e.processing.as_secs_f64() * 1e3),
+                e.comm.uplink_msgs.to_string(),
+                e.comm.uplink_bytes.to_string(),
+                e.comm.downlink_msgs.to_string(),
+                e.comm.downlink_bytes.to_string(),
+            ]
+        })
+        .collect();
+    csv(
+        &[
+            "epoch",
+            "timestamp",
+            "reporting",
+            "index_size",
+            "top_k_score",
+            "processing_ms",
+            "uplink_msgs",
+            "uplink_bytes",
+            "downlink_msgs",
+            "downlink_bytes",
+        ],
+        &data,
+    )
+}
+
 #[cfg(test)]
 mod csv_tests {
     use super::csv;
@@ -260,5 +299,35 @@ mod csv_tests {
     #[should_panic(expected = "arity")]
     fn ragged_rows_rejected() {
         let _ = csv(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn epoch_metrics_render_one_record_per_epoch() {
+        use crate::metrics::EpochMetrics;
+        use hotpath_core::stats::CommStats;
+        use hotpath_core::time::Timestamp;
+        use std::time::Duration;
+        let rows = vec![EpochMetrics {
+            epoch: 3,
+            timestamp: Timestamp(15),
+            reporting: 7,
+            index_size: 42,
+            top_k_score: 99.5,
+            processing: Duration::from_millis(2),
+            comm: CommStats {
+                uplink_msgs: 7,
+                uplink_bytes: 504,
+                downlink_msgs: 7,
+                downlink_bytes: 224,
+            },
+            dp_index_size: None,
+            dp_score: None,
+        }];
+        let s = super::epoch_metrics_csv(&rows);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2, "header plus one record");
+        assert!(lines[0].starts_with("epoch,timestamp,reporting,index_size,top_k_score"));
+        assert!(lines[1].starts_with("3,15,7,42,99.5,2,"));
+        assert!(lines[1].ends_with("7,504,7,224"));
     }
 }

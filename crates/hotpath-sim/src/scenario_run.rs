@@ -11,9 +11,11 @@
 //! through [`UncertainRayTraceFilter`]s, so one scenario exercises the
 //! whole Section 4.1 machinery — including both fallback policies.
 
+use crate::engine_loop::{run_epoch_loop, EpochDriver};
 use crate::metrics::{EpochMetrics, Summary};
 use hotpath_core::config::{Config, Tolerance};
-use hotpath_core::coordinator::Coordinator;
+use hotpath_core::coordinator::{Coordinator, EndpointResponse, HotSnapshot};
+use hotpath_core::engine::{Engine, EngineKind};
 use hotpath_core::raytrace::{ClientState, FilterStats, RayTraceFilter, UncertainRayTraceFilter};
 use hotpath_core::time::Timestamp;
 use hotpath_core::uncertainty::{FallbackPolicy, ToleranceTable2D};
@@ -22,7 +24,6 @@ use hotpath_netsim::mobility::{GaussianNoise, Measurement};
 use hotpath_netsim::scenario::{build, EpochSample, Scenario, ScenarioOutcome, ScenarioParams};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::time::Instant;
 
 /// Driver knobs; defaults mirror the scenario integration tests.
 #[derive(Clone, Copy, Debug)]
@@ -45,6 +46,8 @@ pub struct ScenarioRunParams {
     /// Coordinator shards (1 = sequential; results are identical at
     /// every shard count).
     pub shards: usize,
+    /// Epoch-execution backend; results are identical for both.
+    pub engine: EngineKind,
     /// Seed for the driver's Gaussian re-measurement device (kept apart
     /// from the scenario seed so noise and workload vary independently).
     pub noise_seed: u64,
@@ -61,6 +64,7 @@ impl Default for ScenarioRunParams {
             epoch: 5,
             k: 10,
             shards: 1,
+            engine: EngineKind::Sync,
             noise_seed: 0x5eed,
         }
     }
@@ -123,11 +127,63 @@ impl Client {
     }
 }
 
+/// The scenario driver behind the shared epoch loop: the scenario as
+/// measurement source, crisp or Gaussian-re-measured clients, and the
+/// per-epoch [`EpochSample`] observations for the invariant hook —
+/// read from the published snapshots.
+struct ScenarioDriver<'a> {
+    scenario: &'a mut dyn Scenario,
+    clients: &'a mut [Client],
+    noise: GaussianNoise,
+    rng: SmallRng,
+    batch: Vec<Measurement>,
+    samples: Vec<EpochSample>,
+}
+
+impl EpochDriver for ScenarioDriver<'_> {
+    fn tick(&mut self, now: Timestamp, engine: &mut dyn Engine) -> u64 {
+        self.scenario.tick(now, &mut self.batch);
+        let clients = &mut *self.clients;
+        let noise = &self.noise;
+        let rng = &mut self.rng;
+        let batch = &self.batch;
+        engine.submit_batch(&mut batch.iter().filter_map(move |m| {
+            match &mut clients[m.object.0 as usize] {
+                Client::Crisp(f) => f.observe(m.observed),
+                Client::Uncertain(f) => {
+                    // The Gaussian device re-measures the true position; the
+                    // scenario's own (uniform) sensor noise is replaced, not
+                    // stacked.
+                    let g = noise.measure(m.truth, rng);
+                    f.observe_gaussian(g, now)
+                }
+            }
+        }));
+        self.batch.len() as u64
+    }
+
+    fn deliver(&mut self, resp: &EndpointResponse) -> Option<ClientState> {
+        self.clients[resp.object.0 as usize].receive(resp.endpoint)
+    }
+
+    fn on_epoch(&mut self, snap: &HotSnapshot) -> (Option<usize>, Option<f64>) {
+        self.samples.push(EpochSample {
+            timestamp: snap.timestamp,
+            index_size: snap.index_size,
+            top_k_score: snap.top_k_score,
+            top_ids: snap.top_k.iter().map(|h| h.path.id.0).collect(),
+            top_hotness: snap.top_k.first().map(|h| h.hotness),
+        });
+        (None, None)
+    }
+}
+
 /// Runs `scenario` end to end and verifies its invariants.
 pub fn run_scenario(scenario: &mut dyn Scenario, params: &ScenarioRunParams) -> ScenarioRunResult {
     assert!(params.sigma >= 0.0, "sigma must be non-negative");
     let config = params.config(scenario);
     let n = scenario.n();
+    let duration = scenario.duration();
     let table = (params.sigma > 0.0).then(|| {
         // Cover the requested sigma with headroom; the fallback policy
         // decides what happens beyond the solvable range.
@@ -146,66 +202,19 @@ pub fn run_scenario(scenario: &mut dyn Scenario, params: &ScenarioRunParams) -> 
             }
         })
         .collect();
-    let mut coordinator = Coordinator::new(config);
-    let noise = GaussianNoise::new(params.sigma);
-    let mut rng = SmallRng::seed_from_u64(params.noise_seed);
-
-    let mut batch: Vec<Measurement> = Vec::new();
-    let mut per_epoch = Vec::new();
-    let mut samples = Vec::new();
-    let mut measurements = 0u64;
-    let mut comm_snapshot = coordinator.comm_stats();
-
-    for t in 1..=scenario.duration() {
-        let now = Timestamp(t);
-        scenario.tick(now, &mut batch);
-        measurements += batch.len() as u64;
-        coordinator.submit_batch(batch.iter().filter_map(|m| {
-            match &mut clients[m.object.0 as usize] {
-                Client::Crisp(f) => f.observe(m.observed),
-                Client::Uncertain(f) => {
-                    // The Gaussian device re-measures the true position; the
-                    // scenario's own (uniform) sensor noise is replaced, not
-                    // stacked.
-                    let g = noise.measure(m.truth, &mut rng);
-                    f.observe_gaussian(g, now)
-                }
-            }
-        }));
-        coordinator.advance_time(now);
-        if config.epochs.is_epoch(now) {
-            let reporting = coordinator.pending_len();
-            let start = Instant::now();
-            let responses = coordinator.process_epoch(now);
-            let elapsed = start.elapsed();
-            coordinator.submit_batch(
-                responses
-                    .iter()
-                    .filter_map(|resp| clients[resp.object.0 as usize].receive(resp.endpoint)),
-            );
-            let comm_now = coordinator.comm_stats();
-            let top = coordinator.top_k();
-            samples.push(EpochSample {
-                timestamp: now,
-                index_size: coordinator.index_size(),
-                top_k_score: coordinator.top_k_score(),
-                top_ids: top.iter().map(|h| h.path.id.0).collect(),
-                top_hotness: top.first().map(|h| h.hotness),
-            });
-            per_epoch.push(EpochMetrics {
-                epoch: config.epochs.epoch_index(now),
-                timestamp: now,
-                reporting,
-                index_size: coordinator.index_size(),
-                top_k_score: coordinator.top_k_score(),
-                processing: elapsed,
-                comm: comm_now.since(&comm_snapshot),
-                dp_index_size: None,
-                dp_score: None,
-            });
-            comm_snapshot = comm_now;
-        }
-    }
+    let mut engine = params.engine.build(Coordinator::new(config));
+    let mut driver = ScenarioDriver {
+        scenario: &mut *scenario,
+        clients: &mut clients,
+        noise: GaussianNoise::new(params.sigma),
+        rng: SmallRng::seed_from_u64(params.noise_seed),
+        batch: Vec::new(),
+        samples: Vec::new(),
+    };
+    let out = run_epoch_loop(engine.as_mut(), duration, &mut driver);
+    let samples = std::mem::take(&mut driver.samples);
+    drop(driver);
+    let coordinator = engine.finish();
 
     let mut filter_stats = FilterStats::default();
     for c in &clients {
@@ -214,12 +223,20 @@ pub fn run_scenario(scenario: &mut dyn Scenario, params: &ScenarioRunParams) -> 
     let outcome = ScenarioOutcome {
         per_epoch: samples,
         final_top_k: coordinator.top_k().iter().map(|h| (h.path.id.0, h.hotness)).collect(),
-        measurements,
+        measurements: out.measurements,
         reports: filter_stats.reports,
     };
     coordinator.check_consistency().expect("coordinator state inconsistent");
     let invariants = scenario.check_invariants(&outcome);
-    let summary = Summary::from_epochs(&per_epoch, measurements);
+    let mut summary = Summary::from_epochs(&out.per_epoch, out.measurements);
+    // Totals come from the final coordinator (the per-epoch rows
+    // attribute boundary resubmissions to the following epoch).
+    let comm = coordinator.comm_stats();
+    summary.uplink_msgs = comm.uplink_msgs;
+    summary.uplink_bytes = comm.uplink_bytes;
+    summary.report_ratio =
+        if out.measurements == 0 { 0.0 } else { comm.uplink_msgs as f64 / out.measurements as f64 };
+    let per_epoch = out.per_epoch;
     ScenarioRunResult { outcome, per_epoch, summary, invariants, filter_stats, coordinator }
 }
 
@@ -259,22 +276,25 @@ pub fn parity_trace(res: &ScenarioRunResult) -> ParityTrace {
     }
 }
 
-/// Verifies that an already-completed `shards > 1` run is bit-for-bit
-/// identical to a fresh sequential run of the same scenario (rebuilt
-/// from the same `scale`, so both see the same measurement stream).
-/// Use this when the sharded run is already in hand — it costs one run
-/// instead of two.
+/// Verifies that an already-completed run (any shard count, any engine
+/// backend) is bit-for-bit identical to a fresh sequential `sync`
+/// reference run of the same scenario (rebuilt from the same `scale`,
+/// so both see the same measurement stream). Use this when the run
+/// under test is already in hand — it costs one run instead of two.
 pub fn check_parity_against(
-    sharded: &ScenarioRunResult,
+    observed: &ScenarioRunResult,
     name: &str,
     scale: &ScenarioParams,
     params: &ScenarioRunParams,
 ) -> Result<(), String> {
-    let p = ScenarioRunParams { shards: 1, ..*params };
+    let p = ScenarioRunParams { shards: 1, engine: EngineKind::Sync, ..*params };
     let sequential =
         run_named(name, scale, &p).ok_or_else(|| format!("unknown scenario {name}"))?;
-    if parity_trace(&sequential) != parity_trace(sharded) {
-        return Err(format!("{name}: sequential vs sharded runs diverged"));
+    if parity_trace(&sequential) != parity_trace(observed) {
+        return Err(format!(
+            "{name}: sequential sync reference vs ({} shards, {}) run diverged",
+            params.shards, params.engine
+        ));
     }
     Ok(())
 }
@@ -378,6 +398,19 @@ mod tests {
             check_scenario_parity(spec.name, &quick_scale(42), &ScenarioRunParams::default(), 2)
                 .unwrap_or_else(|e| panic!("{e}"));
         }
+    }
+
+    #[test]
+    fn pipelined_sharded_run_matches_the_sync_sequential_reference() {
+        let scale = quick_scale(45);
+        let p = ScenarioRunParams {
+            engine: EngineKind::Pipelined,
+            shards: 4,
+            ..ScenarioRunParams::default()
+        };
+        let res = run_named("sporting_event", &scale, &p).unwrap();
+        res.invariants.as_ref().unwrap_or_else(|e| panic!("invariants: {e}"));
+        check_parity_against(&res, "sporting_event", &scale, &p).unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[test]

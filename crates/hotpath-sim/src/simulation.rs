@@ -7,18 +7,19 @@
 //! Optionally the DP competitor consumes the *same* measurement stream
 //! for the Figure 7/8 comparisons.
 
+use crate::engine_loop::{run_epoch_loop, EpochDriver};
 use crate::metrics::{EpochMetrics, Summary};
 use hotpath_baseline::{DpHotSegments, EndpointPolicy};
 use hotpath_core::config::{Config, Tolerance};
-use hotpath_core::coordinator::Coordinator;
+use hotpath_core::coordinator::{Coordinator, EndpointResponse, HotSnapshot};
+use hotpath_core::engine::{Engine, EngineKind};
 use hotpath_core::raytrace::hinted::HintedRayTraceFilter;
-use hotpath_core::raytrace::RayTraceFilter;
+use hotpath_core::raytrace::{ClientState, RayTraceFilter};
 use hotpath_core::strategy::OverlapPolicy;
 use hotpath_core::time::Timestamp;
 use hotpath_core::ObjectId;
 use hotpath_netsim::mobility::{ChoicePolicy, Measurement, Population, PopulationParams};
 use hotpath_netsim::network::{generate, NetworkParams, RoadNetwork};
-use std::time::Instant;
 
 /// Everything a run needs. Defaults are the paper's (Table 2).
 #[derive(Clone, Copy, Debug)]
@@ -58,6 +59,10 @@ pub struct SimulationParams {
     /// Coordinator shards (1 = sequential; results are identical at
     /// every shard count, epochs just run Phase A in parallel).
     pub shards: usize,
+    /// Epoch-execution backend (`Sync` = every stage on this thread;
+    /// `Pipelined` = double-buffered ingest against an engine worker).
+    /// Results are identical for both.
+    pub engine: EngineKind,
 }
 
 impl SimulationParams {
@@ -83,6 +88,7 @@ impl SimulationParams {
             dp_policy: EndpointPolicy::Nopw,
             overlap: OverlapPolicy::Full,
             shards: 1,
+            engine: EngineKind::Sync,
         }
     }
 
@@ -161,6 +167,48 @@ pub struct SimulationResult {
     pub filter_stats: hotpath_core::raytrace::FilterStats,
 }
 
+/// The figure-experiment driver behind the shared epoch loop: the
+/// scenario population as measurement source, plain/hinted RayTrace
+/// clients, and the DP competitor riding the same stream.
+struct SimDriver<'a> {
+    population: &'a mut Population,
+    network: &'a RoadNetwork,
+    clients: &'a mut [Client],
+    dp: &'a mut Option<DpHotSegments>,
+    batch: Vec<Measurement>,
+    k: usize,
+}
+
+impl EpochDriver for SimDriver<'_> {
+    fn tick(&mut self, now: Timestamp, engine: &mut dyn Engine) -> u64 {
+        self.population.tick(self.network, now, &mut self.batch);
+        if let Some(dp) = self.dp.as_mut() {
+            for m in &self.batch {
+                dp.observe(m.object, m.observed);
+            }
+        }
+        // Bulk ingest: states are pre-routed to their owning shard as
+        // they stream in, so the epoch starts with no partitioning pass.
+        let clients = &mut *self.clients;
+        let batch = &self.batch;
+        engine.submit_batch(
+            &mut batch.iter().filter_map(|m| clients[m.object.0 as usize].observe(m)),
+        );
+        if let Some(dp) = self.dp.as_mut() {
+            dp.advance_time(now);
+        }
+        self.batch.len() as u64
+    }
+
+    fn deliver(&mut self, resp: &EndpointResponse) -> Option<ClientState> {
+        self.clients[resp.object.0 as usize].receive(resp)
+    }
+
+    fn on_epoch(&mut self, _snap: &HotSnapshot) -> (Option<usize>, Option<f64>) {
+        (self.dp.as_ref().map(|d| d.index_size()), self.dp.as_ref().map(|d| d.top_n_score(self.k)))
+    }
+}
+
 /// Runs the full simulation.
 pub fn run(params: SimulationParams) -> SimulationResult {
     let config = params.config();
@@ -195,61 +243,33 @@ pub fn run(params: SimulationParams) -> SimulationResult {
     let mut dp =
         params.run_dp.then(|| DpHotSegments::new(params.eps, params.dp_policy, config.window));
 
-    let mut per_epoch = Vec::new();
-    let mut measurements_total = 0u64;
-    let mut batch = Vec::new();
-    let mut comm_snapshot = coordinator.comm_stats();
-
-    for t in 1..=params.duration {
-        let now = Timestamp(t);
-        population.tick(&network, now, &mut batch);
-        measurements_total += batch.len() as u64;
-
-        if let Some(dp) = dp.as_mut() {
-            for m in &batch {
-                dp.observe(m.object, m.observed);
-            }
-        }
-        // Bulk ingest: states are pre-routed to their owning shard as
-        // they stream in, so the epoch starts with no partitioning pass.
-        coordinator
-            .submit_batch(batch.iter().filter_map(|m| clients[m.object.0 as usize].observe(m)));
-
-        coordinator.advance_time(now);
-        if let Some(dp) = dp.as_mut() {
-            dp.advance_time(now);
-        }
-
-        if config.epochs.is_epoch(now) {
-            let reporting = coordinator.pending_len();
-            let start = Instant::now();
-            let responses = coordinator.process_epoch(now);
-            let elapsed = start.elapsed();
-            coordinator.submit_batch(
-                responses.iter().filter_map(|resp| clients[resp.object.0 as usize].receive(resp)),
-            );
-            let comm_now = coordinator.comm_stats();
-            per_epoch.push(EpochMetrics {
-                epoch: config.epochs.epoch_index(now),
-                timestamp: now,
-                reporting,
-                index_size: coordinator.index_size(),
-                top_k_score: coordinator.top_k_score(),
-                processing: elapsed,
-                comm: comm_now.since(&comm_snapshot),
-                dp_index_size: dp.as_ref().map(|d| d.index_size()),
-                dp_score: dp.as_ref().map(|d| d.top_n_score(params.k)),
-            });
-            comm_snapshot = comm_now;
-        }
-    }
+    let mut engine = params.engine.build(coordinator);
+    let mut driver = SimDriver {
+        population: &mut population,
+        network: &network,
+        clients: &mut clients,
+        dp: &mut dp,
+        batch: Vec::new(),
+        k: params.k,
+    };
+    let out = run_epoch_loop(engine.as_mut(), params.duration, &mut driver);
+    let coordinator = engine.finish();
 
     let mut filter_stats = hotpath_core::raytrace::FilterStats::default();
     for c in &clients {
         filter_stats.merge(&c.stats());
     }
 
-    let summary = Summary::from_epochs(&per_epoch, measurements_total);
+    let mut summary = Summary::from_epochs(&out.per_epoch, out.measurements);
+    // Per-epoch comm rows come from the published snapshots (boundary
+    // resubmissions count toward the following epoch); the run totals
+    // come from the final coordinator, which has seen every message.
+    let comm = coordinator.comm_stats();
+    summary.uplink_msgs = comm.uplink_msgs;
+    summary.uplink_bytes = comm.uplink_bytes;
+    summary.report_ratio =
+        if out.measurements == 0 { 0.0 } else { comm.uplink_msgs as f64 / out.measurements as f64 };
+    let per_epoch = out.per_epoch;
     SimulationResult { per_epoch, summary, coordinator, dp, network, filter_stats }
 }
 
@@ -314,6 +334,44 @@ mod tests {
         assert_eq!(top(&seq), top(&sharded));
     }
 
+    /// The pipelined engine must be observationally identical to the
+    /// sync engine over a full simulation — per-epoch series, comm
+    /// totals, final top-k — at one shard and many, with the DP
+    /// competitor riding along.
+    #[test]
+    fn pipelined_engine_matches_sync() {
+        for shards in [1usize, 4] {
+            let base = SimulationParams { shards, ..SimulationParams::quick(150, 11) };
+            let sync = run(base);
+            let pipelined = run(SimulationParams { engine: EngineKind::Pipelined, ..base });
+            let series = |r: &SimulationResult| -> Vec<(usize, u64, u64)> {
+                r.per_epoch
+                    .iter()
+                    .map(|e| (e.index_size, e.top_k_score.to_bits(), e.comm.uplink_msgs))
+                    .collect()
+            };
+            assert_eq!(series(&sync), series(&pipelined), "series diverged at {shards} shards");
+            assert_eq!(sync.summary.uplink_msgs, pipelined.summary.uplink_msgs);
+            assert_eq!(
+                sync.coordinator.comm_stats().downlink_msgs,
+                pipelined.coordinator.comm_stats().downlink_msgs
+            );
+            let top = |r: &SimulationResult| -> Vec<(u64, u32, u64)> {
+                r.coordinator
+                    .top_n(10)
+                    .iter()
+                    .map(|h| (h.path.id.0, h.hotness, h.score.to_bits()))
+                    .collect()
+            };
+            assert_eq!(top(&sync), top(&pipelined), "top-k diverged at {shards} shards");
+            pipelined.coordinator.check_consistency().unwrap();
+            let dp_series = |r: &SimulationResult| -> Vec<Option<usize>> {
+                r.per_epoch.iter().map(|e| e.dp_index_size).collect()
+            };
+            assert_eq!(dp_series(&sync), dp_series(&pipelined));
+        }
+    }
+
     #[test]
     fn window_caps_index_growth() {
         // With a short window, expired paths are deleted; the index at
@@ -323,7 +381,7 @@ mod tests {
         params.duration = 120;
         let res = run(params);
         // All hot paths have hotness >= 1 by construction.
-        for hp in res.coordinator.hot_paths() {
+        for hp in res.coordinator.hot_paths().iter() {
             assert!(hp.hotness >= 1);
         }
         // And there are at least as many pending expiry events as hot

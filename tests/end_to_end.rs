@@ -11,7 +11,7 @@ fn full_pipeline_discovers_and_maintains_paths() {
     // Index internal consistency after a full run.
     res.coordinator.check_consistency().unwrap();
     // Every hot path is indexed and every hotness is positive.
-    for hp in res.coordinator.hot_paths() {
+    for hp in res.coordinator.hot_paths().iter() {
         assert!(hp.hotness >= 1);
         assert!(res.coordinator.path(hp.path.id).is_some());
     }

@@ -1,0 +1,183 @@
+//! Engine-backend parity: [`PipelinedEngine`] must be observationally
+//! identical to [`SyncEngine`] — bit for bit — whatever the workload.
+//! A proptest drives both backends through the same randomized
+//! multi-epoch workload across seeds, shard counts {1, 4}, and
+//! mid-epoch submit interleavings (single `submit` vs `submit_batch`,
+//! uneven tick loads, interleaved `advance_time`), comparing every
+//! response, every published snapshot, and the final coordinator.
+
+use hotpath_core::config::Config;
+use hotpath_core::coordinator::Coordinator;
+use hotpath_core::engine::EngineKind;
+use hotpath_core::geometry::{Point, Rect};
+use hotpath_core::raytrace::ClientState;
+use hotpath_core::time::Timestamp;
+use hotpath_core::ObjectId;
+use proptest::prelude::*;
+
+/// One epoch's observable outcome: the responses (order included) and
+/// the published snapshot's content.
+#[derive(PartialEq, Debug)]
+struct EpochTrace {
+    responses: Vec<(u64, u64, u64, u64)>,
+    snapshot_epoch: u64,
+    snapshot_ts: u64,
+    top: Vec<(u64, u32, u64)>,
+    hot_count: usize,
+    index_size: usize,
+    comm: (u64, u64, u64, u64),
+}
+
+/// Everything a run exposes: per-epoch traces plus the final
+/// coordinator's top paths, comm counters, and case tallies.
+#[derive(PartialEq, Debug)]
+struct RunTrace {
+    epochs: Vec<EpochTrace>,
+    final_top: Vec<(u64, u32, u64)>,
+    final_comm: (u64, u64, u64, u64),
+    cases: (u64, u64, u64),
+    pending: usize,
+}
+
+/// Drives one backend through the workload `(seed, batched)` — `batched`
+/// decides per tick whether states go in one `submit_batch` call or a
+/// `submit` loop (the interleaving axis) — and returns the full trace.
+fn drive(kind: EngineKind, shards: usize, seed: u64, batched: &[bool]) -> RunTrace {
+    let config = Config::paper_defaults().with_epoch(10).with_window(60).with_shards(shards);
+    let mut engine = kind.build(Coordinator::new(config));
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut rand = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s >> 33
+    };
+    let mut epochs = Vec::new();
+    let mut tick_no = 0usize;
+    for epoch in 1..=6u64 {
+        for tick in 1..=10u64 {
+            let now = Timestamp((epoch - 1) * 10 + tick);
+            let n = (rand() % 7) as usize; // 0..=6 states; some ticks silent
+            let mk = |i: usize, a: u64, b: u64| {
+                let corridor = a % 8;
+                let x = (corridor * 450) as f64;
+                let y = ((b % 4) * 350) as f64;
+                let end = Point::new(x + 40.0 + (a % 3) as f64 * 4.0, y + (b % 25) as f64);
+                ClientState {
+                    object: ObjectId(i as u64),
+                    start: Point::new(x, y),
+                    ts: Timestamp(now.raw().saturating_sub(5)),
+                    fsa: Rect::new(end - Point::new(2.5, 2.5), end + Point::new(2.5, 2.5)),
+                    te: Timestamp(now.raw()),
+                }
+            };
+            let use_batch = batched.get(tick_no % batched.len().max(1)).copied().unwrap_or(false);
+            tick_no += 1;
+            if use_batch {
+                let states: Vec<ClientState> =
+                    (0..n).map(|i| (i, rand(), rand())).map(|(i, a, b)| mk(i, a, b)).collect();
+                engine.submit_batch(&mut states.into_iter());
+            } else {
+                for i in 0..n {
+                    let (a, b) = (rand(), rand());
+                    engine.submit(mk(i, a, b));
+                }
+            }
+            engine.advance_time(now);
+            if tick == 10 {
+                let responses: Vec<(u64, u64, u64, u64)> = engine
+                    .process_epoch(now)
+                    .iter()
+                    .map(|r| {
+                        (
+                            r.object.0,
+                            r.endpoint.p.x.to_bits(),
+                            r.endpoint.p.y.to_bits(),
+                            r.endpoint.t.raw(),
+                        )
+                    })
+                    .collect();
+                let snap = engine.snapshot();
+                epochs.push(EpochTrace {
+                    responses,
+                    snapshot_epoch: snap.epoch,
+                    snapshot_ts: snap.timestamp.raw(),
+                    top: snap
+                        .top_k
+                        .iter()
+                        .map(|h| (h.path.id.0, h.hotness, h.score.to_bits()))
+                        .collect(),
+                    hot_count: snap.hot_count,
+                    index_size: snap.index_size,
+                    comm: (
+                        snap.comm.uplink_msgs,
+                        snap.comm.uplink_bytes,
+                        snap.comm.downlink_msgs,
+                        snap.comm.downlink_bytes,
+                    ),
+                });
+            }
+        }
+    }
+    // A mid-epoch tail: some states stay pending at teardown and must
+    // reach the final coordinator identically.
+    for i in 0..(rand() % 4) {
+        let (a, b) = (rand(), rand());
+        let end = Point::new((a % 8 * 450) as f64 + 40.0, (b % 4 * 350) as f64);
+        engine.submit(ClientState {
+            object: ObjectId(i),
+            start: Point::new((a % 8 * 450) as f64, (b % 4 * 350) as f64),
+            ts: Timestamp(60),
+            fsa: Rect::new(end - Point::new(2.5, 2.5), end + Point::new(2.5, 2.5)),
+            te: Timestamp(61),
+        });
+    }
+    let coordinator = engine.finish();
+    coordinator.check_consistency().expect("inconsistent coordinator after run");
+    let comm = coordinator.comm_stats();
+    let p = coordinator.processing_stats();
+    RunTrace {
+        epochs,
+        final_top: coordinator
+            .top_n(20)
+            .iter()
+            .map(|h| (h.path.id.0, h.hotness, h.score.to_bits()))
+            .collect(),
+        final_comm: (comm.uplink_msgs, comm.uplink_bytes, comm.downlink_msgs, comm.downlink_bytes),
+        cases: (p.case1, p.case2, p.case3),
+        pending: coordinator.pending_len(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The acceptance pin: across random seeds, shard counts {1, 4},
+    /// and random submit interleavings, the pipelined engine's
+    /// responses, per-epoch snapshots (top-k, comm), and final
+    /// coordinator match the sync engine's exactly.
+    #[test]
+    fn pipelined_engine_matches_sync_bit_for_bit(
+        seed in 0u64..100_000,
+        sharded in 0u8..2,
+        batched_bits in prop::collection::vec(0u8..2, 1..12),
+    ) {
+        let shards = if sharded == 1 { 4 } else { 1 };
+        let batched: Vec<bool> = batched_bits.iter().map(|&b| b == 1).collect();
+        let sync = drive(EngineKind::Sync, shards, seed, &batched);
+        let pipelined = drive(EngineKind::Pipelined, shards, seed, &batched);
+        prop_assert_eq!(sync, pipelined, "engines diverged (seed {}, shards {})", seed, shards);
+    }
+}
+
+/// A deterministic smoke of the same harness (fast signal when the
+/// proptest shrinks are noisy).
+#[test]
+fn engine_parity_smoke() {
+    for shards in [1usize, 4] {
+        let batched = [true, false, false, true];
+        let sync = drive(EngineKind::Sync, shards, 42, &batched);
+        let pipelined = drive(EngineKind::Pipelined, shards, 42, &batched);
+        assert!(!sync.epochs.is_empty());
+        assert!(sync.epochs.iter().any(|e| !e.responses.is_empty()));
+        assert_eq!(sync, pipelined, "engines diverged at {shards} shards");
+    }
+}

@@ -4,9 +4,11 @@
 //! does over a full run: same top-k (ids, geometry, hotness, score),
 //! same per-epoch index sizes, same communication counters. The second
 //! half pins the registered `Scenario` subsystem the same way: the two
-//! event-driven workloads (`rush_hour_surge`, `evacuation_reroute`) are
-//! bit-for-bit identical sequential vs 4-shard, and a proptest holds
-//! every registered generator to seed-determinism.
+//! event-driven workloads (`rush_hour_surge`, `evacuation_reroute`,
+//! composite `surge_dropout`) are bit-for-bit identical sequential vs
+//! 4-shard, the `pipelined` engine backend matches the `sync` reference
+//! for every registered scenario, and a proptest holds every registered
+//! generator to seed-determinism.
 
 use hotpath_core::config::{Config, Tolerance};
 use hotpath_core::coordinator::Coordinator;
@@ -246,6 +248,7 @@ fn sensor_dropout_top_k_stays_stable_and_sharded_matches_sequential() {
 // shared driver (hotpath-sim::scenario_run).
 // ---------------------------------------------------------------------
 
+use hotpath_core::engine::EngineKind;
 use hotpath_netsim::scenario::{build, ScenarioParams, REGISTRY};
 use hotpath_sim::scenario_run::{run_named, ScenarioRunParams, ScenarioRunResult};
 use proptest::prelude::*;
@@ -306,6 +309,46 @@ fn rush_hour_surge_sharded_matches_sequential() {
 #[test]
 fn evacuation_reroute_sharded_matches_sequential() {
     pin_scenario_parity("evacuation_reroute", 33, 4);
+}
+
+#[test]
+fn surge_dropout_composite_sharded_matches_sequential() {
+    pin_scenario_parity("surge_dropout", 35, 4);
+}
+
+/// The engine-backend acceptance pin: for EVERY registered scenario,
+/// a 4-shard `pipelined` run is bit-for-bit identical to the
+/// sequential `sync` reference — per-epoch series (index size, score
+/// bits, top-k ids), final top-k geometry, and communication counters.
+#[test]
+fn pipelined_engine_matches_sync_for_every_registered_scenario() {
+    for (i, spec) in REGISTRY.iter().enumerate() {
+        let scale = ScenarioParams { n: 300, ..ScenarioParams::quick(61 + i as u64) };
+        let reference = run_named(spec.name, &scale, &ScenarioRunParams::default())
+            .expect("registered scenario");
+        assert!(
+            !reference.outcome.final_top_k.is_empty(),
+            "{}: reference discovered no hot paths",
+            spec.name
+        );
+        let pipelined = run_named(
+            spec.name,
+            &scale,
+            &ScenarioRunParams {
+                engine: EngineKind::Pipelined,
+                shards: 4,
+                ..ScenarioRunParams::default()
+            },
+        )
+        .expect("registered scenario");
+        pipelined.coordinator.check_consistency().expect("pipelined state inconsistent");
+        assert_eq!(
+            full_trace(&reference),
+            full_trace(&pipelined),
+            "{}: pipelined/4-shard diverged from sync/sequential",
+            spec.name
+        );
+    }
 }
 
 proptest! {
