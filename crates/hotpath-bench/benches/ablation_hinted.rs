@@ -15,7 +15,7 @@ fn bench_hinted(c: &mut Criterion) {
             BenchmarkId::new("simulate", if hints { "hinted" } else { "plain" }),
             &params,
             |b, p| {
-                b.iter(|| run(*p));
+                b.iter(|| run(p.clone()));
             },
         );
     }

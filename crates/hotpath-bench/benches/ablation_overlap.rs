@@ -14,7 +14,7 @@ fn bench_overlap_ablation(c: &mut Criterion) {
     for (tag, overlap) in [("full", OverlapPolicy::Full), ("own", OverlapPolicy::Own)] {
         let params = SimulationParams { n: 500, run_dp: false, overlap, ..Scale::Quick.base(2012) };
         g.bench_with_input(BenchmarkId::new("simulate", tag), &params, |b, p| {
-            b.iter(|| run(*p));
+            b.iter(|| run(p.clone()));
         });
     }
     g.finish();

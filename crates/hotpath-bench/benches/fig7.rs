@@ -14,7 +14,7 @@ fn bench_fig7(c: &mut Criterion) {
         let params = SimulationParams { n, ..Scale::Quick.base(2008) };
         g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::new("simulate", n), &params, |b, p| {
-            b.iter(|| run(*p));
+            b.iter(|| run(p.clone()));
         });
     }
     g.finish();

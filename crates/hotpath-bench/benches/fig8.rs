@@ -13,7 +13,7 @@ fn bench_fig8(c: &mut Criterion) {
     for &eps in &Scale::Quick.fig8_eps() {
         let params = SimulationParams { n, eps, ..Scale::Quick.base(2009) };
         g.bench_with_input(BenchmarkId::new("simulate", format!("eps{eps}")), &params, |b, p| {
-            b.iter(|| run(*p));
+            b.iter(|| run(p.clone()));
         });
     }
     g.finish();

@@ -29,10 +29,11 @@ use hotpath_bench::Scale;
 use hotpath_core::engine::EngineKind;
 use hotpath_core::uncertainty::FallbackPolicy;
 use hotpath_netsim::scenario::{spec, REGISTRY};
+use hotpath_sim::engine_loop::CheckpointPolicy;
 use hotpath_sim::experiment::{figure10, figure7, figure8, figure9, format_fig7, format_fig8};
 use hotpath_sim::report::{network_map, paths_map};
 use hotpath_sim::scenario_run::{
-    check_parity_against, run_named, scenario_sigma_sweep, ScenarioRunParams,
+    check_parity_against, check_restart_parity, run_named, scenario_sigma_sweep, ScenarioRunParams,
 };
 use hotpath_sim::simulation::{run, SimulationParams};
 use std::time::Instant;
@@ -47,6 +48,8 @@ fn main() {
     let mut sigmas: Option<Vec<f64>> = None;
     let mut fallbacks: Option<Vec<FallbackPolicy>> = None;
     let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut ckpt = CheckpointPolicy::default();
+    let mut restore_check = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -98,6 +101,26 @@ fn main() {
                 let dir = args.get(i).unwrap_or_else(|| usage("--csv needs a directory"));
                 csv_dir = Some(std::path::PathBuf::from(dir));
             }
+            "--checkpoint-every" => {
+                i += 1;
+                ckpt.every_epochs = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage("--checkpoint-every needs a positive integer")),
+                );
+            }
+            "--checkpoint-dir" => {
+                i += 1;
+                let dir = args.get(i).unwrap_or_else(|| usage("--checkpoint-dir needs a path"));
+                ckpt.dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--restore-from" => {
+                i += 1;
+                let path = args.get(i).unwrap_or_else(|| usage("--restore-from needs a file"));
+                ckpt.restore_from = Some(std::path::PathBuf::from(path));
+            }
+            "--restore-check" => restore_check = true,
             "scenario" => {
                 i += 1;
                 let name = args.get(i).unwrap_or_else(|| usage("scenario needs a name (or 'all')"));
@@ -111,7 +134,7 @@ fn main() {
                 scenario_name = Some(name.clone());
             }
             w @ ("fig7" | "fig8" | "fig9" | "fig10" | "claims" | "hinted" | "ablate"
-            | "filters" | "compress" | "uncertain" | "all") => {
+            | "filters" | "compress" | "uncertain" | "checkpoint-bench" | "all") => {
                 which = w.to_string();
             }
             other => usage(&format!("unknown argument '{other}'")),
@@ -137,6 +160,8 @@ fn main() {
             sigmas.as_deref(),
             fallbacks.as_deref(),
             csv_dir.as_deref(),
+            &ckpt,
+            restore_check,
         ),
         "fig7" => fig7(scale, shards, engine, csv_dir.as_deref()),
         "fig8" => fig8(scale, shards, engine, csv_dir.as_deref()),
@@ -148,6 +173,7 @@ fn main() {
         "filters" => filters(scale, shards, engine),
         "compress" => compress(),
         "uncertain" => uncertain(),
+        "checkpoint-bench" => checkpoint_bench(shards),
         "all" => {
             fig7(scale, shards, engine, csv_dir.as_deref());
             fig8(scale, shards, engine, csv_dir.as_deref());
@@ -168,11 +194,12 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: experiments [fig7|fig8|fig9|fig10|claims|hinted|ablate|filters|compress|uncertain|all] \
+        "usage: experiments [fig7|fig8|fig9|fig10|claims|hinted|ablate|filters|compress|uncertain|checkpoint-bench|all] \
          [--scale paper|mid|quick] [--shards N] [--engine sync|pipelined] [--csv <dir>]\n       \
          experiments scenario <name|all> [--scale paper|mid|quick] [--shards N] \
          [--engine sync|pipelined] [--csv <dir>] \
-         [--sigma s1,s2,...] [--fallback reject|minimal[:<w>]|all]"
+         [--sigma s1,s2,...] [--fallback reject|minimal[:<w>]|all] \
+         [--checkpoint-every N] [--checkpoint-dir <dir>] [--restore-from <file>] [--restore-check]"
     );
     std::process::exit(2);
 }
@@ -180,7 +207,12 @@ fn usage(msg: &str) -> ! {
 /// The scenario subsystem: crisp run + invariants (+ parity against the
 /// sequential sync reference when sharded or pipelined), then the
 /// `(sigma, fallback)` uncertainty sweep; `--csv` writes each
-/// scenario's per-epoch series.
+/// scenario's per-epoch series. `--checkpoint-every`/`--checkpoint-dir`
+/// write periodic images per scenario, `--restore-from` warm-starts
+/// from one, and `--restore-check` pins restart parity: checkpoint at
+/// mid-run, tear the engine down, restore from bytes, and require the
+/// continuation to equal the uninterrupted run bit for bit.
+#[allow(clippy::too_many_arguments)]
 fn scenario(
     name: &str,
     scale: Scale,
@@ -189,6 +221,8 @@ fn scenario(
     sigmas: Option<&[f64]>,
     fallbacks: Option<&[FallbackPolicy]>,
     csv_dir: Option<&std::path::Path>,
+    ckpt: &CheckpointPolicy,
+    restore_check: bool,
 ) {
     let scenario_scale = scale.scenario_params(2015);
     let base = ScenarioRunParams { shards, engine, ..ScenarioRunParams::default() };
@@ -203,7 +237,22 @@ fn scenario(
     let mut failures = 0usize;
     for spec in REGISTRY.iter().filter(|s| selected.contains(&s.name)) {
         println!("## Scenario `{}` — {}", spec.name, spec.summary);
-        let res = run_named(spec.name, &scenario_scale, &base).expect("registered scenario");
+        // Periodic images land in a per-scenario subdirectory so one
+        // `scenario all` invocation keeps every scenario's `latest.ckpt`.
+        let crisp_params = ScenarioRunParams {
+            checkpoint: CheckpointPolicy {
+                dir: ckpt.dir.as_ref().map(|d| d.join(spec.name)),
+                ..ckpt.clone()
+            },
+            ..base.clone()
+        };
+        let res =
+            run_named(spec.name, &scenario_scale, &crisp_params).expect("registered scenario");
+        if let Some(dir) = &crisp_params.checkpoint.dir {
+            if crisp_params.checkpoint.every_epochs.is_some() {
+                println!("   checkpoints: periodic images under {}", dir.display());
+            }
+        }
         let s = &res.summary;
         println!(
             "   crisp : {:>7.0} paths/epoch, score {:>9.1}, {:>8} reports / {:>9} measurements, \
@@ -231,6 +280,17 @@ fn scenario(
                 Err(e) => {
                     failures += 1;
                     println!("   parity: FAILED — {e}");
+                }
+            }
+        }
+        if restore_check {
+            match check_restart_parity(spec.name, &scenario_scale, &base) {
+                Ok(()) => println!(
+                    "   restart parity: checkpoint/restore at mid-run == uninterrupted, bit for bit"
+                ),
+                Err(e) => {
+                    failures += 1;
+                    println!("   restart parity: FAILED — {e}");
                 }
             }
         }
@@ -425,7 +485,7 @@ fn hinted(scale: Scale, shards: usize, engine: EngineKind) {
     println!("## Section 7 extension — hinted RayTrace ablation");
     let n = scale.fig8_n();
     let base = SimulationParams { n, shards, engine, run_dp: false, ..scale.base(2011) };
-    let plain = run(base);
+    let plain = run(base.clone());
     let hinted = run(SimulationParams { hints: true, ..base });
     println!(
         "   plain : {:>8.0} paths, score {:>9.1}, case1 reuse {:>5.1}%",
@@ -448,7 +508,7 @@ fn ablate(scale: Scale, shards: usize, engine: EngineKind) {
     println!("## Ablation — Algorithm 2 overlap analysis vs naive vertices");
     let n = scale.fig8_n();
     let base = SimulationParams { n, shards, engine, run_dp: false, ..scale.base(2012) };
-    let full = run(base);
+    let full = run(base.clone());
     let own = run(SimulationParams { overlap: OverlapPolicy::Own, ..base });
     for (tag, res) in [("full (Alg. 2)", &full), ("own-centroid ", &own)] {
         let p = res.coordinator.processing_stats();
@@ -548,6 +608,76 @@ fn uncertain() {
         "{}",
         hotpath_sim::report::table(&["sigma (m)", "half-width", "reports/mover", "dropped"], &data)
     );
+    println!();
+}
+
+/// Checkpoint micro-benchmark: build a coordinator holding 100k motion
+/// paths, then time the section-memcpy image build, the file write, and
+/// the read + restore, verifying the round trip is byte-identical and
+/// consistent.
+fn checkpoint_bench(shards: usize) {
+    use hotpath_core::config::Config;
+    use hotpath_core::coordinator::Coordinator;
+    use hotpath_core::geometry::{Point, Rect};
+    use hotpath_core::raytrace::ClientState;
+    use hotpath_core::time::Timestamp;
+    use hotpath_core::ObjectId;
+
+    println!("## Checkpoint bench — 100k-path coordinator, {shards} shard(s)");
+    let paths = 100_000usize;
+    let mut c = Coordinator::new(
+        Config::paper_defaults().with_window(1_000_000).with_epoch(10).with_shards(shards),
+    );
+    // Distinct corridors on a coarse lattice: every state mints its own
+    // path (Case 3), far enough apart that FSAs never overlap.
+    let states = (0..paths).map(|i| {
+        let x = (i % 1_000) as f64 * 120.0;
+        let y = (i / 1_000) as f64 * 120.0;
+        let end = Point::new(x + 40.0, y);
+        ClientState {
+            object: ObjectId(i as u64),
+            start: Point::new(x, y),
+            ts: Timestamp(0),
+            fsa: Rect::new(end - Point::new(2.0, 2.0), end + Point::new(2.0, 2.0)),
+            te: Timestamp(9),
+        }
+    });
+    c.submit_batch(states);
+    let _ = c.process_epoch(Timestamp(10));
+    assert!(c.hot_count() >= paths, "hot set smaller than intended");
+
+    let t = Instant::now();
+    let image = c.checkpoint();
+    let build_ms = t.elapsed().as_secs_f64() * 1e3;
+    let bytes = image.size_bytes();
+    println!(
+        "   image build : {build_ms:>8.2} ms  ({bytes} bytes, {:.1} B/path)",
+        bytes as f64 / paths as f64
+    );
+
+    let dir = std::env::temp_dir().join("hotpath-checkpoint-bench");
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let path = dir.join("bench.ckpt");
+    let t = Instant::now();
+    image.write_to_path(&path).expect("write checkpoint");
+    let write_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!("   file write  : {write_ms:>8.2} ms  ({})", path.display());
+
+    let t = Instant::now();
+    let reread =
+        hotpath_core::checkpoint::Checkpoint::read_from_path(&path).expect("read checkpoint back");
+    let restored = Coordinator::from_checkpoint(*c.config(), &reread).expect("restore");
+    let restore_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!("   read+restore: {restore_ms:>8.2} ms");
+
+    restored.check_consistency().expect("restored coordinator consistent");
+    assert_eq!(
+        restored.checkpoint().as_bytes(),
+        image.as_bytes(),
+        "re-checkpoint of the restored coordinator must be byte-identical"
+    );
+    let _ = std::fs::remove_file(&path);
+    println!("   round trip  : byte-identical, consistency ok");
     println!();
 }
 

@@ -1,0 +1,752 @@
+//! Epoch-stamped, versioned checkpoints of the full coordinator state.
+//!
+//! # Format
+//!
+//! A checkpoint is a flat byte image:
+//!
+//! ```text
+//! [CheckpointHeader]            56 bytes: magic, version, epoch,
+//!                               shard count, flags, section count,
+//!                               section-table CRC
+//! [SectionDesc x section_count] 32 bytes each: kind, shard, record
+//!                               count, byte length, payload CRC
+//! [payload 0][payload 1]...     raw record arrays, in table order
+//! ```
+//!
+//! Every payload is the backing array of a `repr(C)` padding-free
+//! record type ([`MotionPath`], [`HeatEntry`], [`ExpiryEvent`],
+//! [`DeadEntry`], [`ClientState`], or one of the fixed header-like
+//! records below), so writing a checkpoint is one bounded memcpy per
+//! section — there is no per-record walk, no serde. Multi-byte fields
+//! are native-endian; the magic doubles as an endianness sentinel (a
+//! byte-swapped reader sees a wrong magic, not silent garbage).
+//!
+//! # Versioning policy
+//!
+//! [`FORMAT_VERSION`] increments on any layout change (header fields,
+//! record layouts, section kinds, CRC polynomial). Readers accept
+//! exactly their own version — checkpoints are warm-start state, not
+//! archival data, so there is no cross-version migration path; a
+//! version mismatch is the typed [`CheckpointError::BadVersion`].
+//!
+//! # Integrity
+//!
+//! A CRC in the header covers the header itself plus the section
+//! table, and every payload carries a CRC in its descriptor (CRC-32,
+//! IEEE polynomial).
+//! [`Checkpoint::from_bytes`] verifies all of them before any state is
+//! rebuilt; corruption surfaces as a typed [`CheckpointError`], never a
+//! panic or silently wrong state. Structural validation (duplicate ids,
+//! heap-order violations, counter imbalance) happens when the
+//! coordinator adopts the sections and also reports through
+//! [`CheckpointError`].
+
+use crate::config::{Config, Tolerance};
+use crate::hotness::{DeadEntry, ExpiryEvent, HeatEntry};
+use crate::motion_path::MotionPath;
+use crate::raytrace::ClientState;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::mem::size_of;
+use std::path::Path;
+
+/// Magic sentinel leading every checkpoint (`b"HOTPCKPT"`, native
+/// byte order — a byte-swapped or foreign file fails the magic check).
+pub const MAGIC: u64 = u64::from_le_bytes(*b"HOTPCKPT");
+
+/// Current checkpoint format version. Readers accept exactly this.
+pub const FORMAT_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------
+// Pod casting
+// ---------------------------------------------------------------------
+
+/// Marker for the plain-old-data record types checkpoint sections are
+/// made of.
+///
+/// # Safety
+///
+/// Implementors must be `repr(C)` or `repr(transparent)` with **no
+/// padding bytes**, and every field must tolerate any bit pattern
+/// (integers and floats only — no references, no niches). Semantic
+/// invariants (rect corner order, heap order) are *not* part of the
+/// contract; they are checked by the adopting structure after CRC
+/// validation.
+pub unsafe trait Pod: Copy + 'static {}
+
+// Record types with compile-time size pins: a layout change that
+// introduces padding (or resizes a record) fails the build, not the
+// restore path.
+unsafe impl Pod for MotionPath {}
+unsafe impl Pod for HeatEntry {}
+unsafe impl Pod for ExpiryEvent {}
+unsafe impl Pod for DeadEntry {}
+unsafe impl Pod for ClientState {}
+unsafe impl Pod for SectionDesc {}
+unsafe impl Pod for CheckpointHeader {}
+unsafe impl Pod for ConfigRecord {}
+unsafe impl Pod for StatsRecord {}
+unsafe impl Pod for ShardMetaRecord {}
+
+const _: () = {
+    assert!(size_of::<MotionPath>() == 40);
+    assert!(size_of::<HeatEntry>() == 24);
+    assert!(size_of::<ExpiryEvent>() == 16);
+    assert!(size_of::<DeadEntry>() == 16);
+    assert!(size_of::<ClientState>() == 72);
+    assert!(size_of::<SectionDesc>() == 32);
+    assert!(size_of::<CheckpointHeader>() == 56);
+    assert!(size_of::<ConfigRecord>() == 72);
+    assert!(size_of::<StatsRecord>() == 96);
+    assert!(size_of::<ShardMetaRecord>() == 16);
+};
+
+/// The raw bytes of a record slice (the write-side memcpy source).
+fn bytes_of<T: Pod>(records: &[T]) -> &[u8] {
+    // SAFETY: T is Pod (no padding, any bit pattern valid as bytes);
+    // the slice is contiguous and the length is exact.
+    unsafe { std::slice::from_raw_parts(records.as_ptr().cast::<u8>(), size_of_val(records)) }
+}
+
+/// Copies a byte payload into a fresh, properly aligned record vector.
+fn records_from_bytes<T: Pod>(bytes: &[u8]) -> Result<Vec<T>, CheckpointError> {
+    let stride = size_of::<T>();
+    if stride == 0 || !bytes.len().is_multiple_of(stride) {
+        return Err(CheckpointError::Malformed(format!(
+            "payload of {} bytes is not a whole number of {stride}-byte records",
+            bytes.len()
+        )));
+    }
+    let n = bytes.len() / stride;
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    // SAFETY: the destination has capacity for n records; T is Pod so
+    // arbitrary (CRC-validated) bytes form valid values; the copy is
+    // exact and non-overlapping (fresh allocation).
+    unsafe {
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr().cast::<u8>(), bytes.len());
+        out.set_len(n);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE)
+// ---------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3 polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// The combined CRC over the header (its `table_crc` field zeroed) and
+/// the section-table bytes: every header scalar and every descriptor is
+/// integrity-checked.
+fn table_crc(header: &CheckpointHeader, descs: &[SectionDesc]) -> u32 {
+    let mut zeroed = *header;
+    zeroed.table_crc = 0;
+    let mut buf = Vec::with_capacity(size_of::<CheckpointHeader>() + std::mem::size_of_val(descs));
+    buf.extend_from_slice(bytes_of(std::slice::from_ref(&zeroed)));
+    buf.extend_from_slice(bytes_of(descs));
+    crc32(&buf)
+}
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// Typed failure of checkpoint encoding, decoding, or adoption. Every
+/// corruption mode is a variant — loading a damaged checkpoint never
+/// panics and never yields silently wrong state.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// The byte image ends before the structure it promises.
+    Truncated {
+        /// Bytes the structure needs.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The leading magic is not [`MAGIC`] (not a checkpoint, or one
+    /// written on a foreign-endian machine).
+    BadMagic {
+        /// The value found in place of the magic.
+        found: u64,
+    },
+    /// The format version is not [`FORMAT_VERSION`].
+    BadVersion {
+        /// The version recorded in the header.
+        found: u32,
+    },
+    /// A CRC did not match: the named part of the image is corrupt.
+    CrcMismatch {
+        /// Which part failed (`"section table"` or a section kind).
+        what: &'static str,
+        /// Owning shard for per-shard sections (0 for globals).
+        shard: u32,
+    },
+    /// The image is structurally inconsistent (bad section layout,
+    /// duplicate ids, heap-order violation, counter imbalance, ...).
+    Malformed(String),
+    /// The checkpoint's embedded configuration conflicts with what the
+    /// restoring coordinator was asked to run.
+    ConfigMismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            CheckpointError::Truncated { needed, got } => {
+                write!(f, "checkpoint truncated: need {needed} bytes, have {got}")
+            }
+            CheckpointError::BadMagic { found } => {
+                write!(f, "not a checkpoint: magic {found:#018x} != {MAGIC:#018x}")
+            }
+            CheckpointError::BadVersion { found } => {
+                write!(
+                    f,
+                    "unsupported checkpoint format version {found} (expected {FORMAT_VERSION})"
+                )
+            }
+            CheckpointError::CrcMismatch { what, shard } => {
+                write!(f, "checkpoint corrupt: CRC mismatch in {what} (shard {shard})")
+            }
+            CheckpointError::Malformed(msg) => write!(f, "malformed checkpoint: {msg}"),
+            CheckpointError::ConfigMismatch(msg) => {
+                write!(f, "checkpoint configuration mismatch: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// On-disk records
+// ---------------------------------------------------------------------
+
+/// The fixed 56-byte header leading every checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(C)]
+pub struct CheckpointHeader {
+    /// [`MAGIC`].
+    pub magic: u64,
+    /// [`FORMAT_VERSION`].
+    pub version: u32,
+    /// Coordinator shard count the sections are partitioned by.
+    pub shard_count: u32,
+    /// Epochs processed when the checkpoint was taken.
+    pub epoch: u64,
+    /// The coordinator clock (raw timestamp) at checkpoint time.
+    pub clock: u64,
+    /// The global path-id counter.
+    pub next_path_id: u64,
+    /// Number of [`SectionDesc`] entries following the header.
+    pub section_count: u32,
+    /// Bit 0: hints enabled; bit 1: `OverlapPolicy::Own`.
+    pub flags: u32,
+    /// CRC-32 over the header (this field zeroed) and the section
+    /// table, so every header scalar is integrity-checked too.
+    pub table_crc: u32,
+    /// Reserved, written as zero.
+    pub reserved: u32,
+}
+
+/// Flag bit: hot-path hints are enabled.
+pub const FLAG_HINTS: u32 = 1 << 0;
+/// Flag bit: the overlap policy is `Own` (ablation baseline).
+pub const FLAG_OVERLAP_OWN: u32 = 1 << 1;
+
+/// What a section holds. The discriminants are the on-disk `kind`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u32)]
+pub enum SectionKind {
+    /// One [`ConfigRecord`] (global).
+    Config = 0,
+    /// One [`StatsRecord`] (global).
+    Stats = 1,
+    /// The pending [`ClientState`] batch (global; per-shard routing is
+    /// recomputed on restore).
+    Pending = 2,
+    /// A shard's [`MotionPath`] slab.
+    Paths = 3,
+    /// A shard's [`HeatEntry`] slab.
+    Heat = 4,
+    /// A shard's [`ExpiryEvent`] heap array.
+    Events = 5,
+    /// A shard's [`DeadEntry`] tombstones.
+    Dead = 6,
+    /// One [`ShardMetaRecord`] per shard.
+    ShardMeta = 7,
+}
+
+impl SectionKind {
+    fn from_raw(raw: u32) -> Option<SectionKind> {
+        Some(match raw {
+            0 => SectionKind::Config,
+            1 => SectionKind::Stats,
+            2 => SectionKind::Pending,
+            3 => SectionKind::Paths,
+            4 => SectionKind::Heat,
+            5 => SectionKind::Events,
+            6 => SectionKind::Dead,
+            7 => SectionKind::ShardMeta,
+            _ => return None,
+        })
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            SectionKind::Config => "config section",
+            SectionKind::Stats => "stats section",
+            SectionKind::Pending => "pending section",
+            SectionKind::Paths => "paths section",
+            SectionKind::Heat => "heat section",
+            SectionKind::Events => "events section",
+            SectionKind::Dead => "dead section",
+            SectionKind::ShardMeta => "shard-meta section",
+        }
+    }
+}
+
+/// One section-table entry (32 bytes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(C)]
+pub struct SectionDesc {
+    /// [`SectionKind`] discriminant.
+    pub kind: u32,
+    /// Owning shard for per-shard kinds; 0 for globals.
+    pub shard: u32,
+    /// Record count in the payload.
+    pub count: u64,
+    /// Payload byte length (`count * record size`).
+    pub bytes: u64,
+    /// CRC-32 of the payload bytes.
+    pub crc: u32,
+    /// Reserved, written as zero.
+    pub reserved: u32,
+}
+
+/// The embedded [`Config`] echo (one 72-byte record): a checkpoint can
+/// only restore into a coordinator running the identical configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[repr(C)]
+pub struct ConfigRecord {
+    /// 0 = crisp tolerance, 1 = uncertain.
+    pub tolerance_kind: u64,
+    /// Tolerance radius `eps`.
+    pub eps: f64,
+    /// Failure probability `delta` (0 when crisp).
+    pub delta: f64,
+    /// Sliding window `W`.
+    pub window: u64,
+    /// Epoch length `Lambda`.
+    pub lambda: u64,
+    /// Top-`k` size.
+    pub k: u64,
+    /// Grid cell side.
+    pub grid_cell: f64,
+    /// Vertex quantization grain.
+    pub vertex_grain: f64,
+    /// Shard count.
+    pub shards: u64,
+}
+
+impl ConfigRecord {
+    /// Encodes a [`Config`].
+    pub fn from_config(c: &Config) -> Self {
+        ConfigRecord {
+            tolerance_kind: match c.tolerance {
+                Tolerance::Crisp { .. } => 0,
+                Tolerance::Uncertain { .. } => 1,
+            },
+            eps: c.tolerance.eps(),
+            delta: c.tolerance.delta().unwrap_or(0.0),
+            window: c.window.len,
+            lambda: c.epochs.lambda,
+            k: c.k as u64,
+            grid_cell: c.grid_cell,
+            vertex_grain: c.vertex_grain,
+            shards: c.shards as u64,
+        }
+    }
+
+    /// Checks the record against a live configuration field by field.
+    pub fn matches(&self, c: &Config) -> Result<(), CheckpointError> {
+        let other = ConfigRecord::from_config(c);
+        if self == &other {
+            Ok(())
+        } else {
+            Err(CheckpointError::ConfigMismatch(format!(
+                "checkpoint was taken under {self:?}, coordinator runs {other:?}"
+            )))
+        }
+    }
+}
+
+/// Global communication/processing counters (one 96-byte record).
+/// Durations are nanoseconds; they are wall-clock diagnostics and are
+/// never part of parity comparisons.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[repr(C)]
+#[allow(missing_docs)]
+pub struct StatsRecord {
+    pub uplink_msgs: u64,
+    pub uplink_bytes: u64,
+    pub downlink_msgs: u64,
+    pub downlink_bytes: u64,
+    pub epochs: u64,
+    pub states_processed: u64,
+    pub strategy_ns: u64,
+    pub expiry_ns: u64,
+    pub publish_ns: u64,
+    pub case1: u64,
+    pub case2: u64,
+    pub case3: u64,
+}
+
+/// Per-shard scalars (one 16-byte record per shard).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[repr(C)]
+pub struct ShardMetaRecord {
+    /// The shard index's internal id counter (zero under the
+    /// coordinator, which allocates from the global counter).
+    pub index_next_id: u64,
+    /// Total crossings the shard's hotness table ever recorded.
+    pub recorded: u64,
+}
+
+// ---------------------------------------------------------------------
+// Builder (write side)
+// ---------------------------------------------------------------------
+
+/// Assembles a checkpoint image: header fields up front, then one
+/// bounded memcpy per [`CheckpointBuilder::section`] call.
+pub struct CheckpointBuilder {
+    header: CheckpointHeader,
+    descs: Vec<SectionDesc>,
+    payload: Vec<u8>,
+}
+
+impl CheckpointBuilder {
+    /// Starts an image for the given header fields.
+    pub fn new(shard_count: u32, epoch: u64, clock: u64, next_path_id: u64, flags: u32) -> Self {
+        CheckpointBuilder {
+            header: CheckpointHeader {
+                magic: MAGIC,
+                version: FORMAT_VERSION,
+                shard_count,
+                epoch,
+                clock,
+                next_path_id,
+                section_count: 0,
+                flags,
+                table_crc: 0,
+                reserved: 0,
+            },
+            descs: Vec::new(),
+            payload: Vec::new(),
+        }
+    }
+
+    /// Appends a section: one `extend_from_slice` of the record bytes
+    /// (the bounded memcpy) plus a descriptor with its CRC.
+    pub fn section<T: Pod>(&mut self, kind: SectionKind, shard: u32, records: &[T]) -> &mut Self {
+        let bytes = bytes_of(records);
+        self.descs.push(SectionDesc {
+            kind: kind as u32,
+            shard,
+            count: records.len() as u64,
+            bytes: bytes.len() as u64,
+            crc: crc32(bytes),
+            reserved: 0,
+        });
+        self.payload.extend_from_slice(bytes);
+        self
+    }
+
+    /// Seals the image: stamps section count and table CRC, concatenates
+    /// header, table, and payloads.
+    pub fn finish(mut self) -> Checkpoint {
+        self.header.section_count = self.descs.len() as u32;
+        self.header.table_crc = table_crc(&self.header, &self.descs);
+        let table = bytes_of(&self.descs);
+        let mut bytes =
+            Vec::with_capacity(size_of::<CheckpointHeader>() + table.len() + self.payload.len());
+        bytes.extend_from_slice(bytes_of(std::slice::from_ref(&self.header)));
+        bytes.extend_from_slice(table);
+        bytes.extend_from_slice(&self.payload);
+        Checkpoint { header: self.header, descs: self.descs, bytes }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint (read side)
+// ---------------------------------------------------------------------
+
+/// A validated checkpoint image: header and section table parsed, every
+/// CRC verified. Section payloads decode on demand.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    header: CheckpointHeader,
+    descs: Vec<SectionDesc>,
+    bytes: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// Parses and fully validates a byte image: magic, version, table
+    /// CRC, section bounds, and every payload CRC.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, CheckpointError> {
+        let header_len = size_of::<CheckpointHeader>();
+        if bytes.len() < header_len {
+            return Err(CheckpointError::Truncated { needed: header_len, got: bytes.len() });
+        }
+        let header = records_from_bytes::<CheckpointHeader>(&bytes[..header_len])?[0];
+        if header.magic != MAGIC {
+            return Err(CheckpointError::BadMagic { found: header.magic });
+        }
+        if header.version != FORMAT_VERSION {
+            return Err(CheckpointError::BadVersion { found: header.version });
+        }
+        let table_len = header.section_count as usize * size_of::<SectionDesc>();
+        let table_end = header_len + table_len;
+        if bytes.len() < table_end {
+            return Err(CheckpointError::Truncated { needed: table_end, got: bytes.len() });
+        }
+        let table = &bytes[header_len..table_end];
+        let descs = records_from_bytes::<SectionDesc>(table)?;
+        if table_crc(&header, &descs) != header.table_crc {
+            return Err(CheckpointError::CrcMismatch { what: "section table", shard: 0 });
+        }
+        let mut offset = table_end;
+        for d in &descs {
+            let kind = SectionKind::from_raw(d.kind).ok_or_else(|| {
+                CheckpointError::Malformed(format!("unknown section kind {}", d.kind))
+            })?;
+            let end = offset
+                .checked_add(d.bytes as usize)
+                .ok_or_else(|| CheckpointError::Malformed("section length overflow".into()))?;
+            if bytes.len() < end {
+                return Err(CheckpointError::Truncated { needed: end, got: bytes.len() });
+            }
+            if crc32(&bytes[offset..end]) != d.crc {
+                return Err(CheckpointError::CrcMismatch { what: kind.name(), shard: d.shard });
+            }
+            offset = end;
+        }
+        if offset != bytes.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "{} trailing bytes after the last section",
+                bytes.len() - offset
+            )));
+        }
+        Ok(Checkpoint { header, descs, bytes })
+    }
+
+    /// The parsed header.
+    pub fn header(&self) -> &CheckpointHeader {
+        &self.header
+    }
+
+    /// Epochs processed when this checkpoint was taken.
+    pub fn epoch(&self) -> u64 {
+        self.header.epoch
+    }
+
+    /// The full validated byte image.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Total image size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Decodes the payload of the section `(kind, shard)`.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Malformed`] when the section is absent or its
+    /// byte length is not a whole number of records.
+    pub fn section<T: Pod>(
+        &self,
+        kind: SectionKind,
+        shard: u32,
+    ) -> Result<Vec<T>, CheckpointError> {
+        let mut offset =
+            size_of::<CheckpointHeader>() + self.descs.len() * size_of::<SectionDesc>();
+        for d in &self.descs {
+            let end = offset + d.bytes as usize;
+            if d.kind == kind as u32 && d.shard == shard {
+                return records_from_bytes(&self.bytes[offset..end]);
+            }
+            offset = end;
+        }
+        Err(CheckpointError::Malformed(format!("missing {} for shard {shard}", kind.name())))
+    }
+
+    /// Writes the image to `path` atomically (temp file + rename), so a
+    /// crash mid-write never leaves a torn checkpoint under the final
+    /// name.
+    pub fn write_to_path(&self, path: &Path) -> Result<(), CheckpointError> {
+        let tmp = path.with_extension("ckpt.tmp");
+        fs::write(&tmp, &self.bytes)?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and validates a checkpoint from `path`.
+    pub fn read_from_path(path: &Path) -> Result<Self, CheckpointError> {
+        Checkpoint::from_bytes(fs::read(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::motion_path::PathId;
+    use crate::time::Timestamp;
+
+    fn sample() -> Checkpoint {
+        let mut b = CheckpointBuilder::new(2, 7, 70, 11, FLAG_HINTS);
+        b.section(SectionKind::Config, 0, &[ConfigRecord::from_config(&Config::paper_defaults())]);
+        b.section(SectionKind::Stats, 0, &[StatsRecord::default()]);
+        b.section(SectionKind::Events, 1, &[ExpiryEvent { expiry: Timestamp(100), id: PathId(3) }]);
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip_preserves_header_and_sections() {
+        let ck = sample();
+        let back = Checkpoint::from_bytes(ck.as_bytes().to_vec()).unwrap();
+        assert_eq!(back.header(), ck.header());
+        assert_eq!(back.epoch(), 7);
+        assert_eq!(back.header().flags, FLAG_HINTS);
+        let events: Vec<ExpiryEvent> = back.section(SectionKind::Events, 1).unwrap();
+        assert_eq!(events, vec![ExpiryEvent { expiry: Timestamp(100), id: PathId(3) }]);
+        let cfg: Vec<ConfigRecord> = back.section(SectionKind::Config, 0).unwrap();
+        cfg[0].matches(&Config::paper_defaults()).unwrap();
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let ck = sample();
+        let full = ck.as_bytes();
+        for cut in 0..full.len() {
+            let err = Checkpoint::from_bytes(full[..cut].to_vec()).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Truncated { .. }
+                        | CheckpointError::CrcMismatch { .. }
+                        | CheckpointError::Malformed(_)
+                ),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let ck = sample();
+        let mut bytes = ck.as_bytes().to_vec();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            Checkpoint::from_bytes(bytes).unwrap_err(),
+            CheckpointError::BadMagic { .. }
+        ));
+
+        let mut bytes = ck.as_bytes().to_vec();
+        bytes[8] = 99; // version field
+        assert!(matches!(
+            Checkpoint::from_bytes(bytes).unwrap_err(),
+            CheckpointError::BadVersion { found: 99 }
+        ));
+    }
+
+    #[test]
+    fn every_flipped_byte_is_caught() {
+        // Flip each byte of the image in turn: the validator must reject
+        // every single-byte corruption with a typed error (magic,
+        // version, a CRC mismatch, or a malformed layout) — never accept
+        // it silently, never panic.
+        let ck = sample();
+        let full = ck.as_bytes();
+        for i in 0..full.len() {
+            let mut bytes = full.to_vec();
+            bytes[i] ^= 0x01;
+            assert!(Checkpoint::from_bytes(bytes).is_err(), "flipped byte {i} was accepted");
+        }
+    }
+
+    #[test]
+    fn config_mismatch_is_typed() {
+        let rec = ConfigRecord::from_config(&Config::paper_defaults());
+        let other = Config::paper_defaults().with_k(99);
+        assert!(matches!(rec.matches(&other), Err(CheckpointError::ConfigMismatch(_))));
+    }
+
+    #[test]
+    fn missing_section_is_malformed() {
+        let ck = sample();
+        assert!(matches!(
+            ck.section::<DeadEntry>(SectionKind::Dead, 0),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn file_roundtrip_is_atomic_and_validated() {
+        let dir = std::env::temp_dir().join("hotpath-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.ckpt");
+        let ck = sample();
+        ck.write_to_path(&path).unwrap();
+        let back = Checkpoint::read_from_path(&path).unwrap();
+        assert_eq!(back.as_bytes(), ck.as_bytes());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -35,9 +35,13 @@
 //! pools (shard arena, front scratch, or `FsaSet` scratch), not in
 //! fresh `Vec`s.
 
+use crate::checkpoint::{
+    Checkpoint, CheckpointBuilder, CheckpointError, ConfigRecord, SectionKind, ShardMetaRecord,
+    StatsRecord, FLAG_HINTS, FLAG_OVERLAP_OWN,
+};
 use crate::config::Config;
 use crate::geometry::{Point, Rect, TimePoint};
-use crate::hotness::Hotness;
+use crate::hotness::{DeadEntry, ExpiryEvent, HeatEntry, Hotness};
 use crate::index::{MotionPathIndex, VertexGroups};
 use crate::motion_path::{MotionPath, PathId};
 use crate::raytrace::hinted::PathHint;
@@ -51,7 +55,7 @@ use crate::time::Timestamp;
 use crate::ObjectId;
 use std::cell::RefCell;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The endpoint message `<e, te>` returned to a reporting object at the
 /// next epoch, optionally with a hot-path hint (Section 7 extension).
@@ -784,6 +788,201 @@ impl Coordinator {
         }
         Ok(())
     }
+
+    // ---- checkpoint / restore -----------------------------------------
+
+    /// Serializes the full coordinator state — path slabs, heat slabs,
+    /// expiry heaps, tombstones, the pending batch, counters, and the
+    /// configuration echo — into a validated [`Checkpoint`] image. Each
+    /// section is one bounded memcpy of a contiguous slab; nothing walks
+    /// paths one by one.
+    pub fn checkpoint(&self) -> Checkpoint {
+        self.checkpoint_with_extra(&[], 0, 0)
+    }
+
+    /// [`Coordinator::checkpoint`] with an engine-side front buffer
+    /// appended: `extra_pending` rides along after the installed batch
+    /// (submit order preserved) and the front's uplink accounting is
+    /// merged into the stats section — without mutating the coordinator.
+    pub(crate) fn checkpoint_with_extra(
+        &self,
+        extra_pending: &[ClientState],
+        extra_uplink_msgs: u64,
+        extra_uplink_bytes: u64,
+    ) -> Checkpoint {
+        let mut flags = 0;
+        if self.hints_enabled {
+            flags |= FLAG_HINTS;
+        }
+        if self.overlap_policy == OverlapPolicy::Own {
+            flags |= FLAG_OVERLAP_OWN;
+        }
+        let mut b = CheckpointBuilder::new(
+            self.shards.len() as u32,
+            self.processing.epochs,
+            self.clock.raw(),
+            self.next_path_id,
+            flags,
+        );
+        b.section(SectionKind::Config, 0, &[ConfigRecord::from_config(&self.config)]);
+        b.section(
+            SectionKind::Stats,
+            0,
+            &[StatsRecord {
+                uplink_msgs: self.comm.uplink_msgs + extra_uplink_msgs,
+                uplink_bytes: self.comm.uplink_bytes + extra_uplink_bytes,
+                downlink_msgs: self.comm.downlink_msgs,
+                downlink_bytes: self.comm.downlink_bytes,
+                epochs: self.processing.epochs,
+                states_processed: self.processing.states_processed,
+                strategy_ns: self.processing.strategy_time.as_nanos() as u64,
+                expiry_ns: self.processing.expiry_time.as_nanos() as u64,
+                publish_ns: self.processing.publish_time.as_nanos() as u64,
+                case1: self.processing.case1,
+                case2: self.processing.case2,
+                case3: self.processing.case3,
+            }],
+        );
+        if extra_pending.is_empty() {
+            b.section(SectionKind::Pending, 0, &self.pending);
+        } else {
+            let mut all = Vec::with_capacity(self.pending.len() + extra_pending.len());
+            all.extend_from_slice(&self.pending);
+            all.extend_from_slice(extra_pending);
+            b.section(SectionKind::Pending, 0, &all);
+        }
+        for (i, shard) in self.shards.iter().enumerate() {
+            let s = i as u32;
+            b.section(SectionKind::Paths, s, shard.index.paths_slice());
+            b.section(SectionKind::Heat, s, shard.hotness.heat_slice());
+            b.section(SectionKind::Events, s, shard.hotness.events_slice());
+            b.section(SectionKind::Dead, s, &shard.hotness.dead_entries());
+            b.section(
+                SectionKind::ShardMeta,
+                s,
+                &[ShardMetaRecord {
+                    index_next_id: shard.index.next_id(),
+                    recorded: shard.hotness.total_recorded(),
+                }],
+            );
+        }
+        b.finish()
+    }
+
+    /// Rebuilds a coordinator from a validated checkpoint, continuing
+    /// bit-for-bit where the checkpointed one left off. `config` must be
+    /// the exact configuration the checkpoint was taken under (the
+    /// embedded echo is compared field by field); the hints and
+    /// overlap-policy switches are restored from the header flags.
+    ///
+    /// The slabs and heap arrays are adopted verbatim; derived structures
+    /// (grid, adjacency, slot maps, rank sets, pending routing) are
+    /// rebuilt, and the read cache starts invalidated — the first read
+    /// after a restore can never serve pre-restore data.
+    pub fn from_checkpoint(config: Config, ck: &Checkpoint) -> Result<Self, CheckpointError> {
+        let one = |what: &str, len: usize| {
+            if len == 1 {
+                Ok(())
+            } else {
+                Err(CheckpointError::Malformed(format!("expected one {what} record, found {len}")))
+            }
+        };
+        let header = *ck.header();
+        let cfg_rec: Vec<ConfigRecord> = ck.section(SectionKind::Config, 0)?;
+        one("config", cfg_rec.len())?;
+        cfg_rec[0].matches(&config)?;
+        if header.shard_count as usize != config.shards {
+            return Err(CheckpointError::Malformed(format!(
+                "header says {} shards, config {}",
+                header.shard_count, config.shards
+            )));
+        }
+        let stats: Vec<StatsRecord> = ck.section(SectionKind::Stats, 0)?;
+        one("stats", stats.len())?;
+        let stats = stats[0];
+        let pending: Vec<ClientState> = ck.section(SectionKind::Pending, 0)?;
+
+        let mut shards = Vec::with_capacity(config.shards);
+        for i in 0..config.shards as u32 {
+            let paths: Vec<MotionPath> = ck.section(SectionKind::Paths, i)?;
+            let heat: Vec<HeatEntry> = ck.section(SectionKind::Heat, i)?;
+            let events: Vec<ExpiryEvent> = ck.section(SectionKind::Events, i)?;
+            let dead: Vec<DeadEntry> = ck.section(SectionKind::Dead, i)?;
+            let meta: Vec<ShardMetaRecord> = ck.section(SectionKind::ShardMeta, i)?;
+            one("shard-meta", meta.len())?;
+            let index = MotionPathIndex::from_checkpoint_parts(
+                config.grid_cell,
+                config.vertex_grain,
+                paths,
+                meta[0].index_next_id,
+            )
+            .map_err(|e| CheckpointError::Malformed(format!("shard {i} index: {e}")))?;
+            let hotness =
+                Hotness::from_checkpoint_parts(config.window, heat, events, dead, meta[0].recorded)
+                    .map_err(|e| CheckpointError::Malformed(format!("shard {i} hotness: {e}")))?;
+            for (id, _) in hotness.iter() {
+                if index.get(id).is_none() {
+                    return Err(CheckpointError::Malformed(format!(
+                        "shard {i}: hot path {id} missing from the path slab"
+                    )));
+                }
+            }
+            shards.push(Shard { index, hotness, scratch: ScratchArena::new() });
+        }
+
+        let router = ShardRouter::new(&config);
+        let mut pending_parts =
+            if config.shards > 1 { vec![Vec::new(); config.shards] } else { Vec::new() };
+        if config.shards > 1 {
+            for (seq, state) in pending.iter().enumerate() {
+                pending_parts[router.shard_of(&state.start)].push(seq as u32);
+            }
+        }
+        Ok(Coordinator {
+            config,
+            shards,
+            router,
+            pending,
+            pending_parts,
+            next_path_id: header.next_path_id,
+            comm: CommStats {
+                uplink_msgs: stats.uplink_msgs,
+                uplink_bytes: stats.uplink_bytes,
+                downlink_msgs: stats.downlink_msgs,
+                downlink_bytes: stats.downlink_bytes,
+            },
+            processing: ProcessingStats {
+                epochs: stats.epochs,
+                states_processed: stats.states_processed,
+                strategy_time: Duration::from_nanos(stats.strategy_ns),
+                expiry_time: Duration::from_nanos(stats.expiry_ns),
+                publish_time: Duration::from_nanos(stats.publish_ns),
+                case1: stats.case1,
+                case2: stats.case2,
+                case3: stats.case3,
+            },
+            hints_enabled: header.flags & FLAG_HINTS != 0,
+            overlap_policy: if header.flags & FLAG_OVERLAP_OWN != 0 {
+                OverlapPolicy::Own
+            } else {
+                OverlapPolicy::Full
+            },
+            front: FrontScratch::default(),
+            clock: Timestamp(header.clock),
+            cache: RefCell::new(ReadCache::default()),
+        })
+    }
+
+    /// Moves the restored pending batch (and its routing) out, leaving
+    /// the coordinator drained — the pipelined engine reclaims the batch
+    /// into its front buffer so the normal seal/install cycle resumes.
+    /// The slots left behind keep the shard-count shape, since the
+    /// buffer-swap cycle hands them back to the engine later.
+    pub(crate) fn take_pending(&mut self) -> (Vec<ClientState>, Vec<Vec<u32>>) {
+        let empty_parts =
+            if self.shards.len() > 1 { vec![Vec::new(); self.shards.len()] } else { Vec::new() };
+        (std::mem::take(&mut self.pending), std::mem::replace(&mut self.pending_parts, empty_parts))
+    }
 }
 
 #[cfg(test)]
@@ -1035,6 +1234,99 @@ mod tests {
             }
             assert!(c.hot_count() > 0);
         }
+    }
+
+    /// Checkpoint mid-run, rebuild from the bytes, and continue: every
+    /// observable — responses, top-k bits, stats, consistency — must
+    /// match the uninterrupted coordinator exactly, at 1 shard and many,
+    /// including a checkpoint taken with a *pending* (undrained) batch.
+    #[test]
+    fn checkpoint_roundtrip_continues_bit_for_bit() {
+        for shards in [1usize, 4] {
+            let config = cfg().with_k(5).with_shards(shards);
+            let mut live = Coordinator::new(config).with_hints();
+            let mut s = 7u64;
+            let mut rand = move || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s >> 33
+            };
+            let mut feed = |c: &mut Coordinator, epoch: u64| {
+                let now = Timestamp(epoch * 10);
+                for i in 0..30u64 {
+                    let x = ((rand() % 8) * 400) as f64;
+                    let y = ((rand() % 4) * 300) as f64;
+                    c.submit(state(i, (x, y), (x + 50.0, y), now.raw() - 10, now.raw() - 1));
+                }
+                now
+            };
+            for epoch in 1..=6u64 {
+                let now = feed(&mut live, epoch);
+                let _ = live.process_epoch(now);
+            }
+            // Leave a half-submitted batch pending before checkpointing.
+            live.submit(state(99, (0.0, 0.0), (50.0, 0.0), 60, 65));
+            let image = live.checkpoint();
+            let mut restored =
+                Coordinator::from_checkpoint(config, &image).expect("restore failed");
+            assert_eq!(restored.pending_len(), live.pending_len());
+            restored.check_consistency().unwrap();
+
+            // Both must now evolve identically. Reuse one RNG stream so
+            // both sides see the same future workload.
+            let mut s2 = 1234u64;
+            for epoch in 7..=12u64 {
+                let mut batch = Vec::new();
+                for i in 0..25u64 {
+                    s2 = s2.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let r = s2 >> 33;
+                    let x = ((r % 8) * 400) as f64;
+                    let y = ((r % 4) * 300) as f64;
+                    batch.push(state(i, (x, y), (x + 50.0, y), epoch * 10 - 10, epoch * 10 - 1));
+                }
+                let now = Timestamp(epoch * 10);
+                live.submit_batch(batch.iter().copied());
+                restored.submit_batch(batch.iter().copied());
+                let ra: Vec<(u64, u64, u64)> = live
+                    .process_epoch(now)
+                    .iter()
+                    .map(|r| (r.object.0, r.endpoint.p.x.to_bits(), r.endpoint.t.raw()))
+                    .collect();
+                let rb: Vec<(u64, u64, u64)> = restored
+                    .process_epoch(now)
+                    .iter()
+                    .map(|r| (r.object.0, r.endpoint.p.x.to_bits(), r.endpoint.t.raw()))
+                    .collect();
+                assert_eq!(ra, rb, "responses diverged at {shards} shards, epoch {epoch}");
+                assert_eq!(
+                    live.top_k_score().to_bits(),
+                    restored.top_k_score().to_bits(),
+                    "scores diverged at {shards} shards, epoch {epoch}"
+                );
+            }
+            assert_eq!(live.comm_stats(), restored.comm_stats());
+            assert_eq!(live.index_size(), restored.index_size());
+            live.check_consistency().unwrap();
+            restored.check_consistency().unwrap();
+
+            // Double restore from the same image is idempotent.
+            let again = Coordinator::from_checkpoint(config, &image).unwrap();
+            assert_eq!(again.checkpoint().as_bytes(), image.as_bytes());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_wrong_config_and_foreign_bytes() {
+        let config = cfg();
+        let c = Coordinator::new(config);
+        let image = c.checkpoint();
+        assert!(matches!(
+            Coordinator::from_checkpoint(config.with_k(3), &image),
+            Err(crate::checkpoint::CheckpointError::ConfigMismatch(_))
+        ));
+        assert!(matches!(
+            Coordinator::from_checkpoint(config.with_shards(2), &image),
+            Err(crate::checkpoint::CheckpointError::ConfigMismatch(_))
+        ));
     }
 
     #[test]

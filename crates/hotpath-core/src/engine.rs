@@ -30,6 +30,7 @@
 //! maintenance. Going further (speculative strategy evaluation,
 //! cross-process shards) is future work recorded in the ROADMAP.
 
+use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::config::Config;
 use crate::coordinator::{Coordinator, EndpointResponse, HotSnapshot, ShardRouter};
 use crate::raytrace::ClientState;
@@ -102,6 +103,19 @@ pub trait Engine {
     /// epoch-0 snapshot before the first). Blocks until the publish
     /// stage lands if it is still in flight.
     fn snapshot(&mut self) -> Arc<HotSnapshot>;
+    /// Serializes the engine's complete state — the coordinator plus any
+    /// engine-side front buffer — into a validated [`Checkpoint`] image.
+    /// The pipelined backend first drains to a quiescent epoch boundary
+    /// (joins the in-flight publish stage), so the image is always a
+    /// consistent cut; the engine continues unchanged afterwards.
+    fn checkpoint(&mut self) -> Checkpoint;
+    /// Replaces the engine's state with the checkpoint's, discarding
+    /// whatever it held: the restored engine continues bit-for-bit where
+    /// the checkpointed one stood, including its buffered pending batch.
+    /// The published snapshot is rebuilt from the restored state, so
+    /// reads never serve pre-restore data. The pipelined backend drains
+    /// any in-flight epoch before swapping the worker's coordinator.
+    fn restore(&mut self, ck: &Checkpoint) -> Result<(), CheckpointError>;
     /// Tears the engine down and returns the final coordinator (any
     /// still-buffered ingest is transferred into its pending batch, so
     /// the result is identical to the sync backend's coordinator).
@@ -166,6 +180,18 @@ impl Engine for SyncEngine {
         self.last.clone()
     }
 
+    fn checkpoint(&mut self) -> Checkpoint {
+        self.coordinator.checkpoint()
+    }
+
+    fn restore(&mut self, ck: &Checkpoint) -> Result<(), CheckpointError> {
+        self.coordinator = Coordinator::from_checkpoint(*self.coordinator.config(), ck)?;
+        // Rebuild the published view from the restored state: the old
+        // `last` snapshot must never survive a restore.
+        self.last = self.coordinator.snapshot();
+        Ok(())
+    }
+
     fn finish(self: Box<Self>) -> Coordinator {
         self.coordinator
     }
@@ -188,6 +214,18 @@ enum ToWorker {
         uplink_bytes: u64,
         now: Timestamp,
     },
+    /// Serialize the coordinator plus the (not yet installed) front
+    /// buffer into a checkpoint image, without mutating either; the
+    /// buffers are handed back with the image.
+    Checkpoint {
+        states: Vec<ClientState>,
+        parts: Vec<Vec<u32>>,
+        uplink_msgs: u64,
+        uplink_bytes: u64,
+    },
+    /// Replace the coordinator with a restored one; its pending batch is
+    /// handed back to become the engine's front buffer.
+    Restore(Box<Coordinator>),
     /// Tear down: transfer any residual front buffer and hand the
     /// coordinator back.
     Finish { states: Vec<ClientState>, parts: Vec<Vec<u32>>, uplink_msgs: u64, uplink_bytes: u64 },
@@ -206,6 +244,19 @@ enum FromWorker {
         parts_buf: Vec<Vec<u32>>,
     },
     Published(Arc<HotSnapshot>),
+    Checkpointed {
+        image: Box<Checkpoint>,
+        /// The untouched front buffers, returned to the engine.
+        states_buf: Vec<ClientState>,
+        parts_buf: Vec<Vec<u32>>,
+    },
+    Restored {
+        /// The restored pending batch, moved into the engine's front.
+        states_buf: Vec<ClientState>,
+        parts_buf: Vec<Vec<u32>>,
+        /// The snapshot of the restored state (never pre-restore data).
+        snapshot: Arc<HotSnapshot>,
+    },
     Done(Box<Coordinator>),
 }
 
@@ -346,6 +397,57 @@ impl Engine for PipelinedEngine {
         self.last.clone()
     }
 
+    fn checkpoint(&mut self) -> Checkpoint {
+        // Quiesce: join the in-flight publish so the worker has fully
+        // retired the last sealed epoch before it serializes.
+        self.drain_publish();
+        let msg = ToWorker::Checkpoint {
+            states: std::mem::take(&mut self.front),
+            parts: std::mem::take(&mut self.parts),
+            uplink_msgs: self.uplink_msgs,
+            uplink_bytes: self.uplink_bytes,
+        };
+        self.send(msg);
+        match self.rx.recv().expect("engine worker died") {
+            FromWorker::Checkpointed { image, states_buf, parts_buf } => {
+                // The front buffer comes back untouched; the uplink
+                // counters were only copied, so ingest continues as if
+                // nothing happened.
+                self.front = states_buf;
+                self.parts = parts_buf;
+                *image
+            }
+            _ => unreachable!("protocol: Checkpoint is answered by Checkpointed"),
+        }
+    }
+
+    fn restore(&mut self, ck: &Checkpoint) -> Result<(), CheckpointError> {
+        // Quiesce the in-flight epoch first, then build the replacement
+        // on the caller's thread so a bad image errors out before
+        // anything is torn down.
+        self.drain_publish();
+        let restored = Coordinator::from_checkpoint(self.config, ck)?;
+        // The engine's own buffered ingest is superseded by the
+        // checkpoint's pending batch (its uplink is already accounted in
+        // the restored comm counters).
+        self.front.clear();
+        for p in &mut self.parts {
+            p.clear();
+        }
+        self.uplink_msgs = 0;
+        self.uplink_bytes = 0;
+        self.send(ToWorker::Restore(Box::new(restored)));
+        match self.rx.recv().expect("engine worker died") {
+            FromWorker::Restored { states_buf, parts_buf, snapshot } => {
+                self.front = states_buf;
+                self.parts = parts_buf;
+                self.last = snapshot;
+                Ok(())
+            }
+            _ => unreachable!("protocol: Restore is answered by Restored"),
+        }
+    }
+
     fn finish(mut self: Box<Self>) -> Coordinator {
         self.drain_publish();
         let msg = ToWorker::Finish {
@@ -399,6 +501,24 @@ fn worker_loop(mut coordinator: Coordinator, work: Receiver<ToWorker>, reply: Se
                 coordinator.stage_recycle(batch);
                 let snap = coordinator.stage_publish();
                 if reply.send(FromWorker::Published(snap)).is_err() {
+                    break;
+                }
+            }
+            ToWorker::Checkpoint { states, parts, uplink_msgs, uplink_bytes } => {
+                let image =
+                    Box::new(coordinator.checkpoint_with_extra(&states, uplink_msgs, uplink_bytes));
+                if reply
+                    .send(FromWorker::Checkpointed { image, states_buf: states, parts_buf: parts })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            ToWorker::Restore(restored) => {
+                coordinator = *restored;
+                let (states_buf, parts_buf) = coordinator.take_pending();
+                let snapshot = coordinator.snapshot();
+                if reply.send(FromWorker::Restored { states_buf, parts_buf, snapshot }).is_err() {
                     break;
                 }
             }
@@ -523,6 +643,143 @@ mod tests {
         engine.submit(state(1, (0.0, 0.0), (50.0, 0.0), 9));
         let _ = engine.process_epoch(Timestamp(10));
         drop(engine); // must not hang or leak the worker
+    }
+
+    /// Deterministic per-epoch batch shared by the checkpoint tests.
+    fn workload(epoch: u64) -> Vec<ClientState> {
+        let mut out = Vec::new();
+        let mut s = epoch.wrapping_mul(1799).wrapping_add(5);
+        for i in 0..12u64 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let r = s >> 33;
+            let x = ((r % 6) * 500) as f64;
+            let y = ((r % 3) * 300) as f64;
+            out.push(state(i, (x, y), (x + 50.0, y), epoch * 10 - 1));
+        }
+        out
+    }
+
+    /// `checkpoint()` must be a pure observer — a run with a mid-run
+    /// checkpoint equals one without — and an engine restored from that
+    /// image must replay the remaining epochs bit-for-bit, front buffer
+    /// included, on both backends at 1 shard and several.
+    #[test]
+    fn checkpoint_is_transparent_and_restore_resumes_bit_for_bit() {
+        type EpochLog = Vec<(Vec<(u64, u64)>, u64, u64, u64)>;
+        for shards in [1usize, 4] {
+            for kind in [EngineKind::Sync, EngineKind::Pipelined] {
+                let observe = |engine: &mut Box<dyn Engine>, now: Timestamp| {
+                    let resp: Vec<(u64, u64)> = engine
+                        .process_epoch(now)
+                        .iter()
+                        .map(|r| (r.object.0, r.endpoint.p.x.to_bits()))
+                        .collect();
+                    let snap = engine.snapshot();
+                    (resp, snap.epoch, snap.top_k_score.to_bits(), snap.comm.uplink_msgs)
+                };
+                let run = |interrupt: Option<u64>| -> (EpochLog, Option<Checkpoint>) {
+                    let mut engine = kind.build(Coordinator::new(cfg(shards)));
+                    let mut log = Vec::new();
+                    let mut image = None;
+                    for epoch in 1..=8u64 {
+                        let now = Timestamp(epoch * 10);
+                        engine.submit_batch(&mut workload(epoch).into_iter());
+                        if interrupt == Some(epoch) {
+                            // The epoch's batch is still buffered: the
+                            // image must carry it.
+                            image = Some(engine.checkpoint());
+                        }
+                        engine.advance_time(now);
+                        log.push(observe(&mut engine, now));
+                    }
+                    engine.finish().check_consistency().unwrap();
+                    (log, image)
+                };
+
+                let (base, _) = run(None);
+                let (with_ck, image) = run(Some(4));
+                assert_eq!(base, with_ck, "checkpoint perturbed {kind} at {shards} shards");
+
+                // Resume: restore into a *dirtied* fresh engine and
+                // replay epochs 4..=8 (epoch 4's batch rides in the
+                // image's pending section).
+                let image = image.unwrap();
+                assert_eq!(image.epoch(), 3);
+                let mut engine = kind.build(Coordinator::new(cfg(shards)));
+                engine.submit(state(77, (0.0, 0.0), (50.0, 0.0), 9));
+                let _ = engine.process_epoch(Timestamp(10));
+                engine.restore(&image).unwrap();
+                assert_eq!(engine.pending_len(), 12, "pending batch lost in restore");
+                for epoch in 4..=8u64 {
+                    let now = Timestamp(epoch * 10);
+                    if epoch > 4 {
+                        engine.submit_batch(&mut workload(epoch).into_iter());
+                    }
+                    engine.advance_time(now);
+                    assert_eq!(
+                        observe(&mut engine, now),
+                        base[(epoch - 1) as usize],
+                        "restored {kind} diverged at epoch {epoch}, {shards} shards"
+                    );
+                }
+                engine.finish().check_consistency().unwrap();
+            }
+        }
+    }
+
+    /// Regression: after `restore()` the cached snapshot must be
+    /// invalidated — `snapshot()`/top-k never serve pre-restore data.
+    #[test]
+    fn restore_invalidates_the_snapshot_cache() {
+        for kind in [EngineKind::Sync, EngineKind::Pipelined] {
+            let mut engine = kind.build(Coordinator::new(cfg(1)));
+            // Epoch 1: corridor A is the only hot path.
+            for obj in 0..3u64 {
+                engine.submit(state(obj, (0.0, 0.0), (50.0, 0.0), 9));
+            }
+            let _ = engine.process_epoch(Timestamp(10));
+            let image = engine.checkpoint();
+            // Epoch 2: corridor B overtakes it.
+            for obj in 0..5u64 {
+                engine.submit(state(obj, (1000.0, 0.0), (1080.0, 0.0), 19));
+            }
+            let _ = engine.process_epoch(Timestamp(20));
+            let before = engine.snapshot();
+            assert_eq!(before.epoch, 2);
+            assert_eq!(before.top_k[0].hotness, 5, "corridor B should lead pre-restore");
+
+            engine.restore(&image).unwrap();
+            let after = engine.snapshot();
+            assert_eq!(after.epoch, 1, "stale snapshot survived the restore ({kind})");
+            assert_eq!(after.top_k.len(), 1);
+            assert_eq!(after.top_k[0].hotness, 3, "top-k served pre-restore data ({kind})");
+            assert_eq!(after.index_size, 1);
+            engine.finish().check_consistency().unwrap();
+        }
+    }
+
+    /// Interleaving `submit_batch`, `checkpoint`, `restore`, and
+    /// `finish` against the pipelined backend: a back buffer in flight
+    /// (publish not yet joined) must be drained before the worker
+    /// serializes or swaps its coordinator.
+    #[test]
+    fn pipelined_checkpoint_and_restore_drain_inflight_epochs() {
+        let mut engine = PipelinedEngine::spawn(Coordinator::new(cfg(2)));
+        let mut batch = vec![state(1, (0.0, 0.0), (50.0, 0.0), 9)];
+        engine.submit_batch(&mut batch.drain(..));
+        let _ = engine.process_epoch(Timestamp(10)); // publish now in flight
+        let image = engine.checkpoint(); // must join it first
+        assert_eq!(image.epoch(), 1);
+
+        engine.submit(state(2, (500.0, 0.0), (550.0, 0.0), 19));
+        let _ = engine.process_epoch(Timestamp(20)); // in flight again
+        engine.restore(&image).unwrap(); // must join before swapping
+        assert_eq!(engine.snapshot().epoch, 1);
+        assert_eq!(engine.pending_len(), 0);
+
+        let coordinator = Box::new(engine).finish();
+        assert_eq!(coordinator.processing_stats().epochs, 1);
+        coordinator.check_consistency().unwrap();
     }
 
     #[test]

@@ -9,7 +9,10 @@ use super::point::Point;
 use crate::time::{TimeInterval, Timestamp};
 
 /// A point observation `<p, t>` in `xyt` space.
+///
+/// `repr(C)`: a [`Point`] then a [`Timestamp`], 24 bytes, no padding.
 #[derive(Clone, Copy, PartialEq, Debug)]
+#[repr(C)]
 pub struct TimePoint {
     /// Observed position.
     pub p: Point,

@@ -17,7 +17,7 @@ use crate::fxhash::FxHashMap;
 use crate::motion_path::PathId;
 use crate::time::{SlidingWindow, Timestamp};
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::BTreeSet;
 
 /// Rank-set key: `(hotness desc, length desc, id asc)`. Lengths are
 /// non-negative finite floats, so their IEEE-754 bit patterns order the
@@ -29,24 +29,148 @@ fn rank_key(count: u32, len_bits: u64, id: PathId) -> RankKey {
     (Reverse(count), Reverse(len_bits), id)
 }
 
-/// Per-path state: the live crossing count and the path's length (bit
-/// pattern), pinned at first recording — path geometry is immutable, so
-/// every crossing of one id carries the same length.
-#[derive(Clone, Copy, Debug)]
-struct PathHeat {
-    count: u32,
-    len_bits: u64,
+/// Per-path hotness record: the live crossing count and the path's
+/// length (IEEE-754 bit pattern), pinned at first recording — path
+/// geometry is immutable, so every crossing of one id carries the same
+/// length. Records live in a contiguous slab so the checkpoint's heat
+/// section is a direct memcpy of the backing array.
+///
+/// `repr(C)`: three consecutive `u64`s, 24 bytes, no padding. The count
+/// is widened to `u64` here purely for layout; it never exceeds `u32`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(C)]
+pub struct HeatEntry {
+    /// The hot path.
+    pub id: PathId,
+    /// Path length bit pattern (`f64::to_bits`), the rank tie-break key.
+    pub len_bits: u64,
+    /// Live crossing count within the window (always `>= 1` in the slab).
+    pub count: u64,
+}
+
+/// One pending expiry: the counter of `id` decrements at `expiry`
+/// (`te + W`, Section 5.2). `repr(C)`: 16 bytes, no padding — the
+/// checkpoint's event section is a memcpy of the heap's backing array.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(C)]
+pub struct ExpiryEvent {
+    /// Expiry timestamp `te + W`.
+    pub expiry: Timestamp,
+    /// The path whose counter decrements then.
+    pub id: PathId,
+}
+
+impl ExpiryEvent {
+    #[inline]
+    fn key(&self) -> (Timestamp, PathId) {
+        (self.expiry, self.id)
+    }
+}
+
+/// A binary min-heap of [`ExpiryEvent`]s over a plain `Vec`, replacing
+/// `BinaryHeap<Reverse<(Timestamp, PathId)>>`: the backing array is
+/// `repr(C)` records, so a checkpoint serializes it verbatim and a
+/// restore re-adopts it verbatim — sift decisions after a restore are
+/// bit-for-bit the ones the uninterrupted run would have made.
+#[derive(Clone, Debug, Default)]
+struct EventHeap {
+    a: Vec<ExpiryEvent>,
+}
+
+impl EventHeap {
+    #[inline]
+    fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<&ExpiryEvent> {
+        self.a.first()
+    }
+
+    fn push(&mut self, ev: ExpiryEvent) {
+        self.a.push(ev);
+        let mut i = self.a.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.a[i].key() < self.a[parent].key() {
+                self.a.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<ExpiryEvent> {
+        if self.a.is_empty() {
+            return None;
+        }
+        let last = self.a.len() - 1;
+        self.a.swap(0, last);
+        let out = self.a.pop();
+        let mut i = 0;
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < self.a.len() && self.a[l].key() < self.a[smallest].key() {
+                smallest = l;
+            }
+            if r < self.a.len() && self.a[r].key() < self.a[smallest].key() {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.a.swap(i, smallest);
+            i = smallest;
+        }
+        out
+    }
+
+    /// The backing array in heap order (checkpoint section source).
+    #[inline]
+    fn as_slice(&self) -> &[ExpiryEvent] {
+        &self.a
+    }
+
+    /// Re-adopts a backing array captured by [`EventHeap::as_slice`].
+    /// The caller guarantees `a` is in heap order (it always is when the
+    /// bytes come from a CRC-validated checkpoint section).
+    fn from_heap_array(a: Vec<ExpiryEvent>) -> Self {
+        debug_assert!(
+            (1..a.len()).all(|i| a[(i - 1) / 2].key() <= a[i].key()),
+            "restored event array violates the heap invariant"
+        );
+        EventHeap { a }
+    }
+}
+
+/// Tombstone record for a forgotten id: how many queued expiry events it
+/// still owns. `repr(C)`: 16 bytes, no padding (checkpoint section).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(C)]
+pub struct DeadEntry {
+    /// The forgotten path.
+    pub id: PathId,
+    /// Queued events awaiting reclamation (widened `u32`).
+    pub events: u64,
 }
 
 /// The hotness table plus expiry queue.
 #[derive(Clone, Debug)]
 pub struct Hotness {
     window: SlidingWindow,
-    counts: FxHashMap<PathId, PathHeat>,
+    /// Contiguous per-path records; order is maintenance order (inserts
+    /// append, deaths `swap_remove`) and is part of the checkpointed
+    /// state, so a restored table continues identically.
+    heat: Vec<HeatEntry>,
+    /// Path id -> slot in `heat`.
+    slot_of: FxHashMap<PathId, u32>,
     /// Incremental top-k: every hot path, ordered hottest-first.
     rank: BTreeSet<RankKey>,
     /// Min-heap of `(expiry, id)`; head is the next interval to expire.
-    queue: BinaryHeap<Reverse<(Timestamp, PathId)>>,
+    queue: EventHeap,
     /// Tombstones for [`Hotness::forget`]-ed ids: how many queued events
     /// belong to each forgotten id, so [`Hotness::advance`] can reclaim
     /// them instead of decrementing a live counter.
@@ -62,9 +186,10 @@ impl Hotness {
     pub fn new(window: SlidingWindow) -> Self {
         Hotness {
             window,
-            counts: FxHashMap::default(),
+            heat: Vec::new(),
+            slot_of: FxHashMap::default(),
             rank: BTreeSet::new(),
-            queue: BinaryHeap::new(),
+            queue: EventHeap::default(),
             dead: FxHashMap::default(),
             dead_events: 0,
             recorded: 0,
@@ -82,36 +207,49 @@ impl Hotness {
     /// pinned at the first recording of each id (geometry is immutable).
     pub fn record_crossing(&mut self, id: PathId, te: Timestamp, length: f64) {
         debug_assert!(length >= 0.0 && length.is_finite(), "bad path length {length}");
-        let heat =
-            self.counts.entry(id).or_insert(PathHeat { count: 0, len_bits: length.to_bits() });
+        let slot = *self.slot_of.entry(id).or_insert_with(|| {
+            self.heat.push(HeatEntry { id, len_bits: length.to_bits(), count: 0 });
+            (self.heat.len() - 1) as u32
+        });
+        let heat = &mut self.heat[slot as usize];
         if heat.count > 0 {
-            self.rank.remove(&rank_key(heat.count, heat.len_bits, id));
+            self.rank.remove(&rank_key(heat.count as u32, heat.len_bits, id));
         }
         heat.count += 1;
-        self.rank.insert(rank_key(heat.count, heat.len_bits, id));
-        self.queue.push(Reverse((self.window.expiry_of(te), id)));
+        self.rank.insert(rank_key(heat.count as u32, heat.len_bits, id));
+        self.queue.push(ExpiryEvent { expiry: self.window.expiry_of(te), id });
         self.recorded += 1;
     }
 
     /// Current hotness of `id` (zero when unknown).
     #[inline]
     pub fn get(&self, id: PathId) -> u32 {
-        self.counts.get(&id).map(|h| h.count).unwrap_or(0)
+        self.slot_of.get(&id).map(|&s| self.heat[s as usize].count as u32).unwrap_or(0)
     }
 
     /// Number of paths with positive hotness.
     pub fn len(&self) -> usize {
-        self.counts.len()
+        self.heat.len()
     }
 
     /// True when nothing is hot.
     pub fn is_empty(&self) -> bool {
-        self.counts.is_empty()
+        self.heat.is_empty()
     }
 
     /// Iterates over `(id, hotness)` pairs with positive hotness.
     pub fn iter(&self) -> impl Iterator<Item = (PathId, u32)> + '_ {
-        self.counts.iter().map(|(&id, &h)| (id, h.count))
+        self.heat.iter().map(|e| (e.id, e.count as u32))
+    }
+
+    /// Removes the slab record at `slot`, keeping `slot_of` consistent
+    /// with the `swap_remove` relocation.
+    fn remove_slot(&mut self, slot: u32) {
+        let removed = self.heat.swap_remove(slot as usize);
+        self.slot_of.remove(&removed.id);
+        if let Some(moved) = self.heat.get(slot as usize) {
+            self.slot_of.insert(moved.id, slot);
+        }
     }
 
     /// Iterates over `(id, hotness)` pairs hottest-first — the order of
@@ -126,22 +264,32 @@ impl Hotness {
     /// the two must describe the same multiset of `(id, hotness,
     /// length)` triples at all times.
     pub fn check_consistency(&self) -> Result<(), String> {
-        if self.rank.len() != self.counts.len() {
+        if self.rank.len() != self.heat.len() {
             return Err(format!(
                 "rank set has {} entries for {} hot paths",
                 self.rank.len(),
-                self.counts.len()
+                self.heat.len()
             ));
         }
-        for (&id, heat) in &self.counts {
-            if !self.rank.contains(&rank_key(heat.count, heat.len_bits, id)) {
-                return Err(format!("rank set lost {id} (hotness {})", heat.count));
+        if self.slot_of.len() != self.heat.len() {
+            return Err(format!(
+                "slot map has {} entries for {} slab records",
+                self.slot_of.len(),
+                self.heat.len()
+            ));
+        }
+        for (slot, heat) in self.heat.iter().enumerate() {
+            if self.slot_of.get(&heat.id) != Some(&(slot as u32)) {
+                return Err(format!("slot map lost {} (slab slot {slot})", heat.id));
+            }
+            if !self.rank.contains(&rank_key(heat.count as u32, heat.len_bits, heat.id)) {
+                return Err(format!("rank set lost {} (hotness {})", heat.id, heat.count));
             }
         }
         // Live-event accounting: every unit of hotness has exactly one
         // pending expiry event (tombstoned events are excluded by
         // `pending_events`).
-        let total: usize = self.counts.values().map(|h| h.count as usize).sum();
+        let total: usize = self.heat.iter().map(|h| h.count as usize).sum();
         if total != self.pending_events() {
             return Err(format!(
                 "{total} units of hotness vs {} pending expiry events",
@@ -175,7 +323,7 @@ impl Hotness {
     /// from the index).
     pub fn advance(&mut self, now: Timestamp) -> Vec<PathId> {
         let mut died = Vec::new();
-        while let Some(&Reverse((expiry, id))) = self.queue.peek() {
+        while let Some(&ExpiryEvent { expiry, id }) = self.queue.peek() {
             // Reclaim tombstoned events whenever they surface at the
             // head, regardless of their expiry — forgotten ids must not
             // keep the queue inflated for a whole window.
@@ -193,15 +341,16 @@ impl Hotness {
             }
             self.queue.pop();
             // Defensive: a counter should always exist for a live event.
-            let Some(heat) = self.counts.get_mut(&id) else { continue };
-            self.rank.remove(&rank_key(heat.count, heat.len_bits, id));
+            let Some(&slot) = self.slot_of.get(&id) else { continue };
+            let heat = &mut self.heat[slot as usize];
+            self.rank.remove(&rank_key(heat.count as u32, heat.len_bits, id));
             heat.count -= 1;
             if heat.count == 0 {
-                self.counts.remove(&id);
+                self.remove_slot(slot);
                 died.push(id);
             } else {
                 let heat = *heat;
-                self.rank.insert(rank_key(heat.count, heat.len_bits, id));
+                self.rank.insert(rank_key(heat.count as u32, heat.len_bits, id));
             }
         }
         died
@@ -218,13 +367,97 @@ impl Hotness {
     /// expiry precedes a tombstoned event's would be reclaimed in its
     /// place, letting the stale event keep the counter alive too long.
     pub fn forget(&mut self, id: PathId) {
-        if let Some(heat) = self.counts.remove(&id) {
-            self.rank.remove(&rank_key(heat.count, heat.len_bits, id));
+        if let Some(&slot) = self.slot_of.get(&id) {
+            let heat = self.heat[slot as usize];
+            self.remove_slot(slot);
+            self.rank.remove(&rank_key(heat.count as u32, heat.len_bits, id));
             if heat.count > 0 {
-                *self.dead.entry(id).or_insert(0) += heat.count;
+                *self.dead.entry(id).or_insert(0) += heat.count as u32;
                 self.dead_events += heat.count as usize;
             }
         }
+    }
+
+    // ---- checkpoint surface -------------------------------------------
+
+    /// The contiguous per-path heat slab (checkpoint section source; the
+    /// slab order is state and must be restored verbatim).
+    pub fn heat_slice(&self) -> &[HeatEntry] {
+        &self.heat
+    }
+
+    /// The expiry heap's backing array in heap order (checkpoint section
+    /// source; restored verbatim).
+    pub fn events_slice(&self) -> &[ExpiryEvent] {
+        self.queue.as_slice()
+    }
+
+    /// Tombstone records sorted by id (small; collected per checkpoint).
+    pub fn dead_entries(&self) -> Vec<DeadEntry> {
+        let mut out: Vec<DeadEntry> =
+            self.dead.iter().map(|(&id, &n)| DeadEntry { id, events: n as u64 }).collect();
+        out.sort_unstable_by_key(|d| d.id);
+        out
+    }
+
+    /// Rebuilds a table from checkpointed sections: the heat slab and
+    /// event array are adopted verbatim; the slot map and rank set are
+    /// derived (their contents are pure functions of the slab).
+    ///
+    /// # Errors
+    /// Returns a description when the sections are structurally invalid
+    /// (duplicate ids, zero counts, event/counter imbalance) — possible
+    /// only for a checkpoint written by a buggy or hostile producer,
+    /// since CRC validation happens before this runs.
+    pub fn from_checkpoint_parts(
+        window: SlidingWindow,
+        heat: Vec<HeatEntry>,
+        events: Vec<ExpiryEvent>,
+        dead: Vec<DeadEntry>,
+        recorded: u64,
+    ) -> Result<Self, String> {
+        let mut slot_of = FxHashMap::default();
+        let mut rank = BTreeSet::new();
+        for (slot, e) in heat.iter().enumerate() {
+            if e.count == 0 || e.count > u64::from(u32::MAX) {
+                return Err(format!("heat slab entry {} has count {}", e.id, e.count));
+            }
+            if slot_of.insert(e.id, slot as u32).is_some() {
+                return Err(format!("duplicate heat slab entry for {}", e.id));
+            }
+            rank.insert(rank_key(e.count as u32, e.len_bits, e.id));
+        }
+        if (1..events.len()).any(|i| events[(i - 1) / 2].key() > events[i].key()) {
+            return Err("event array violates the heap invariant".into());
+        }
+        let mut dead_map = FxHashMap::default();
+        let mut dead_events = 0usize;
+        for d in &dead {
+            if d.events == 0 || d.events > u64::from(u32::MAX) {
+                return Err(format!("tombstone for {} has {} events", d.id, d.events));
+            }
+            if slot_of.contains_key(&d.id) || dead_map.insert(d.id, d.events as u32).is_some() {
+                return Err(format!("conflicting tombstone for {}", d.id));
+            }
+            dead_events += d.events as usize;
+        }
+        let live: usize = heat.iter().map(|h| h.count as usize).sum();
+        if live + dead_events != events.len() {
+            return Err(format!(
+                "{live} live + {dead_events} tombstoned events vs {} queued",
+                events.len()
+            ));
+        }
+        Ok(Hotness {
+            window,
+            heat,
+            slot_of,
+            rank,
+            queue: EventHeap::from_heap_array(events),
+            dead: dead_map,
+            dead_events,
+            recorded,
+        })
     }
 }
 
@@ -455,6 +688,102 @@ mod tests {
         assert_eq!(hot.advance(Timestamp(103)), vec![PathId(2)]);
         assert_eq!(hot.queued_events(), 0);
         assert_eq!(hot.pending_events(), 0);
+    }
+
+    #[test]
+    fn checkpoint_parts_roundtrip_continues_identically() {
+        // Drive a table through deterministic churn, snapshot its slab /
+        // heap / tombstones, rebuild, and check both copies stay in
+        // lock-step through further churn — the in-crate version of the
+        // restart-parity property the checkpoint module relies on.
+        let mut hot = h(23);
+        let len = |id: PathId| ((id.0 * 37) % 101) as f64;
+        let mut state = 99u64;
+        let mut rand = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut now = 0u64;
+        for _ in 0..300 {
+            now += rand() % 3;
+            hot.advance(Timestamp(now));
+            let id = PathId(rand() % 12);
+            if rand() % 7 == 0 {
+                hot.forget(id);
+            } else {
+                hot.record_crossing(id, Timestamp(now), len(id));
+            }
+        }
+        let mut copy = Hotness::from_checkpoint_parts(
+            hot.window(),
+            hot.heat_slice().to_vec(),
+            hot.events_slice().to_vec(),
+            hot.dead_entries(),
+            hot.total_recorded(),
+        )
+        .unwrap();
+        copy.check_consistency().unwrap();
+        assert_eq!(copy.heat_slice(), hot.heat_slice());
+        assert_eq!(copy.events_slice(), hot.events_slice());
+        for _ in 0..300 {
+            now += rand() % 3;
+            assert_eq!(hot.advance(Timestamp(now)), copy.advance(Timestamp(now)));
+            let id = PathId(rand() % 12);
+            if rand() % 7 == 0 {
+                hot.forget(id);
+                copy.forget(id);
+            } else {
+                hot.record_crossing(id, Timestamp(now), len(id));
+                copy.record_crossing(id, Timestamp(now), len(id));
+            }
+            assert_eq!(hot.heat_slice(), copy.heat_slice());
+            assert_eq!(hot.events_slice(), copy.events_slice());
+            assert_eq!(hot.top_iter().collect::<Vec<_>>(), copy.top_iter().collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn checkpoint_parts_reject_structural_corruption() {
+        let mut hot = h(10);
+        hot.record_crossing(PathId(1), Timestamp(0), 2.0);
+        hot.record_crossing(PathId(2), Timestamp(1), 3.0);
+        let heat = hot.heat_slice().to_vec();
+        let events = hot.events_slice().to_vec();
+        let w = hot.window();
+
+        // Duplicate slab id.
+        let mut dup = heat.clone();
+        dup.push(heat[0]);
+        assert!(Hotness::from_checkpoint_parts(w, dup, events.clone(), vec![], 3).is_err());
+        // Zero count.
+        let mut zero = heat.clone();
+        zero[0].count = 0;
+        assert!(Hotness::from_checkpoint_parts(w, zero, events.clone(), vec![], 2).is_err());
+        // Heap order violated.
+        let mut bad = events.clone();
+        bad.reverse();
+        if bad != events {
+            assert!(Hotness::from_checkpoint_parts(w, heat.clone(), bad, vec![], 2).is_err());
+        }
+        // Event/counter imbalance.
+        assert!(Hotness::from_checkpoint_parts(w, heat.clone(), vec![], vec![], 2).is_err());
+        // Tombstone colliding with a live id.
+        assert!(Hotness::from_checkpoint_parts(
+            w,
+            heat,
+            events,
+            vec![DeadEntry { id: PathId(1), events: 1 }],
+            2
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn layouts_are_padding_free() {
+        assert_eq!(std::mem::size_of::<HeatEntry>(), 24);
+        assert_eq!(std::mem::size_of::<ExpiryEvent>(), 16);
+        assert_eq!(std::mem::size_of::<DeadEntry>(), 16);
+        assert_eq!(std::mem::align_of::<HeatEntry>(), 8);
     }
 
     #[test]

@@ -28,10 +28,19 @@ pub fn point_lt(a: &Point, b: &Point) -> bool {
 }
 
 /// The coordinator's path store.
+///
+/// Paths live in a contiguous slab (`repr(C)` [`MotionPath`] records)
+/// so a checkpoint serializes the section with one memcpy; the grid,
+/// adjacency lists, and id->slot map are derived structures rebuilt on
+/// restore.
 #[derive(Clone, Debug)]
 pub struct MotionPathIndex {
     grid: EndpointGrid,
-    paths: FxHashMap<PathId, MotionPath>,
+    /// Contiguous path records; order is maintenance order (inserts
+    /// append, removals `swap_remove`) and is checkpointed verbatim.
+    paths: Vec<MotionPath>,
+    /// Path id -> slot in `paths`.
+    slot_of: FxHashMap<PathId, u32>,
     /// Outgoing adjacency: start vertex -> paths leaving it.
     out_adj: FxHashMap<VertexKey, Vec<PathId>>,
     /// Incoming adjacency: end vertex -> paths converging to it.
@@ -47,7 +56,8 @@ impl MotionPathIndex {
         assert!(vertex_grain > 0.0, "vertex grain must be positive");
         MotionPathIndex {
             grid: EndpointGrid::new(grid_cell),
-            paths: FxHashMap::default(),
+            paths: Vec::new(),
+            slot_of: FxHashMap::default(),
             out_adj: FxHashMap::default(),
             in_adj: FxHashMap::default(),
             vertex_grain,
@@ -73,12 +83,12 @@ impl MotionPathIndex {
 
     /// Looks up a path by id.
     pub fn get(&self, id: PathId) -> Option<&MotionPath> {
-        self.paths.get(&id)
+        self.slot_of.get(&id).map(|&s| &self.paths[s as usize])
     }
 
-    /// Iterates over all stored paths.
+    /// Iterates over all stored paths (slab order).
     pub fn iter(&self) -> impl Iterator<Item = &MotionPath> {
-        self.paths.values()
+        self.paths.iter()
     }
 
     /// Inserts a new path `start -> end` and returns its id. If an
@@ -112,19 +122,26 @@ impl MotionPathIndex {
         self.grid.insert(Entry { endpoint: end, path: id, other: start, kind: EndKind::End });
         self.out_adj.entry(skey).or_default().push(id);
         self.in_adj.entry(ekey).or_default().push(id);
-        self.paths.insert(id, path);
+        self.slot_of.insert(id, self.paths.len() as u32);
+        self.paths.push(path);
         (id, true)
     }
 
     /// Finds a stored path with the given quantized endpoints.
     fn find_exact(&self, skey: VertexKey, ekey: VertexKey) -> Option<PathId> {
         let outs = self.out_adj.get(&skey)?;
-        outs.iter().copied().find(|id| self.vertex_key(&self.paths[id].end()) == ekey)
+        outs.iter()
+            .copied()
+            .find(|&id| self.vertex_key(&self.paths[self.slot_of[&id] as usize].end()) == ekey)
     }
 
     /// Removes a path (when its hotness expires to zero, Section 5.2).
     pub fn remove(&mut self, id: PathId) -> bool {
-        let Some(path) = self.paths.remove(&id) else { return false };
+        let Some(slot) = self.slot_of.remove(&id) else { return false };
+        let path = self.paths.swap_remove(slot as usize);
+        if let Some(moved) = self.paths.get(slot as usize) {
+            self.slot_of.insert(moved.id, slot);
+        }
         let start = path.start();
         let end = path.end();
         self.grid.remove(&start, id, EndKind::Start);
@@ -224,6 +241,18 @@ impl MotionPathIndex {
                 self.paths.len()
             ));
         }
+        if self.slot_of.len() != self.paths.len() {
+            return Err(format!(
+                "slot map has {} entries for {} slab records",
+                self.slot_of.len(),
+                self.paths.len()
+            ));
+        }
+        for (slot, p) in self.paths.iter().enumerate() {
+            if self.slot_of.get(&p.id) != Some(&(slot as u32)) {
+                return Err(format!("slot map lost {} (slab slot {slot})", p.id));
+            }
+        }
         let out_total: usize = self.out_adj.values().map(Vec::len).sum();
         let in_total: usize = self.in_adj.values().map(Vec::len).sum();
         if out_total != self.paths.len() || in_total != self.paths.len() {
@@ -234,13 +263,63 @@ impl MotionPathIndex {
         }
         for (key, ids) in &self.out_adj {
             for id in ids {
-                let p = self.paths.get(id).ok_or(format!("dangling out id {id}"))?;
+                let p = self.get(*id).ok_or(format!("dangling out id {id}"))?;
                 if self.vertex_key(&p.start()) != *key {
                     return Err(format!("out-adjacency key mismatch for {id}"));
                 }
             }
         }
         Ok(())
+    }
+
+    // ---- checkpoint surface -------------------------------------------
+
+    /// The contiguous path slab (checkpoint section source; slab order is
+    /// state and must be restored verbatim).
+    pub fn paths_slice(&self) -> &[MotionPath] {
+        &self.paths
+    }
+
+    /// The index's internal id counter (zero when ids come from an
+    /// external counter, as in the coordinator).
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Rebuilds an index from a checkpointed path slab: the slab is
+    /// adopted verbatim; the grid, adjacency lists, and slot map are
+    /// derived from it.
+    ///
+    /// # Errors
+    /// Returns a description when the slab is structurally invalid
+    /// (duplicate or out-of-counter ids, non-finite endpoints) — possible
+    /// only for a checkpoint written by a buggy or hostile producer,
+    /// since CRC validation happens before this runs.
+    pub fn from_checkpoint_parts(
+        grid_cell: f64,
+        vertex_grain: f64,
+        paths: Vec<MotionPath>,
+        next_id: u64,
+    ) -> Result<Self, String> {
+        let mut idx = MotionPathIndex::new(grid_cell, vertex_grain);
+        idx.paths.reserve(paths.len());
+        for (slot, path) in paths.iter().enumerate() {
+            if !path.start().is_finite() || !path.end().is_finite() {
+                return Err(format!("path {} has non-finite endpoints", path.id));
+            }
+            if idx.slot_of.insert(path.id, slot as u32).is_some() {
+                return Err(format!("duplicate path slab entry for {}", path.id));
+            }
+            let (start, end) = (path.start(), path.end());
+            let id = path.id;
+            idx.grid.insert(Entry { endpoint: start, path: id, other: end, kind: EndKind::Start });
+            idx.grid.insert(Entry { endpoint: end, path: id, other: start, kind: EndKind::End });
+            idx.out_adj.entry(idx.vertex_key(&start)).or_default().push(id);
+            idx.in_adj.entry(idx.vertex_key(&end)).or_default().push(id);
+        }
+        idx.paths = paths;
+        idx.next_id = next_id;
+        Ok(idx)
     }
 }
 

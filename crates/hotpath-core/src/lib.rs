@@ -66,6 +66,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod coordinator;
 pub mod engine;
@@ -82,6 +83,7 @@ pub mod uncertainty;
 
 /// Identifier of a moving object (client).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(transparent)]
 pub struct ObjectId(pub u64);
 
 impl std::fmt::Display for ObjectId {
@@ -92,6 +94,7 @@ impl std::fmt::Display for ObjectId {
 
 /// Convenient glob-import of the public API.
 pub mod prelude {
+    pub use crate::checkpoint::{Checkpoint, CheckpointError};
     pub use crate::config::{Config, Tolerance};
     pub use crate::coordinator::{Coordinator, EndpointResponse, HotSnapshot};
     pub use crate::engine::{Engine, EngineKind, PipelinedEngine, SyncEngine};

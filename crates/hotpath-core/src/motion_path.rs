@@ -11,6 +11,7 @@ use std::fmt;
 
 /// Dense identifier of a motion path stored at the coordinator.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(transparent)]
 pub struct PathId(pub u64);
 
 impl fmt::Display for PathId {
@@ -23,7 +24,11 @@ impl fmt::Display for PathId {
 /// intervals vary per crossing and live in the hotness bookkeeping, not
 /// here — the same path may fit multiple objects over different
 /// intervals (Section 3.1).
+///
+/// `repr(C)`: a [`PathId`] then a [`Segment`], 40 bytes, no padding —
+/// the checkpoint path section is a direct cast of these records.
 #[derive(Clone, Copy, PartialEq, Debug)]
+#[repr(C)]
 pub struct MotionPath {
     /// Identifier within the coordinator's index.
     pub id: PathId,

@@ -11,6 +11,7 @@ use std::ops::{Add, AddAssign, Sub};
 /// A discrete timestamp, counted in time granules since the start of the
 /// stream.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
 pub struct Timestamp(pub u64);
 
 impl Timestamp {

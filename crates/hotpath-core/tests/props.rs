@@ -2,13 +2,16 @@
 //! safety, tolerance-solver analytics, sliding-window hotness, and the
 //! endpoint grid — each invariant checked against a brute-force oracle.
 
+use hotpath_core::config::{Config, Tolerance};
+use hotpath_core::coordinator::Coordinator;
 use hotpath_core::geometry::{Point, Rect, Segment, TimePoint};
 use hotpath_core::hotness::Hotness;
 use hotpath_core::index::MotionPathIndex;
 use hotpath_core::motion_path::PathId;
-use hotpath_core::raytrace::Ssa;
+use hotpath_core::raytrace::{ClientState, Ssa};
 use hotpath_core::time::{SlidingWindow, Timestamp};
 use hotpath_core::uncertainty::{coverage, half_width_exact};
+use hotpath_core::ObjectId;
 use proptest::prelude::*;
 
 fn point() -> impl Strategy<Value = Point> {
@@ -308,5 +311,83 @@ proptest! {
             .end_vertices_in(&everywhere)
             .iter()
             .any(|(_, ids)| ids.contains(&victim)));
+    }
+}
+
+// ---------------- checkpoint ----------------
+
+proptest! {
+    // Each case grows and round-trips a whole coordinator, so a smaller
+    // deterministic case count keeps tier-1 wall time in check.
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// `restore(checkpoint(c))` is the identity on a coordinator grown
+    /// from any random schedule at any shard count: the restored state
+    /// is consistent, queries agree, and a second checkpoint of the
+    /// restored coordinator — and of a double-restored one — is
+    /// byte-identical to the first (restore is idempotent).
+    #[test]
+    fn checkpoint_restore_roundtrips_random_coordinators(
+        seed in 0u64..100_000,
+        shards_ix in 0usize..3,
+        epochs in 1u64..8,
+        leftover in 0u64..10,
+    ) {
+        let shards = [1usize, 2, 4][shards_ix];
+        let config = Config::paper_defaults()
+            .with_tolerance(Tolerance::crisp(10.0))
+            .with_window(30)
+            .with_epoch(10)
+            .with_k(6)
+            .with_shards(shards);
+        let mut c = Coordinator::new(config);
+        // An LCG-driven schedule over a coarse lattice: corridors repeat
+        // so crossings accumulate, expire, and evict along the way.
+        let mut s = seed | 1;
+        let mut roll = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s >> 33
+        };
+        let state = |obj: u64, r: u64, te: u64| {
+            let x = ((r % 7) * 400) as f64;
+            let y = ((r % 5) * 250) as f64;
+            let end = Point::new(x + 60.0, y);
+            ClientState {
+                object: ObjectId(obj),
+                start: Point::new(x, y),
+                ts: Timestamp(te.saturating_sub(8)),
+                fsa: Rect::new(end - Point::new(2.0, 2.0), end + Point::new(2.0, 2.0)),
+                te: Timestamp(te),
+            }
+        };
+        for e in 1..=epochs {
+            for i in 0..10u64 {
+                c.submit(state(i, roll(), e * 10 - 1));
+            }
+            let _ = c.process_epoch(Timestamp(e * 10));
+        }
+        // Undelivered states must travel inside the pending section.
+        for i in 0..leftover {
+            c.submit(state(i, roll(), epochs * 10 + 9));
+        }
+
+        let image = c.checkpoint();
+        let restored = Coordinator::from_checkpoint(config, &image)
+            .expect("restore of a fresh image");
+        restored.check_consistency().expect("restored coordinator inconsistent");
+        prop_assert_eq!(restored.index_size(), c.index_size());
+        prop_assert_eq!(restored.hot_count(), c.hot_count());
+        prop_assert_eq!(
+            restored.top_k_score().to_bits(),
+            c.top_k_score().to_bits()
+        );
+
+        let second = restored.checkpoint();
+        prop_assert_eq!(second.as_bytes(), image.as_bytes(), "re-checkpoint drifted");
+        let twice = Coordinator::from_checkpoint(config, &second)
+            .expect("double restore");
+        twice.check_consistency().expect("double-restored coordinator inconsistent");
+        let third = twice.checkpoint();
+        prop_assert_eq!(third.as_bytes(), image.as_bytes(), "double restore drifted");
     }
 }

@@ -9,12 +9,44 @@
 //! state.
 
 use crate::metrics::EpochMetrics;
-use hotpath_core::coordinator::{EndpointResponse, HotSnapshot};
+use hotpath_core::checkpoint::Checkpoint;
+use hotpath_core::coordinator::{Coordinator, EndpointResponse, HotSnapshot};
 use hotpath_core::engine::Engine;
 use hotpath_core::raytrace::ClientState;
-use hotpath_core::stats::CommStats;
 use hotpath_core::time::Timestamp;
+use std::path::PathBuf;
 use std::time::Instant;
+
+/// Checkpoint controls for a run. The default is all-off: no images
+/// written, no restore, no restart probe.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CheckpointPolicy {
+    /// Write a checkpoint image every `N` epochs (requires [`Self::dir`]).
+    pub every_epochs: Option<u64>,
+    /// Directory the images land in: `epoch-<n>.ckpt` per boundary plus
+    /// an always-current `latest.ckpt` for resumption.
+    pub dir: Option<PathBuf>,
+    /// Warm start: restore this image into the engine before the first
+    /// tick (the run continues the checkpointed window and counters).
+    pub restore_from: Option<PathBuf>,
+    /// Restart-parity probe: at this epoch boundary, checkpoint, tear
+    /// the engine down completely, rebuild a fresh one of the same kind,
+    /// restore the image into it, and continue — the in-process
+    /// equivalent of a crash/restart, pinned by the parity tests.
+    pub restart_at: Option<u64>,
+}
+
+impl CheckpointPolicy {
+    /// True when the loop has any checkpoint work to do.
+    pub fn is_active(&self) -> bool {
+        *self != CheckpointPolicy::default()
+    }
+
+    /// The path of the always-current image under `dir`.
+    pub fn latest_path(dir: &std::path::Path) -> PathBuf {
+        dir.join("latest.ckpt")
+    }
+}
 
 /// What a concrete driver plugs into the shared loop: a measurement
 /// source feeding client filters (ingest), response delivery back into
@@ -56,17 +88,37 @@ pub struct EpochLoopResult {
 /// overlapped with this loop's ingest — observable behavior is
 /// identical across backends.
 pub fn run_epoch_loop(
-    engine: &mut dyn Engine,
+    engine: &mut Box<dyn Engine>,
     duration: u64,
     driver: &mut dyn EpochDriver,
 ) -> EpochLoopResult {
+    run_epoch_loop_with(engine, duration, driver, &CheckpointPolicy::default())
+}
+
+/// [`run_epoch_loop`] with checkpoint controls: warm-start restore
+/// before the first tick, periodic image writes, and the restart-parity
+/// probe (engine teardown + rebuild-from-image mid-run). The engine is
+/// taken as `&mut Box` because the restart probe replaces it wholesale.
+pub fn run_epoch_loop_with(
+    engine: &mut Box<dyn Engine>,
+    duration: u64,
+    driver: &mut dyn EpochDriver,
+    ckpt: &CheckpointPolicy,
+) -> EpochLoopResult {
+    if let Some(path) = &ckpt.restore_from {
+        let image = Checkpoint::read_from_path(path)
+            .unwrap_or_else(|e| panic!("cannot restore from {}: {e}", path.display()));
+        engine.restore(&image).unwrap_or_else(|e| panic!("restore failed: {e}"));
+    }
     let epochs = engine.config().epochs;
     let mut per_epoch = Vec::new();
     let mut measurements = 0u64;
-    let mut comm_prev = CommStats::default();
+    // Baseline the comm deltas on whatever the engine already carries —
+    // zero for a fresh engine, the restored counters after a warm start.
+    let mut comm_prev = engine.snapshot().comm;
     for t in 1..=duration {
         let now = Timestamp(t);
-        measurements += driver.tick(now, engine);
+        measurements += driver.tick(now, engine.as_mut());
         engine.advance_time(now);
         if epochs.is_epoch(now) {
             let reporting = engine.pending_len();
@@ -97,9 +149,43 @@ pub fn run_epoch_loop(
                 dp_score,
             });
             comm_prev = snap.comm;
+            if ckpt.is_active() {
+                checkpoint_boundary(engine, epochs.epoch_index(now), ckpt);
+            }
         }
     }
     EpochLoopResult { per_epoch, measurements }
+}
+
+/// The end-of-boundary checkpoint work: periodic image writes and the
+/// restart-parity probe. Runs after boundary resubmissions, so written
+/// images carry them in the pending section.
+fn checkpoint_boundary(engine: &mut Box<dyn Engine>, epoch_ix: u64, ckpt: &CheckpointPolicy) {
+    let write_due = matches!(
+        (ckpt.every_epochs, &ckpt.dir),
+        (Some(n), Some(_)) if n > 0 && epoch_ix.is_multiple_of(n)
+    );
+    if write_due {
+        let dir = ckpt.dir.as_ref().expect("checked above");
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+        let image = engine.checkpoint();
+        for path in [dir.join(format!("epoch-{epoch_ix}.ckpt")), CheckpointPolicy::latest_path(dir)]
+        {
+            image
+                .write_to_path(&path)
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        }
+    }
+    if ckpt.restart_at == Some(epoch_ix) {
+        // The crash/restart rehearsal: serialize, destroy the engine
+        // (worker thread included), rebuild from the bytes alone.
+        let image = engine.checkpoint();
+        let config = *engine.config();
+        let kind = engine.kind();
+        *engine = kind.build(Coordinator::new(config));
+        engine.restore(&image).unwrap_or_else(|e| panic!("restart-parity restore failed: {e}"));
+    }
 }
 
 #[cfg(test)]
@@ -136,13 +222,68 @@ mod tests {
         }
     }
 
+    /// The restart-parity probe (checkpoint → engine teardown → rebuild
+    /// from the image) must be invisible: identical metric rows and
+    /// final coordinator as the uninterrupted loop, on both backends.
+    #[test]
+    fn restart_probe_is_invisible_and_periodic_writes_resume() {
+        let rows = |ckpt: &CheckpointPolicy, kind: EngineKind, duration: u64| {
+            let config = Config::paper_defaults().with_epoch(5).with_window(50);
+            let mut engine = kind.build(Coordinator::new(config));
+            let mut driver = OneCorridor { delivered: 0 };
+            let out = run_epoch_loop_with(&mut engine, duration, &mut driver, ckpt);
+            let c = engine.finish();
+            c.check_consistency().unwrap();
+            let fp: Vec<(u64, usize, u64, u64)> = out
+                .per_epoch
+                .iter()
+                .map(|e| (e.epoch, e.index_size, e.top_k_score.to_bits(), e.comm.uplink_msgs))
+                .collect();
+            (fp, c.comm_stats(), c.processing_stats().epochs)
+        };
+        for kind in [EngineKind::Sync, EngineKind::Pipelined] {
+            let base = rows(&CheckpointPolicy::default(), kind, 20);
+            let probed = rows(
+                &CheckpointPolicy { restart_at: Some(2), ..CheckpointPolicy::default() },
+                kind,
+                20,
+            );
+            assert_eq!(base, probed, "restart probe perturbed the {kind} loop");
+        }
+
+        // Periodic writes + warm start: run 20 ticks writing every 2
+        // epochs, then resume another 20 ticks from `latest.ckpt`; the
+        // resumed engine continues the epoch counter.
+        let dir = std::env::temp_dir().join("hotpath-loop-ckpt-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let write = CheckpointPolicy {
+            every_epochs: Some(2),
+            dir: Some(dir.clone()),
+            ..CheckpointPolicy::default()
+        };
+        let (_, _, epochs_a) = rows(&write, EngineKind::Sync, 20);
+        assert_eq!(epochs_a, 4);
+        assert!(dir.join("epoch-2.ckpt").exists());
+        assert!(dir.join("epoch-4.ckpt").exists());
+        let resume = CheckpointPolicy {
+            restore_from: Some(CheckpointPolicy::latest_path(&dir)),
+            ..CheckpointPolicy::default()
+        };
+        let (fp, comm, epochs_b) = rows(&resume, EngineKind::Pipelined, 20);
+        assert_eq!(epochs_b, 8, "resumed run must continue the epoch counter");
+        assert_eq!(comm.uplink_msgs, 40, "restored comm must keep the first run's uplink");
+        // Warm-started rows report only the new traffic.
+        assert_eq!(fp[0].3, 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn loop_produces_one_metrics_row_per_epoch_on_both_backends() {
         for kind in [EngineKind::Sync, EngineKind::Pipelined] {
             let config = Config::paper_defaults().with_epoch(5).with_window(50);
             let mut engine = kind.build(Coordinator::new(config));
             let mut driver = OneCorridor { delivered: 0 };
-            let out = run_epoch_loop(engine.as_mut(), 20, &mut driver);
+            let out = run_epoch_loop(&mut engine, 20, &mut driver);
             assert_eq!(out.per_epoch.len(), 4, "{kind}");
             assert_eq!(out.measurements, 20);
             assert_eq!(driver.delivered, 20, "{kind}: every state gets a response");

@@ -51,7 +51,7 @@ fn run_row(params: SimulationParams) -> (f64, f64, f64, f64, f64) {
 pub fn figure7(ns: &[usize], base: SimulationParams) -> Vec<Fig7Row> {
     ns.iter()
         .map(|&n| {
-            let params = SimulationParams { n, ..base };
+            let params = SimulationParams { n, ..base.clone() };
             let (sp_paths, dp_paths, sp_score, dp_score, sp_time_ms) = run_row(params);
             Fig7Row { n, sp_paths, dp_paths, sp_score, dp_score, sp_time_ms }
         })
@@ -62,7 +62,7 @@ pub fn figure7(ns: &[usize], base: SimulationParams) -> Vec<Fig7Row> {
 pub fn figure8(epss: &[f64], base: SimulationParams) -> Vec<Fig8Row> {
     epss.iter()
         .map(|&eps| {
-            let params = SimulationParams { eps, ..base };
+            let params = SimulationParams { eps, ..base.clone() };
             let (sp_paths, dp_paths, sp_score, dp_score, sp_time_ms) = run_row(params);
             Fig8Row { eps, sp_paths, dp_paths, sp_score, dp_score, sp_time_ms }
         })
@@ -254,7 +254,7 @@ pub fn filter_economy(params: SimulationParams) -> FilterEconomy {
     );
     // RayTrace needs the coordinator loop for endpoints; reuse run() for
     // its uplink count on an identical stream (same seeds).
-    let rt = run(SimulationParams { run_dp: false, ..params });
+    let rt = run(SimulationParams { run_dp: false, ..params.clone() });
 
     let mut dr: Vec<DeadReckoningFilter> = (0..params.n)
         .map(|i| {

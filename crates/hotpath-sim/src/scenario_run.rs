@@ -11,7 +11,7 @@
 //! through [`UncertainRayTraceFilter`]s, so one scenario exercises the
 //! whole Section 4.1 machinery — including both fallback policies.
 
-use crate::engine_loop::{run_epoch_loop, EpochDriver};
+use crate::engine_loop::{run_epoch_loop_with, CheckpointPolicy, EpochDriver};
 use crate::metrics::{EpochMetrics, Summary};
 use hotpath_core::config::{Config, Tolerance};
 use hotpath_core::coordinator::{Coordinator, EndpointResponse, HotSnapshot};
@@ -26,7 +26,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 /// Driver knobs; defaults mirror the scenario integration tests.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ScenarioRunParams {
     /// Tolerance `eps` in meters.
     pub eps: f64,
@@ -51,6 +51,9 @@ pub struct ScenarioRunParams {
     /// Seed for the driver's Gaussian re-measurement device (kept apart
     /// from the scenario seed so noise and workload vary independently).
     pub noise_seed: u64,
+    /// Checkpoint controls: periodic image writes, warm-start restore,
+    /// and the restart-parity probe. Default: all off.
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl Default for ScenarioRunParams {
@@ -66,6 +69,7 @@ impl Default for ScenarioRunParams {
             shards: 1,
             engine: EngineKind::Sync,
             noise_seed: 0x5eed,
+            checkpoint: CheckpointPolicy::default(),
         }
     }
 }
@@ -211,7 +215,7 @@ pub fn run_scenario(scenario: &mut dyn Scenario, params: &ScenarioRunParams) -> 
         batch: Vec::new(),
         samples: Vec::new(),
     };
-    let out = run_epoch_loop(engine.as_mut(), duration, &mut driver);
+    let out = run_epoch_loop_with(&mut engine, duration, &mut driver, &params.checkpoint);
     let samples = std::mem::take(&mut driver.samples);
     drop(driver);
     let coordinator = engine.finish();
@@ -287,12 +291,52 @@ pub fn check_parity_against(
     scale: &ScenarioParams,
     params: &ScenarioRunParams,
 ) -> Result<(), String> {
-    let p = ScenarioRunParams { shards: 1, engine: EngineKind::Sync, ..*params };
+    let p = ScenarioRunParams { shards: 1, engine: EngineKind::Sync, ..params.clone() };
     let sequential =
         run_named(name, scale, &p).ok_or_else(|| format!("unknown scenario {name}"))?;
     if parity_trace(&sequential) != parity_trace(observed) {
         return Err(format!(
             "{name}: sequential sync reference vs ({} shards, {}) run diverged",
+            params.shards, params.engine
+        ));
+    }
+    Ok(())
+}
+
+/// Verifies restart parity: a run that checkpoints at its halfway epoch
+/// boundary, tears the engine down completely, rebuilds a fresh one
+/// from the image alone, and continues must be bit-for-bit identical to
+/// the uninterrupted run — per-epoch snapshots, final top-k, and
+/// communication counters — and the restored coordinator must pass
+/// `check_consistency`. The clients and the scenario stay alive
+/// in-process (they are "the world"); only the engine restarts.
+pub fn check_restart_parity(
+    name: &str,
+    scale: &ScenarioParams,
+    params: &ScenarioRunParams,
+) -> Result<(), String> {
+    let base = run_named(name, scale, params).ok_or_else(|| format!("unknown scenario {name}"))?;
+    let total_epochs = base.per_epoch.len() as u64;
+    if total_epochs == 0 {
+        return Err(format!("{name}: run produced no epochs to checkpoint between"));
+    }
+    let restart_at = (total_epochs / 2).max(1);
+    let p = ScenarioRunParams {
+        checkpoint: CheckpointPolicy {
+            restart_at: Some(restart_at),
+            ..CheckpointPolicy::default()
+        },
+        ..params.clone()
+    };
+    let restarted = run_named(name, scale, &p).expect("scenario known");
+    restarted
+        .coordinator
+        .check_consistency()
+        .map_err(|e| format!("{name}: restored coordinator inconsistent: {e}"))?;
+    if parity_trace(&base) != parity_trace(&restarted) {
+        return Err(format!(
+            "{name}: restart at epoch {restart_at}/{total_epochs} diverged from the \
+             uninterrupted run ({} shards, {})",
             params.shards, params.engine
         ));
     }
@@ -310,7 +354,7 @@ pub fn check_scenario_parity(
     params: &ScenarioRunParams,
     shards: usize,
 ) -> Result<(), String> {
-    let p = ScenarioRunParams { shards, ..*params };
+    let p = ScenarioRunParams { shards, ..params.clone() };
     let sharded = run_named(name, scale, &p).ok_or_else(|| format!("unknown scenario {name}"))?;
     check_parity_against(&sharded, name, scale, params)
 }
@@ -350,7 +394,7 @@ pub fn scenario_sigma_sweep(
     let mut cells = Vec::with_capacity(sigmas.len() * fallbacks.len());
     for &fallback in fallbacks {
         for &sigma in sigmas {
-            let params = ScenarioRunParams { sigma, fallback, ..*base };
+            let params = ScenarioRunParams { sigma, fallback, ..base.clone() };
             let res = run_named(name, scale, &params)?;
             cells.push(SweepCell {
                 sigma,

@@ -7,7 +7,7 @@
 //! Optionally the DP competitor consumes the *same* measurement stream
 //! for the Figure 7/8 comparisons.
 
-use crate::engine_loop::{run_epoch_loop, EpochDriver};
+use crate::engine_loop::{run_epoch_loop_with, CheckpointPolicy, EpochDriver};
 use crate::metrics::{EpochMetrics, Summary};
 use hotpath_baseline::{DpHotSegments, EndpointPolicy};
 use hotpath_core::config::{Config, Tolerance};
@@ -22,7 +22,7 @@ use hotpath_netsim::mobility::{ChoicePolicy, Measurement, Population, Population
 use hotpath_netsim::network::{generate, NetworkParams, RoadNetwork};
 
 /// Everything a run needs. Defaults are the paper's (Table 2).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SimulationParams {
     /// Number of moving objects `N`.
     pub n: usize,
@@ -63,6 +63,9 @@ pub struct SimulationParams {
     /// `Pipelined` = double-buffered ingest against an engine worker).
     /// Results are identical for both.
     pub engine: EngineKind,
+    /// Checkpoint controls: periodic image writes, warm-start restore,
+    /// and the restart-parity probe. Default: all off.
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl SimulationParams {
@@ -89,6 +92,7 @@ impl SimulationParams {
             overlap: OverlapPolicy::Full,
             shards: 1,
             engine: EngineKind::Sync,
+            checkpoint: CheckpointPolicy::default(),
         }
     }
 
@@ -252,7 +256,7 @@ pub fn run(params: SimulationParams) -> SimulationResult {
         batch: Vec::new(),
         k: params.k,
     };
-    let out = run_epoch_loop(engine.as_mut(), params.duration, &mut driver);
+    let out = run_epoch_loop_with(&mut engine, params.duration, &mut driver, &params.checkpoint);
     let coordinator = engine.finish();
 
     let mut filter_stats = hotpath_core::raytrace::FilterStats::default();
@@ -342,7 +346,7 @@ mod tests {
     fn pipelined_engine_matches_sync() {
         for shards in [1usize, 4] {
             let base = SimulationParams { shards, ..SimulationParams::quick(150, 11) };
-            let sync = run(base);
+            let sync = run(base.clone());
             let pipelined = run(SimulationParams { engine: EngineKind::Pipelined, ..base });
             let series = |r: &SimulationResult| -> Vec<(usize, u64, u64)> {
                 r.per_epoch
@@ -379,7 +383,7 @@ mod tests {
         let mut params = SimulationParams::quick(100, 5);
         params.window = 20;
         params.duration = 120;
-        let res = run(params);
+        let res = run(params.clone());
         // All hot paths have hotness >= 1 by construction.
         for hp in res.coordinator.hot_paths().iter() {
             assert!(hp.hotness >= 1);
@@ -394,7 +398,7 @@ mod tests {
         let mut params = SimulationParams::quick(100, 6);
         params.hints = true;
         params.run_dp = false;
-        let res = run(params);
+        let res = run(params.clone());
         assert!(res.coordinator.index_size() > 0);
         assert!(res.dp.is_none());
     }
@@ -402,7 +406,7 @@ mod tests {
     #[test]
     fn epoch_cadence_matches_lambda() {
         let params = SimulationParams::quick(50, 8);
-        let res = run(params);
+        let res = run(params.clone());
         assert_eq!(res.per_epoch.len() as u64, params.duration / params.epoch);
         for (i, e) in res.per_epoch.iter().enumerate() {
             assert_eq!(e.timestamp.raw(), (i as u64 + 1) * params.epoch);

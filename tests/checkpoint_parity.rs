@@ -1,0 +1,159 @@
+//! Restart-parity acceptance for checkpoint/restore: for every
+//! registered scenario, on both engine backends and at 1 and 4 shards,
+//! a run that checkpoints at its mid-run epoch, tears the engine down,
+//! and restores from the image bytes must equal the uninterrupted run
+//! bit for bit — per-epoch snapshot series, final top-k geometry, and
+//! communication counters — and the restored coordinator must pass
+//! `check_consistency`. A proptest then drives a raw engine with random
+//! checkpoint epochs and submit interleavings (states split across the
+//! checkpoint boundary) and requires the same equality on responses and
+//! snapshots.
+
+use hotpath_core::config::{Config, Tolerance};
+use hotpath_core::coordinator::Coordinator;
+use hotpath_core::engine::{Engine, EngineKind};
+use hotpath_core::geometry::{Point, Rect};
+use hotpath_core::raytrace::ClientState;
+use hotpath_core::time::Timestamp;
+use hotpath_core::ObjectId;
+use hotpath_netsim::scenario::{ScenarioParams, REGISTRY};
+use hotpath_sim::scenario_run::{check_restart_parity, ScenarioRunParams};
+use proptest::prelude::*;
+
+/// Runs the full scenario × shards restart matrix for one engine kind.
+fn restart_matrix(engine: EngineKind) {
+    for (i, spec) in REGISTRY.iter().enumerate() {
+        let scale = ScenarioParams { n: 300, ..ScenarioParams::quick(41 + i as u64) };
+        for shards in [1usize, 4] {
+            let params = ScenarioRunParams { shards, engine, ..ScenarioRunParams::default() };
+            check_restart_parity(spec.name, &scale, &params)
+                .unwrap_or_else(|e| panic!("{engine}/{shards} shards: {e}"));
+        }
+    }
+}
+
+#[test]
+fn every_scenario_survives_a_mid_run_restart_sync() {
+    restart_matrix(EngineKind::Sync);
+}
+
+#[test]
+fn every_scenario_survives_a_mid_run_restart_pipelined() {
+    restart_matrix(EngineKind::Pipelined);
+}
+
+// ---------------------------------------------------------------------
+// Random checkpoint epochs and submit interleavings on a raw engine.
+// ---------------------------------------------------------------------
+
+fn cfg(shards: usize) -> Config {
+    Config::paper_defaults()
+        .with_tolerance(Tolerance::crisp(10.0))
+        .with_window(40)
+        .with_epoch(10)
+        .with_k(8)
+        .with_shards(shards)
+}
+
+/// A deterministic per-epoch batch: 12 states on a coarse lattice so
+/// corridors repeat across epochs and heat up.
+fn workload(epoch: u64, seed: u64) -> Vec<ClientState> {
+    let mut out = Vec::new();
+    let mut s = epoch.wrapping_mul(1799).wrapping_add(seed | 1);
+    for i in 0..12u64 {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let r = s >> 33;
+        let x = ((r % 6) * 500) as f64;
+        let y = ((r % 3) * 300) as f64;
+        let end = Point::new(x + 50.0, y);
+        out.push(ClientState {
+            object: ObjectId(i),
+            start: Point::new(x, y),
+            ts: Timestamp(epoch * 10 - 9),
+            fsa: Rect::new(end - Point::new(2.0, 2.0), end + Point::new(2.0, 2.0)),
+            te: Timestamp(epoch * 10 - 1),
+        });
+    }
+    out
+}
+
+/// One epoch's observable output: responses, snapshot epoch, score
+/// bits, index size, uplink messages.
+type EpochRow = (Vec<(u64, u64)>, u64, u64, usize, u64);
+
+fn run_epoch(engine: &mut Box<dyn Engine>, epoch: u64, seed: u64) -> EpochRow {
+    let mut states = workload(epoch, seed).into_iter();
+    engine.submit_batch(&mut states);
+    let responses: Vec<(u64, u64)> = engine
+        .process_epoch(Timestamp(epoch * 10))
+        .iter()
+        .map(|r| (r.object.0, r.endpoint.t.raw()))
+        .collect();
+    let snap = engine.snapshot();
+    (responses, snap.epoch, snap.top_k_score.to_bits(), snap.index_size, snap.comm.uplink_msgs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Checkpoint at a random epoch with a random slice of the next
+    /// batch already submitted (it must travel inside the image's
+    /// pending section), restore into a dirtied fresh engine, and the
+    /// continuation must equal the uninterrupted run bit for bit.
+    #[test]
+    fn random_checkpoint_epochs_and_interleavings_restore_bit_for_bit(
+        seed in 0u64..10_000,
+        shards_ix in 0usize..3,
+        kind_ix in 0usize..2,
+        ck_epoch in 1u64..6,
+        split in 0usize..=12,
+    ) {
+        let shards = [1usize, 2, 4][shards_ix];
+        let kind = [EngineKind::Sync, EngineKind::Pipelined][kind_ix];
+        let total = 6u64;
+
+        // Uninterrupted reference.
+        let mut base = kind.build(Coordinator::new(cfg(shards)));
+        let base_log: Vec<EpochRow> =
+            (1..=total).map(|e| run_epoch(&mut base, e, seed)).collect();
+        base.finish().check_consistency().expect("reference inconsistent");
+
+        // Interrupted run: play up to `ck_epoch`, pre-submit `split`
+        // states of the next batch, checkpoint, and destroy the engine.
+        let mut first = kind.build(Coordinator::new(cfg(shards)));
+        let head: Vec<EpochRow> =
+            (1..=ck_epoch).map(|e| run_epoch(&mut first, e, seed)).collect();
+        let next = workload(ck_epoch + 1, seed);
+        let mut early = next[..split].iter().copied();
+        first.submit_batch(&mut early);
+        let image = first.checkpoint();
+        prop_assert_eq!(image.epoch(), ck_epoch);
+        drop(first);
+
+        // Fresh process-equivalent engine, dirtied so a leaky restore
+        // would show, then restored from the image bytes.
+        let mut second = kind.build(Coordinator::new(cfg(shards)));
+        let _ = run_epoch(&mut second, 17, seed ^ 0x5eed);
+        second.restore(&image).expect("restore failed");
+        prop_assert_eq!(second.pending_len(), split);
+
+        // Continue: the rest of the split batch, then the tail epochs.
+        let mut late = next[split..].iter().copied();
+        second.submit_batch(&mut late);
+        let boundary = {
+            let responses: Vec<(u64, u64)> = second
+                .process_epoch(Timestamp((ck_epoch + 1) * 10))
+                .iter()
+                .map(|r| (r.object.0, r.endpoint.t.raw()))
+                .collect();
+            let snap = second.snapshot();
+            (responses, snap.epoch, snap.top_k_score.to_bits(), snap.index_size,
+             snap.comm.uplink_msgs)
+        };
+        let mut log = head;
+        log.push(boundary);
+        log.extend((ck_epoch + 2..=total).map(|e| run_epoch(&mut second, e, seed)));
+        prop_assert_eq!(&log, &base_log, "divergence after restart at epoch {}", ck_epoch);
+        second.finish().check_consistency().expect("restored run inconsistent");
+    }
+}
