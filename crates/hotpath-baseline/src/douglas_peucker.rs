@@ -1,4 +1,4 @@
-//! The classic (offline) Douglas-Peucker line simplification [8].
+//! The classic (offline) Douglas-Peucker line simplification \[8\].
 //!
 //! Multiple passes over the data make it unusable on-line (Section 2),
 //! but it is the gold standard the opening-window variants approximate,

@@ -2,10 +2,10 @@
 //!
 //! The Douglas-Peucker competitor family of the EDBT 2008 evaluation:
 //!
-//! * [`douglas_peucker`] — the classic offline algorithm [8], for
+//! * [`douglas_peucker`] — the classic offline algorithm \[8\], for
 //!   validation;
 //! * [`opening_window`] — the on-line DP-nopw / DP-bopw variants of
-//!   Meratnia & de By [20];
+//!   Meratnia & de By \[20\];
 //! * [`hot_segments`] — the paper's relaxed "DP" method (Section 6):
 //!   time-agnostic segments with eps-expanded-MBB reuse and
 //!   sliding-window hotness, the benchmark SinglePath is compared

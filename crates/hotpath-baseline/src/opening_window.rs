@@ -1,4 +1,4 @@
-//! On-line opening-window Douglas-Peucker (Meratnia & de By [20]).
+//! On-line opening-window Douglas-Peucker (Meratnia & de By \[20\]).
 //!
 //! Instead of multiple passes, the opening-window scheme fixes an anchor
 //! and pushes a *floating endpoint* as far forward as possible: each new

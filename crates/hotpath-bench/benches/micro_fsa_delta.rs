@@ -1,0 +1,75 @@
+//! Incremental FSA-overlap maintenance vs per-epoch full rebuild.
+//!
+//! `FsaCache::update` applies one epoch's add/move/remove delta to the
+//! retained grid; `FsaSet::build` re-rasterizes the whole batch. The
+//! workload models the steady state the coordinator sees: most objects
+//! report again with a small displacement (usually inside the same grid
+//! cell), a small fraction churns in and out per epoch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hotpath_core::geometry::{Point, Rect};
+use hotpath_core::strategy::{FsaCache, FsaSet};
+
+const CELL: f64 = 20.0;
+
+/// The batch for `epoch`: `n` objects drifting 0.3/epoch diagonally
+/// (well under the 20.0 cell edge, so most moves stay in-cell), with
+/// 1/64 of the id space rotating out and a fresh id range rotating in.
+fn batch(n: u64, epoch: u64) -> Vec<(u64, Rect)> {
+    let drift = epoch as f64 * 0.3;
+    (0..n)
+        .map(|i| {
+            // Rotate ~1.6% of ids per epoch: object `i` is replaced by
+            // `i + n` whenever its lane matches the epoch phase.
+            let id = if i % 64 == epoch % 64 { i + n } else { i };
+            let x = ((i as f64 * 37.0) + drift) % 5_000.0;
+            let y = ((i as f64 * 53.0) + drift) % 5_000.0;
+            (id, Rect::new(Point::new(x, y), Point::new(x + 20.0, y + 20.0)))
+        })
+        .collect()
+}
+
+fn bench_fsa_delta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fsa_delta");
+    for n in [1_000u64, 10_000] {
+        // Full rebuild of each epoch's batch — the pre-incremental
+        // per-epoch cost, kept measured as the comparison point.
+        g.bench_with_input(BenchmarkId::new("full_rebuild", n), &n, |b, &n| {
+            let mut epoch = 0u64;
+            b.iter(|| {
+                epoch += 1;
+                let rects: Vec<Rect> = batch(n, epoch).into_iter().map(|(_, r)| r).collect();
+                FsaSet::build(rects, CELL)
+            });
+        });
+        // Steady-state incremental: one warmed cache absorbs each
+        // epoch's delta (release builds skip the debug oracle).
+        g.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, &n| {
+            let mut cache = FsaCache::new(CELL);
+            let mut epoch = 0u64;
+            cache.update(batch(n, epoch));
+            b.iter(|| {
+                epoch += 1;
+                cache.update(batch(n, epoch)).len()
+            });
+        });
+        // The same delta with the batch materialization hoisted out,
+        // isolating pure grid-maintenance cost from workload synthesis.
+        g.bench_with_input(BenchmarkId::new("incremental_steady", n), &n, |b, &n| {
+            let mut cache = FsaCache::new(CELL);
+            let a = batch(n, 0);
+            let bb = batch(n, 1);
+            cache.update(a.iter().copied());
+            let mut flip = false;
+            b.iter(|| {
+                flip = !flip;
+                let src = if flip { &bb } else { &a };
+                cache.update(src.iter().copied()).len()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fsa_delta);
+criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! Hotness table micro-bench (Section 5.2): hash updates are expected
-//! O(1) plus O(log n) rank maintenance, heap churn O(log n), and the
-//! incremental top-k walk O(k) regardless of the hot-set size.
+//! O(1) plus O(log n) rank maintenance, timer-wheel expiry O(expired)
+//! amortized per advance (no per-event heap churn), and the incremental
+//! top-k walk O(k) regardless of the hot-set size.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use hotpath_core::hotness::Hotness;

@@ -37,7 +37,7 @@ fn bench_overlap(c: &mut Criterion) {
         });
         // Parallel rasterization across the shard-style worker pool:
         // identical output, scoped threads for the build. Only sized
-        // where the thread clamp (one chunk per 64 rects) actually
+        // where the thread clamp (one chunk per 256 rects) actually
         // engages workers — at n=100 it would silently re-measure the
         // sequential path under a parallel label.
         if n >= 1_000 {

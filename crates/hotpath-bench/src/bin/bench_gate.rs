@@ -33,6 +33,7 @@ const GATED_BENCHES: &[&str] = &[
     "micro_topk",
     "micro_hotness",
     "micro_overlap",
+    "micro_fsa_delta",
     "micro_scenario",
     "micro_pipeline",
 ];

@@ -559,7 +559,7 @@ fn filters(scale: Scale, shards: usize, engine: EngineKind) {
     println!();
 }
 
-/// Streaming-compression quality comparison (extension; cf. [20]).
+/// Streaming-compression quality comparison (extension; cf. ref. 20).
 fn compress() {
     use hotpath_sim::experiment::compression_quality;
     println!("## Synopsis quality — RayTrace chain vs DP-nopw vs DP-bopw");

@@ -37,7 +37,7 @@
 //! [`Checkpoint::from_bytes`] verifies all of them before any state is
 //! rebuilt; corruption surfaces as a typed [`CheckpointError`], never a
 //! panic or silently wrong state. Structural validation (duplicate ids,
-//! heap-order violations, counter imbalance) happens when the
+//! event-order violations, counter imbalance) happens when the
 //! coordinator adopts the sections and also reports through
 //! [`CheckpointError`].
 
@@ -56,7 +56,12 @@ use std::path::Path;
 pub const MAGIC: u64 = u64::from_le_bytes(*b"HOTPCKPT");
 
 /// Current checkpoint format version. Readers accept exactly this.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: v1 serialized the expiry-event section in binary-heap
+/// array order; v2 serializes it in canonical `(expiry, id)` order —
+/// the contract the timer-wheel-backed [`crate::hotness::Hotness`]
+/// writes and validates on restore.
+pub const FORMAT_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------
 // Pod casting
@@ -70,7 +75,7 @@ pub const FORMAT_VERSION: u32 = 1;
 /// Implementors must be `repr(C)` or `repr(transparent)` with **no
 /// padding bytes**, and every field must tolerate any bit pattern
 /// (integers and floats only — no references, no niches). Semantic
-/// invariants (rect corner order, heap order) are *not* part of the
+/// invariants (rect corner order, event sort order) are *not* part of the
 /// contract; they are checked by the adopting structure after CRC
 /// validation.
 pub unsafe trait Pod: Copy + 'static {}
@@ -208,7 +213,7 @@ pub enum CheckpointError {
         shard: u32,
     },
     /// The image is structurally inconsistent (bad section layout,
-    /// duplicate ids, heap-order violation, counter imbalance, ...).
+    /// duplicate ids, event-order violation, counter imbalance, ...).
     Malformed(String),
     /// The checkpoint's embedded configuration conflicts with what the
     /// restoring coordinator was asked to run.
@@ -308,7 +313,9 @@ pub enum SectionKind {
     Paths = 3,
     /// A shard's [`HeatEntry`] slab.
     Heat = 4,
-    /// A shard's [`ExpiryEvent`] heap array.
+    /// A shard's pending [`ExpiryEvent`]s in canonical `(expiry, id)`
+    /// order — a pure function of the event multiset, so the section is
+    /// independent of the timer wheel's internal bucket layout.
     Events = 5,
     /// A shard's [`DeadEntry`] tombstones.
     Dead = 6,

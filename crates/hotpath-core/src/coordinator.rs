@@ -48,8 +48,8 @@ use crate::raytrace::hinted::PathHint;
 use crate::raytrace::ClientState;
 use crate::stats::{CommStats, ProcessingStats};
 use crate::strategy::{
-    build_fsa_set, phase_a, phase_b, process_batch_in, CaseTally, OverlapPolicy, PathStore,
-    PhaseAOutput, ScratchArena, Selection,
+    phase_a, phase_b, process_batch_prepared, CaseTally, FsaCache, FsaSet, OverlapPolicy,
+    PathStore, PhaseAOutput, ScratchArena, Selection,
 };
 use crate::time::Timestamp;
 use crate::ObjectId;
@@ -248,6 +248,13 @@ impl PathStore for ShardedStore<'_> {
     }
 }
 
+/// Grid cell edge for the epoch FSA-overlap structure: about one FSA
+/// diameter (`2 eps`), floored away from zero for degenerate
+/// tolerances. Affects performance only, never results.
+fn overlap_cell_of(config: &Config) -> f64 {
+    (2.0 * config.tolerance.eps()).max(1e-6)
+}
+
 /// The central coordinator.
 #[derive(Debug)]
 pub struct Coordinator {
@@ -264,6 +271,13 @@ pub struct Coordinator {
     processing: ProcessingStats,
     hints_enabled: bool,
     overlap_policy: OverlapPolicy,
+    /// The epoch FSA-overlap structure, maintained incrementally from
+    /// per-epoch add/move/remove deltas instead of rebuilt from scratch
+    /// (see [`FsaCache`]). Deliberately not checkpointed: it is a pure
+    /// function of the current batch, so a restored coordinator starts
+    /// fresh and the first update repopulates it — parity-safe because
+    /// overlap queries only observe the rect multiset.
+    fsa_cache: FsaCache,
     front: FrontScratch,
     /// The latest timestamp the coordinator has been advanced to; stamps
     /// published snapshots.
@@ -276,6 +290,7 @@ impl Coordinator {
     /// Creates a coordinator for the given configuration.
     pub fn new(config: Config) -> Self {
         assert!(config.shards > 0, "shard count must be positive");
+        let fsa_cache = FsaCache::new(overlap_cell_of(&config));
         let shards: Vec<Shard> = (0..config.shards)
             .map(|_| Shard {
                 index: MotionPathIndex::new(config.grid_cell, config.vertex_grain),
@@ -298,6 +313,7 @@ impl Coordinator {
             processing: ProcessingStats::default(),
             hints_enabled: false,
             overlap_policy: OverlapPolicy::Full,
+            fsa_cache,
             front: FrontScratch::default(),
             clock: Timestamp(0),
             cache: RefCell::new(ReadCache::default()),
@@ -343,6 +359,28 @@ impl Coordinator {
     /// to calling [`Coordinator::submit`] per state (same accounting,
     /// same order). The batch buffer itself is recycled across epochs,
     /// so steady-state ingest reuses its retained capacity.
+    ///
+    /// ```
+    /// use hotpath_core::prelude::*;
+    ///
+    /// let config = Config::paper_defaults().with_epoch(5).with_window(50);
+    /// let mut coordinator = Coordinator::new(config);
+    /// let crossing = |obj: u64| ClientState {
+    ///     object: ObjectId(obj),
+    ///     start: Point::new(0.0, 0.0),
+    ///     ts: Timestamp(1),
+    ///     fsa: Rect::new(Point::new(9.0, -1.0), Point::new(11.0, 1.0)),
+    ///     te: Timestamp(4),
+    /// };
+    /// coordinator.submit_batch((0..3).map(crossing));
+    /// assert_eq!(coordinator.pending_len(), 3);
+    ///
+    /// // The batch is processed at the next epoch boundary; three
+    /// // objects crossing the same corridor make one hot path.
+    /// let responses = coordinator.process_epoch(Timestamp(5));
+    /// assert_eq!(responses.len(), 3);
+    /// assert_eq!(coordinator.hot_count(), 1);
+    /// ```
     pub fn submit_batch(&mut self, states: impl IntoIterator<Item = ClientState>) {
         for state in states {
             self.submit(state);
@@ -426,22 +464,22 @@ impl Coordinator {
     /// global Phase B otherwise) and account the processing statistics.
     pub(crate) fn stage_strategy(&mut self, batch: &EpochBatch) -> Vec<Selection> {
         let start = Instant::now();
-        let overlap_cell = (2.0 * self.config.tolerance.eps()).max(1e-6);
         let (selections, tally) = if self.shards.len() == 1 {
             // Sequential fast path — the pre-sharding coordinator,
             // bit for bit (one index, its own id counter, no threads).
+            let fsas = Self::epoch_fsas(&mut self.fsa_cache, &batch.states, self.overlap_policy);
             let shard = &mut self.shards[0];
-            process_batch_in(
+            process_batch_prepared(
                 &batch.states,
                 &mut shard.index,
                 &mut shard.hotness,
                 &mut shard.scratch,
-                overlap_cell,
+                fsas,
                 self.overlap_policy,
             )
         } else {
             // The per-shard slices were routed at submit time.
-            self.process_batch_sharded(&batch.states, &batch.parts, overlap_cell)
+            self.process_batch_sharded(&batch.states, &batch.parts)
         };
         self.processing.strategy_time += start.elapsed();
         self.processing.epochs += 1;
@@ -484,11 +522,26 @@ impl Coordinator {
     /// The sharded epoch: parallel Phase A per shard over the pre-routed
     /// `parts`, then the global sequential Phase B over the merged
     /// store.
+    /// The epoch's FSA-overlap structure: one incremental delta applied
+    /// to the maintained cache under the `Full` policy; the cache's
+    /// never-updated empty set under the `Own` ablation, which never
+    /// queries it. An associated fn (not a method) so callers can keep
+    /// borrowing the coordinator's other fields alongside the result.
+    fn epoch_fsas<'a>(
+        cache: &'a mut FsaCache,
+        states: &[ClientState],
+        policy: OverlapPolicy,
+    ) -> &'a FsaSet {
+        match policy {
+            OverlapPolicy::Full => cache.update(states.iter().map(|s| (s.object.0, s.fsa))),
+            OverlapPolicy::Own => cache.set(),
+        }
+    }
+
     fn process_batch_sharded(
         &mut self,
         states: &[ClientState],
         parts: &[Vec<u32>],
-        overlap_cell: f64,
     ) -> (Vec<Selection>, CaseTally) {
         let mut outputs: Vec<(usize, PhaseAOutput)> = Vec::with_capacity(self.shards.len());
         std::thread::scope(|scope| {
@@ -549,9 +602,10 @@ impl Coordinator {
         let mut selections: Vec<Selection> = tagged.drain(..).map(|(_, s)| s).collect();
         self.front.tagged = tagged;
 
-        // Rasterize the epoch's FSAs on the shard worker pool; results
-        // are identical at every thread count.
-        let fsas = build_fsa_set(states, overlap_cell, self.overlap_policy, self.shards.len());
+        // Apply the epoch's FSA delta to the incrementally maintained
+        // overlap structure — query-equivalent to a from-scratch build
+        // of this batch, at O(changed) grid edits instead of a rebuild.
+        let fsas = Self::epoch_fsas(&mut self.fsa_cache, states, self.overlap_policy);
         let mut groups = std::mem::take(&mut self.front.groups);
         let mut store = ShardedStore {
             shards: &mut self.shards,
@@ -562,7 +616,7 @@ impl Coordinator {
             states,
             &deferred,
             &mut store,
-            &fsas,
+            fsas,
             self.overlap_policy,
             &mut tally,
             &mut selections,
@@ -765,6 +819,7 @@ impl Coordinator {
                 }
             }
         }
+        self.fsa_cache.check_consistency().map_err(|e| format!("fsa cache: {e}"))?;
         // The incremental rank path must reproduce the naive full sort
         // at every depth (the pre-incremental `top_n` implementation).
         let mut oracle = self.hot_paths().to_vec();
@@ -792,7 +847,7 @@ impl Coordinator {
     // ---- checkpoint / restore -----------------------------------------
 
     /// Serializes the full coordinator state — path slabs, heat slabs,
-    /// expiry heaps, tombstones, the pending batch, counters, and the
+    /// expiry events, tombstones, the pending batch, counters, and the
     /// configuration echo — into a validated [`Checkpoint`] image. Each
     /// section is one bounded memcpy of a contiguous slab; nothing walks
     /// paths one by one.
@@ -855,7 +910,7 @@ impl Coordinator {
             let s = i as u32;
             b.section(SectionKind::Paths, s, shard.index.paths_slice());
             b.section(SectionKind::Heat, s, shard.hotness.heat_slice());
-            b.section(SectionKind::Events, s, shard.hotness.events_slice());
+            b.section(SectionKind::Events, s, &shard.hotness.events_vec());
             b.section(SectionKind::Dead, s, &shard.hotness.dead_entries());
             b.section(
                 SectionKind::ShardMeta,
@@ -875,10 +930,11 @@ impl Coordinator {
     /// embedded echo is compared field by field); the hints and
     /// overlap-policy switches are restored from the header flags.
     ///
-    /// The slabs and heap arrays are adopted verbatim; derived structures
-    /// (grid, adjacency, slot maps, rank sets, pending routing) are
-    /// rebuilt, and the read cache starts invalidated — the first read
-    /// after a restore can never serve pre-restore data.
+    /// The slabs are adopted verbatim and the expiry events re-enter the
+    /// timer wheel keyed by the header clock; derived structures (grid,
+    /// adjacency, slot maps, rank sets, pending routing) are rebuilt,
+    /// and the read cache starts invalidated — the first read after a
+    /// restore can never serve pre-restore data.
     pub fn from_checkpoint(config: Config, ck: &Checkpoint) -> Result<Self, CheckpointError> {
         let one = |what: &str, len: usize| {
             if len == 1 {
@@ -917,9 +973,15 @@ impl Coordinator {
                 meta[0].index_next_id,
             )
             .map_err(|e| CheckpointError::Malformed(format!("shard {i} index: {e}")))?;
-            let hotness =
-                Hotness::from_checkpoint_parts(config.window, heat, events, dead, meta[0].recorded)
-                    .map_err(|e| CheckpointError::Malformed(format!("shard {i} hotness: {e}")))?;
+            let hotness = Hotness::from_checkpoint_parts(
+                config.window,
+                heat,
+                events,
+                dead,
+                meta[0].recorded,
+                Timestamp(header.clock),
+            )
+            .map_err(|e| CheckpointError::Malformed(format!("shard {i} hotness: {e}")))?;
             for (id, _) in hotness.iter() {
                 if index.get(id).is_none() {
                     return Err(CheckpointError::Malformed(format!(
@@ -938,6 +1000,10 @@ impl Coordinator {
                 pending_parts[router.shard_of(&state.start)].push(seq as u32);
             }
         }
+        // Not part of the image: the cache repopulates from the first
+        // post-restore batch, and overlap queries only see the rect
+        // multiset, so parity is preserved.
+        let fsa_cache = FsaCache::new(overlap_cell_of(&config));
         Ok(Coordinator {
             config,
             shards,
@@ -967,6 +1033,7 @@ impl Coordinator {
             } else {
                 OverlapPolicy::Full
             },
+            fsa_cache,
             front: FrontScratch::default(),
             clock: Timestamp(header.clock),
             cache: RefCell::new(ReadCache::default()),

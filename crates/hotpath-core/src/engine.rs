@@ -10,7 +10,7 @@
 //!   thread inside `process_epoch`.
 //! * [`PipelinedEngine`] — double-buffers the ingest: `submit` /
 //!   `submit_batch` land in an engine-side *front* buffer (pre-routed
-//!   per shard with the coordinator's own [`ShardRouter`] rule) while a
+//!   per shard with the coordinator's own `ShardRouter` rule) while a
 //!   dedicated worker thread owns the coordinator and runs the epoch
 //!   stages against the sealed *back* buffer. `process_epoch` blocks
 //!   only until the respond stage — the worker then finishes the
@@ -108,10 +108,37 @@ pub trait Engine {
     /// The pipelined backend first drains to a quiescent epoch boundary
     /// (joins the in-flight publish stage), so the image is always a
     /// consistent cut; the engine continues unchanged afterwards.
+    ///
+    /// Images are backend-portable: a checkpoint taken from one backend
+    /// restores into the other, and re-checkpointing the replica
+    /// reproduces the image byte for byte.
+    ///
+    /// ```
+    /// use hotpath_core::prelude::*;
+    ///
+    /// let config = Config::paper_defaults().with_epoch(5).with_window(50);
+    /// let mut engine = SyncEngine::new(Coordinator::new(config));
+    /// engine.submit(ClientState {
+    ///     object: ObjectId(1),
+    ///     start: Point::new(0.0, 0.0),
+    ///     ts: Timestamp(1),
+    ///     fsa: Rect::new(Point::new(9.0, -1.0), Point::new(11.0, 1.0)),
+    ///     te: Timestamp(4),
+    /// });
+    /// engine.process_epoch(Timestamp(5));
+    ///
+    /// let image = engine.checkpoint();
+    /// let mut replica = PipelinedEngine::spawn(Coordinator::new(config));
+    /// replica.restore(&image).expect("image validates");
+    /// assert_eq!(replica.snapshot().epoch, engine.snapshot().epoch);
+    /// assert_eq!(replica.checkpoint().as_bytes(), image.as_bytes());
+    /// # Box::new(replica).finish();
+    /// ```
     fn checkpoint(&mut self) -> Checkpoint;
     /// Replaces the engine's state with the checkpoint's, discarding
     /// whatever it held: the restored engine continues bit-for-bit where
-    /// the checkpointed one stood, including its buffered pending batch.
+    /// the checkpointed one stood, including its buffered pending batch
+    /// (see [`Engine::checkpoint`] for a runnable round-trip example).
     /// The published snapshot is rebuilt from the restored state, so
     /// reads never serve pre-restore data. The pipelined backend drains
     /// any in-flight epoch before swapping the worker's coordinator.

@@ -1,10 +1,10 @@
 //! Sliding-window hotness maintenance (Section 5.2).
 //!
 //! A hash table keeps, per motion path, the number of crossings within
-//! the last `W` time units; an event queue (min-heap on expiry time)
-//! decrements counters as crossings age out. When a counter reaches
-//! zero the path id is surfaced so the caller can delete the path from
-//! the MotionPath index.
+//! the last `W` time units; a hierarchical timer wheel fires expiry
+//! events that decrement counters as crossings age out. When a counter
+//! reaches zero the path id is surfaced so the caller can delete the
+//! path from the MotionPath index.
 //!
 //! Alongside the counters the table maintains an **incremental rank
 //! structure**: an ordered set keyed by `(hotness desc, length desc,
@@ -12,6 +12,18 @@
 //! [`Hotness::record_crossing`], [`Hotness::advance`], and
 //! [`Hotness::forget`]. Top-k queries walk the first `k` entries in
 //! O(k + log P) instead of materializing and sorting the whole hot set.
+//!
+//! # Why a timer wheel
+//!
+//! The expiry queue used to be a binary min-heap: every `advance` paid
+//! O(expired · log pending) pops, and at 100k paths the per-epoch
+//! expiry walk dominated window maintenance. The wheel makes `advance`
+//! amortized **O(expired)**: events hash into 64-slot levels by the
+//! position of the highest bit in which their expiry differs from the
+//! wheel clock, occupancy bitmaps locate the next non-empty bucket in
+//! a few instructions, and each event cascades toward finer levels at
+//! most `LEVELS` times over its whole lifetime. Cost no longer scales
+//! with the pending-set size at all — only with what actually expires.
 
 use crate::fxhash::FxHashMap;
 use crate::motion_path::PathId;
@@ -50,7 +62,8 @@ pub struct HeatEntry {
 
 /// One pending expiry: the counter of `id` decrements at `expiry`
 /// (`te + W`, Section 5.2). `repr(C)`: 16 bytes, no padding — the
-/// checkpoint's event section is a memcpy of the heap's backing array.
+/// checkpoint's event section is a memcpy of the canonically sorted
+/// event list (see [`Hotness::events_vec`]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[repr(C)]
 pub struct ExpiryEvent {
@@ -67,82 +80,257 @@ impl ExpiryEvent {
     }
 }
 
-/// A binary min-heap of [`ExpiryEvent`]s over a plain `Vec`, replacing
-/// `BinaryHeap<Reverse<(Timestamp, PathId)>>`: the backing array is
-/// `repr(C)` records, so a checkpoint serializes it verbatim and a
-/// restore re-adopts it verbatim — sift decisions after a restore are
-/// bit-for-bit the ones the uninterrupted run would have made.
-#[derive(Clone, Debug, Default)]
-struct EventHeap {
-    a: Vec<ExpiryEvent>,
+/// Bits per wheel level: 64 slots each.
+const LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Levels needed to cover the full `u64` timestamp range (6 × 11 = 66).
+const LEVELS: usize = 11;
+
+/// A hierarchical timer wheel over [`ExpiryEvent`]s.
+///
+/// An event with `expiry > clock` lives in bucket `(level, slot)` where
+/// `level` is the index of the 6-bit digit holding the highest bit in
+/// which `expiry` differs from `clock`, and `slot` is the event's digit
+/// at that level. Two invariants hold between operations:
+///
+/// 1. every bucketed event agrees with `clock` on all digits above its
+///    level, and its slot digit is strictly greater than the clock's —
+///    so `slot_start` computed under the current clock is exact;
+/// 2. per-level occupancy bitmaps mirror bucket non-emptiness, so the
+///    earliest pending bucket is found with one `trailing_zeros` per
+///    level.
+///
+/// Events inserted at or before `clock` (late or boundary events) go to
+/// a `ready` list and fire on the first `advance(now)` with
+/// `now >= expiry`. Draining a bucket re-inserts not-yet-due events
+/// under the advanced clock, which lands them on a strictly finer
+/// level: each event cascades at most [`LEVELS`] times over its life,
+/// making `advance` amortized O(expired).
+#[derive(Clone, Debug)]
+struct TimerWheel {
+    /// The wheel's notion of now: the largest `advance` time seen, or
+    /// the clock the wheel was restored against.
+    clock: u64,
+    /// `levels[l][s]`: events whose expiry first differs from `clock`
+    /// within bit range `[6l, 6l+6)` and whose level-`l` digit is `s`.
+    levels: Vec<[Vec<ExpiryEvent>; SLOTS]>,
+    /// Bit `s` of `occupied[l]` is set iff `levels[l][s]` is non-empty.
+    occupied: [u64; LEVELS],
+    /// Events inserted with `expiry <= clock`, awaiting `advance`.
+    ready: Vec<ExpiryEvent>,
+    /// Total events held (all buckets plus `ready`).
+    len: usize,
+    /// Reused scratch: the expired batch of the last `advance_collect`.
+    expired: Vec<ExpiryEvent>,
 }
 
-impl EventHeap {
+impl Default for TimerWheel {
+    fn default() -> Self {
+        TimerWheel::new(0)
+    }
+}
+
+impl TimerWheel {
+    fn new(clock: u64) -> Self {
+        TimerWheel {
+            clock,
+            levels: (0..LEVELS).map(|_| std::array::from_fn(|_| Vec::new())).collect(),
+            occupied: [0; LEVELS],
+            ready: Vec::new(),
+            len: 0,
+            expired: Vec::new(),
+        }
+    }
+
     #[inline]
     fn len(&self) -> usize {
-        self.a.len()
+        self.len
     }
 
+    /// Level of `expiry` relative to `clock`: the index of the 6-bit
+    /// digit holding their highest differing bit. Requires
+    /// `expiry > clock` (so the xor is non-zero).
     #[inline]
-    fn peek(&self) -> Option<&ExpiryEvent> {
-        self.a.first()
+    fn level_for(clock: u64, expiry: u64) -> usize {
+        ((63 - (clock ^ expiry).leading_zeros()) / LEVEL_BITS) as usize
     }
 
-    fn push(&mut self, ev: ExpiryEvent) {
-        self.a.push(ev);
-        let mut i = self.a.len() - 1;
-        while i > 0 {
-            let parent = (i - 1) / 2;
-            if self.a[i].key() < self.a[parent].key() {
-                self.a.swap(i, parent);
-                i = parent;
-            } else {
-                break;
+    /// The slot digit of `t` at `level`.
+    #[inline]
+    fn slot_of(level: usize, t: u64) -> u64 {
+        (t >> (LEVEL_BITS as usize * level)) & (SLOTS as u64 - 1)
+    }
+
+    /// First timestamp covered by bucket `(level, slot)` under the
+    /// current clock prefix.
+    #[inline]
+    fn slot_start(&self, level: usize, slot: u64) -> u64 {
+        let shift = LEVEL_BITS as u64 * (level as u64 + 1);
+        let prefix = if shift >= 64 { 0 } else { (self.clock >> shift) << shift };
+        prefix | (slot << (LEVEL_BITS as usize * level))
+    }
+
+    fn insert(&mut self, ev: ExpiryEvent) {
+        let t = ev.expiry.raw();
+        if t <= self.clock {
+            self.ready.push(ev);
+        } else {
+            let level = Self::level_for(self.clock, t);
+            let slot = Self::slot_of(level, t);
+            self.levels[level][slot as usize].push(ev);
+            self.occupied[level] |= 1u64 << slot;
+        }
+        self.len += 1;
+    }
+
+    /// Earliest occupied bucket as `(level, slot, start)`, or `None`.
+    /// The lowest occupied slot per level is the earliest at that level
+    /// (slots are absolute digits, all above the clock's), so this is a
+    /// min over at most [`LEVELS`] candidates.
+    fn earliest_bucket(&self) -> Option<(usize, u64, u64)> {
+        let mut best: Option<(usize, u64, u64)> = None;
+        for level in 0..LEVELS {
+            let occ = self.occupied[level];
+            if occ == 0 {
+                continue;
+            }
+            let slot = occ.trailing_zeros() as u64;
+            let start = self.slot_start(level, slot);
+            if best.is_none_or(|(_, _, b)| start < b) {
+                best = Some((level, slot, start));
             }
         }
+        best
     }
 
-    fn pop(&mut self) -> Option<ExpiryEvent> {
-        if self.a.is_empty() {
-            return None;
-        }
-        let last = self.a.len() - 1;
-        self.a.swap(0, last);
-        let out = self.a.pop();
+    /// Advances the wheel to `now`, moving every event with
+    /// `expiry <= now` into the internal `expired` scratch (bucket
+    /// order, *not* time order — the caller sorts) and cascading
+    /// not-yet-due events toward finer levels.
+    fn advance_collect(&mut self, now: u64) {
+        self.expired.clear();
+        // Late events fire as soon as the clock reaches their expiry;
+        // `ready` is unordered, so filter in place.
         let mut i = 0;
-        loop {
-            let (l, r) = (2 * i + 1, 2 * i + 2);
-            let mut smallest = i;
-            if l < self.a.len() && self.a[l].key() < self.a[smallest].key() {
-                smallest = l;
+        while i < self.ready.len() {
+            if self.ready[i].expiry.raw() <= now {
+                let ev = self.ready.swap_remove(i);
+                self.expired.push(ev);
+                self.len -= 1;
+            } else {
+                i += 1;
             }
-            if r < self.a.len() && self.a[r].key() < self.a[smallest].key() {
-                smallest = r;
-            }
-            if smallest == i {
+        }
+        while let Some((level, slot, start)) = self.earliest_bucket() {
+            if start > now {
                 break;
             }
-            self.a.swap(i, smallest);
-            i = smallest;
+            debug_assert!(start >= self.clock, "wheel clock ran past an occupied bucket");
+            self.clock = start;
+            let mut bucket = std::mem::take(&mut self.levels[level][slot as usize]);
+            self.occupied[level] &= !(1u64 << slot);
+            for ev in bucket.drain(..) {
+                self.len -= 1;
+                if ev.expiry.raw() <= now {
+                    self.expired.push(ev);
+                } else {
+                    // Cascades to a strictly finer level under the
+                    // advanced clock (never back into this bucket).
+                    self.insert(ev);
+                }
+            }
+            // Hand the drained allocation back to the bucket.
+            self.levels[level][slot as usize] = bucket;
         }
+        if now > self.clock {
+            self.clock = now;
+        }
+    }
+
+    /// Removes every event failing `keep`; returns how many were
+    /// removed. O(occupancy) — used by tombstone compaction only.
+    fn retain_events(&mut self, mut keep: impl FnMut(&ExpiryEvent) -> bool) -> usize {
+        let before = self.len;
+        self.ready.retain(|e| keep(e));
+        let mut kept = self.ready.len();
+        for level in 0..LEVELS {
+            let mut occ = self.occupied[level];
+            while occ != 0 {
+                let slot = occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                let bucket = &mut self.levels[level][slot];
+                bucket.retain(|e| keep(e));
+                if bucket.is_empty() {
+                    self.occupied[level] &= !(1u64 << slot);
+                }
+                kept += bucket.len();
+            }
+        }
+        self.len = kept;
+        before - kept
+    }
+
+    /// Every held event, sorted by `(expiry, id)` — the canonical
+    /// checkpoint order. Sorting makes the serialized section a pure
+    /// function of the event *multiset*, independent of bucket layout,
+    /// so `checkpoint(restore(image))` reproduces `image` byte for byte.
+    fn sorted_events(&self) -> Vec<ExpiryEvent> {
+        let mut out = Vec::with_capacity(self.len);
+        out.extend_from_slice(&self.ready);
+        for level in 0..LEVELS {
+            let mut occ = self.occupied[level];
+            while occ != 0 {
+                let slot = occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                out.extend_from_slice(&self.levels[level][slot]);
+            }
+        }
+        out.sort_unstable_by_key(|e| e.key());
         out
     }
 
-    /// The backing array in heap order (checkpoint section source).
-    #[inline]
-    fn as_slice(&self) -> &[ExpiryEvent] {
-        &self.a
-    }
-
-    /// Re-adopts a backing array captured by [`EventHeap::as_slice`].
-    /// The caller guarantees `a` is in heap order (it always is when the
-    /// bytes come from a CRC-validated checkpoint section).
-    fn from_heap_array(a: Vec<ExpiryEvent>) -> Self {
-        debug_assert!(
-            (1..a.len()).all(|i| a[(i - 1) / 2].key() <= a[i].key()),
-            "restored event array violates the heap invariant"
-        );
-        EventHeap { a }
+    /// Audits the wheel's structural invariants: occupancy bitmaps
+    /// mirror bucket non-emptiness, the length ledger balances, and
+    /// every bucketed event hashes to the bucket holding it under the
+    /// current clock.
+    fn check(&self) -> Result<(), String> {
+        let mut counted = self.ready.len();
+        for level in 0..LEVELS {
+            for slot in 0..SLOTS {
+                let bucket = &self.levels[level][slot];
+                let bit = (self.occupied[level] >> slot) & 1 == 1;
+                if bucket.is_empty() == bit {
+                    return Err(format!(
+                        "wheel occupancy bit ({level},{slot}) is {bit} for {} events",
+                        bucket.len()
+                    ));
+                }
+                counted += bucket.len();
+                for ev in bucket {
+                    let t = ev.expiry.raw();
+                    if t <= self.clock {
+                        return Err(format!(
+                            "bucketed event for {} expires at {t}, at or before clock {}",
+                            ev.id, self.clock
+                        ));
+                    }
+                    if Self::level_for(self.clock, t) != level
+                        || Self::slot_of(level, t) != slot as u64
+                    {
+                        return Err(format!(
+                            "event for {} (expiry {t}) stranded in bucket ({level},{slot}) \
+                             under clock {}",
+                            ev.id, self.clock
+                        ));
+                    }
+                }
+            }
+        }
+        if counted != self.len {
+            return Err(format!("wheel ledger says {} events, buckets hold {counted}", self.len));
+        }
+        Ok(())
     }
 }
 
@@ -157,7 +345,7 @@ pub struct DeadEntry {
     pub events: u64,
 }
 
-/// The hotness table plus expiry queue.
+/// The hotness table plus expiry wheel.
 #[derive(Clone, Debug)]
 pub struct Hotness {
     window: SlidingWindow,
@@ -169,8 +357,8 @@ pub struct Hotness {
     slot_of: FxHashMap<PathId, u32>,
     /// Incremental top-k: every hot path, ordered hottest-first.
     rank: BTreeSet<RankKey>,
-    /// Min-heap of `(expiry, id)`; head is the next interval to expire.
-    queue: EventHeap,
+    /// Timer wheel of `(expiry, id)` events keyed by the epoch clock.
+    queue: TimerWheel,
     /// Tombstones for [`Hotness::forget`]-ed ids: how many queued events
     /// belong to each forgotten id, so [`Hotness::advance`] can reclaim
     /// them instead of decrementing a live counter.
@@ -189,7 +377,7 @@ impl Hotness {
             heat: Vec::new(),
             slot_of: FxHashMap::default(),
             rank: BTreeSet::new(),
-            queue: EventHeap::default(),
+            queue: TimerWheel::default(),
             dead: FxHashMap::default(),
             dead_events: 0,
             recorded: 0,
@@ -201,10 +389,17 @@ impl Hotness {
         self.window
     }
 
+    /// The expiry wheel's clock: the largest [`Hotness::advance`] time
+    /// seen (or the clock the table was restored against).
+    pub fn clock(&self) -> Timestamp {
+        Timestamp(self.queue.clock)
+    }
+
     /// Records that an object crossed `id`, exiting at `te`: the counter
-    /// is incremented and `<te + W, id>` en-heaped (Section 5.2).
-    /// `length` is the path's length — the top-k tie-break key — and is
-    /// pinned at the first recording of each id (geometry is immutable).
+    /// is incremented and `<te + W, id>` enqueued on the expiry wheel
+    /// (Section 5.2). `length` is the path's length — the top-k
+    /// tie-break key — and is pinned at the first recording of each id
+    /// (geometry is immutable).
     pub fn record_crossing(&mut self, id: PathId, te: Timestamp, length: f64) {
         debug_assert!(length >= 0.0 && length.is_finite(), "bad path length {length}");
         let slot = *self.slot_of.entry(id).or_insert_with(|| {
@@ -217,7 +412,7 @@ impl Hotness {
         }
         heat.count += 1;
         self.rank.insert(rank_key(heat.count as u32, heat.len_bits, id));
-        self.queue.push(ExpiryEvent { expiry: self.window.expiry_of(te), id });
+        self.queue.insert(ExpiryEvent { expiry: self.window.expiry_of(te), id });
         self.recorded += 1;
     }
 
@@ -260,9 +455,10 @@ impl Hotness {
         self.rank.iter().map(|&(Reverse(count), _, id)| (id, count))
     }
 
-    /// Audits the incremental rank structure against the counter table:
-    /// the two must describe the same multiset of `(id, hotness,
-    /// length)` triples at all times.
+    /// Audits the incremental rank structure against the counter table
+    /// (the two must describe the same multiset of `(id, hotness,
+    /// length)` triples at all times) and the timer wheel's structural
+    /// invariants.
     pub fn check_consistency(&self) -> Result<(), String> {
         if self.rank.len() != self.heat.len() {
             return Err(format!(
@@ -286,6 +482,7 @@ impl Hotness {
                 return Err(format!("rank set lost {} (hotness {})", heat.id, heat.count));
             }
         }
+        self.queue.check()?;
         // Live-event accounting: every unit of hotness has exactly one
         // pending expiry event (tombstoned events are excluded by
         // `pending_events`).
@@ -301,12 +498,13 @@ impl Hotness {
 
     /// Pending *live* expiry events (diagnostics; equals the sum of
     /// counters). Events tombstoned by [`Hotness::forget`] are excluded
-    /// even while they still occupy the queue awaiting reclamation.
+    /// even while they still occupy the wheel awaiting reclamation or
+    /// compaction.
     pub fn pending_events(&self) -> usize {
         self.queue.len() - self.dead_events
     }
 
-    /// Physical queue occupancy including not-yet-reclaimed tombstoned
+    /// Physical wheel occupancy including not-yet-reclaimed tombstoned
     /// events (diagnostics for leak tests).
     pub fn queued_events(&self) -> usize {
         self.queue.len()
@@ -317,18 +515,26 @@ impl Hotness {
         self.recorded
     }
 
-    /// Advances the clock to `now`: de-heaps every event with
-    /// `expiry <= now`, decrements the counters, and returns the ids
-    /// whose hotness dropped to zero (the caller deletes those paths
-    /// from the index).
+    /// Advances the clock to `now`: collects every event with
+    /// `expiry <= now` from the wheel, decrements the counters in
+    /// `(expiry, id)` order, and returns the ids whose hotness dropped
+    /// to zero (the caller deletes those paths from the index).
+    /// Amortized O(expired) — cost is independent of the pending-set
+    /// size.
     pub fn advance(&mut self, now: Timestamp) -> Vec<PathId> {
+        self.queue.advance_collect(now.raw());
+        let mut expired = std::mem::take(&mut self.queue.expired);
+        // Apply in `(expiry, id)` order — exactly the order the old
+        // min-heap popped in — so `died` (and every downstream removal
+        // order, hence checkpoint bytes) is independent of the wheel's
+        // internal bucket layout.
+        expired.sort_unstable_by_key(|e| e.key());
         let mut died = Vec::new();
-        while let Some(&ExpiryEvent { expiry, id }) = self.queue.peek() {
-            // Reclaim tombstoned events whenever they surface at the
-            // head, regardless of their expiry — forgotten ids must not
-            // keep the queue inflated for a whole window.
+        for &ExpiryEvent { id, .. } in &expired {
+            // Tombstoned events are reclaimed instead of decrementing a
+            // live counter (an id re-recorded after `forget` sheds its
+            // earliest-expiring events first, same as the heap did).
             if let Some(n) = self.dead.get_mut(&id) {
-                self.queue.pop();
                 *n -= 1;
                 self.dead_events -= 1;
                 if *n == 0 {
@@ -336,10 +542,6 @@ impl Hotness {
                 }
                 continue;
             }
-            if expiry > now {
-                break;
-            }
-            self.queue.pop();
             // Defensive: a counter should always exist for a live event.
             let Some(&slot) = self.slot_of.get(&id) else { continue };
             let heat = &mut self.heat[slot as usize];
@@ -353,14 +555,17 @@ impl Hotness {
                 self.rank.insert(rank_key(heat.count as u32, heat.len_bits, id));
             }
         }
+        expired.clear();
+        self.queue.expired = expired; // hand the allocation back
         died
     }
 
     /// Drops a path outright (used when the caller removes a path for
     /// reasons other than expiry). The counter's outstanding expiry
-    /// events are tombstoned and reclaimed by [`Hotness::advance`] as
-    /// they surface at the queue head, so long runs with many forgotten
-    /// paths do not accumulate stale events for a whole window.
+    /// events are tombstoned; they are reclaimed when they fire, or
+    /// swept eagerly by compaction once tombstones outnumber live
+    /// events — so long runs with many forgotten paths do not
+    /// accumulate stale events for a whole window.
     ///
     /// Only call this for ids that will never be recorded again: events
     /// carry no generation, so a crossing recorded after `forget` whose
@@ -374,8 +579,37 @@ impl Hotness {
             if heat.count > 0 {
                 *self.dead.entry(id).or_insert(0) += heat.count as u32;
                 self.dead_events += heat.count as usize;
+                self.maybe_compact();
             }
         }
+    }
+
+    /// Sweeps tombstoned events out of the wheel once they outnumber
+    /// live events. Only ids that are fully dead (not re-recorded since
+    /// `forget`) are purged — a relived id keeps its tombstones in the
+    /// wheel so expiry-order aliasing stays exact. The sweep is
+    /// O(occupancy) but doubling-triggered, so amortized O(1) per
+    /// forget.
+    fn maybe_compact(&mut self) {
+        if self.dead_events * 2 <= self.queue.len() {
+            return;
+        }
+        let dead = &self.dead;
+        let slot_of = &self.slot_of;
+        let removed = self
+            .queue
+            .retain_events(|ev| !dead.contains_key(&ev.id) || slot_of.contains_key(&ev.id));
+        let mut reclaimed = 0usize;
+        self.dead.retain(|id, n| {
+            if slot_of.contains_key(id) {
+                true
+            } else {
+                reclaimed += *n as usize;
+                false
+            }
+        });
+        debug_assert_eq!(removed, reclaimed, "compaction ledger out of balance");
+        self.dead_events -= reclaimed;
     }
 
     // ---- checkpoint surface -------------------------------------------
@@ -386,10 +620,13 @@ impl Hotness {
         &self.heat
     }
 
-    /// The expiry heap's backing array in heap order (checkpoint section
-    /// source; restored verbatim).
-    pub fn events_slice(&self) -> &[ExpiryEvent] {
-        self.queue.as_slice()
+    /// Every pending expiry event in canonical `(expiry, id)` order
+    /// (checkpoint section source). The canonical sort makes the
+    /// section a pure function of the event multiset — independent of
+    /// the wheel's internal bucket layout — so a checkpoint taken after
+    /// a restore reproduces the image byte for byte.
+    pub fn events_vec(&self) -> Vec<ExpiryEvent> {
+        self.queue.sorted_events()
     }
 
     /// Tombstone records sorted by id (small; collected per checkpoint).
@@ -400,21 +637,26 @@ impl Hotness {
         out
     }
 
-    /// Rebuilds a table from checkpointed sections: the heat slab and
-    /// event array are adopted verbatim; the slot map and rank set are
-    /// derived (their contents are pure functions of the slab).
+    /// Rebuilds a table from checkpointed sections: the heat slab is
+    /// adopted verbatim; the event list (canonically sorted, see
+    /// [`Hotness::events_vec`]) is re-inserted into a fresh wheel keyed
+    /// by `clock` — the checkpoint header's epoch clock; the slot map
+    /// and rank set are derived (their contents are pure functions of
+    /// the slab).
     ///
     /// # Errors
     /// Returns a description when the sections are structurally invalid
-    /// (duplicate ids, zero counts, event/counter imbalance) — possible
-    /// only for a checkpoint written by a buggy or hostile producer,
-    /// since CRC validation happens before this runs.
+    /// (duplicate ids, zero counts, unsorted events, event/counter
+    /// imbalance) — possible only for a checkpoint written by a buggy
+    /// or hostile producer, since CRC validation happens before this
+    /// runs.
     pub fn from_checkpoint_parts(
         window: SlidingWindow,
         heat: Vec<HeatEntry>,
         events: Vec<ExpiryEvent>,
         dead: Vec<DeadEntry>,
         recorded: u64,
+        clock: Timestamp,
     ) -> Result<Self, String> {
         let mut slot_of = FxHashMap::default();
         let mut rank = BTreeSet::new();
@@ -427,8 +669,8 @@ impl Hotness {
             }
             rank.insert(rank_key(e.count as u32, e.len_bits, e.id));
         }
-        if (1..events.len()).any(|i| events[(i - 1) / 2].key() > events[i].key()) {
-            return Err("event array violates the heap invariant".into());
+        if events.windows(2).any(|w| w[0].key() > w[1].key()) {
+            return Err("event section is not sorted by (expiry, id)".into());
         }
         let mut dead_map = FxHashMap::default();
         let mut dead_events = 0usize;
@@ -448,16 +690,11 @@ impl Hotness {
                 events.len()
             ));
         }
-        Ok(Hotness {
-            window,
-            heat,
-            slot_of,
-            rank,
-            queue: EventHeap::from_heap_array(events),
-            dead: dead_map,
-            dead_events,
-            recorded,
-        })
+        let mut queue = TimerWheel::new(clock.raw());
+        for &ev in &events {
+            queue.insert(ev);
+        }
+        Ok(Hotness { window, heat, slot_of, rank, queue, dead: dead_map, dead_events, recorded })
     }
 }
 
@@ -528,6 +765,20 @@ mod tests {
         assert_eq!(hot.advance(Timestamp(10)), vec![PathId(1)]);
         assert!(hot.advance(Timestamp(10)).is_empty());
         assert!(hot.advance(Timestamp(11)).is_empty());
+    }
+
+    #[test]
+    fn advance_backwards_is_a_no_op() {
+        // A non-monotone `now` must not fire events early or corrupt the
+        // wheel clock.
+        let mut hot = h(100);
+        hot.record_crossing(PathId(1), Timestamp(50), 1.0); // expiry 150
+        assert!(hot.advance(Timestamp(120)).is_empty());
+        assert_eq!(hot.clock(), Timestamp(120));
+        assert!(hot.advance(Timestamp(40)).is_empty());
+        assert_eq!(hot.clock(), Timestamp(120), "clock must be monotone");
+        assert_eq!(hot.advance(Timestamp(150)), vec![PathId(1)]);
+        hot.check_consistency().unwrap();
     }
 
     #[test]
@@ -665,35 +916,106 @@ mod tests {
     }
 
     #[test]
-    fn forget_reclaims_pending_events() {
+    fn forget_tombstones_reclaim_or_compact() {
         let mut hot = h(100);
         hot.record_crossing(PathId(1), Timestamp(0), 1.0); // expiry 100
         hot.record_crossing(PathId(1), Timestamp(5), 1.0); // expiry 105
         hot.record_crossing(PathId(2), Timestamp(3), 1.0); // expiry 103
         assert_eq!(hot.pending_events(), 3);
 
+        // Forgetting 1 tombstones its two events; they now outnumber the
+        // single live event, so compaction sweeps them out of the wheel
+        // immediately — no waiting for their natural expiry.
         hot.forget(PathId(1));
-        // Tombstoned events stop counting as pending immediately...
         assert_eq!(hot.pending_events(), 1);
-        assert_eq!(hot.queued_events(), 3);
+        assert_eq!(hot.queued_events(), 1, "tombstones not compacted");
+        hot.check_consistency().unwrap();
 
-        // ...and advance reclaims them from the queue head long before
-        // their natural expiry (here at t = 4, expiries are 100+).
-        assert!(hot.advance(Timestamp(4)).is_empty());
-        assert_eq!(hot.queued_events(), 2, "head tombstone not reclaimed");
-        assert_eq!(hot.pending_events(), 1);
-
-        // The live path expires normally; the buried tombstone goes with
-        // it once it reaches the head.
+        // The live path expires normally.
         assert_eq!(hot.advance(Timestamp(103)), vec![PathId(2)]);
         assert_eq!(hot.queued_events(), 0);
         assert_eq!(hot.pending_events(), 0);
     }
 
     #[test]
+    fn forget_tombstones_below_threshold_reclaim_on_expiry() {
+        // With tombstones a minority, compaction does not trigger: the
+        // dead events stay bucketed and are reclaimed as they fire.
+        let mut hot = h(100);
+        for i in 0..5u64 {
+            hot.record_crossing(PathId(i), Timestamp(i), 1.0); // expiries 100..105
+        }
+        hot.forget(PathId(0));
+        assert_eq!(hot.pending_events(), 4);
+        assert_eq!(hot.queued_events(), 5, "minority tombstone swept too eagerly");
+        hot.check_consistency().unwrap();
+
+        // The tombstoned event fires at t=100 and is reclaimed silently;
+        // nobody dies until the live paths expire.
+        assert!(hot.advance(Timestamp(100)).is_empty());
+        assert_eq!(hot.queued_events(), 4);
+        assert_eq!(hot.pending_events(), 4);
+        let mut died = hot.advance(Timestamp(200));
+        died.sort_unstable();
+        assert_eq!(died, (1..5).map(PathId).collect::<Vec<_>>());
+        hot.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn same_timestamp_events_expire_in_id_order() {
+        // Many events sharing one expiry instant: `died` must come back
+        // ordered by id — the `(expiry, id)` order the heap produced.
+        let mut hot = h(10);
+        for id in [9u64, 3, 7, 1, 5] {
+            hot.record_crossing(PathId(id), Timestamp(4), 1.0); // all expire at 14
+        }
+        assert_eq!(hot.advance(Timestamp(14)), [1u64, 3, 5, 7, 9].map(PathId).to_vec());
+        hot.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn far_future_events_cascade_across_levels() {
+        // A huge window puts the expiry many wheel levels above the
+        // clock; advancing in uneven steps must cascade it down without
+        // firing early, and fire it exactly on time.
+        let w = (1u64 << 40) + 12345;
+        let mut hot = h(w);
+        hot.record_crossing(PathId(1), Timestamp(7), 1.0);
+        let expiry = 7 + w;
+        let mut now = 0u64;
+        // Uneven exponential-ish steps that cross several level
+        // boundaries, stopping just short of the expiry.
+        while now + (now / 2) + 13 < expiry {
+            now += now / 2 + 13;
+            assert!(hot.advance(Timestamp(now)).is_empty(), "fired early at t={now}");
+            assert_eq!(hot.get(PathId(1)), 1);
+            hot.check_consistency().unwrap();
+        }
+        assert!(hot.advance(Timestamp(expiry - 1)).is_empty());
+        assert_eq!(hot.advance(Timestamp(expiry)), vec![PathId(1)]);
+        hot.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn late_events_land_in_ready_and_fire_next_advance() {
+        // A crossing whose expiry is at or before the wheel clock (the
+        // window already slid past it) must still fire — on the next
+        // advance that reaches its expiry, not before.
+        let mut hot = h(10);
+        hot.advance(Timestamp(100));
+        hot.record_crossing(PathId(1), Timestamp(85), 1.0); // expiry 95 <= clock 100
+        assert_eq!(hot.pending_events(), 1);
+        hot.check_consistency().unwrap();
+        // Clock is already past the expiry; the event fires immediately.
+        assert_eq!(hot.advance(Timestamp(100)), vec![PathId(1)]);
+        assert_eq!(hot.pending_events(), 0);
+        hot.check_consistency().unwrap();
+    }
+
+    #[test]
     fn checkpoint_parts_roundtrip_continues_identically() {
         // Drive a table through deterministic churn, snapshot its slab /
-        // heap / tombstones, rebuild, and check both copies stay in
+        // events / tombstones, rebuild, and check both copies stay in
         // lock-step through further churn — the in-crate version of the
         // restart-parity property the checkpoint module relies on.
         let mut hot = h(23);
@@ -717,14 +1039,15 @@ mod tests {
         let mut copy = Hotness::from_checkpoint_parts(
             hot.window(),
             hot.heat_slice().to_vec(),
-            hot.events_slice().to_vec(),
+            hot.events_vec(),
             hot.dead_entries(),
             hot.total_recorded(),
+            hot.clock(),
         )
         .unwrap();
         copy.check_consistency().unwrap();
         assert_eq!(copy.heat_slice(), hot.heat_slice());
-        assert_eq!(copy.events_slice(), hot.events_slice());
+        assert_eq!(copy.events_vec(), hot.events_vec());
         for _ in 0..300 {
             now += rand() % 3;
             assert_eq!(hot.advance(Timestamp(now)), copy.advance(Timestamp(now)));
@@ -737,9 +1060,50 @@ mod tests {
                 copy.record_crossing(id, Timestamp(now), len(id));
             }
             assert_eq!(hot.heat_slice(), copy.heat_slice());
-            assert_eq!(hot.events_slice(), copy.events_slice());
+            assert_eq!(hot.events_vec(), copy.events_vec());
             assert_eq!(hot.top_iter().collect::<Vec<_>>(), copy.top_iter().collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn checkpoint_restore_is_byte_idempotent() {
+        // The canonical event order makes checkpoint-of-restore
+        // reproduce the original sections exactly, even though the
+        // restored wheel's internal bucket layout differs from the
+        // original's (restore inserts against the final clock; the
+        // original cascaded its way there).
+        let mut hot = h(1 << 20);
+        let mut state = 3u64;
+        let mut rand = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut now = 0u64;
+        for _ in 0..200 {
+            now += rand() % 1000;
+            hot.advance(Timestamp(now));
+            hot.record_crossing(PathId(rand() % 40), Timestamp(now), 1.0);
+        }
+        let restore = |h: &Hotness| {
+            Hotness::from_checkpoint_parts(
+                h.window(),
+                h.heat_slice().to_vec(),
+                h.events_vec(),
+                h.dead_entries(),
+                h.total_recorded(),
+                h.clock(),
+            )
+            .unwrap()
+        };
+        let once = restore(&hot);
+        let twice = restore(&once);
+        assert_eq!(once.events_vec(), hot.events_vec());
+        assert_eq!(twice.events_vec(), hot.events_vec());
+        assert_eq!(once.heat_slice(), hot.heat_slice());
+        assert_eq!(once.dead_entries(), hot.dead_entries());
+        assert_eq!(once.clock(), hot.clock());
+        once.check_consistency().unwrap();
+        twice.check_consistency().unwrap();
     }
 
     #[test]
@@ -748,32 +1112,34 @@ mod tests {
         hot.record_crossing(PathId(1), Timestamp(0), 2.0);
         hot.record_crossing(PathId(2), Timestamp(1), 3.0);
         let heat = hot.heat_slice().to_vec();
-        let events = hot.events_slice().to_vec();
+        let events = hot.events_vec();
         let w = hot.window();
+        let t0 = Timestamp(0);
 
         // Duplicate slab id.
         let mut dup = heat.clone();
         dup.push(heat[0]);
-        assert!(Hotness::from_checkpoint_parts(w, dup, events.clone(), vec![], 3).is_err());
+        assert!(Hotness::from_checkpoint_parts(w, dup, events.clone(), vec![], 3, t0).is_err());
         // Zero count.
         let mut zero = heat.clone();
         zero[0].count = 0;
-        assert!(Hotness::from_checkpoint_parts(w, zero, events.clone(), vec![], 2).is_err());
-        // Heap order violated.
+        assert!(Hotness::from_checkpoint_parts(w, zero, events.clone(), vec![], 2, t0).is_err());
+        // Canonical (expiry, id) order violated.
         let mut bad = events.clone();
         bad.reverse();
         if bad != events {
-            assert!(Hotness::from_checkpoint_parts(w, heat.clone(), bad, vec![], 2).is_err());
+            assert!(Hotness::from_checkpoint_parts(w, heat.clone(), bad, vec![], 2, t0).is_err());
         }
         // Event/counter imbalance.
-        assert!(Hotness::from_checkpoint_parts(w, heat.clone(), vec![], vec![], 2).is_err());
+        assert!(Hotness::from_checkpoint_parts(w, heat.clone(), vec![], vec![], 2, t0).is_err());
         // Tombstone colliding with a live id.
         assert!(Hotness::from_checkpoint_parts(
             w,
             heat,
             events,
             vec![DeadEntry { id: PathId(1), events: 1 }],
-            2
+            2,
+            t0
         )
         .is_err());
     }
@@ -789,7 +1155,7 @@ mod tests {
     #[test]
     fn forget_heavy_churn_does_not_leak() {
         // A long run that records and immediately forgets distinct ids:
-        // without reclamation the queue would hold every event for a
+        // without compaction the wheel would hold every event for a
         // whole window (here 10_000 timestamps deep).
         let mut hot = h(10_000);
         for i in 0..1_000u64 {
@@ -799,9 +1165,65 @@ mod tests {
         }
         hot.advance(Timestamp(1_000));
         assert_eq!(hot.pending_events(), 0);
-        // Everything reclaimable from the head has been reclaimed; the
-        // queue is empty even though no event has naturally expired.
+        // Compaction has swept every tombstone; the wheel is empty even
+        // though no event has naturally expired.
         assert_eq!(hot.queued_events(), 0);
         assert!(hot.is_empty());
+    }
+
+    /// A minimal `(expiry, id)` min-heap — the semantics the wheel must
+    /// reproduce — driven side by side with the wheel-backed table
+    /// through adversarial schedules. This is the in-module complement
+    /// to the whole-table model proptest in `tests/props.rs`.
+    #[test]
+    fn wheel_matches_heap_reference_side_by_side() {
+        use std::collections::BinaryHeap;
+        let w = 97u64;
+        let mut hot = h(w);
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut counts: FxHashMap<u64, u32> = FxHashMap::default();
+        let mut state = 2024u64;
+        let mut rand = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut now = 0u64;
+        for step in 0..2_000 {
+            // Occasional large jumps exercise multi-level cascades.
+            now += if rand() % 50 == 0 { 1 + rand() % 500 } else { rand() % 4 };
+            // Reference: pop everything due, in (expiry, id) order.
+            let mut ref_died: Vec<u64> = Vec::new();
+            while let Some(&Reverse((exp, id))) = heap.peek() {
+                if exp > now {
+                    break;
+                }
+                heap.pop();
+                let c = counts.get_mut(&id).unwrap();
+                *c -= 1;
+                if *c == 0 {
+                    counts.remove(&id);
+                    ref_died.push(id);
+                }
+            }
+            let died: Vec<u64> = hot.advance(Timestamp(now)).iter().map(|p| p.0).collect();
+            assert_eq!(died, ref_died, "died order diverged at step {step}, t={now}");
+
+            let id = rand() % 16;
+            hot.record_crossing(PathId(id), Timestamp(now), 1.0);
+            heap.push(Reverse((now + w, id)));
+            *counts.entry(id).or_insert(0) += 1;
+
+            for check in 0..16u64 {
+                assert_eq!(
+                    hot.get(PathId(check)),
+                    counts.get(&check).copied().unwrap_or(0),
+                    "count diverged for {check} at step {step}"
+                );
+            }
+            assert_eq!(hot.pending_events(), heap.len(), "pending diverged at step {step}");
+            if step % 64 == 0 {
+                hot.check_consistency().unwrap();
+            }
+        }
     }
 }

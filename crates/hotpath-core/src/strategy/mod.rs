@@ -4,8 +4,9 @@
 mod overlap;
 mod singlepath;
 
-pub use overlap::FsaSet;
+pub use overlap::{FsaCache, FsaDelta, FsaSet};
 pub use singlepath::{
-    build_fsa_set, phase_a, phase_b, process_batch, process_batch_in, process_batch_with, CaseKind,
-    CaseTally, OverlapPolicy, PathStore, PhaseAOutput, ScratchArena, Selection, SingleStore,
+    build_fsa_set, phase_a, phase_b, process_batch, process_batch_in, process_batch_prepared,
+    process_batch_with, CaseKind, CaseTally, OverlapPolicy, PathStore, PhaseAOutput, ScratchArena,
+    Selection, SingleStore,
 };

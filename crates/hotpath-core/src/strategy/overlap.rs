@@ -43,11 +43,29 @@ struct QueryScratch {
 }
 
 /// An epoch-scoped set of FSA rectangles with depth queries.
+///
+/// # Invariant: queries are multiset-determined
+///
+/// Both hot-loop queries — [`FsaSet::stab_count`] and
+/// [`FsaSet::max_depth_region`] — are pure functions of the *multiset*
+/// of live rectangles: `stab_count` counts containment, and the slab
+/// sweep orders everything by coordinates before deciding anything.
+/// Slot numbering and per-cell list order never leak into results
+/// (the public [`FsaSet::intersecting`] wrapper sorts its own copy).
+/// That invariant is what lets [`FsaCache`] maintain one set
+/// incrementally across epochs: reassigning slots or reordering cell
+/// lists is unobservable, so an incrementally maintained set answers
+/// bit-for-bit identically to a from-scratch build of the same batch.
 #[derive(Clone, Debug)]
 pub struct FsaSet {
+    /// Rect slab; under [`FsaCache`] maintenance it may contain free
+    /// (unreferenced) slots, which no grid cell points to.
     rects: Vec<Rect>,
     cell: f64,
     grid: FxHashMap<(i64, i64), Vec<u32>>,
+    /// Live rect count (equals `rects.len()` for from-scratch builds;
+    /// excludes free slots under incremental maintenance).
+    live: usize,
     scratch: RefCell<QueryScratch>,
 }
 
@@ -66,15 +84,20 @@ impl FsaSet {
     /// identical at every thread count.
     pub fn build_parallel(rects: Vec<Rect>, cell: f64, threads: usize) -> Self {
         assert!(cell > 0.0 && cell.is_finite(), "cell must be positive");
-        // One chunk per thread, but never spawn for trivially small
-        // epochs where rasterization is cheaper than a thread launch.
-        let threads = threads.max(1).min(rects.len() / 64).max(1);
+        // One chunk per thread, but never spawn for small epochs where
+        // rasterization is cheaper than thread launches plus the merge,
+        // and never more threads than the machine can actually run —
+        // oversubscribing a CPU-bound rasterization only adds merge
+        // overhead (on a single-core host this degrades to the
+        // sequential build, which is exactly break-even).
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let threads = threads.max(1).min(hw).min(rects.len() / 256).max(1);
         let mut grid: FxHashMap<(i64, i64), Vec<u32>> = FxHashMap::default();
         if threads == 1 {
             Self::rasterize(&rects, cell, 0, &mut grid);
         } else {
             let chunk = rects.len().div_ceil(threads);
-            let mut parts: Vec<FxHashMap<(i64, i64), Vec<u32>>> = std::thread::scope(|scope| {
+            let parts: Vec<FxHashMap<(i64, i64), Vec<u32>>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = rects
                     .chunks(chunk)
                     .enumerate()
@@ -90,15 +113,34 @@ impl FsaSet {
             });
             // Chunks hold disjoint ascending id ranges; appending them in
             // chunk order keeps every cell's list ascending, matching the
-            // sequential single-pass build.
-            for part in &mut parts {
-                for (key, ids) in part.drain() {
-                    grid.entry(key).or_default().extend(ids);
+            // sequential single-pass build. The first part is adopted as
+            // the base map outright — its cells (roughly 1/threads of
+            // the total) pay no re-hash and no re-copy at all, and the
+            // remaining parts merge into pre-reserved entries instead of
+            // growing them one extend at a time.
+            let mut parts = parts.into_iter();
+            grid = parts.next().unwrap_or_default();
+            let rest: Vec<_> = parts.collect();
+            grid.reserve(rest.iter().map(|p| p.len()).sum());
+            for mut part in rest {
+                for (key, mut ids) in part.drain() {
+                    match grid.entry(key) {
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            // Most cells belong to exactly one chunk
+                            // (chunks are spatially coherent): move the
+                            // whole list, no copy.
+                            e.insert(ids);
+                        }
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            e.get_mut().append(&mut ids);
+                        }
+                    }
                 }
             }
             debug_assert!(grid.values().all(|ids| ids.windows(2).all(|w| w[0] < w[1])));
         }
-        FsaSet { rects, cell, grid, scratch: RefCell::new(QueryScratch::default()) }
+        let live = rects.len();
+        FsaSet { rects, cell, grid, live, scratch: RefCell::new(QueryScratch::default()) }
     }
 
     /// Rasterizes `rects` (whose global indices start at `base`) into
@@ -120,14 +162,68 @@ impl FsaSet {
         ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
     }
 
-    /// Number of FSAs in the set.
+    /// Number of live FSAs in the set.
     pub fn len(&self) -> usize {
-        self.rects.len()
+        self.live
     }
 
-    /// True when the set is empty.
+    /// True when the set holds no live FSAs.
     pub fn is_empty(&self) -> bool {
-        self.rects.is_empty()
+        self.live == 0
+    }
+
+    /// Cell edge length of the rasterization grid.
+    pub fn cell(&self) -> f64 {
+        self.cell
+    }
+
+    /// The grid cells covered by `r` at this set's resolution, as the
+    /// inclusive key range `((lx, ly), (hx, hy))`.
+    #[inline]
+    fn coverage(&self, r: &Rect) -> ((i64, i64), (i64, i64)) {
+        (Self::key(self.cell, &r.lo()), Self::key(self.cell, &r.hi()))
+    }
+
+    /// Writes `rect` into slot `slot` (growing the slab if needed) and
+    /// pushes the slot id into every covered grid cell. The slot must
+    /// currently be free: not referenced by any cell list.
+    fn insert_slot(&mut self, slot: u32, rect: Rect) {
+        let idx = slot as usize;
+        if self.rects.len() <= idx {
+            self.rects.resize(idx + 1, rect);
+        }
+        self.rects[idx] = rect;
+        let ((lx, ly), (hx, hy)) = self.coverage(&rect);
+        for cx in lx..=hx {
+            for cy in ly..=hy {
+                self.grid.entry((cx, cy)).or_default().push(slot);
+            }
+        }
+        self.live += 1;
+    }
+
+    /// Removes slot `slot` from every grid cell its rect covers,
+    /// dropping cells that become empty so the grid never accumulates
+    /// dead entries across epochs. The rect itself stays in the slab as
+    /// an inert free slot until the slot is reused.
+    fn remove_slot(&mut self, slot: u32) {
+        let rect = self.rects[slot as usize];
+        let ((lx, ly), (hx, hy)) = self.coverage(&rect);
+        for cx in lx..=hx {
+            for cy in ly..=hy {
+                let ids =
+                    self.grid.get_mut(&(cx, cy)).expect("live slot absent from a covered cell");
+                let pos = ids
+                    .iter()
+                    .position(|&i| i == slot)
+                    .expect("live slot absent from a covered cell list");
+                ids.swap_remove(pos);
+                if ids.is_empty() {
+                    self.grid.remove(&(cx, cy));
+                }
+            }
+        }
+        self.live -= 1;
     }
 
     /// Stabbing depth at `p`: how many FSAs contain it. Equals the count
@@ -270,6 +366,318 @@ impl FsaSet {
             consider(x, x, events);
         }
         best
+    }
+}
+
+/// Epoch-to-epoch incremental maintenance of an [`FsaSet`].
+///
+/// A from-scratch [`FsaSet::build`] re-rasterizes every reporting
+/// object's FSA each epoch, but between consecutive epochs the
+/// reporting population barely changes: most objects report again with
+/// an FSA that moved a little (often not even across a grid-cell
+/// boundary), a few appear, a few fall silent. The cache retains the
+/// rasterized grid across epochs and applies only the delta:
+///
+/// * **unchanged rect** — no work at all;
+/// * **moved within the same cell coverage** — one slab write, zero
+///   grid edits (the common case when `cell ~ 2 eps` dwarfs per-epoch
+///   displacement);
+/// * **moved across cells** — remove from old cells, insert into new;
+/// * **appeared** — insert into a recycled or fresh slot;
+/// * **disappeared** — swept out after the batch by an epoch-stamp
+///   scan over the registry.
+///
+/// Per-epoch cost is `O(batch + changed-cell edits)` instead of
+/// `O(batch * cells-per-rect)` rasterization plus a full grid rebuild.
+///
+/// Correctness leans on the multiset invariant documented on
+/// [`FsaSet`]: queries cannot observe slot numbering or cell-list
+/// order, so the incrementally maintained set answers exactly like a
+/// fresh build of the same batch. Debug builds verify that equivalence
+/// against a real from-scratch rebuild after every update, so the full
+/// rebuild stays in the tree as the oracle.
+///
+/// The cache is deliberately **not** checkpointed: it is a pure
+/// function of the batches since construction, and a restored
+/// coordinator starts from a fresh cache whose first update rebuilds
+/// the grid — bit-for-bit parity follows from the same invariant.
+///
+/// Duplicate object ids inside one batch are legal (the protocol layer
+/// may submit several crossings for one object in an epoch); each extra
+/// occurrence takes a temporary *overflow* slot that lives exactly one
+/// epoch, keeping the multiset faithful to the batch.
+#[derive(Clone, Debug)]
+pub struct FsaCache {
+    set: FsaSet,
+    /// Registry: object id -> its primary slot in the set.
+    slot_of: FxHashMap<u64, u32>,
+    /// Reverse of `slot_of` for the sweep: slot -> object id. Indexed by
+    /// slot; entries for free/overflow slots are stale and never read.
+    obj_of: Vec<u64>,
+    /// Per-slot epoch stamp: `stamp[s] == epoch` means slot `s` was
+    /// refreshed by the current update.
+    stamp: Vec<u64>,
+    /// Update generation counter (monotone; one tick per `update`).
+    epoch: u64,
+    /// Slots holding duplicate same-batch occurrences; cleared at the
+    /// start of the next update.
+    overflow: Vec<u32>,
+    /// Recycled slot ids.
+    free: Vec<u32>,
+    /// Sweep scratch: slots of objects absent from the current batch.
+    stale: Vec<u32>,
+    /// Statistics of the most recent update.
+    last_delta: FsaDelta,
+}
+
+/// One epoch's delta statistics from [`FsaCache::update`], exposed so
+/// benches and diagnostics can see how much grid work the deltas did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FsaDelta {
+    /// Rects identical to the previous epoch (zero work).
+    pub unchanged: usize,
+    /// Rects that moved without crossing a cell boundary (slab write
+    /// only).
+    pub moved_in_place: usize,
+    /// Rects that moved across cell boundaries (remove + insert).
+    pub moved_rekeyed: usize,
+    /// Objects that newly appeared (insert).
+    pub inserted: usize,
+    /// Objects that fell silent and were swept (remove).
+    pub removed: usize,
+    /// Duplicate same-batch occurrences parked in overflow slots.
+    pub duplicates: usize,
+}
+
+impl FsaCache {
+    /// Creates an empty cache whose sets rasterize at `cell` (same
+    /// meaning as [`FsaSet::build`]'s `cell`).
+    pub fn new(cell: f64) -> Self {
+        FsaCache {
+            set: FsaSet::build(Vec::new(), cell),
+            slot_of: FxHashMap::default(),
+            obj_of: Vec::new(),
+            stamp: Vec::new(),
+            epoch: 0,
+            overflow: Vec::new(),
+            free: Vec::new(),
+            stale: Vec::new(),
+            last_delta: FsaDelta::default(),
+        }
+    }
+
+    /// Delta statistics of the most recent [`FsaCache::update`].
+    pub fn last_delta(&self) -> FsaDelta {
+        self.last_delta
+    }
+
+    /// The maintained set as of the last [`FsaCache::update`] (empty on
+    /// a fresh cache).
+    pub fn set(&self) -> &FsaSet {
+        &self.set
+    }
+
+    /// Applies one epoch's batch — `(object id, FSA rect)` pairs — and
+    /// returns the maintained set, query-equivalent to
+    /// `FsaSet::build(batch rects, cell)`.
+    pub fn update<I>(&mut self, batch: I) -> &FsaSet
+    where
+        I: IntoIterator<Item = (u64, Rect)>,
+    {
+        self.epoch += 1;
+        let mut delta = FsaDelta::default();
+        // Last epoch's duplicate occurrences expire first; their slots
+        // go straight back on the free list for this batch to reuse.
+        for slot in std::mem::take(&mut self.overflow) {
+            self.set.remove_slot(slot);
+            self.free.push(slot);
+        }
+        for (obj, rect) in batch {
+            match self.slot_of.get(&obj).copied() {
+                Some(slot) if self.stamp[slot as usize] != self.epoch => {
+                    self.stamp[slot as usize] = self.epoch;
+                    let old = self.set.rects[slot as usize];
+                    if old == rect {
+                        delta.unchanged += 1;
+                    } else if self.set.coverage(&old) == self.set.coverage(&rect) {
+                        // Same cell footprint: the grid is already
+                        // correct, only the slab entry changes.
+                        self.set.rects[slot as usize] = rect;
+                        delta.moved_in_place += 1;
+                    } else {
+                        self.set.remove_slot(slot);
+                        self.set.insert_slot(slot, rect);
+                        delta.moved_rekeyed += 1;
+                    }
+                }
+                Some(_) => {
+                    // Second occurrence of `obj` in this same batch: park
+                    // it in a one-epoch overflow slot so the rect
+                    // multiset matches the batch exactly.
+                    let slot = self.place(rect);
+                    self.overflow.push(slot);
+                    delta.duplicates += 1;
+                }
+                None => {
+                    let slot = self.place(rect);
+                    self.stamp[slot as usize] = self.epoch;
+                    self.obj_of[slot as usize] = obj;
+                    self.slot_of.insert(obj, slot);
+                    delta.inserted += 1;
+                }
+            }
+        }
+        // Sweep objects that reported last epoch but not this one.
+        self.stale.clear();
+        self.stale.extend(
+            self.slot_of.values().copied().filter(|&s| self.stamp[s as usize] != self.epoch),
+        );
+        for i in 0..self.stale.len() {
+            let slot = self.stale[i];
+            self.slot_of.remove(&self.obj_of[slot as usize]);
+            self.set.remove_slot(slot);
+            self.free.push(slot);
+            delta.removed += 1;
+        }
+        self.last_delta = delta;
+        #[cfg(debug_assertions)]
+        self.debug_verify_against_rebuild();
+        &self.set
+    }
+
+    /// Allocates a slot (recycled or fresh), writes `rect` into it, and
+    /// keeps the per-slot side tables sized with the slab.
+    fn place(&mut self, rect: Rect) -> u32 {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => self.set.rects.len() as u32,
+        };
+        self.set.insert_slot(slot, rect);
+        let slab = self.set.rects.len();
+        if self.stamp.len() < slab {
+            self.stamp.resize(slab, 0);
+            self.obj_of.resize(slab, u64::MAX);
+        }
+        slot
+    }
+
+    /// Structural self-check: registry, stamps, free list, and grid all
+    /// agree. `Err` describes the first violation found.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let slab = self.set.rects.len();
+        if self.stamp.len() != slab || self.obj_of.len() != slab {
+            return Err(format!(
+                "side tables out of step with slab: {} stamps / {} objs for {slab} slots",
+                self.stamp.len(),
+                self.obj_of.len()
+            ));
+        }
+        if self.set.live != self.slot_of.len() + self.overflow.len() {
+            return Err(format!(
+                "live count {} != {} registered + {} overflow",
+                self.set.live,
+                self.slot_of.len(),
+                self.overflow.len()
+            ));
+        }
+        // Every slot is exactly one of: registered, overflow, free.
+        let mut role = vec![0u8; slab];
+        for (&obj, &slot) in self.slot_of.iter() {
+            let s = slot as usize;
+            if s >= slab {
+                return Err(format!("object {obj} registered to out-of-range slot {slot}"));
+            }
+            if self.obj_of[s] != obj {
+                return Err(format!("slot {slot} reverse-maps to {} not {obj}", self.obj_of[s]));
+            }
+            role[s] += 1;
+        }
+        for &slot in self.overflow.iter().chain(self.free.iter()) {
+            let s = slot as usize;
+            if s >= slab {
+                return Err(format!("slot {slot} out of range in overflow/free list"));
+            }
+            role[s] += 1;
+        }
+        if let Some(slot) = role.iter().position(|&r| r != 1) {
+            return Err(format!("slot {slot} claimed by {} roles (want exactly 1)", role[slot]));
+        }
+        // Grid <-> slab cross-check: each live slot appears exactly once
+        // in each covered cell and nowhere else, no cell list is empty.
+        let mut refs: FxHashMap<u32, usize> = FxHashMap::default();
+        for (key, ids) in self.set.grid.iter() {
+            if ids.is_empty() {
+                return Err(format!("empty cell list left behind at {key:?}"));
+            }
+            for &id in ids {
+                *refs.entry(id).or_default() += 1;
+            }
+        }
+        let free: std::collections::HashSet<u32> = self.free.iter().copied().collect();
+        for slot in 0..slab as u32 {
+            let expected = if free.contains(&slot) {
+                0
+            } else {
+                let r = &self.set.rects[slot as usize];
+                let ((lx, ly), (hx, hy)) = self.set.coverage(r);
+                ((hx - lx + 1) * (hy - ly + 1)) as usize
+            };
+            let got = refs.get(&slot).copied().unwrap_or(0);
+            if got != expected {
+                return Err(format!("slot {slot} referenced by {got} cells, expected {expected}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Debug-build oracle: the incrementally maintained set must be
+    /// query-equivalent to a from-scratch build of the live rects. Since
+    /// every query is a pure function of per-cell rect multisets (see
+    /// [`FsaSet`]), comparing those multisets cell by cell *is* a
+    /// complete equivalence check — every test that drives epochs
+    /// through the cache exercises it for free.
+    #[cfg(debug_assertions)]
+    fn debug_verify_against_rebuild(&self) {
+        if let Err(e) = self.check_consistency() {
+            panic!("FsaCache inconsistent after update: {e}");
+        }
+        let live: Vec<Rect> = self
+            .slot_of
+            .values()
+            .chain(self.overflow.iter())
+            .map(|&s| self.set.rects[s as usize])
+            .collect();
+        let oracle = FsaSet::build(live, self.set.cell);
+        type CanonCells = Vec<((i64, i64), Vec<[u64; 4]>)>;
+        let canon = |set: &FsaSet| -> CanonCells {
+            let mut cells: Vec<_> = set
+                .grid
+                .iter()
+                .map(|(&key, ids)| {
+                    let mut rects: Vec<[u64; 4]> = ids
+                        .iter()
+                        .map(|&i| {
+                            let r = &set.rects[i as usize];
+                            [
+                                r.lo().x.to_bits(),
+                                r.lo().y.to_bits(),
+                                r.hi().x.to_bits(),
+                                r.hi().y.to_bits(),
+                            ]
+                        })
+                        .collect();
+                    rects.sort_unstable();
+                    (key, rects)
+                })
+                .collect();
+            cells.sort_unstable();
+            cells
+        };
+        assert_eq!(
+            canon(&self.set),
+            canon(&oracle),
+            "incremental FsaSet diverged from from-scratch rebuild"
+        );
     }
 }
 
@@ -432,6 +840,134 @@ mod tests {
         let (region, depth) = set.max_depth_region(&q).unwrap();
         assert_eq!(depth, 3);
         assert_eq!(region, q);
+    }
+
+    /// Drives a cache and a from-scratch build through the same batches
+    /// and asserts query equivalence on a probe set. (Debug builds also
+    /// verify the per-cell multisets after every update internally.)
+    fn assert_cache_matches_rebuild(cache: &mut FsaCache, batch: &[(u64, Rect)], cell: f64) {
+        let inc = cache.update(batch.iter().copied());
+        let oracle = FsaSet::build(batch.iter().map(|&(_, r)| r).collect(), cell);
+        assert_eq!(inc.len(), oracle.len());
+        // Slot ids are not comparable across the two sets (the cache
+        // recycles slots); only rect multisets are observable.
+        let rects_of = |set: &FsaSet, q: &Rect| -> Vec<(u64, u64, u64, u64)> {
+            let mut v: Vec<_> = set
+                .intersecting(q)
+                .iter()
+                .map(|&i| {
+                    let r = &set.rects[i as usize];
+                    (r.lo().x.to_bits(), r.lo().y.to_bits(), r.hi().x.to_bits(), r.hi().y.to_bits())
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        for probe in 0..40 {
+            let q = r(
+                (probe * 11 % 25) as f64 - 2.0,
+                (probe * 17 % 25) as f64 - 2.0,
+                (probe * 11 % 25) as f64 + 3.0,
+                (probe * 17 % 25) as f64 + 3.0,
+            );
+            assert_eq!(rects_of(inc, &q), rects_of(&oracle, &q), "intersecting({q:?})");
+            assert_eq!(
+                inc.max_depth_region(&q),
+                oracle.max_depth_region(&q),
+                "max_depth_region({q:?})"
+            );
+            assert_eq!(inc.stab_count(&q.centroid()), oracle.stab_count(&q.centroid()));
+        }
+        cache.check_consistency().expect("cache consistent");
+    }
+
+    #[test]
+    fn cache_tracks_add_move_remove_churn() {
+        let cell = 4.0;
+        let mut cache = FsaCache::new(cell);
+        // Epoch 1: three objects.
+        let b1: Vec<(u64, Rect)> = vec![
+            (7, r(0.0, 0.0, 2.0, 2.0)),
+            (8, r(5.0, 5.0, 7.0, 7.0)),
+            (9, r(10.0, 0.0, 12.0, 2.0)),
+        ];
+        assert_cache_matches_rebuild(&mut cache, &b1, cell);
+        assert_eq!(cache.last_delta(), FsaDelta { inserted: 3, ..FsaDelta::default() });
+        // Epoch 2: 7 unchanged, 8 nudged within its cells, 9 teleports
+        // across cells, 11 appears.
+        let b2: Vec<(u64, Rect)> = vec![
+            (7, r(0.0, 0.0, 2.0, 2.0)),
+            (8, r(5.1, 5.1, 7.1, 7.1)),
+            (9, r(0.0, 10.0, 2.0, 12.0)),
+            (11, r(6.0, 6.0, 8.0, 8.0)),
+        ];
+        assert_cache_matches_rebuild(&mut cache, &b2, cell);
+        assert_eq!(
+            cache.last_delta(),
+            FsaDelta {
+                unchanged: 1,
+                moved_in_place: 1,
+                moved_rekeyed: 1,
+                inserted: 1,
+                ..FsaDelta::default()
+            }
+        );
+        // Epoch 3: 7 and 11 fall silent; 8 unchanged, 9 moves back.
+        let b3: Vec<(u64, Rect)> = vec![(8, r(5.1, 5.1, 7.1, 7.1)), (9, r(10.0, 0.0, 12.0, 2.0))];
+        assert_cache_matches_rebuild(&mut cache, &b3, cell);
+        assert_eq!(cache.last_delta().removed, 2);
+        // Epoch 4: everyone gone.
+        assert_cache_matches_rebuild(&mut cache, &[], cell);
+        assert!(cache.update(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn cache_duplicate_ids_keep_multiset_faithful() {
+        let cell = 4.0;
+        let mut cache = FsaCache::new(cell);
+        // Object 3 reports twice in one batch (two crossings in one
+        // epoch): both rects must count, e.g. for stacking depth.
+        let b1: Vec<(u64, Rect)> = vec![
+            (3, r(1.0, 1.0, 3.0, 3.0)),
+            (3, r(1.0, 1.0, 3.0, 3.0)),
+            (4, r(2.0, 2.0, 4.0, 4.0)),
+        ];
+        let set = cache.update(b1.iter().copied());
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.stab_count(&Point::new(2.0, 2.0)), 3);
+        assert_cache_matches_rebuild(&mut cache, &b1, cell);
+        // Next epoch the duplicate collapses to one occurrence; the
+        // overflow slot must expire with its epoch.
+        let b2: Vec<(u64, Rect)> = vec![(3, r(1.0, 1.0, 3.0, 3.0))];
+        assert_cache_matches_rebuild(&mut cache, &b2, cell);
+        assert_eq!(cache.update(b2.iter().copied()).stab_count(&Point::new(2.0, 2.0)), 1);
+    }
+
+    #[test]
+    fn cache_random_churn_matches_rebuild_every_epoch() {
+        let cell = 3.0;
+        let mut cache = FsaCache::new(cell);
+        let mut state = 0xfeed_beefu64;
+        let mut rand = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..30 {
+            // Random population of up to 40 objects, ids drawn from a
+            // small pool so objects persist, vanish, and return; small
+            // random displacements make same-coverage moves common.
+            let n = (rand() % 40) as usize;
+            let batch: Vec<(u64, Rect)> = (0..n)
+                .map(|_| {
+                    let id = rand() % 16;
+                    let x = (rand() % 200) as f64 / 10.0;
+                    let y = (rand() % 200) as f64 / 10.0;
+                    let w = (rand() % 30) as f64 / 10.0 + 0.5;
+                    (id, r(x, y, x + w, y + w))
+                })
+                .collect();
+            assert_cache_matches_rebuild(&mut cache, &batch, cell);
+        }
     }
 
     #[test]

@@ -399,12 +399,33 @@ pub fn process_batch_in(
     overlap_cell: f64,
     policy: OverlapPolicy,
 ) -> (Vec<Selection>, CaseTally) {
+    if states.is_empty() {
+        return (Vec::new(), CaseTally::default());
+    }
+    let fsas = build_fsa_set(states, overlap_cell, policy, 1);
+    process_batch_prepared(states, index, hotness, scratch, &fsas, policy)
+}
+
+/// [`process_batch_in`] with the epoch's FSA-overlap structure supplied
+/// by the caller — the entry point for the coordinator's incrementally
+/// maintained [`crate::strategy::FsaCache`], which amortizes the
+/// [`FsaSet`] build across epochs instead of rebuilding per batch.
+/// `fsas` must be query-equivalent to `build_fsa_set(states, ..)` for
+/// the same policy (both queries are pure functions of the rect
+/// multiset, so an incrementally maintained set qualifies).
+pub fn process_batch_prepared(
+    states: &[ClientState],
+    index: &mut MotionPathIndex,
+    hotness: &mut Hotness,
+    scratch: &mut ScratchArena,
+    fsas: &FsaSet,
+    policy: OverlapPolicy,
+) -> (Vec<Selection>, CaseTally) {
     let mut tally = CaseTally::default();
     if states.is_empty() {
         return (Vec::new(), tally);
     }
 
-    let fsas = build_fsa_set(states, overlap_cell, policy, 1);
     let mut seqs = std::mem::take(&mut scratch.seqs_pool);
     seqs.clear();
     seqs.extend(0..states.len() as u32);
@@ -418,7 +439,7 @@ pub fn process_batch_in(
         states,
         &deferred,
         &mut store,
-        &fsas,
+        fsas,
         policy,
         &mut tally,
         &mut selections,

@@ -146,7 +146,8 @@ impl SlidingWindow {
     }
 
     /// Expiry time of a crossing that exited at `te`: the tuple
-    /// `<te + W, id>` is en-heaped at this timestamp (Section 5.2).
+    /// `<te + W, id>` is enqueued on the expiry wheel at this timestamp
+    /// (Section 5.2).
     #[inline]
     pub fn expiry_of(&self, te: Timestamp) -> Timestamp {
         te.after(self.len)

@@ -243,6 +243,64 @@ proptest! {
         }
     }
 
+    // The timer wheel behind `Hotness` must reproduce the retired
+    // binary heap's externally observable behavior exactly: identical
+    // death order out of `advance` (the heap popped `(expiry, id)`
+    // ascending; the wheel sorts each epoch's expired batch the same
+    // way) and identical counts, after any schedule of records, clock
+    // jumps, and forgets. The reference heap here *is* the old
+    // algorithm: pop due events in order, skip tombstones, decrement.
+    #[test]
+    fn wheel_expiry_order_matches_heap_reference(
+        schedule in prop::collection::vec((0u64..12, 0u64..60, 0u64..8), 1..250),
+        window in 1u64..1500,
+    ) {
+        use std::cmp::Reverse;
+        use std::collections::{BinaryHeap, HashMap, HashSet};
+        let mut hot = Hotness::new(SlidingWindow::new(window));
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut counts: HashMap<u64, u32> = HashMap::new();
+        let mut forgotten: HashSet<u64> = HashSet::new();
+        let mut now = 0u64;
+        for (id, g, action) in schedule {
+            // Mostly small steps, occasionally a jump past several wheel
+            // slots (and, with a large window, across wheel levels).
+            now += if g >= 55 { g * 37 } else { g % 9 };
+            let mut ref_died: Vec<PathId> = Vec::new();
+            while heap.peek().is_some_and(|&Reverse((e, _))| e <= now) {
+                let Reverse((_, rid)) = heap.pop().unwrap();
+                if forgotten.contains(&rid) {
+                    continue; // tombstone of a forgotten id
+                }
+                if let Some(c) = counts.get_mut(&rid) {
+                    *c -= 1;
+                    if *c == 0 {
+                        counts.remove(&rid);
+                        ref_died.push(PathId(rid));
+                    }
+                }
+            }
+            prop_assert_eq!(hot.advance(Timestamp(now)), ref_died);
+            if action == 0 {
+                // `forget` contracts: an id is never recorded again.
+                hot.forget(PathId(id));
+                forgotten.insert(id);
+                counts.remove(&id);
+            } else if !forgotten.contains(&id) {
+                hot.record_crossing(PathId(id), Timestamp(now), 1.0);
+                *counts.entry(id).or_insert(0) += 1;
+                heap.push(Reverse((now + window, id)));
+            }
+            for check in 0..12u64 {
+                prop_assert_eq!(
+                    hot.get(PathId(check)),
+                    counts.get(&check).copied().unwrap_or(0)
+                );
+            }
+            prop_assert!(hot.check_consistency().is_ok());
+        }
+    }
+
     // ---------------- endpoint index ----------------
 
     #[test]

@@ -300,7 +300,7 @@ pub fn filter_economy(params: SimulationParams) -> FilterEconomy {
 
 /// Per-object synopsis quality of the streaming compressors: segments
 /// produced and worst-case spatial deviation, RayTrace chains vs the
-/// opening-window DP policies (the [20] comparison of Section 2).
+/// opening-window DP policies (the ref.-20 comparison of Section 2).
 #[derive(Clone, Copy, Debug)]
 pub struct CompressionRow {
     /// Stream length in points.
