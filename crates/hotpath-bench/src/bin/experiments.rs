@@ -7,6 +7,7 @@
 //! experiments scenario <name|all> [--scale ...] [--shards N]
 //!             [--engine sync|pipelined] [--csv <dir>]
 //!             [--sigma s1,s2,...] [--fallback reject|minimal[:w]|all]
+//!             [--restore-check] [--fault-seed N]
 //! ```
 //!
 //! Defaults: `all --scale mid --shards 1 --engine sync`. `--engine
@@ -50,6 +51,7 @@ fn main() {
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut ckpt = CheckpointPolicy::default();
     let mut restore_check = false;
+    let mut fault_seed: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -121,12 +123,23 @@ fn main() {
                 ckpt.restore_from = Some(std::path::PathBuf::from(path));
             }
             "--restore-check" => restore_check = true,
+            "--fault-seed" => {
+                i += 1;
+                fault_seed = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--fault-seed needs an integer")),
+                );
+            }
             "scenario" => {
                 i += 1;
                 let name = args.get(i).unwrap_or_else(|| usage("scenario needs a name (or 'all')"));
                 if name != "all" && spec(name).is_none() {
+                    let hint = closest_scenario(name)
+                        .map(|c| format!(" — did you mean '{c}'?"))
+                        .unwrap_or_default();
                     usage(&format!(
-                        "unknown scenario '{name}' (available: {})",
+                        "unknown scenario '{name}'{hint} (available: {})",
                         REGISTRY.iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
                     ));
                 }
@@ -162,6 +175,7 @@ fn main() {
             csv_dir.as_deref(),
             &ckpt,
             restore_check,
+            fault_seed,
         ),
         "fig7" => fig7(scale, shards, engine, csv_dir.as_deref()),
         "fig8" => fig8(scale, shards, engine, csv_dir.as_deref()),
@@ -199,9 +213,34 @@ fn usage(msg: &str) -> ! {
          experiments scenario <name|all> [--scale paper|mid|quick] [--shards N] \
          [--engine sync|pipelined] [--csv <dir>] \
          [--sigma s1,s2,...] [--fallback reject|minimal[:<w>]|all] \
-         [--checkpoint-every N] [--checkpoint-dir <dir>] [--restore-from <file>] [--restore-check]"
+         [--checkpoint-every N] [--checkpoint-dir <dir>] [--restore-from <file>] [--restore-check] \
+         [--fault-seed N]"
     );
     std::process::exit(2);
+}
+
+/// The registry name closest to `name` by edit distance, when close
+/// enough to plausibly be a typo (the `scenario` command's
+/// did-you-mean hint).
+fn closest_scenario(name: &str) -> Option<&'static str> {
+    let best = REGISTRY.iter().map(|s| (edit_distance(name, s.name), s.name)).min()?;
+    (best.0 <= 3.max(name.len() / 3)).then_some(best.1)
+}
+
+/// Levenshtein distance over characters.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = Vec::with_capacity(b.len() + 1);
+        cur.push(i + 1);
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur.push((prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
 }
 
 /// The scenario subsystem: crisp run + invariants (+ parity against the
@@ -223,9 +262,13 @@ fn scenario(
     csv_dir: Option<&std::path::Path>,
     ckpt: &CheckpointPolicy,
     restore_check: bool,
+    fault_seed: Option<u64>,
 ) {
     let scenario_scale = scale.scenario_params(2015);
-    let base = ScenarioRunParams { shards, engine, ..ScenarioRunParams::default() };
+    let mut base = ScenarioRunParams { shards, engine, ..ScenarioRunParams::default() };
+    if let Some(seed) = fault_seed {
+        base.fault_seed = seed;
+    }
     // Near-edge default grid: eps = 10 solves up to sigma ~ 5.1, so the
     // last point forces the fallback policy to act.
     let default_sigmas = [0.5, 2.0, 6.0];
@@ -263,6 +306,21 @@ fn scenario(
             s.measurements,
             s.mean_time_ms
         );
+        if let Some(last) = res.outcome.per_epoch.last() {
+            if last.session_connects > 0 {
+                println!(
+                    "   robust: {} healthy / {} dropped at end; {} connects, {} reconnects, \
+                     {} ejections, {} turned away, {} degraded epochs",
+                    last.sessions_healthy,
+                    last.sessions_dropped,
+                    last.session_connects,
+                    last.session_reconnects,
+                    last.session_ejections,
+                    last.turned_away,
+                    last.degraded_epochs
+                );
+            }
+        }
         match &res.invariants {
             Ok(()) => println!("   invariants: ok"),
             Err(e) => {

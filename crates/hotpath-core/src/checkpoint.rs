@@ -45,6 +45,7 @@ use crate::config::{Config, Tolerance};
 use crate::hotness::{DeadEntry, ExpiryEvent, HeatEntry};
 use crate::motion_path::MotionPath;
 use crate::raytrace::ClientState;
+use crate::session::SessionRecord;
 use std::fmt;
 use std::fs;
 use std::io;
@@ -60,8 +61,12 @@ pub const MAGIC: u64 = u64::from_le_bytes(*b"HOTPCKPT");
 /// History: v1 serialized the expiry-event section in binary-heap
 /// array order; v2 serializes it in canonical `(expiry, id)` order —
 /// the contract the timer-wheel-backed [`crate::hotness::Hotness`]
-/// writes and validates on restore.
-pub const FORMAT_VERSION: u32 = 2;
+/// writes and validates on restore; v3 adds the client-session layer:
+/// a [`SectionKind::Session`] section of [`SessionRecord`]s, admission
+/// knobs in [`ConfigRecord`] (72 → 112 bytes), and admission/session
+/// counters in [`StatsRecord`] (96 → 168 bytes). v2 images are
+/// rejected with the typed [`CheckpointError::BadVersion`].
+pub const FORMAT_VERSION: u32 = 3;
 
 // ---------------------------------------------------------------------
 // Pod casting
@@ -88,6 +93,7 @@ unsafe impl Pod for HeatEntry {}
 unsafe impl Pod for ExpiryEvent {}
 unsafe impl Pod for DeadEntry {}
 unsafe impl Pod for ClientState {}
+unsafe impl Pod for SessionRecord {}
 unsafe impl Pod for SectionDesc {}
 unsafe impl Pod for CheckpointHeader {}
 unsafe impl Pod for ConfigRecord {}
@@ -100,10 +106,11 @@ const _: () = {
     assert!(size_of::<ExpiryEvent>() == 16);
     assert!(size_of::<DeadEntry>() == 16);
     assert!(size_of::<ClientState>() == 72);
+    assert!(size_of::<SessionRecord>() == 32);
     assert!(size_of::<SectionDesc>() == 32);
     assert!(size_of::<CheckpointHeader>() == 56);
-    assert!(size_of::<ConfigRecord>() == 72);
-    assert!(size_of::<StatsRecord>() == 96);
+    assert!(size_of::<ConfigRecord>() == 112);
+    assert!(size_of::<StatsRecord>() == 168);
     assert!(size_of::<ShardMetaRecord>() == 16);
 };
 
@@ -321,6 +328,9 @@ pub enum SectionKind {
     Dead = 6,
     /// One [`ShardMetaRecord`] per shard.
     ShardMeta = 7,
+    /// The [`SessionRecord`]s of the client-session table, sorted by
+    /// object id (global; absent when sessions are disabled).
+    Session = 8,
 }
 
 impl SectionKind {
@@ -334,6 +344,7 @@ impl SectionKind {
             5 => SectionKind::Events,
             6 => SectionKind::Dead,
             7 => SectionKind::ShardMeta,
+            8 => SectionKind::Session,
             _ => return None,
         })
     }
@@ -348,6 +359,7 @@ impl SectionKind {
             SectionKind::Events => "events section",
             SectionKind::Dead => "dead section",
             SectionKind::ShardMeta => "shard-meta section",
+            SectionKind::Session => "session section",
         }
     }
 }
@@ -370,7 +382,7 @@ pub struct SectionDesc {
     pub reserved: u32,
 }
 
-/// The embedded [`Config`] echo (one 72-byte record): a checkpoint can
+/// The embedded [`Config`] echo (one 112-byte record): a checkpoint can
 /// only restore into a coordinator running the identical configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
 #[repr(C)]
@@ -393,6 +405,16 @@ pub struct ConfigRecord {
     pub vertex_grain: f64,
     /// Shard count.
     pub shards: u64,
+    /// Session heartbeat lease (0 = sessions off).
+    pub lease: u64,
+    /// Session ejection grace.
+    pub grace: u64,
+    /// Admission queue cap (0 = unbounded).
+    pub queue_cap: u64,
+    /// [`crate::config::AdmissionPolicy`] raw encoding.
+    pub policy: u64,
+    /// Degraded-epoch threshold (0 = never degrade).
+    pub degrade_threshold: u64,
 }
 
 impl ConfigRecord {
@@ -411,6 +433,11 @@ impl ConfigRecord {
             grid_cell: c.grid_cell,
             vertex_grain: c.vertex_grain,
             shards: c.shards as u64,
+            lease: c.admission.lease,
+            grace: c.admission.grace,
+            queue_cap: c.admission.queue_cap as u64,
+            policy: c.admission.policy.as_raw(),
+            degrade_threshold: c.admission.degrade_threshold as u64,
         }
     }
 
@@ -427,9 +454,9 @@ impl ConfigRecord {
     }
 }
 
-/// Global communication/processing counters (one 96-byte record).
-/// Durations are nanoseconds; they are wall-clock diagnostics and are
-/// never part of parity comparisons.
+/// Global communication/processing/admission counters (one 168-byte
+/// record). Durations are nanoseconds; they are wall-clock diagnostics
+/// and are never part of parity comparisons.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 #[repr(C)]
 #[allow(missing_docs)]
@@ -446,6 +473,15 @@ pub struct StatsRecord {
     pub case1: u64,
     pub case2: u64,
     pub case3: u64,
+    pub admitted: u64,
+    pub rejected: u64,
+    pub shed: u64,
+    pub adm_ejected: u64,
+    pub degraded_epochs: u64,
+    pub sess_connects: u64,
+    pub sess_drops: u64,
+    pub sess_reconnects: u64,
+    pub sess_ejections: u64,
 }
 
 /// Per-shard scalars (one 16-byte record per shard).
@@ -705,6 +741,38 @@ mod tests {
             Checkpoint::from_bytes(bytes).unwrap_err(),
             CheckpointError::BadVersion { found: 99 }
         ));
+    }
+
+    #[test]
+    fn v2_images_are_rejected_by_the_version_check_itself() {
+        // Patch the version field back to 2 AND recompute the table
+        // CRC, so the only thing wrong with the image is its version:
+        // the rejection must come from the typed version check, not
+        // ride along on a CRC mismatch.
+        let ck = sample();
+        let mut bytes = ck.as_bytes().to_vec();
+        let mut header =
+            records_from_bytes::<CheckpointHeader>(&bytes[..size_of::<CheckpointHeader>()])
+                .unwrap()[0];
+        header.version = 2;
+        header.table_crc = table_crc(&header, &ck.descs);
+        bytes[..size_of::<CheckpointHeader>()]
+            .copy_from_slice(bytes_of(std::slice::from_ref(&header)));
+        assert!(matches!(
+            Checkpoint::from_bytes(bytes).unwrap_err(),
+            CheckpointError::BadVersion { found: 2 }
+        ));
+    }
+
+    #[test]
+    fn session_section_roundtrips() {
+        let recs = vec![SessionRecord { object: 4, state: 0, deadline: 120, last_heartbeat: 110 }];
+        let mut b = CheckpointBuilder::new(1, 1, 10, 1, 0);
+        b.section(SectionKind::Session, 0, &recs);
+        let ck = b.finish();
+        let back = Checkpoint::from_bytes(ck.as_bytes().to_vec()).unwrap();
+        let got: Vec<SessionRecord> = back.section(SectionKind::Session, 0).unwrap();
+        assert_eq!(got, recs);
     }
 
     #[test]

@@ -53,6 +53,100 @@ impl Tolerance {
     }
 }
 
+/// What the coordinator does when an epoch's drained ingest exceeds
+/// [`Admission::queue_cap`]. Enforcement happens at the epoch boundary
+/// (inside the drain-ingest stage), so every backend and shard count
+/// sees the identical global batch and makes the identical decision.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AdmissionPolicy {
+    /// Refuse the newest arrivals beyond the cap (tail drop).
+    #[default]
+    Reject,
+    /// Shed the oldest queued states to make room for new arrivals.
+    ShedOldest,
+    /// Eject the client with the stalest heartbeat among those in the
+    /// batch (removing all of its queued states), repeating until the
+    /// batch fits. Requires session tracking for staleness; without it
+    /// the victim is the client of the oldest queued state.
+    EjectSlowest,
+}
+
+impl AdmissionPolicy {
+    /// Parses a CLI tag (`reject` / `shed-oldest` / `eject-slowest`).
+    pub fn parse(s: &str) -> Option<AdmissionPolicy> {
+        match s {
+            "reject" => Some(AdmissionPolicy::Reject),
+            "shed-oldest" => Some(AdmissionPolicy::ShedOldest),
+            "eject-slowest" => Some(AdmissionPolicy::EjectSlowest),
+            _ => None,
+        }
+    }
+
+    /// Stable numeric encoding (checkpoint config echo).
+    pub fn as_raw(self) -> u64 {
+        match self {
+            AdmissionPolicy::Reject => 0,
+            AdmissionPolicy::ShedOldest => 1,
+            AdmissionPolicy::EjectSlowest => 2,
+        }
+    }
+
+    /// Decodes [`AdmissionPolicy::as_raw`].
+    pub fn from_raw(raw: u64) -> Option<AdmissionPolicy> {
+        match raw {
+            0 => Some(AdmissionPolicy::Reject),
+            1 => Some(AdmissionPolicy::ShedOldest),
+            2 => Some(AdmissionPolicy::EjectSlowest),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AdmissionPolicy::Reject => "reject",
+            AdmissionPolicy::ShedOldest => "shed-oldest",
+            AdmissionPolicy::EjectSlowest => "eject-slowest",
+        })
+    }
+}
+
+/// Robustness knobs for the serving front door: heartbeat leases for
+/// the client-session lifecycle and a bound on per-epoch ingest. All
+/// default to *off* (zero), leaving the paper pipeline untouched
+/// unless a deployment opts in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Admission {
+    /// Heartbeat lease in timestamps: a client with no admitted state
+    /// for `lease` time units transitions Healthy → Dropped. `0`
+    /// disables session tracking entirely.
+    pub lease: u64,
+    /// Grace period in timestamps after the lease expires: a Dropped
+    /// client with still no heartbeat is Ejected (its session record
+    /// is removed; a later report re-admits it as a fresh session).
+    pub grace: u64,
+    /// Upper bound on states admitted per epoch (the global drained
+    /// batch, so the bound is shard-count invariant). `0` = unbounded.
+    pub queue_cap: usize,
+    /// What to do with the overflow when `queue_cap` is exceeded.
+    pub policy: AdmissionPolicy,
+    /// Degraded-epoch threshold: when the admitted batch still exceeds
+    /// this, the epoch sheds Phase B refinement (FSA-overlap candidate
+    /// generation) and serves own-FSA selections only, recording the
+    /// epoch in [`crate::stats::AdmissionStats::degraded_epochs`].
+    /// `0` = never degrade.
+    pub degrade_threshold: usize,
+}
+
+impl Admission {
+    /// True when session tracking is on (`lease > 0`).
+    #[inline]
+    pub fn sessions_enabled(&self) -> bool {
+        self.lease > 0
+    }
+}
+
 /// Full configuration of a hot-motion-path deployment.
 ///
 /// Defaults mirror Table 2 of the paper: `eps = 10` m, `W = 100`
@@ -77,6 +171,9 @@ pub struct Config {
     /// one scoped thread per shard. `1` (the default) is the sequential
     /// coordinator; results are identical at every shard count.
     pub shards: usize,
+    /// Session lifecycle and admission-control knobs (all off by
+    /// default).
+    pub admission: Admission,
 }
 
 impl Config {
@@ -90,6 +187,7 @@ impl Config {
             grid_cell: 250.0,
             vertex_grain: 1e-3,
             shards: 1,
+            admission: Admission::default(),
         }
     }
 
@@ -129,6 +227,32 @@ impl Config {
     pub fn with_shards(mut self, shards: usize) -> Self {
         assert!(shards > 0, "shard count must be positive");
         self.shards = shards;
+        self
+    }
+
+    /// Builder-style heartbeat lease: enables session tracking with the
+    /// given lease and post-lease ejection grace (both in timestamps).
+    pub fn with_lease(mut self, lease: u64, grace: u64) -> Self {
+        assert!(lease > 0, "lease must be positive (0 disables sessions)");
+        self.admission.lease = lease;
+        self.admission.grace = grace;
+        self
+    }
+
+    /// Builder-style admission cap: bounds the per-epoch admitted batch
+    /// at `queue_cap` states, resolved by `policy`.
+    pub fn with_admission_cap(mut self, queue_cap: usize, policy: AdmissionPolicy) -> Self {
+        assert!(queue_cap > 0, "queue cap must be positive (0 disables the bound)");
+        self.admission.queue_cap = queue_cap;
+        self.admission.policy = policy;
+        self
+    }
+
+    /// Builder-style degraded-epoch threshold: epochs whose admitted
+    /// batch exceeds it shed Phase B refinement.
+    pub fn with_degrade_threshold(mut self, threshold: usize) -> Self {
+        assert!(threshold > 0, "degrade threshold must be positive (0 disables it)");
+        self.admission.degrade_threshold = threshold;
         self
     }
 }
@@ -174,6 +298,42 @@ mod tests {
     #[test]
     fn defaults_are_sequential() {
         assert_eq!(Config::paper_defaults().shards, 1);
+    }
+
+    #[test]
+    fn admission_defaults_are_off_and_builders_compose() {
+        let c = Config::paper_defaults();
+        assert!(!c.admission.sessions_enabled());
+        assert_eq!(c.admission.queue_cap, 0);
+        assert_eq!(c.admission.degrade_threshold, 0);
+        let c = c
+            .with_lease(30, 10)
+            .with_admission_cap(500, AdmissionPolicy::ShedOldest)
+            .with_degrade_threshold(400);
+        assert!(c.admission.sessions_enabled());
+        assert_eq!(c.admission.lease, 30);
+        assert_eq!(c.admission.grace, 10);
+        assert_eq!(c.admission.queue_cap, 500);
+        assert_eq!(c.admission.policy, AdmissionPolicy::ShedOldest);
+        assert_eq!(c.admission.degrade_threshold, 400);
+    }
+
+    #[test]
+    fn admission_policy_parse_display_raw_roundtrip() {
+        for p in
+            [AdmissionPolicy::Reject, AdmissionPolicy::ShedOldest, AdmissionPolicy::EjectSlowest]
+        {
+            assert_eq!(AdmissionPolicy::parse(&p.to_string()), Some(p));
+            assert_eq!(AdmissionPolicy::from_raw(p.as_raw()), Some(p));
+        }
+        assert_eq!(AdmissionPolicy::parse("nope"), None);
+        assert_eq!(AdmissionPolicy::from_raw(99), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "lease must be positive")]
+    fn rejects_zero_lease() {
+        let _ = Config::paper_defaults().with_lease(0, 5);
     }
 
     #[test]

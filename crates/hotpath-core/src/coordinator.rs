@@ -39,14 +39,15 @@ use crate::checkpoint::{
     Checkpoint, CheckpointBuilder, CheckpointError, ConfigRecord, SectionKind, ShardMetaRecord,
     StatsRecord, FLAG_HINTS, FLAG_OVERLAP_OWN,
 };
-use crate::config::Config;
+use crate::config::{AdmissionPolicy, Config};
 use crate::geometry::{Point, Rect, TimePoint};
 use crate::hotness::{DeadEntry, ExpiryEvent, HeatEntry, Hotness};
 use crate::index::{MotionPathIndex, VertexGroups};
 use crate::motion_path::{MotionPath, PathId};
 use crate::raytrace::hinted::PathHint;
 use crate::raytrace::ClientState;
-use crate::stats::{CommStats, ProcessingStats};
+use crate::session::{SessionCounters, SessionEvent, SessionRecord, SessionTable};
+use crate::stats::{AdmissionStats, CommStats, ProcessingStats};
 use crate::strategy::{
     phase_a, phase_b, process_batch_prepared, CaseTally, FsaCache, FsaSet, OverlapPolicy,
     PathStore, PhaseAOutput, ScratchArena, Selection,
@@ -119,6 +120,16 @@ pub struct HotSnapshot {
     pub comm: CommStats,
     /// Processing counters as of the publish.
     pub processing: ProcessingStats,
+    /// Admission counters as of the publish (all zeros while the
+    /// ingest bound and sessions are off).
+    pub admission: AdmissionStats,
+    /// Session transitions that happened during the published epoch, in
+    /// deterministic order (empty while sessions are off).
+    pub session_events: Arc<[SessionEvent]>,
+    /// Sessions currently Healthy.
+    pub sessions_healthy: usize,
+    /// Sessions currently Dropped (lease expired, inside grace).
+    pub sessions_dropped: usize,
 }
 
 impl HotSnapshot {
@@ -133,6 +144,10 @@ impl HotSnapshot {
             index_size: 0,
             comm: CommStats::default(),
             processing: ProcessingStats::default(),
+            admission: AdmissionStats::default(),
+            session_events: Arc::from(Vec::new()),
+            sessions_healthy: 0,
+            sessions_dropped: 0,
         }
     }
 }
@@ -284,6 +299,15 @@ pub struct Coordinator {
     clock: Timestamp,
     /// Read-side caches (published snapshot, hot-set enumeration).
     cache: RefCell<ReadCache>,
+    /// The client-session table; `None` while sessions are off
+    /// (`Admission::lease == 0`, the default) so the paper pipeline pays
+    /// nothing for the lifecycle layer.
+    sessions: Option<SessionTable>,
+    /// Admission-control counters (what drain-ingest did with overload).
+    admission: AdmissionStats,
+    /// Session transitions drained at the last publish, shared into
+    /// snapshots.
+    last_session_events: Arc<[SessionEvent]>,
 }
 
 impl Coordinator {
@@ -298,6 +322,9 @@ impl Coordinator {
                 scratch: ScratchArena::new(),
             })
             .collect();
+        let sessions = config.admission.sessions_enabled().then(|| {
+            SessionTable::new(config.admission.lease, config.admission.grace, Timestamp(0))
+        });
         Coordinator {
             router: ShardRouter::new(&config),
             pending_parts: if config.shards > 1 {
@@ -317,6 +344,9 @@ impl Coordinator {
             front: FrontScratch::default(),
             clock: Timestamp(0),
             cache: RefCell::new(ReadCache::default()),
+            sessions,
+            admission: AdmissionStats::default(),
+            last_session_events: Arc::from(Vec::new()),
         }
     }
 
@@ -393,13 +423,17 @@ impl Coordinator {
     }
 
     /// Advances the hotness clock to `now`, deleting expired paths from
-    /// the index (call once per timestamp; cheap when nothing expires).
+    /// the index, and expires session leases through the session wheel
+    /// (call once per timestamp; cheap when nothing expires).
     pub fn advance_time(&mut self, now: Timestamp) {
         let start = Instant::now();
         for shard in &mut self.shards {
             for dead in shard.hotness.advance(now) {
                 shard.index.remove(dead);
             }
+        }
+        if let Some(table) = &mut self.sessions {
+            table.advance(now);
         }
         self.clock = self.clock.max(now);
         // Expiry can change the hot set: drop the read caches.
@@ -449,14 +483,97 @@ impl Coordinator {
     }
 
     /// Stage *drain-ingest*: advance the window clock (expiring dead
-    /// paths) and seal the pending batch — states plus their pre-routed
-    /// per-shard position slices — for the strategy stages.
+    /// paths and session leases), seal the pending batch — states plus
+    /// their pre-routed per-shard position slices — and apply admission
+    /// control (heartbeats, then the queue cap) to the sealed batch.
     pub(crate) fn stage_drain_ingest(&mut self, now: Timestamp) -> EpochBatch {
         self.advance_time(now);
-        EpochBatch {
-            states: std::mem::take(&mut self.pending),
-            parts: std::mem::take(&mut self.pending_parts),
+        let mut states = std::mem::take(&mut self.pending);
+        let mut parts = std::mem::take(&mut self.pending_parts);
+        self.apply_admission(&mut states, &mut parts, now);
+        EpochBatch { states, parts }
+    }
+
+    /// Admission control over one sealed epoch batch. Runs at the epoch
+    /// boundary against the *global* batch (never per shard), so the
+    /// admitted set — and everything downstream — is identical at every
+    /// shard count and on every engine.
+    ///
+    /// Order matters and is part of the contract: every submitted state
+    /// is a heartbeat first (liveness is information even when the cap
+    /// turns the state away), then the cap policy trims the batch, then
+    /// the per-shard routing is rebuilt for whatever survived.
+    fn apply_admission(
+        &mut self,
+        states: &mut Vec<ClientState>,
+        parts: &mut [Vec<u32>],
+        now: Timestamp,
+    ) {
+        let admission = self.config.admission;
+        if self.sessions.is_none() && admission.queue_cap == 0 {
+            return; // layer off: zero work, zero counter drift
         }
+        if let Some(table) = &mut self.sessions {
+            for s in states.iter() {
+                table.heartbeat(s.object, s.te);
+            }
+        }
+        let cap = admission.queue_cap;
+        let before = states.len();
+        if cap > 0 && before > cap {
+            match admission.policy {
+                AdmissionPolicy::Reject => {
+                    // Keep the first `cap` arrivals, refuse the rest.
+                    states.truncate(cap);
+                    self.admission.rejected += (before - cap) as u64;
+                }
+                AdmissionPolicy::ShedOldest => {
+                    // Keep the newest `cap` arrivals, shed the front.
+                    states.drain(..before - cap);
+                    self.admission.shed += (before - cap) as u64;
+                }
+                AdmissionPolicy::EjectSlowest => {
+                    // Repeatedly eject the slowest client with states in
+                    // the batch — stalest last heartbeat, ties toward the
+                    // smaller id — until the batch fits. Each round
+                    // removes at least one state, so this terminates.
+                    while states.len() > cap {
+                        let victim = match &self.sessions {
+                            Some(table) => {
+                                let mut best: Option<(u64, u64)> = None;
+                                for s in states.iter() {
+                                    let hb = table.last_heartbeat(s.object).unwrap_or(0);
+                                    let key = (hb, s.object.0);
+                                    if best.is_none_or(|b| key < b) {
+                                        best = Some(key);
+                                    }
+                                }
+                                ObjectId(best.expect("batch is over cap, hence non-empty").1)
+                            }
+                            // Sessions off: the client of the oldest
+                            // queued state is the slowest we can name.
+                            None => states[0].object,
+                        };
+                        let kept = states.len();
+                        states.retain(|s| s.object != victim);
+                        self.admission.ejected += (kept - states.len()) as u64;
+                        if let Some(table) = &mut self.sessions {
+                            table.eject_now(victim, now);
+                        }
+                    }
+                }
+            }
+            // The batch changed: rebuild the per-shard routing.
+            if self.shards.len() > 1 {
+                for p in parts.iter_mut() {
+                    p.clear();
+                }
+                for (seq, s) in states.iter().enumerate() {
+                    parts[self.router.shard_of(&s.start)].push(seq as u32);
+                }
+            }
+        }
+        self.admission.admitted += states.len() as u64;
     }
 
     /// Stages *Phase A* and *Phase B*: run SinglePath over the sealed
@@ -464,10 +581,22 @@ impl Coordinator {
     /// global Phase B otherwise) and account the processing statistics.
     pub(crate) fn stage_strategy(&mut self, batch: &EpochBatch) -> Vec<Selection> {
         let start = Instant::now();
+        // Degraded-epoch mode: past the overload threshold, shed the
+        // Phase B FSA-overlap refinement for this epoch (the `Own`
+        // ablation policy — each state only considers its own FSA).
+        // The trigger is the admitted global batch size, so degradation
+        // fires identically at every shard count and on every engine.
+        let degrade = self.config.admission.degrade_threshold;
+        let policy = if degrade > 0 && batch.states.len() > degrade {
+            self.admission.degraded_epochs += 1;
+            OverlapPolicy::Own
+        } else {
+            self.overlap_policy
+        };
         let (selections, tally) = if self.shards.len() == 1 {
             // Sequential fast path — the pre-sharding coordinator,
             // bit for bit (one index, its own id counter, no threads).
-            let fsas = Self::epoch_fsas(&mut self.fsa_cache, &batch.states, self.overlap_policy);
+            let fsas = Self::epoch_fsas(&mut self.fsa_cache, &batch.states, policy);
             let shard = &mut self.shards[0];
             process_batch_prepared(
                 &batch.states,
@@ -475,11 +604,11 @@ impl Coordinator {
                 &mut shard.hotness,
                 &mut shard.scratch,
                 fsas,
-                self.overlap_policy,
+                policy,
             )
         } else {
             // The per-shard slices were routed at submit time.
-            self.process_batch_sharded(&batch.states, &batch.parts)
+            self.process_batch_sharded(&batch.states, &batch.parts, policy)
         };
         self.processing.strategy_time += start.elapsed();
         self.processing.epochs += 1;
@@ -513,6 +642,10 @@ impl Coordinator {
     /// counters. Returns the published snapshot.
     pub(crate) fn stage_publish(&mut self) -> Arc<HotSnapshot> {
         let start = Instant::now();
+        // Seal this epoch's session transitions into the snapshot view.
+        if let Some(table) = &mut self.sessions {
+            self.last_session_events = table.drain_events().into();
+        }
         *self.cache.get_mut() = ReadCache::default();
         let snap = self.snapshot();
         self.processing.publish_time += start.elapsed();
@@ -542,6 +675,7 @@ impl Coordinator {
         &mut self,
         states: &[ClientState],
         parts: &[Vec<u32>],
+        policy: OverlapPolicy,
     ) -> (Vec<Selection>, CaseTally) {
         let mut outputs: Vec<(usize, PhaseAOutput)> = Vec::with_capacity(self.shards.len());
         std::thread::scope(|scope| {
@@ -605,7 +739,7 @@ impl Coordinator {
         // Apply the epoch's FSA delta to the incrementally maintained
         // overlap structure — query-equivalent to a from-scratch build
         // of this batch, at O(changed) grid edits instead of a rebuild.
-        let fsas = Self::epoch_fsas(&mut self.fsa_cache, states, self.overlap_policy);
+        let fsas = Self::epoch_fsas(&mut self.fsa_cache, states, policy);
         let mut groups = std::mem::take(&mut self.front.groups);
         let mut store = ShardedStore {
             shards: &mut self.shards,
@@ -617,7 +751,7 @@ impl Coordinator {
             &deferred,
             &mut store,
             fsas,
-            self.overlap_policy,
+            policy,
             &mut tally,
             &mut selections,
             &mut groups,
@@ -720,6 +854,10 @@ impl Coordinator {
             index_size: self.index_size(),
             comm: self.comm,
             processing: self.processing,
+            admission: self.admission,
+            session_events: self.last_session_events.clone(),
+            sessions_healthy: self.sessions.as_ref().map_or(0, |t| t.healthy_count()),
+            sessions_dropped: self.sessions.as_ref().map_or(0, |t| t.dropped_count()),
         });
         self.cache.borrow_mut().snapshot = Some(snap.clone());
         snap
@@ -779,6 +917,18 @@ impl Coordinator {
         self.comm
     }
 
+    /// Admission-control counters (all zeros while the ingest bound and
+    /// sessions are off).
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission
+    }
+
+    /// The session table, when sessions are enabled
+    /// (`Config::with_lease`).
+    pub fn sessions(&self) -> Option<&SessionTable> {
+        self.sessions.as_ref()
+    }
+
     /// Processing counters.
     pub fn processing_stats(&self) -> &ProcessingStats {
         &self.processing
@@ -820,6 +970,9 @@ impl Coordinator {
             }
         }
         self.fsa_cache.check_consistency().map_err(|e| format!("fsa cache: {e}"))?;
+        if let Some(table) = &self.sessions {
+            table.check().map_err(|e| format!("session table: {e}"))?;
+        }
         // The incremental rank path must reproduce the naive full sort
         // at every depth (the pre-incremental `top_n` implementation).
         let mut oracle = self.hot_paths().to_vec();
@@ -880,6 +1033,7 @@ impl Coordinator {
             flags,
         );
         b.section(SectionKind::Config, 0, &[ConfigRecord::from_config(&self.config)]);
+        let sess_counters = self.sessions.as_ref().map(|t| t.counters()).unwrap_or_default();
         b.section(
             SectionKind::Stats,
             0,
@@ -896,8 +1050,20 @@ impl Coordinator {
                 case1: self.processing.case1,
                 case2: self.processing.case2,
                 case3: self.processing.case3,
+                admitted: self.admission.admitted,
+                rejected: self.admission.rejected,
+                shed: self.admission.shed,
+                adm_ejected: self.admission.ejected,
+                degraded_epochs: self.admission.degraded_epochs,
+                sess_connects: sess_counters.connects,
+                sess_drops: sess_counters.drops,
+                sess_reconnects: sess_counters.reconnects,
+                sess_ejections: sess_counters.ejections,
             }],
         );
+        if let Some(table) = &self.sessions {
+            b.section(SectionKind::Session, 0, &table.records_vec());
+        }
         if extra_pending.is_empty() {
             b.section(SectionKind::Pending, 0, &self.pending);
         } else {
@@ -1004,6 +1170,26 @@ impl Coordinator {
         // post-restore batch, and overlap queries only see the rect
         // multiset, so parity is preserved.
         let fsa_cache = FsaCache::new(overlap_cell_of(&config));
+        let sessions = if config.admission.sessions_enabled() {
+            let recs: Vec<SessionRecord> = ck.section(SectionKind::Session, 0)?;
+            Some(
+                SessionTable::from_checkpoint_parts(
+                    config.admission.lease,
+                    config.admission.grace,
+                    recs,
+                    SessionCounters {
+                        connects: stats.sess_connects,
+                        drops: stats.sess_drops,
+                        reconnects: stats.sess_reconnects,
+                        ejections: stats.sess_ejections,
+                    },
+                    Timestamp(header.clock),
+                )
+                .map_err(|e| CheckpointError::Malformed(format!("session table: {e}")))?,
+            )
+        } else {
+            None
+        };
         Ok(Coordinator {
             config,
             shards,
@@ -1037,6 +1223,15 @@ impl Coordinator {
             front: FrontScratch::default(),
             clock: Timestamp(header.clock),
             cache: RefCell::new(ReadCache::default()),
+            sessions,
+            admission: AdmissionStats {
+                admitted: stats.admitted,
+                rejected: stats.rejected,
+                shed: stats.shed,
+                ejected: stats.adm_ejected,
+                degraded_epochs: stats.degraded_epochs,
+            },
+            last_session_events: Arc::from(Vec::new()),
         })
     }
 
@@ -1394,6 +1589,215 @@ mod tests {
             Coordinator::from_checkpoint(config.with_shards(2), &image),
             Err(crate::checkpoint::CheckpointError::ConfigMismatch(_))
         ));
+    }
+
+    #[test]
+    fn admission_policies_are_shard_invariant_and_account() {
+        use crate::config::AdmissionPolicy::*;
+        for policy in [Reject, ShedOldest, EjectSlowest] {
+            let drive = |shards: usize| {
+                let config =
+                    cfg().with_shards(shards).with_lease(50, 20).with_admission_cap(10, policy);
+                let mut c = Coordinator::new(config);
+                // 3 clients x 5 states = 15 pending, 5 over the cap.
+                for obj in 0..3u64 {
+                    for i in 0..5u64 {
+                        let x = (obj * 600) as f64;
+                        c.submit(state(obj, (x, 0.0), (x + 50.0, i as f64 * 40.0), 0, 1 + i));
+                    }
+                }
+                let responses: Vec<u64> =
+                    c.process_epoch(Timestamp(10)).iter().map(|r| r.object.0).collect();
+                c.check_consistency().unwrap();
+                (responses, c.admission_stats(), c.index_size())
+            };
+            let base = drive(1);
+            assert_eq!(base.1.admitted, 10, "{policy:?}");
+            assert_eq!(base.1.turned_away(), 5, "{policy:?}");
+            match policy {
+                Reject => assert_eq!(base.1.rejected, 5),
+                ShedOldest => assert_eq!(base.1.shed, 5),
+                EjectSlowest => assert_eq!(base.1.ejected, 5),
+            }
+            for shards in [3usize, 4] {
+                assert_eq!(drive(shards), base, "{policy:?} diverged at {shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn eject_slowest_removes_the_stalest_client_and_its_session() {
+        let config = cfg().with_lease(50, 20).with_admission_cap(6, AdmissionPolicy::EjectSlowest);
+        let mut c = Coordinator::new(config);
+        // Client 7 heartbeats stalest (te 1); clients 8 and 9 are fresher.
+        for (obj, te) in [(7u64, 1u64), (8, 5), (9, 9)] {
+            for i in 0..3u64 {
+                let x = (obj * 600) as f64;
+                c.submit(state(obj, (x, 0.0), (x + 50.0, i as f64 * 40.0), 0, te));
+            }
+        }
+        let survivors: Vec<u64> =
+            c.process_epoch(Timestamp(10)).iter().map(|r| r.object.0).collect();
+        assert!(!survivors.contains(&7), "stalest client must be ejected");
+        assert_eq!(survivors.len(), 6);
+        assert_eq!(c.admission_stats().ejected, 3);
+        let table = c.sessions().unwrap();
+        assert_eq!(table.counters().ejections, 1);
+        assert!(table.state_of(ObjectId(7)).is_none());
+        assert!(table.state_of(ObjectId(8)).is_some());
+    }
+
+    #[test]
+    fn session_lifecycle_surfaces_in_snapshots() {
+        use crate::session::SessionTransition;
+        let mut c = Coordinator::new(cfg().with_lease(25, 10));
+        c.submit(state(1, (0.0, 0.0), (50.0, 0.0), 0, 9));
+        c.submit(state(2, (0.0, 300.0), (50.0, 300.0), 0, 9));
+        let _ = c.process_epoch(Timestamp(10));
+        let snap = c.snapshot();
+        assert_eq!(snap.sessions_healthy, 2);
+        assert_eq!(snap.session_events.len(), 2, "two Connected events");
+        // Only client 1 keeps reporting; client 2 goes silent with its
+        // lease ending at 9 + 25 = 34 and grace ending at 44.
+        for epoch in 2..=5u64 {
+            let now = epoch * 10;
+            c.submit(state(1, (0.0, 0.0), (50.0, 0.0), now - 10, now - 1));
+            let _ = c.process_epoch(Timestamp(now));
+        }
+        let snap = c.snapshot();
+        assert_eq!(snap.sessions_healthy, 1);
+        assert_eq!(snap.sessions_dropped, 0);
+        let table = c.sessions().unwrap();
+        assert_eq!(table.counters().drops, 1);
+        assert_eq!(table.counters().ejections, 1);
+        assert!(table.state_of(ObjectId(2)).is_none());
+        // The epoch-4 snapshot carried the drop; by epoch 5 the eject.
+        // (Events live one epoch each; the final snapshot holds none.)
+        assert!(snap
+            .session_events
+            .iter()
+            .all(|e| e.transition != SessionTransition::Dropped || e.object == ObjectId(1)));
+        c.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn overload_degrades_phase_b_and_counts_epochs() {
+        let drive = |shards: usize| {
+            let mut c = Coordinator::new(cfg().with_shards(shards).with_degrade_threshold(5));
+            for obj in 0..10u64 {
+                let x = (obj % 5) as f64 * 600.0;
+                c.submit(state(obj, (x, 0.0), (x + 50.0, 0.0), 0, 9));
+            }
+            let over = c.process_epoch(Timestamp(10)).len();
+            // A under-threshold epoch runs the full policy again.
+            c.submit(state(0, (0.0, 0.0), (50.0, 0.0), 10, 19));
+            let _ = c.process_epoch(Timestamp(20));
+            c.check_consistency().unwrap();
+            (over, c.admission_stats().degraded_epochs, c.top_k_score().to_bits())
+        };
+        let base = drive(1);
+        assert_eq!(base.0, 10, "degraded epochs still answer every state");
+        assert_eq!(base.1, 1, "exactly the over-threshold epoch degraded");
+        assert_eq!(drive(4), base, "degradation must be shard-invariant");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_with_sessions_and_admission() {
+        for shards in [1usize, 4] {
+            let config = cfg()
+                .with_k(5)
+                .with_shards(shards)
+                .with_lease(30, 10)
+                .with_admission_cap(20, AdmissionPolicy::ShedOldest)
+                .with_degrade_threshold(18);
+            let mut live = Coordinator::new(config);
+            let mut s = 99u64;
+            let mut rand = move || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s >> 33
+            };
+            let mut feed = |c: &mut Coordinator, epoch: u64, spread: u64| {
+                let now = epoch * 10;
+                for _ in 0..25u64 {
+                    let obj = rand() % spread;
+                    let x = ((rand() % 8) * 400) as f64;
+                    let y = ((rand() % 4) * 300) as f64;
+                    c.submit(state(obj, (x, y), (x + 50.0, y), now - 10, now - 1));
+                }
+                Timestamp(now)
+            };
+            // Epochs 1-3 hear from 12 clients, 4-6 from only 6, so the
+            // silent half drops and ejects before the checkpoint.
+            for epoch in 1..=6u64 {
+                let spread = if epoch <= 3 { 12 } else { 6 };
+                let now = feed(&mut live, epoch, spread);
+                let _ = live.process_epoch(now);
+            }
+            let stats = live.admission_stats();
+            assert!(stats.shed > 0, "cap must have fired");
+            assert!(stats.degraded_epochs > 0, "overload must have degraded");
+            assert!(live.sessions().unwrap().counters().drops > 0, "drops expected");
+
+            let image = live.checkpoint();
+            let mut restored =
+                Coordinator::from_checkpoint(config, &image).expect("restore failed");
+            restored.check_consistency().unwrap();
+            assert_eq!(restored.admission_stats(), live.admission_stats());
+            assert_eq!(
+                restored.sessions().unwrap().counters(),
+                live.sessions().unwrap().counters()
+            );
+            assert_eq!(
+                restored.sessions().unwrap().records_vec(),
+                live.sessions().unwrap().records_vec()
+            );
+            assert_eq!(
+                restored.checkpoint().as_bytes(),
+                image.as_bytes(),
+                "checkpoint of restore must be byte-identical"
+            );
+
+            // Both must continue in lock-step, session layer included.
+            let mut s2 = 4242u64;
+            for epoch in 7..=12u64 {
+                let mut batch = Vec::new();
+                for _ in 0..25u64 {
+                    s2 = s2.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let r = s2 >> 33;
+                    let x = ((r % 8) * 400) as f64;
+                    let y = ((r % 4) * 300) as f64;
+                    batch.push(state(
+                        r % 12,
+                        (x, y),
+                        (x + 50.0, y),
+                        epoch * 10 - 10,
+                        epoch * 10 - 1,
+                    ));
+                }
+                let now = Timestamp(epoch * 10);
+                live.submit_batch(batch.iter().copied());
+                restored.submit_batch(batch.iter().copied());
+                let ra: Vec<(u64, u64)> = live
+                    .process_epoch(now)
+                    .iter()
+                    .map(|r| (r.object.0, r.endpoint.p.x.to_bits()))
+                    .collect();
+                let rb: Vec<(u64, u64)> = restored
+                    .process_epoch(now)
+                    .iter()
+                    .map(|r| (r.object.0, r.endpoint.p.x.to_bits()))
+                    .collect();
+                assert_eq!(ra, rb, "responses diverged at {shards} shards, epoch {epoch}");
+                assert_eq!(
+                    live.snapshot().session_events,
+                    restored.snapshot().session_events,
+                    "session events diverged at {shards} shards, epoch {epoch}"
+                );
+                assert_eq!(live.admission_stats(), restored.admission_stats());
+            }
+            live.check_consistency().unwrap();
+            restored.check_consistency().unwrap();
+        }
     }
 
     #[test]

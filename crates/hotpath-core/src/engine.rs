@@ -147,6 +147,16 @@ pub trait Engine {
     /// still-buffered ingest is transferred into its pending batch, so
     /// the result is identical to the sync backend's coordinator).
     fn finish(self: Box<Self>) -> Coordinator;
+    /// Advisory backpressure signal: true when buffered ingest already
+    /// exceeds the configured admission queue cap, so well-behaved
+    /// clients can slow down *before* the boundary cap starts turning
+    /// states away. Always false while the cap is off. Advisory only —
+    /// enforcement happens in the drain-ingest stage, identically on
+    /// every backend.
+    fn is_saturated(&self) -> bool {
+        let cap = self.config().admission.queue_cap;
+        cap > 0 && self.pending_len() > cap
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -637,6 +647,90 @@ mod tests {
             let sync = drive(EngineKind::Sync, shards);
             let pipelined = drive(EngineKind::Pipelined, shards);
             assert_eq!(sync, pipelined, "engines diverged at {shards} shards");
+        }
+    }
+
+    /// The same cross-backend contract with the robustness layer on: a
+    /// workload where clients go silent mid-run, the admission cap
+    /// fires, and epochs degrade under overload. Responses, the
+    /// session-event stream, and every admission/session counter must
+    /// be identical on both backends at every shard count.
+    #[test]
+    fn engines_agree_with_sessions_and_admission_on() {
+        use crate::config::AdmissionPolicy;
+        use crate::session::SessionTransition;
+        #[allow(clippy::type_complexity)]
+        fn drive_robust(
+            kind: EngineKind,
+            shards: usize,
+        ) -> (Vec<Vec<(u64, u64)>>, Vec<(u64, u64, u8)>, Vec<u64>, Vec<u64>, bool) {
+            let config = cfg(shards)
+                .with_lease(30, 10)
+                .with_admission_cap(24, AdmissionPolicy::ShedOldest)
+                .with_degrade_threshold(20);
+            let mut engine = kind.build(Coordinator::new(config));
+            let mut responses_log = Vec::new();
+            let mut events = Vec::new();
+            let mut saw_saturation = false;
+            let mut s = 11u64;
+            let mut rand = || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s >> 33
+            };
+            for epoch in 1..=8u64 {
+                // Half the client pool falls silent after epoch 4, so
+                // leases expire and the grace period ejects.
+                let pool = if epoch <= 4 { 12 } else { 5 };
+                for tick in 1..=10u64 {
+                    let now = Timestamp((epoch - 1) * 10 + tick);
+                    for _ in 0..3 + (rand() % 3) as usize {
+                        let obj = rand() % pool;
+                        let x = ((rand() % 6) * 500) as f64;
+                        let y = ((rand() % 3) * 300) as f64;
+                        engine.submit(state(obj, (x, y), (x + 50.0, y), now.raw()));
+                    }
+                    saw_saturation |= engine.is_saturated();
+                    engine.advance_time(now);
+                    if tick == 10 {
+                        let resp = engine.process_epoch(now);
+                        responses_log
+                            .push(resp.iter().map(|r| (r.object.0, r.endpoint.t.raw())).collect());
+                        for ev in engine.snapshot().session_events.iter() {
+                            let tag = match ev.transition {
+                                SessionTransition::Connected => 0u8,
+                                SessionTransition::Dropped => 1,
+                                SessionTransition::Reconnected => 2,
+                                SessionTransition::Ejected => 3,
+                            };
+                            events.push((ev.object.0, ev.at.raw(), tag));
+                        }
+                    }
+                }
+            }
+            let snap = engine.snapshot();
+            let adm = snap.admission;
+            let coordinator = engine.finish();
+            coordinator.check_consistency().unwrap();
+            let sc = coordinator.sessions().unwrap().counters();
+            (
+                responses_log,
+                events,
+                vec![adm.admitted, adm.rejected, adm.shed, adm.ejected, adm.degraded_epochs],
+                vec![sc.connects, sc.drops, sc.reconnects, sc.ejections],
+                saw_saturation,
+            )
+        }
+
+        let base = drive_robust(EngineKind::Sync, 1);
+        assert!(!base.1.is_empty(), "the workload must produce session events");
+        assert!(base.2[2] > 0, "the cap must shed states");
+        assert!(base.2[4] > 0, "overload must degrade epochs");
+        assert!(base.3[1] > 0 && base.3[3] > 0, "silent clients must drop and eject");
+        assert!(base.4, "the advisory saturation signal must fire");
+        for (kind, shards) in
+            [(EngineKind::Sync, 4), (EngineKind::Pipelined, 1), (EngineKind::Pipelined, 4)]
+        {
+            assert_eq!(drive_robust(kind, shards), base, "{kind} diverged at {shards} shards");
         }
     }
 

@@ -76,10 +76,12 @@ pub mod hotness;
 pub mod index;
 pub mod motion_path;
 pub mod raytrace;
+pub mod session;
 pub mod stats;
 pub mod strategy;
 pub mod time;
 pub mod uncertainty;
+pub mod wheel;
 
 /// Identifier of a moving object (client).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -95,13 +97,15 @@ impl std::fmt::Display for ObjectId {
 /// Convenient glob-import of the public API.
 pub mod prelude {
     pub use crate::checkpoint::{Checkpoint, CheckpointError};
-    pub use crate::config::{Config, Tolerance};
+    pub use crate::config::{Admission, AdmissionPolicy, Config, Tolerance};
     pub use crate::coordinator::{Coordinator, EndpointResponse, HotSnapshot};
     pub use crate::engine::{Engine, EngineKind, PipelinedEngine, SyncEngine};
     pub use crate::geometry::{Point, Rect, Segment, TimePoint, Trajectory};
     pub use crate::hotness::Hotness;
     pub use crate::motion_path::{MotionPath, PathId};
     pub use crate::raytrace::{ClientState, RayTraceFilter};
+    pub use crate::session::{SessionEvent, SessionState, SessionTable, SessionTransition};
+    pub use crate::stats::AdmissionStats;
     pub use crate::time::{EpochClock, SlidingWindow, TimeInterval, Timestamp};
     pub use crate::uncertainty::{GaussianPoint, ToleranceTable};
     pub use crate::ObjectId;

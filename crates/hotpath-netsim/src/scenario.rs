@@ -26,6 +26,7 @@
 use crate::mobility::{ChoicePolicy, Measurement, Population, PopulationParams};
 use crate::network::{generate, ClosureSet, NetworkParams, NodeId, RoadClass, RoadNetwork};
 use crate::scenarios::{evacuation, nearest_node, sensor_dropout, sporting_event, DropoutWindow};
+use hotpath_core::config::AdmissionPolicy;
 use hotpath_core::geometry::TimePoint;
 use hotpath_core::time::Timestamp;
 use hotpath_core::ObjectId;
@@ -70,6 +71,20 @@ pub struct EpochSample {
     pub top_ids: Vec<u64>,
     /// The hottest path's hotness (crossing count), when any.
     pub top_hotness: Option<u32>,
+    /// Sessions Healthy after the epoch (0 while sessions are off).
+    pub sessions_healthy: usize,
+    /// Sessions Dropped after the epoch.
+    pub sessions_dropped: usize,
+    /// Cumulative fresh session connects.
+    pub session_connects: u64,
+    /// Cumulative session reconnects.
+    pub session_reconnects: u64,
+    /// Cumulative session ejections.
+    pub session_ejections: u64,
+    /// Cumulative states turned away by admission control.
+    pub turned_away: u64,
+    /// Cumulative epochs that degraded Phase B under overload.
+    pub degraded_epochs: u64,
 }
 
 /// Everything a driver run exposes to [`Scenario::check_invariants`].
@@ -90,6 +105,93 @@ impl ScenarioOutcome {
     pub fn epoch_at(&self, t: Timestamp) -> Option<&EpochSample> {
         self.per_epoch.iter().find(|e| e.timestamp >= t)
     }
+}
+
+/// What a declared fault does to the clients it selects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The client vanishes: no measurements reach the pipeline, and on
+    /// return the client reconnects with a fresh filter (new session).
+    Disconnect,
+    /// The client stalls: no measurements reach the pipeline, but on
+    /// return it resumes with its existing filter state.
+    Stall,
+}
+
+/// One declared fault: during `[from, until)` a pseudo-random
+/// `fraction` of the fleet (stable for the whole window) suffers
+/// `kind`. Scenarios *declare* windows; the simulation driver
+/// *executes* them, so the raw measurement stream stays deterministic
+/// and fault-free drivers (benches, unit tests) are unaffected.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultWindow {
+    /// What happens to the selected clients.
+    pub kind: FaultKind,
+    /// First timestamp the fault is active.
+    pub from: Timestamp,
+    /// First timestamp after the fault (exclusive end).
+    pub until: Timestamp,
+    /// Fraction of the fleet affected, in `[0, 1]`. `1.0` selects
+    /// every client.
+    pub fraction: f64,
+    /// Mixed into the membership hash so overlapping windows pick
+    /// independent victim sets.
+    pub salt: u64,
+}
+
+/// SplitMix64 finalizer: a cheap, high-quality avalanche used for
+/// stable per-window victim selection.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultWindow {
+    /// Whether the window covers timestamp `t`.
+    pub fn active(&self, t: Timestamp) -> bool {
+        self.from <= t && t < self.until
+    }
+
+    /// Whether this window selects `obj` as a victim under `seed`.
+    /// Membership is a pure function of `(seed, salt, obj)` — stable
+    /// across the window and across re-runs, so faulted runs are
+    /// reproducible and restart-parity checks can straddle a storm.
+    pub fn selects(&self, seed: u64, obj: ObjectId) -> bool {
+        if self.fraction >= 1.0 {
+            return true;
+        }
+        if self.fraction <= 0.0 {
+            return false;
+        }
+        let h = splitmix(seed ^ self.salt ^ obj.0);
+        (h as f64 / u64::MAX as f64) < self.fraction
+    }
+
+    /// Whether the window suppresses `obj`'s measurement at `t`.
+    pub fn suppresses(&self, seed: u64, obj: ObjectId, t: Timestamp) -> bool {
+        self.active(t) && self.selects(seed, obj)
+    }
+}
+
+/// Robustness knobs a scenario asks its driver to enable: the session
+/// lease, the ingest bound, and the degraded-epoch threshold. Drivers
+/// without a session layer may ignore the hint (the scenario's fault
+/// invariants then cannot be checked).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RobustnessHint {
+    /// Heartbeat lease in timestamps (`> 0` turns sessions on).
+    pub lease: u64,
+    /// Extra Dropped-to-Ejected grace in timestamps.
+    pub grace: u64,
+    /// Per-epoch ingest cap (`0` = unbounded).
+    pub queue_cap: usize,
+    /// What to do with states over the cap.
+    pub policy: AdmissionPolicy,
+    /// Batch size beyond which Phase B is shed (`0` = never).
+    pub degrade_threshold: usize,
 }
 
 /// A named, seeded workload: the one interface every driver (simulation
@@ -121,6 +223,17 @@ pub trait Scenario {
     /// observed (plus any ground truth tracked during `tick`). Called
     /// once, after the final tick.
     fn check_invariants(&self, outcome: &ScenarioOutcome) -> Result<(), String>;
+    /// Faults the driver should inject while executing this scenario.
+    /// Empty by default: most scenarios are fault-free.
+    fn fault_windows(&self) -> Vec<FaultWindow> {
+        Vec::new()
+    }
+    /// Session/admission configuration this scenario's invariants
+    /// assume, when any. `None` (the default) leaves the driver's
+    /// config untouched.
+    fn robustness_hint(&self) -> Option<RobustnessHint> {
+        None
+    }
 }
 
 /// A registry row: name, one-line story, and builder.
@@ -176,6 +289,21 @@ pub const REGISTRY: &[ScenarioSpec] = &[
                 DropoutWindow::new(Timestamp(from), Timestamp(until), 3),
             ))
         },
+    },
+    ScenarioSpec {
+        name: "mass_disconnect",
+        summary: "half the fleet vanishes mid-run past lease and grace, then returns",
+        build: |p| Box::new(FaultStoryScenario::new(p, FaultStory::MassDisconnect)),
+    },
+    ScenarioSpec {
+        name: "reconnect_storm",
+        summary: "the whole fleet drops briefly and reconnects at once, hammering admission",
+        build: |p| Box::new(FaultStoryScenario::new(p, FaultStory::ReconnectStorm)),
+    },
+    ScenarioSpec {
+        name: "slow_client_stall",
+        summary: "a quarter of the fleet stalls silently until ejected; service continues",
+        build: |p| Box::new(FaultStoryScenario::new(p, FaultStory::SlowClientStall)),
     },
 ];
 
@@ -763,13 +891,284 @@ impl Scenario for EvacuationRerouteScenario {
     }
 }
 
+// ---------------------------------------------------------------------
+// fault stories: mass_disconnect / reconnect_storm / slow_client_stall
+// ---------------------------------------------------------------------
+
+/// Which robustness story a [`FaultStoryScenario`] tells. All three
+/// ride the sporting-event population (a converging crowd keeps one
+/// corridor reliably hot, so fault effects are attributable) and
+/// differ only in their declared [`FaultWindow`]s, their
+/// [`RobustnessHint`], and the invariants checked afterwards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultStory {
+    /// Half the fleet disconnects for longer than lease + grace: the
+    /// victims must be ejected within the lease bound, the hot paths
+    /// must survive the storm, and the returning clients must be
+    /// re-admitted.
+    MassDisconnect,
+    /// The whole fleet goes silent for just over a lease, then
+    /// reconnects at once: a reconnect storm that must exercise
+    /// admission control and still recover the pre-storm top path.
+    ReconnectStorm,
+    /// A quarter of the fleet stalls silently for most of the run:
+    /// the stalled clients must be ejected on schedule while service
+    /// for the rest never degrades to an empty top-k.
+    SlowClientStall,
+}
+
+/// A converging-crowd workload with declared fault windows and a
+/// robustness hint, one per [`FaultStory`].
+pub struct FaultStoryScenario {
+    net: RoadNetwork,
+    pop: Population,
+    params: ScenarioParams,
+    story: FaultStory,
+    windows: Vec<FaultWindow>,
+    hint: RobustnessHint,
+}
+
+impl FaultStoryScenario {
+    /// Builds the scenario. Window placement straddles the run
+    /// midpoint so a restart-parity check (restore at `duration / 2`)
+    /// lands mid-storm.
+    pub fn new(params: &ScenarioParams, story: FaultStory) -> Self {
+        let net = generate(params.network);
+        let venue = nearest_node(&net, net.bounds().centroid());
+        let pop = sporting_event(&net, params.n, venue, params.seed.wrapping_add(1));
+        let d = params.duration;
+        let n = params.n;
+        let (windows, hint) = match story {
+            FaultStory::MassDisconnect => (
+                vec![FaultWindow {
+                    kind: FaultKind::Disconnect,
+                    from: Timestamp(d * 9 / 20),
+                    until: Timestamp(d * 13 / 20),
+                    fraction: 0.5,
+                    salt: 0xD15C,
+                }],
+                RobustnessHint {
+                    lease: 12,
+                    grace: 6,
+                    queue_cap: 0,
+                    policy: AdmissionPolicy::Reject,
+                    degrade_threshold: 0,
+                },
+            ),
+            FaultStory::ReconnectStorm => (
+                vec![FaultWindow {
+                    kind: FaultKind::Disconnect,
+                    from: Timestamp(d * 9 / 20),
+                    until: Timestamp(d * 11 / 20),
+                    fraction: 1.0,
+                    salt: 0x5707,
+                }],
+                RobustnessHint {
+                    // Lease shorter than the outage so every session
+                    // drops; grace longer than the outage so nobody is
+                    // ejected and the entire fleet *reconnects* at once.
+                    lease: 8,
+                    grace: d / 10 + 10,
+                    queue_cap: (n / 4).max(64),
+                    policy: AdmissionPolicy::ShedOldest,
+                    degrade_threshold: (n / 6).max(48),
+                },
+            ),
+            FaultStory::SlowClientStall => (
+                vec![FaultWindow {
+                    kind: FaultKind::Stall,
+                    from: Timestamp(d * 2 / 5),
+                    until: Timestamp(d * 4 / 5),
+                    fraction: 0.25,
+                    salt: 0x51A1,
+                }],
+                RobustnessHint {
+                    lease: 12,
+                    grace: 6,
+                    queue_cap: (n / 5).max(48),
+                    policy: AdmissionPolicy::EjectSlowest,
+                    degrade_threshold: 0,
+                },
+            ),
+        };
+        FaultStoryScenario { net, pop, params: *params, story, windows, hint }
+    }
+
+    fn story_name(&self) -> &'static str {
+        match self.story {
+            FaultStory::MassDisconnect => "mass_disconnect",
+            FaultStory::ReconnectStorm => "reconnect_storm",
+            FaultStory::SlowClientStall => "slow_client_stall",
+        }
+    }
+
+    /// Cumulative counter value at the last epoch strictly before `t`
+    /// (zero when no epoch precedes `t`).
+    fn cum_before(outcome: &ScenarioOutcome, t: Timestamp, f: fn(&EpochSample) -> u64) -> u64 {
+        outcome.per_epoch.iter().rfind(|e| e.timestamp < t).map(f).unwrap_or(0)
+    }
+
+    /// The victims must be ejected within `lease + grace` of the
+    /// window opening (plus epoch-boundary slack).
+    fn check_ejection_bound(&self, outcome: &ScenarioOutcome) -> Result<(), String> {
+        let name = self.story_name();
+        let w = self.windows[0];
+        let base = Self::cum_before(outcome, w.from, |e| e.session_ejections);
+        let first = outcome
+            .per_epoch
+            .iter()
+            .find(|e| e.session_ejections > base)
+            .ok_or_else(|| format!("{name}: no session was ever ejected"))?;
+        let bound = w.from.raw() + self.hint.lease + self.hint.grace + 15;
+        if first.timestamp.raw() > bound {
+            return Err(format!(
+                "{name}: first ejection at t={} but the lease bound is t={bound}",
+                first.timestamp.raw()
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Scenario for FaultStoryScenario {
+    fn name(&self) -> &'static str {
+        match self.story {
+            FaultStory::MassDisconnect => "mass_disconnect",
+            FaultStory::ReconnectStorm => "reconnect_storm",
+            FaultStory::SlowClientStall => "slow_client_stall",
+        }
+    }
+    fn network(&self) -> &RoadNetwork {
+        &self.net
+    }
+    fn n(&self) -> usize {
+        self.params.n
+    }
+    fn duration(&self) -> u64 {
+        self.params.duration
+    }
+    fn window_hint(&self) -> u64 {
+        // The hotness window must outlast the longest fault window so
+        // the hot paths survive the silence and recover in place.
+        let longest = self.windows.iter().map(|w| w.until.raw() - w.from.raw()).max().unwrap_or(0);
+        match self.story {
+            // The stall runs for 40% of the run but 75% of the fleet
+            // keeps the corridor hot; the default window suffices.
+            FaultStory::SlowClientStall => 40,
+            _ => (longest + 10).max(40),
+        }
+    }
+    fn seed_timepoint(&self, obj: ObjectId, t: Timestamp) -> TimePoint {
+        self.pop.seed_timepoint(&self.net, obj, t)
+    }
+    fn tick(&mut self, t: Timestamp, out: &mut Vec<Measurement>) {
+        // Faults are declared, not baked into the stream: the driver
+        // suppresses measurements, so the raw stream stays identical
+        // whether or not injection is enabled.
+        self.pop.tick(&self.net, t, out);
+    }
+    fn fault_windows(&self) -> Vec<FaultWindow> {
+        self.windows.clone()
+    }
+    fn robustness_hint(&self) -> Option<RobustnessHint> {
+        Some(self.hint)
+    }
+    fn check_invariants(&self, outcome: &ScenarioOutcome) -> Result<(), String> {
+        let name = self.story_name();
+        require_discovery(name, outcome)?;
+        let last =
+            outcome.per_epoch.last().ok_or_else(|| format!("{name}: no epochs observed"))?.clone();
+        if last.session_connects == 0 {
+            return Err(format!(
+                "{name}: no session ever connected — was the robustness hint applied?"
+            ));
+        }
+        let w = self.windows[0];
+        match self.story {
+            FaultStory::MassDisconnect => {
+                self.check_ejection_bound(outcome)?;
+                // No hot-path corruption mid-storm: the surviving half
+                // keeps the corridor scored through the whole window.
+                for e in outcome.per_epoch.iter().filter(|e| w.active(e.timestamp)) {
+                    if e.top_k_score <= 0.0 {
+                        return Err(format!(
+                            "{name}: top-k score collapsed mid-storm at t={}",
+                            e.timestamp.raw()
+                        ));
+                    }
+                }
+                // Returning clients are re-admitted (fresh connects or
+                // reconnects after the window closes).
+                let base = Self::cum_before(outcome, w.until, |e| {
+                    e.session_connects + e.session_reconnects
+                });
+                if last.session_connects + last.session_reconnects <= base {
+                    return Err(format!("{name}: no client was re-admitted after the storm"));
+                }
+            }
+            FaultStory::ReconnectStorm => {
+                // The whole fleet dropped and came back: reconnects
+                // must rise after the window closes.
+                let base = Self::cum_before(outcome, w.until, |e| e.session_reconnects);
+                if last.session_reconnects <= base {
+                    return Err(format!("{name}: no reconnect after the storm"));
+                }
+                // The storm must actually stress admission: something
+                // was turned away or some epoch degraded.
+                if last.turned_away + last.degraded_epochs == 0 {
+                    return Err(format!("{name}: admission control never engaged"));
+                }
+                // Recovery: the pre-storm top path is hot again within
+                // a window of the storm ending.
+                let pre = outcome
+                    .per_epoch
+                    .iter()
+                    .rfind(|e| e.timestamp < w.from && !e.top_ids.is_empty())
+                    .ok_or_else(|| format!("{name}: no pre-storm top-k to recover"))?;
+                let target = pre.top_ids[0];
+                let deadline = w.until.raw() + self.window_hint();
+                let recovered = outcome.per_epoch.iter().any(|e| {
+                    e.timestamp >= w.until
+                        && e.timestamp.raw() <= deadline
+                        && e.top_ids.contains(&target)
+                });
+                if !recovered {
+                    return Err(format!(
+                        "{name}: pre-storm top path {target} not hot again by t={deadline}"
+                    ));
+                }
+            }
+            FaultStory::SlowClientStall => {
+                self.check_ejection_bound(outcome)?;
+                // Service for the active 75% never collapses once the
+                // stall begins.
+                for e in outcome.per_epoch.iter().filter(|e| e.timestamp >= w.from) {
+                    if e.top_k_score <= 0.0 {
+                        return Err(format!(
+                            "{name}: top-k score collapsed during the stall at t={}",
+                            e.timestamp.raw()
+                        ));
+                    }
+                }
+                // Once the stall lifts the ejected clients re-admit as
+                // fresh sessions.
+                let base = Self::cum_before(outcome, w.until, |e| e.session_connects);
+                if last.session_connects <= base {
+                    return Err(format!("{name}: stalled clients never re-admitted"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn registry_lists_all_scenarios_with_unique_names() {
-        assert!(REGISTRY.len() >= 6);
+        assert!(REGISTRY.len() >= 9);
         let mut names: Vec<&str> = REGISTRY.iter().map(|s| s.name).collect();
         names.sort_unstable();
         names.dedup();
@@ -781,6 +1180,9 @@ mod tests {
             "rush_hour_surge",
             "evacuation_reroute",
             "surge_dropout",
+            "mass_disconnect",
+            "reconnect_storm",
+            "slow_client_stall",
         ] {
             assert!(spec(required).is_some(), "missing scenario {required}");
         }
@@ -920,6 +1322,72 @@ mod tests {
     }
 
     #[test]
+    fn fault_window_membership_is_stable_and_tracks_the_fraction() {
+        let w = FaultWindow {
+            kind: FaultKind::Disconnect,
+            from: Timestamp(10),
+            until: Timestamp(20),
+            fraction: 0.5,
+            salt: 0xD15C,
+        };
+        assert!(!w.active(Timestamp(9)));
+        assert!(w.active(Timestamp(10)));
+        assert!(w.active(Timestamp(19)));
+        assert!(!w.active(Timestamp(20)));
+        // Membership is stable per (seed, object) and roughly tracks
+        // the declared fraction.
+        let n = 4000u64;
+        let hit = (0..n).filter(|&i| w.selects(42, ObjectId(i))).count();
+        assert!((hit as f64 / n as f64 - 0.5).abs() < 0.05, "hit rate {hit}/{n}");
+        for i in 0..64 {
+            assert_eq!(w.selects(42, ObjectId(i)), w.selects(42, ObjectId(i)));
+        }
+        // Different seeds pick different victim sets.
+        let other = (0..n).filter(|&i| w.selects(43, ObjectId(i))).count();
+        let overlap =
+            (0..n).filter(|&i| w.selects(42, ObjectId(i)) && w.selects(43, ObjectId(i))).count();
+        assert!(overlap < hit.min(other), "seeds 42 and 43 picked identical victims");
+        // Edge fractions are exact.
+        let all = FaultWindow { fraction: 1.0, ..w };
+        let none = FaultWindow { fraction: 0.0, ..w };
+        assert!((0..100).all(|i| all.selects(7, ObjectId(i))));
+        assert!((0..100).all(|i| !none.selects(7, ObjectId(i))));
+    }
+
+    #[test]
+    fn fault_scenarios_declare_windows_and_hints() {
+        let params = ScenarioParams::quick(3);
+        for name in ["mass_disconnect", "reconnect_storm", "slow_client_stall"] {
+            let s = build(name, &params).expect("registered");
+            let windows = s.fault_windows();
+            assert!(!windows.is_empty(), "{name} declares no faults");
+            let hint = s.robustness_hint().expect("fault scenarios hint their config");
+            assert!(hint.lease > 0, "{name} must turn sessions on");
+            for w in &windows {
+                assert!(w.from < w.until, "{name}: empty fault window");
+                assert!(w.until.raw() < params.duration, "{name}: window outlives the run");
+                // The midpoint restore used by restart-parity checks
+                // lands inside the first window (mid-storm restore).
+                assert!(
+                    w.from.raw() <= params.duration / 2 && params.duration / 2 < w.until.raw(),
+                    "{name}: window [{}, {}) misses the midpoint restore",
+                    w.from.raw(),
+                    w.until.raw()
+                );
+                // The hotness window must cover disconnect outages so
+                // paths survive to recover.
+                if w.kind == FaultKind::Disconnect {
+                    assert!(s.window_hint() > w.until.raw() - w.from.raw());
+                }
+            }
+        }
+        // Fault-free scenarios keep the defaults.
+        let plain = build("sporting_event", &params).expect("registered");
+        assert!(plain.fault_windows().is_empty());
+        assert!(plain.robustness_hint().is_none());
+    }
+
+    #[test]
     fn outcome_epoch_lookup() {
         let sample = |t: u64| EpochSample {
             timestamp: Timestamp(t),
@@ -927,6 +1395,13 @@ mod tests {
             top_k_score: 1.0,
             top_ids: vec![7],
             top_hotness: Some(2),
+            sessions_healthy: 0,
+            sessions_dropped: 0,
+            session_connects: 0,
+            session_reconnects: 0,
+            session_ejections: 0,
+            turned_away: 0,
+            degraded_epochs: 0,
         };
         let outcome = ScenarioOutcome {
             per_epoch: vec![sample(5), sample(10), sample(15)],

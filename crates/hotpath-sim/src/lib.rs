@@ -24,6 +24,7 @@
 
 pub mod engine_loop;
 pub mod experiment;
+pub mod fault;
 pub mod metrics;
 pub mod report;
 pub mod scenario_run;

@@ -12,16 +12,21 @@
 //! whole Section 4.1 machinery — including both fallback policies.
 
 use crate::engine_loop::{run_epoch_loop_with, CheckpointPolicy, EpochDriver};
+use crate::fault::FaultPlan;
 use crate::metrics::{EpochMetrics, Summary};
 use hotpath_core::config::{Config, Tolerance};
 use hotpath_core::coordinator::{Coordinator, EndpointResponse, HotSnapshot};
 use hotpath_core::engine::{Engine, EngineKind};
+use hotpath_core::geometry::TimePoint;
 use hotpath_core::raytrace::{ClientState, FilterStats, RayTraceFilter, UncertainRayTraceFilter};
+use hotpath_core::session::SessionTransition;
 use hotpath_core::time::Timestamp;
 use hotpath_core::uncertainty::{FallbackPolicy, ToleranceTable2D};
 use hotpath_core::ObjectId;
 use hotpath_netsim::mobility::{GaussianNoise, Measurement};
-use hotpath_netsim::scenario::{build, EpochSample, Scenario, ScenarioOutcome, ScenarioParams};
+use hotpath_netsim::scenario::{
+    build, EpochSample, FaultKind, Scenario, ScenarioOutcome, ScenarioParams,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -51,6 +56,10 @@ pub struct ScenarioRunParams {
     /// Seed for the driver's Gaussian re-measurement device (kept apart
     /// from the scenario seed so noise and workload vary independently).
     pub noise_seed: u64,
+    /// Seed for fault-victim selection when the scenario declares
+    /// [`hotpath_netsim::scenario::FaultWindow`]s. Runs are
+    /// deterministic per seed; fault-free scenarios ignore it.
+    pub fault_seed: u64,
     /// Checkpoint controls: periodic image writes, warm-start restore,
     /// and the restart-parity probe. Default: all off.
     pub checkpoint: CheckpointPolicy,
@@ -69,15 +78,18 @@ impl Default for ScenarioRunParams {
             shards: 1,
             engine: EngineKind::Sync,
             noise_seed: 0x5eed,
+            fault_seed: 0xFA17,
             checkpoint: CheckpointPolicy::default(),
         }
     }
 }
 
 impl ScenarioRunParams {
-    /// The core [`Config`] for `scenario` under these knobs.
+    /// The core [`Config`] for `scenario` under these knobs. A
+    /// scenario's robustness hint (session lease, admission bound,
+    /// degrade threshold) is applied on top of the shared defaults.
     pub fn config(&self, scenario: &dyn Scenario) -> Config {
-        Config::paper_defaults()
+        let mut config = Config::paper_defaults()
             .with_tolerance(if self.sigma > 0.0 {
                 Tolerance::uncertain(self.eps, self.delta)
             } else {
@@ -87,7 +99,19 @@ impl ScenarioRunParams {
             .with_epoch(self.epoch)
             .with_k(self.k)
             .with_grid_cell((8.0 * self.eps).max(50.0))
-            .with_shards(self.shards)
+            .with_shards(self.shards);
+        if let Some(hint) = scenario.robustness_hint() {
+            if hint.lease > 0 {
+                config = config.with_lease(hint.lease, hint.grace);
+            }
+            if hint.queue_cap > 0 {
+                config = config.with_admission_cap(hint.queue_cap, hint.policy);
+            }
+            if hint.degrade_threshold > 0 {
+                config = config.with_degrade_threshold(hint.degrade_threshold);
+            }
+        }
+        config
     }
 }
 
@@ -131,52 +155,155 @@ impl Client {
     }
 }
 
+/// Builds one client filter (the initial fleet and every reconnect go
+/// through here, so a reconnected client is indistinguishable from a
+/// freshly joined one).
+fn fresh_client(
+    table: &Option<ToleranceTable2D>,
+    eps: f64,
+    obj: ObjectId,
+    seed_tp: TimePoint,
+) -> Client {
+    match table {
+        Some(t) => Client::Uncertain(UncertainRayTraceFilter::new(obj, seed_tp, t.clone())),
+        None => Client::Crisp(RayTraceFilter::new(obj, seed_tp, eps)),
+    }
+}
+
 /// The scenario driver behind the shared epoch loop: the scenario as
-/// measurement source, crisp or Gaussian-re-measured clients, and the
-/// per-epoch [`EpochSample`] observations for the invariant hook —
-/// read from the published snapshots.
+/// measurement source, crisp or Gaussian-re-measured clients, fault
+/// execution (uplink suppression per the scenario's declared windows),
+/// and the per-epoch [`EpochSample`] observations for the invariant
+/// hook — read from the published snapshots.
 struct ScenarioDriver<'a> {
     scenario: &'a mut dyn Scenario,
     clients: &'a mut [Client],
     noise: GaussianNoise,
     rng: SmallRng,
     batch: Vec<Measurement>,
+    states: Vec<ClientState>,
     samples: Vec<EpochSample>,
+    /// Executable faults (empty for fault-free scenarios: zero cost).
+    plan: FaultPlan,
+    /// Filter factory inputs for client reconnects.
+    table: Option<ToleranceTable2D>,
+    eps: f64,
+    /// Clients whose last suppression was a `Disconnect`: their next
+    /// surviving measurement reseeds a fresh filter (new session).
+    disconnected: Vec<bool>,
+    /// When each client entered `waiting` (a report submitted, its
+    /// endpoint response pending). Admission control may turn the
+    /// report away — no response ever comes — so a client that waits
+    /// longer than [`Self::give_up`] abandons the session and reseeds.
+    awaiting_since: Vec<Option<Timestamp>>,
+    /// Waiting bound in ticks; responses normally arrive within one
+    /// epoch, so anything past this means the state was turned away.
+    give_up: u64,
+    /// Stats of filters retired by reconnect reseeds.
+    retired: FilterStats,
+    /// The current tick (for response-time bookkeeping in `deliver`).
+    now: Timestamp,
+    /// Cumulative session-transition counters, folded from the
+    /// published per-epoch event streams.
+    connects: u64,
+    reconnects: u64,
+    ejections: u64,
+}
+
+impl ScenarioDriver<'_> {
+    /// Observes one surviving measurement, tracking the waiting state
+    /// of any report it produces.
+    fn observe(&mut self, m: &Measurement, now: Timestamp) {
+        let idx = m.object.0 as usize;
+        let state = match &mut self.clients[idx] {
+            Client::Crisp(f) => f.observe(m.observed),
+            Client::Uncertain(f) => {
+                // The Gaussian device re-measures the true position; the
+                // scenario's own (uniform) sensor noise is replaced, not
+                // stacked.
+                let g = self.noise.measure(m.truth, &mut self.rng);
+                f.observe_gaussian(g, now)
+            }
+        };
+        if let Some(s) = state {
+            self.awaiting_since[idx] = Some(now);
+            self.states.push(s);
+        }
+    }
 }
 
 impl EpochDriver for ScenarioDriver<'_> {
     fn tick(&mut self, now: Timestamp, engine: &mut dyn Engine) -> u64 {
+        self.now = now;
         self.scenario.tick(now, &mut self.batch);
-        let clients = &mut *self.clients;
-        let noise = &self.noise;
-        let rng = &mut self.rng;
-        let batch = &self.batch;
-        engine.submit_batch(&mut batch.iter().filter_map(move |m| {
-            match &mut clients[m.object.0 as usize] {
-                Client::Crisp(f) => f.observe(m.observed),
-                Client::Uncertain(f) => {
-                    // The Gaussian device re-measures the true position; the
-                    // scenario's own (uniform) sensor noise is replaced, not
-                    // stacked.
-                    let g = noise.measure(m.truth, rng);
-                    f.observe_gaussian(g, now)
+        let generated = self.batch.len() as u64;
+        let batch = std::mem::take(&mut self.batch);
+        for m in &batch {
+            let idx = m.object.0 as usize;
+            if !self.plan.is_empty() {
+                match self.plan.verdict(m.object, now) {
+                    Some(FaultKind::Disconnect) => {
+                        self.disconnected[idx] = true;
+                        continue;
+                    }
+                    Some(FaultKind::Stall) => continue,
+                    None => {}
                 }
             }
-        }));
-        self.batch.len() as u64
+            let gave_up = self.awaiting_since[idx]
+                .is_some_and(|since| now.raw().saturating_sub(since.raw()) > self.give_up);
+            if self.disconnected[idx] || gave_up {
+                // Reconnect: retire the old filter's stats and reseed
+                // from this measurement, exactly like a fresh client
+                // joining mid-run (the coordinator sees a resubmission
+                // or, after an ejection, a brand-new session).
+                self.retired.merge(&self.clients[idx].stats());
+                self.clients[idx] = fresh_client(&self.table, self.eps, m.object, m.observed);
+                self.disconnected[idx] = false;
+                self.awaiting_since[idx] = None;
+                continue;
+            }
+            self.observe(m, now);
+        }
+        self.batch = batch;
+        engine.submit_batch(&mut self.states.drain(..));
+        generated
     }
 
     fn deliver(&mut self, resp: &EndpointResponse) -> Option<ClientState> {
-        self.clients[resp.object.0 as usize].receive(resp.endpoint)
+        let idx = resp.object.0 as usize;
+        self.awaiting_since[idx] = None;
+        let state = self.clients[idx].receive(resp.endpoint);
+        if state.is_some() {
+            // A boundary resubmission is a fresh report: it waits for
+            // the next epoch's response.
+            self.awaiting_since[idx] = Some(self.now);
+        }
+        state
     }
 
     fn on_epoch(&mut self, snap: &HotSnapshot) -> (Option<usize>, Option<f64>) {
+        for ev in snap.session_events.iter() {
+            match ev.transition {
+                SessionTransition::Connected => self.connects += 1,
+                SessionTransition::Reconnected => self.reconnects += 1,
+                SessionTransition::Ejected => self.ejections += 1,
+                SessionTransition::Dropped => {}
+            }
+        }
         self.samples.push(EpochSample {
             timestamp: snap.timestamp,
             index_size: snap.index_size,
             top_k_score: snap.top_k_score,
             top_ids: snap.top_k.iter().map(|h| h.path.id.0).collect(),
             top_hotness: snap.top_k.first().map(|h| h.hotness),
+            sessions_healthy: snap.sessions_healthy,
+            sessions_dropped: snap.sessions_dropped,
+            session_connects: self.connects,
+            session_reconnects: self.reconnects,
+            session_ejections: self.ejections,
+            turned_away: snap.admission.turned_away(),
+            degraded_epochs: snap.admission.degraded_epochs,
         });
         (None, None)
     }
@@ -207,20 +334,33 @@ pub fn run_scenario(scenario: &mut dyn Scenario, params: &ScenarioRunParams) -> 
         })
         .collect();
     let mut engine = params.engine.build(Coordinator::new(config));
+    let plan = FaultPlan::for_scenario(params.fault_seed, &*scenario);
     let mut driver = ScenarioDriver {
         scenario: &mut *scenario,
         clients: &mut clients,
         noise: GaussianNoise::new(params.sigma),
         rng: SmallRng::seed_from_u64(params.noise_seed),
         batch: Vec::new(),
+        states: Vec::new(),
         samples: Vec::new(),
+        plan,
+        table,
+        eps: params.eps,
+        disconnected: vec![false; n],
+        awaiting_since: vec![None; n],
+        give_up: 2 * params.epoch + 2,
+        retired: FilterStats::default(),
+        now: Timestamp(0),
+        connects: 0,
+        reconnects: 0,
+        ejections: 0,
     };
     let out = run_epoch_loop_with(&mut engine, duration, &mut driver, &params.checkpoint);
     let samples = std::mem::take(&mut driver.samples);
+    let mut filter_stats = std::mem::take(&mut driver.retired);
     drop(driver);
     let coordinator = engine.finish();
 
-    let mut filter_stats = FilterStats::default();
     for c in &clients {
         filter_stats.merge(&c.stats());
     }
@@ -261,6 +401,11 @@ pub fn run_named(
 #[derive(Clone, Debug, PartialEq)]
 pub struct ParityTrace {
     per_epoch: Vec<(usize, u64, Vec<u64>)>,
+    /// Per-epoch robustness gauges: `(healthy, dropped, connects,
+    /// reconnects, ejections, turned_away, degraded_epochs)` — all
+    /// zeros while the session layer is off, and pinned bit-for-bit
+    /// across engines and shard counts when it is on.
+    sessions: Vec<(usize, usize, u64, u64, u64, u64, u64)>,
     final_top_k: Vec<(u64, u32)>,
     comm: (u64, u64),
 }
@@ -274,6 +419,22 @@ pub fn parity_trace(res: &ScenarioRunResult) -> ParityTrace {
             .per_epoch
             .iter()
             .map(|e| (e.index_size, e.top_k_score.to_bits(), e.top_ids.clone()))
+            .collect(),
+        sessions: res
+            .outcome
+            .per_epoch
+            .iter()
+            .map(|e| {
+                (
+                    e.sessions_healthy,
+                    e.sessions_dropped,
+                    e.session_connects,
+                    e.session_reconnects,
+                    e.session_ejections,
+                    e.turned_away,
+                    e.degraded_epochs,
+                )
+            })
             .collect(),
         final_top_k: res.outcome.final_top_k.clone(),
         comm: (comm.uplink_msgs, comm.downlink_msgs),
