@@ -36,6 +36,7 @@ const GATED_BENCHES: &[&str] = &[
     "micro_fsa_delta",
     "micro_scenario",
     "micro_pipeline",
+    "micro_serving",
 ];
 
 /// Default relative slack: CI runners and developer machines differ, so

@@ -8,6 +8,10 @@
 //!             [--engine sync|pipelined] [--csv <dir>]
 //!             [--sigma s1,s2,...] [--fallback reject|minimal[:w]|all]
 //!             [--restore-check] [--fault-seed N]
+//! experiments swarm [--scale ...] [--shards N] [--engine sync|pipelined]
+//!             [--seed N] [--churn F] [--fault-seed N] [--verify]
+//! experiments serve [--socket PATH] [--shards N]
+//!             [--engine sync|pipelined] [--ticks N]
 //! ```
 //!
 //! Defaults: `all --scale mid --shards 1 --engine sync`. `--engine
@@ -25,13 +29,23 @@
 //! `--shards > 1` or `--engine pipelined`, then sweeps the `(sigma,
 //! fallback)` uncertainty grid. `--csv <dir>` additionally writes each
 //! scenario's per-epoch metric series to `<dir>/scenario_<name>.csv`.
+//!
+//! `swarm` runs the deterministic `client_swarm` load generator against
+//! a `hotpathd` front door (lock-free snapshot readers hammering while
+//! the swarm writes); `--verify` runs the identical schedule on both
+//! engine backends and exits 1 unless the final snapshots are
+//! fingerprint-identical. `serve` binds a `hotpathd` to a unix socket
+//! and drives a scripted wire client through submit/advance/query — an
+//! offline smoke of the full out-of-process stack.
 
 use hotpath_bench::Scale;
 use hotpath_core::engine::EngineKind;
 use hotpath_core::uncertainty::FallbackPolicy;
 use hotpath_netsim::scenario::{spec, REGISTRY};
+use hotpath_serve::swarm::{run_swarm, verify_swarm, SwarmParams, SwarmReport};
 use hotpath_sim::engine_loop::CheckpointPolicy;
 use hotpath_sim::experiment::{figure10, figure7, figure8, figure9, format_fig7, format_fig8};
+use hotpath_sim::options::RunOptions;
 use hotpath_sim::report::{network_map, paths_map};
 use hotpath_sim::scenario_run::{
     check_parity_against, check_restart_parity, run_named, scenario_sigma_sweep, ScenarioRunParams,
@@ -52,6 +66,11 @@ fn main() {
     let mut ckpt = CheckpointPolicy::default();
     let mut restore_check = false;
     let mut fault_seed: Option<u64> = None;
+    let mut swarm_seed: Option<u64> = None;
+    let mut churn: Option<f64> = None;
+    let mut verify = false;
+    let mut socket: Option<std::path::PathBuf> = None;
+    let mut ticks: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -59,8 +78,9 @@ fn main() {
                 i += 1;
                 scale = args
                     .get(i)
-                    .and_then(|s| Scale::parse(s))
-                    .unwrap_or_else(|| usage("bad --scale value"));
+                    .unwrap_or_else(|| usage("--scale needs a value"))
+                    .parse()
+                    .unwrap_or_else(|e| usage(&format!("{e}")));
             }
             "--shards" => {
                 i += 1;
@@ -74,8 +94,9 @@ fn main() {
                 i += 1;
                 engine = args
                     .get(i)
-                    .and_then(|s| EngineKind::parse(s))
-                    .unwrap_or_else(|| usage("--engine takes sync or pipelined"));
+                    .unwrap_or_else(|| usage("--engine needs a value"))
+                    .parse()
+                    .unwrap_or_else(|e| usage(&format!("{e}")));
             }
             "--sigma" => {
                 i += 1;
@@ -93,10 +114,42 @@ fn main() {
                 fallbacks = Some(if tag == "all" {
                     vec![FallbackPolicy::Reject, FallbackPolicy::MinimalArea(0.5)]
                 } else {
-                    vec![FallbackPolicy::parse(tag).unwrap_or_else(|| {
-                        usage("--fallback takes reject, minimal, minimal:<w>, or all")
-                    })]
+                    vec![tag
+                        .parse::<FallbackPolicy>()
+                        .unwrap_or_else(|e| usage(&format!("{e} (or all)")))]
                 });
+            }
+            "--seed" => {
+                i += 1;
+                swarm_seed = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs an integer")),
+                );
+            }
+            "--churn" => {
+                i += 1;
+                churn = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .filter(|f| (0.0..=1.0).contains(f))
+                        .unwrap_or_else(|| usage("--churn needs a fraction in [0, 1]")),
+                );
+            }
+            "--verify" => verify = true,
+            "--socket" => {
+                i += 1;
+                let path = args.get(i).unwrap_or_else(|| usage("--socket needs a path"));
+                socket = Some(std::path::PathBuf::from(path));
+            }
+            "--ticks" => {
+                i += 1;
+                ticks = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage("--ticks needs a positive integer")),
+                );
             }
             "--csv" => {
                 i += 1;
@@ -147,7 +200,8 @@ fn main() {
                 scenario_name = Some(name.clone());
             }
             w @ ("fig7" | "fig8" | "fig9" | "fig10" | "claims" | "hinted" | "ablate"
-            | "filters" | "compress" | "uncertain" | "checkpoint-bench" | "all") => {
+            | "filters" | "compress" | "uncertain" | "checkpoint-bench" | "swarm"
+            | "serve" | "all") => {
                 which = w.to_string();
             }
             other => usage(&format!("unknown argument '{other}'")),
@@ -188,6 +242,8 @@ fn main() {
         "compress" => compress(),
         "uncertain" => uncertain(),
         "checkpoint-bench" => checkpoint_bench(shards),
+        "swarm" => swarm_cmd(scale, shards, engine, swarm_seed, churn, fault_seed, verify),
+        "serve" => serve_cmd(shards, engine, socket, ticks.unwrap_or(50)),
         "all" => {
             fig7(scale, shards, engine, csv_dir.as_deref());
             fig8(scale, shards, engine, csv_dir.as_deref());
@@ -214,7 +270,10 @@ fn usage(msg: &str) -> ! {
          [--engine sync|pipelined] [--csv <dir>] \
          [--sigma s1,s2,...] [--fallback reject|minimal[:<w>]|all] \
          [--checkpoint-every N] [--checkpoint-dir <dir>] [--restore-from <file>] [--restore-check] \
-         [--fault-seed N]"
+         [--fault-seed N]\n       \
+         experiments swarm [--scale paper|mid|quick] [--shards N] [--engine sync|pipelined] \
+         [--seed N] [--churn F] [--fault-seed N] [--verify]\n       \
+         experiments serve [--socket PATH] [--shards N] [--engine sync|pipelined] [--ticks N]"
     );
     std::process::exit(2);
 }
@@ -265,9 +324,9 @@ fn scenario(
     fault_seed: Option<u64>,
 ) {
     let scenario_scale = scale.scenario_params(2015);
-    let mut base = ScenarioRunParams { shards, engine, ..ScenarioRunParams::default() };
+    let mut base = ScenarioRunParams::default().with_shards(shards).with_engine(engine);
     if let Some(seed) = fault_seed {
-        base.fault_seed = seed;
+        base = base.with_fault_seed(seed);
     }
     // Near-edge default grid: eps = 10 solves up to sigma ~ 5.1, so the
     // last point forces the fallback policy to act.
@@ -282,17 +341,14 @@ fn scenario(
         println!("## Scenario `{}` — {}", spec.name, spec.summary);
         // Periodic images land in a per-scenario subdirectory so one
         // `scenario all` invocation keeps every scenario's `latest.ckpt`.
-        let crisp_params = ScenarioRunParams {
-            checkpoint: CheckpointPolicy {
-                dir: ckpt.dir.as_ref().map(|d| d.join(spec.name)),
-                ..ckpt.clone()
-            },
-            ..base.clone()
-        };
+        let crisp_params = base.clone().with_checkpoint(CheckpointPolicy {
+            dir: ckpt.dir.as_ref().map(|d| d.join(spec.name)),
+            ..ckpt.clone()
+        });
         let res =
             run_named(spec.name, &scenario_scale, &crisp_params).expect("registered scenario");
-        if let Some(dir) = &crisp_params.checkpoint.dir {
-            if crisp_params.checkpoint.every_epochs.is_some() {
+        if let Some(dir) = &crisp_params.run.checkpoint.dir {
+            if crisp_params.run.checkpoint.every_epochs.is_some() {
                 println!("   checkpoints: periodic images under {}", dir.display());
             }
         }
@@ -394,11 +450,16 @@ fn scenario(
     }
 }
 
+/// Base simulation params at `scale` with the CLI's execution knobs.
+fn sim(scale: Scale, seed: u64, shards: usize, engine: EngineKind) -> SimulationParams {
+    scale.base(seed).with_shards(shards).with_engine(engine)
+}
+
 /// Figure 7 (a-c): vary N at eps = 10.
 fn fig7(scale: Scale, shards: usize, engine: EngineKind, csv_dir: Option<&std::path::Path>) {
     println!("## Figure 7 — varying the number of objects (eps = 10 m)");
     println!("   panels: (a) index size, (b) top-10 score, (c) SinglePath ms/epoch");
-    let rows = figure7(&scale.fig7_ns(), SimulationParams { shards, engine, ..scale.base(2008) });
+    let rows = figure7(&scale.fig7_ns(), sim(scale, 2008, shards, engine));
     println!("{}", format_fig7(&rows));
     if let Some(dir) = csv_dir {
         let data: Vec<Vec<String>> = rows
@@ -438,7 +499,7 @@ fn fig8(scale: Scale, shards: usize, engine: EngineKind, csv_dir: Option<&std::p
     let n = scale.fig8_n();
     println!("## Figure 8 — varying the tolerance (N = {n})");
     println!("   panels: (a) index size, (b) top-10 score, (c) SinglePath ms/epoch");
-    let base = SimulationParams { n, shards, engine, ..scale.base(2009) };
+    let base = SimulationParams { n, ..sim(scale, 2009, shards, engine) };
     let rows = figure8(&scale.fig8_eps(), base);
     println!("{}", format_fig8(&rows));
     if let Some(dir) = csv_dir {
@@ -477,7 +538,7 @@ fn fig8(scale: Scale, shards: usize, engine: EngineKind, csv_dir: Option<&std::p
 /// Figure 9: the discovered network map.
 fn fig9(scale: Scale, shards: usize, engine: EngineKind) {
     println!("## Figure 9 — all motion paths with hotness > 0 (vs the hidden network)");
-    let params = SimulationParams { n: scale.map_n(), shards, engine, ..scale.base(2010) };
+    let params = SimulationParams { n: scale.map_n(), ..sim(scale, 2010, shards, engine) };
     let (paths, res) = figure9(params);
     let (cols, rows_) = (96, 30);
     let net = network_map(&res.network, cols, rows_);
@@ -497,7 +558,7 @@ fn fig9(scale: Scale, shards: usize, engine: EngineKind) {
 /// Figure 10: top-20 hottest paths in the center.
 fn fig10_(scale: Scale, shards: usize, engine: EngineKind) {
     println!("## Figure 10 — top 20 hottest motion paths, city center");
-    let params = SimulationParams { n: scale.map_n(), shards, engine, ..scale.base(2010) };
+    let params = SimulationParams { n: scale.map_n(), ..sim(scale, 2010, shards, engine) };
     let (paths, center, _res) = figure10(params, 20);
     let map = paths_map(center, &paths, 72, 24);
     print!("{}", indent(&map.render()));
@@ -515,7 +576,7 @@ fn claims(scale: Scale, shards: usize, engine: EngineKind) {
     // Claim i: at the largest N, SinglePath stores ~16% more segments
     // than DP (10,896 vs 9,416 in the paper).
     let n = *scale.fig7_ns().last().expect("non-empty sweep");
-    let res = run(SimulationParams { n, shards, engine, ..scale.base(2008) });
+    let res = run(SimulationParams { n, ..sim(scale, 2008, shards, engine) });
     let sp = res.summary.mean_index_size;
     let dp = res.summary.mean_dp_index_size;
     println!(
@@ -523,7 +584,7 @@ fn claims(scale: Scale, shards: usize, engine: EngineKind) {
         100.0 * (sp - dp) / dp.max(1.0)
     );
     // Claim ii: SinglePath can beat DP on score (paper: at N=20000).
-    let rows = figure7(&scale.fig7_ns(), SimulationParams { shards, engine, ..scale.base(2008) });
+    let rows = figure7(&scale.fig7_ns(), sim(scale, 2008, shards, engine));
     let wins: Vec<usize> = rows.iter().filter(|r| r.sp_score > r.dp_score).map(|r| r.n).collect();
     println!("   (ii) SinglePath score beats DP at N in {wins:?} (paper: at N=20,000)");
     // Claim iii is printed by fig8's shape line.
@@ -542,7 +603,7 @@ fn claims(scale: Scale, shards: usize, engine: EngineKind) {
 fn hinted(scale: Scale, shards: usize, engine: EngineKind) {
     println!("## Section 7 extension — hinted RayTrace ablation");
     let n = scale.fig8_n();
-    let base = SimulationParams { n, shards, engine, run_dp: false, ..scale.base(2011) };
+    let base = SimulationParams { n, run_dp: false, ..sim(scale, 2011, shards, engine) };
     let plain = run(base.clone());
     let hinted = run(SimulationParams { hints: true, ..base });
     println!(
@@ -565,7 +626,7 @@ fn ablate(scale: Scale, shards: usize, engine: EngineKind) {
     use hotpath_core::strategy::OverlapPolicy;
     println!("## Ablation — Algorithm 2 overlap analysis vs naive vertices");
     let n = scale.fig8_n();
-    let base = SimulationParams { n, shards, engine, run_dp: false, ..scale.base(2012) };
+    let base = SimulationParams { n, run_dp: false, ..sim(scale, 2012, shards, engine) };
     let full = run(base.clone());
     let own = run(SimulationParams { overlap: OverlapPolicy::Own, ..base });
     for (tag, res) in [("full (Alg. 2)", &full), ("own-centroid ", &own)] {
@@ -594,7 +655,7 @@ fn filters(scale: Scale, shards: usize, engine: EngineKind) {
     println!("## Filter economy — naive vs dead reckoning vs RayTrace");
     let n = scale.fig8_n();
     let e =
-        filter_economy(SimulationParams { n, shards, engine, run_dp: false, ..scale.base(2013) });
+        filter_economy(SimulationParams { n, run_dp: false, ..sim(scale, 2013, shards, engine) });
     let pct = |msgs: u64| 100.0 * msgs as f64 / e.naive_msgs.max(1) as f64;
     println!("   measurements        : {:>12}", e.measurements);
     println!(
@@ -736,6 +797,149 @@ fn checkpoint_bench(shards: usize) {
     );
     let _ = std::fs::remove_file(&path);
     println!("   round trip  : byte-identical, consistency ok");
+    println!();
+}
+
+/// `client_swarm`: the deterministic serving load generator. With
+/// `--verify`, runs the identical schedule on both engine backends and
+/// exits 1 unless the final snapshots are fingerprint-identical.
+fn swarm_cmd(
+    scale: Scale,
+    shards: usize,
+    engine: EngineKind,
+    seed: Option<u64>,
+    churn: Option<f64>,
+    fault_seed: Option<u64>,
+    verify: bool,
+) {
+    let mut params = match scale {
+        Scale::Quick => SwarmParams::quick(),
+        Scale::Mid => SwarmParams::quick().with_writers(32).with_ticks(300).with_churn(0.1),
+        Scale::Paper => SwarmParams::full(),
+    };
+    let mut run = RunOptions::default().with_shards(shards).with_engine(engine);
+    if let Some(seed) = fault_seed {
+        run = run.with_fault_seed(seed);
+    }
+    params = params.with_run(run);
+    if let Some(seed) = seed {
+        params = params.with_seed(seed);
+    }
+    if let Some(churn) = churn {
+        params = params.with_churn(churn);
+    }
+    println!(
+        "## client_swarm — {} writers, {} readers, {} ticks, seed {:#x}, churn {:.0}%",
+        params.writers,
+        params.readers,
+        params.ticks,
+        params.seed,
+        params.churn * 100.0
+    );
+    if verify {
+        match verify_swarm(&params) {
+            Ok((sync, pipelined)) => {
+                print_swarm_report(&sync);
+                print_swarm_report(&pipelined);
+                println!("   parity: both engines fingerprint-identical under the same schedule");
+            }
+            Err(e) => {
+                eprintln!("swarm: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        print_swarm_report(&run_swarm(&params));
+    }
+    println!();
+}
+
+fn print_swarm_report(r: &SwarmReport) {
+    println!(
+        "   {:>9}: {} submitted (+{} churned out), {} epochs, epoch {} final, {} hot, \
+         {} lock-free reads (max epoch seen {}), schedule {:#018x}, fingerprint {:#018x}",
+        r.engine.to_string(),
+        r.submitted,
+        r.suppressed,
+        r.epochs,
+        r.final_epoch,
+        r.hot_count,
+        r.reads,
+        r.max_epoch_seen,
+        r.schedule_hash,
+        r.fingerprint
+    );
+}
+
+/// An offline smoke of the full out-of-process stack: bind a `hotpathd`
+/// to a unix socket and drive a scripted wire client through
+/// submit-batch / advance / query for `ticks` granules.
+fn serve_cmd(shards: usize, engine: EngineKind, socket: Option<std::path::PathBuf>, ticks: u64) {
+    use hotpath_core::config::Config;
+    use hotpath_core::coordinator::Coordinator;
+    use hotpath_core::geometry::{Point, Rect};
+    use hotpath_core::raytrace::ClientState;
+    use hotpath_core::time::Timestamp;
+    use hotpath_core::ObjectId;
+    use hotpath_serve::server::Hotpathd;
+    use hotpath_serve::wire::{serve_unix, UnixClient};
+
+    let path = socket.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("hotpathd-serve-{}.sock", std::process::id()))
+    });
+    let config = Config::paper_defaults().with_epoch(10).with_window(100).with_shards(shards);
+    let epoch = config.epochs.lambda;
+    let handle = Hotpathd::spawn(engine.build(Coordinator::new(config)));
+    let server = serve_unix(&handle, &path)
+        .unwrap_or_else(|e| usage(&format!("cannot bind {}: {e}", path.display())));
+    println!("## hotpathd — serving on {} ({engine}, {shards} shard(s))", path.display());
+
+    let mut client = UnixClient::connect(&path).expect("connect to own socket");
+    // Four writers on a shared corridor pair; one traversal each per tick.
+    for t in 1..=ticks {
+        let batch: Vec<ClientState> = (0..4u64)
+            .map(|w| {
+                let y = (w % 2) as f64 * 300.0;
+                let end = Point::new(50.0, y);
+                ClientState {
+                    object: ObjectId(w),
+                    start: Point::new(0.0, y),
+                    ts: Timestamp(t.saturating_sub(8)),
+                    fsa: Rect::new(
+                        Point::new(end.x - 2.0, end.y - 2.0),
+                        Point::new(end.x + 2.0, end.y + 2.0),
+                    ),
+                    te: Timestamp(t),
+                }
+            })
+            .collect();
+        client.submit_batch(&batch).expect("submit over the wire");
+        client.advance(Timestamp(t)).expect("advance over the wire");
+    }
+    // Open loop: poll until the last boundary's publish lands.
+    let want = ticks / epoch;
+    let snap = loop {
+        let snap = client.query().expect("query over the wire");
+        if snap.epoch >= want {
+            break snap;
+        }
+        std::thread::yield_now();
+    };
+    println!(
+        "   wire round trip: epoch {} at t={}, {} top path(s), hottest {} crossings",
+        snap.epoch,
+        snap.timestamp.0,
+        snap.top.len(),
+        snap.top.first().map(|e| e.hotness).unwrap_or(0)
+    );
+    server.stop();
+    let stats = handle.stats_handle();
+    let final_snap = handle.shutdown();
+    let stats = stats.view();
+    println!(
+        "   server: {} submitted, {} epochs, final epoch {}, {} hot",
+        stats.submitted, stats.epochs, final_snap.epoch, final_snap.hot_count
+    );
     println!();
 }
 

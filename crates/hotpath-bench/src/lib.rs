@@ -29,15 +29,26 @@ pub enum Scale {
     Quick,
 }
 
-impl Scale {
-    /// Parses a CLI tag.
-    pub fn parse(s: &str) -> Option<Scale> {
+impl std::str::FromStr for Scale {
+    type Err = hotpath_core::config::ParseError;
+
+    fn from_str(s: &str) -> Result<Scale, Self::Err> {
         match s {
-            "paper" => Some(Scale::Paper),
-            "mid" => Some(Scale::Mid),
-            "quick" => Some(Scale::Quick),
-            _ => None,
+            "paper" => Ok(Scale::Paper),
+            "mid" => Ok(Scale::Mid),
+            "quick" => Ok(Scale::Quick),
+            other => {
+                Err(hotpath_core::config::ParseError::new("scale", other, "paper | mid | quick"))
+            }
         }
+    }
+}
+
+impl Scale {
+    /// Parses a CLI tag. Thin shim over the [`FromStr`](std::str::FromStr)
+    /// impl, kept for callers that only care about success.
+    pub fn parse(s: &str) -> Option<Scale> {
+        s.parse().ok()
     }
 
     /// Base simulation parameters at this scale (N filled per sweep).
@@ -116,6 +127,8 @@ mod tests {
         assert_eq!(Scale::parse("mid"), Some(Scale::Mid));
         assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
         assert_eq!(Scale::parse("nope"), None);
+        let err = "nope".parse::<Scale>().unwrap_err();
+        assert_eq!(err.to_string(), "invalid scale \"nope\": expected paper | mid | quick");
     }
 
     #[test]

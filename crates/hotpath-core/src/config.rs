@@ -1,6 +1,40 @@
 //! Framework configuration: tolerance model, window, epochs, grid.
+//!
+//! [`Config`] is constructed either from [`Config::paper_defaults`]
+//! plus the chainable `with_*` setters (which panic on a bad value —
+//! convenient in tests and examples), or through [`Config::builder`],
+//! which defers all validation to [`ConfigBuilder::build`] and returns
+//! a typed [`ConfigError`] instead of panicking — the right entry point
+//! for servers parsing untrusted configuration.
 
 use crate::time::{EpochClock, SlidingWindow};
+
+/// A typed parse failure for the CLI-facing enums ([`AdmissionPolicy`],
+/// [`EngineKind`](crate::engine::EngineKind),
+/// `FallbackPolicy`), carrying what was being parsed, the offending
+/// input, and the accepted values.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    what: &'static str,
+    got: String,
+    expected: &'static str,
+}
+
+impl ParseError {
+    /// A parse failure of a `what` value: `got` was seen, `expected`
+    /// describes the accepted forms.
+    pub fn new(what: &'static str, got: &str, expected: &'static str) -> Self {
+        ParseError { what, got: got.to_string(), expected }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid {} {:?}: expected {}", self.what, self.got, self.expected)
+    }
+}
+
+impl std::error::Error for ParseError {}
 
 /// The tolerance model of Section 3.1: either a crisp `eps`, or the
 /// uncertainty-aware `(eps, delta)` pair in which a location is *close*
@@ -71,15 +105,28 @@ pub enum AdmissionPolicy {
     EjectSlowest,
 }
 
+impl std::str::FromStr for AdmissionPolicy {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<AdmissionPolicy, ParseError> {
+        match s {
+            "reject" => Ok(AdmissionPolicy::Reject),
+            "shed-oldest" => Ok(AdmissionPolicy::ShedOldest),
+            "eject-slowest" => Ok(AdmissionPolicy::EjectSlowest),
+            other => Err(ParseError::new(
+                "admission policy",
+                other,
+                "reject | shed-oldest | eject-slowest",
+            )),
+        }
+    }
+}
+
 impl AdmissionPolicy {
     /// Parses a CLI tag (`reject` / `shed-oldest` / `eject-slowest`).
+    /// Thin shim over the [`FromStr`](std::str::FromStr) impl.
     pub fn parse(s: &str) -> Option<AdmissionPolicy> {
-        match s {
-            "reject" => Some(AdmissionPolicy::Reject),
-            "shed-oldest" => Some(AdmissionPolicy::ShedOldest),
-            "eject-slowest" => Some(AdmissionPolicy::EjectSlowest),
-            _ => None,
-        }
+        s.parse().ok()
     }
 
     /// Stable numeric encoding (checkpoint config echo).
@@ -191,69 +238,314 @@ impl Config {
         }
     }
 
+    /// A validating builder seeded with the paper defaults. Unlike the
+    /// `with_*` setters, nothing is checked until
+    /// [`build`](ConfigBuilder::build), which returns a typed
+    /// [`ConfigError`] covering both per-field and cross-field
+    /// invariants instead of panicking.
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder::from_config(Config::paper_defaults())
+    }
+
+    /// Re-opens this config as a builder (used by the `with_*` shims).
+    pub fn to_builder(self) -> ConfigBuilder {
+        ConfigBuilder::from_config(self)
+    }
+
+    fn rebuilt(builder: ConfigBuilder) -> Config {
+        builder.build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Builder-style tolerance override.
-    pub fn with_tolerance(mut self, tolerance: Tolerance) -> Self {
-        self.tolerance = tolerance;
-        self
+    pub fn with_tolerance(self, tolerance: Tolerance) -> Self {
+        Config::rebuilt(self.to_builder().tolerance(tolerance))
     }
 
     /// Builder-style window override.
-    pub fn with_window(mut self, w: u64) -> Self {
-        self.window = SlidingWindow::new(w);
-        self
+    pub fn with_window(self, w: u64) -> Self {
+        Config::rebuilt(self.to_builder().window(w))
     }
 
     /// Builder-style epoch override.
-    pub fn with_epoch(mut self, lambda: u64) -> Self {
-        self.epochs = EpochClock::new(lambda);
-        self
+    pub fn with_epoch(self, lambda: u64) -> Self {
+        Config::rebuilt(self.to_builder().epoch(lambda))
     }
 
     /// Builder-style `k` override.
-    pub fn with_k(mut self, k: usize) -> Self {
-        assert!(k > 0, "k must be positive");
-        self.k = k;
-        self
+    pub fn with_k(self, k: usize) -> Self {
+        Config::rebuilt(self.to_builder().k(k))
     }
 
     /// Builder-style grid-cell override.
-    pub fn with_grid_cell(mut self, cell: f64) -> Self {
-        assert!(cell > 0.0, "grid cell must be positive");
-        self.grid_cell = cell;
-        self
+    pub fn with_grid_cell(self, cell: f64) -> Self {
+        Config::rebuilt(self.to_builder().grid_cell(cell))
     }
 
     /// Builder-style shard-count override.
-    pub fn with_shards(mut self, shards: usize) -> Self {
-        assert!(shards > 0, "shard count must be positive");
-        self.shards = shards;
-        self
+    pub fn with_shards(self, shards: usize) -> Self {
+        Config::rebuilt(self.to_builder().shards(shards))
     }
 
     /// Builder-style heartbeat lease: enables session tracking with the
     /// given lease and post-lease ejection grace (both in timestamps).
-    pub fn with_lease(mut self, lease: u64, grace: u64) -> Self {
-        assert!(lease > 0, "lease must be positive (0 disables sessions)");
-        self.admission.lease = lease;
-        self.admission.grace = grace;
-        self
+    pub fn with_lease(self, lease: u64, grace: u64) -> Self {
+        Config::rebuilt(self.to_builder().lease(lease, grace))
     }
 
     /// Builder-style admission cap: bounds the per-epoch admitted batch
     /// at `queue_cap` states, resolved by `policy`.
-    pub fn with_admission_cap(mut self, queue_cap: usize, policy: AdmissionPolicy) -> Self {
-        assert!(queue_cap > 0, "queue cap must be positive (0 disables the bound)");
-        self.admission.queue_cap = queue_cap;
-        self.admission.policy = policy;
-        self
+    pub fn with_admission_cap(self, queue_cap: usize, policy: AdmissionPolicy) -> Self {
+        Config::rebuilt(self.to_builder().admission_cap(queue_cap, policy))
     }
 
     /// Builder-style degraded-epoch threshold: epochs whose admitted
     /// batch exceeds it shed Phase B refinement.
-    pub fn with_degrade_threshold(mut self, threshold: usize) -> Self {
-        assert!(threshold > 0, "degrade threshold must be positive (0 disables it)");
-        self.admission.degrade_threshold = threshold;
+    pub fn with_degrade_threshold(self, threshold: usize) -> Self {
+        Config::rebuilt(self.to_builder().degrade_threshold(threshold))
+    }
+}
+
+/// A configuration that failed to validate, and why. Produced by
+/// [`ConfigBuilder::build`]; the `with_*` setters panic with the same
+/// message.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ConfigError {
+    /// A field that must be strictly positive was zero (or, for the
+    /// float-valued fields, non-positive / non-finite).
+    NonPositive(&'static str),
+    /// The epoch length exceeds the sliding window: an epoch would
+    /// outlive every traversal it admits.
+    EpochExceedsWindow {
+        /// Configured epoch length `Lambda`.
+        epoch: u64,
+        /// Configured window length `W`.
+        window: u64,
+    },
+    /// The heartbeat lease is at least as long as the sliding window:
+    /// every traversal a client reported would expire from the window
+    /// before its session could ever be considered stale.
+    LeaseOutlivesWindow {
+        /// Configured heartbeat lease.
+        lease: u64,
+        /// Configured window length `W`.
+        window: u64,
+    },
+    /// The degraded-epoch threshold is at or above the admission queue
+    /// cap. The threshold is tested against the *post-cap* admitted
+    /// batch, which never exceeds the cap — such a threshold could
+    /// never fire, so the combination is rejected as unreachable.
+    DegradeAtOrAboveCap {
+        /// Configured degraded-epoch threshold.
+        threshold: usize,
+        /// Configured admission queue cap.
+        cap: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ConfigError::NonPositive(what) => write!(f, "{what} must be positive"),
+            ConfigError::EpochExceedsWindow { epoch, window } => write!(
+                f,
+                "epoch length {epoch} must not exceed the window length {window} \
+                 (an epoch would outlive its own traversals)"
+            ),
+            ConfigError::LeaseOutlivesWindow { lease, window } => write!(
+                f,
+                "heartbeat lease {lease} must be shorter than the window length {window} \
+                 (a session can only go stale within the window)"
+            ),
+            ConfigError::DegradeAtOrAboveCap { threshold, cap } => write!(
+                f,
+                "degrade threshold {threshold} must be below the admission queue cap {cap} \
+                 (the admitted batch never exceeds the cap, so it could never fire)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Deferred-validation builder for [`Config`].
+///
+/// Setters never panic; [`build`](Self::build) checks everything at
+/// once — per-field positivity plus the cross-field invariants
+/// (`epoch <= window`, `lease < window` when sessions are on, and
+/// `degrade threshold < queue cap` when both are set) — and returns the
+/// first violation as a [`ConfigError`].
+///
+/// ```
+/// use hotpath_core::prelude::*;
+///
+/// let config = Config::builder().window(60).epoch(5).k(20).build().unwrap();
+/// assert_eq!(config.k, 20);
+///
+/// // lease 80 under window 60: rejected at build, not at use.
+/// let err = Config::builder().window(60).lease(80, 10).build().unwrap_err();
+/// assert!(matches!(err, ConfigError::LeaseOutlivesWindow { .. }));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ConfigBuilder {
+    tolerance: Tolerance,
+    window: u64,
+    epoch: u64,
+    k: usize,
+    grid_cell: f64,
+    vertex_grain: f64,
+    shards: usize,
+    admission: Admission,
+    /// Whether `lease()` / `admission_cap()` / `degrade_threshold()`
+    /// were called explicitly: an explicit zero is an error, while the
+    /// zero *default* just means "feature off".
+    lease_set: bool,
+    cap_set: bool,
+    degrade_set: bool,
+}
+
+impl ConfigBuilder {
+    /// A builder seeded from an existing config (all fields carried
+    /// over; features already on stay subject to the cross-field
+    /// checks, but their zero-off defaults remain valid).
+    pub fn from_config(config: Config) -> Self {
+        ConfigBuilder {
+            tolerance: config.tolerance,
+            window: config.window.len,
+            epoch: config.epochs.lambda,
+            k: config.k,
+            grid_cell: config.grid_cell,
+            vertex_grain: config.vertex_grain,
+            shards: config.shards,
+            admission: config.admission,
+            lease_set: false,
+            cap_set: false,
+            degrade_set: false,
+        }
+    }
+
+    /// Tolerance model.
+    pub fn tolerance(mut self, tolerance: Tolerance) -> Self {
+        self.tolerance = tolerance;
         self
+    }
+
+    /// Sliding-window length `W` in timestamps.
+    pub fn window(mut self, w: u64) -> Self {
+        self.window = w;
+        self
+    }
+
+    /// Epoch length `Lambda` in timestamps.
+    pub fn epoch(mut self, lambda: u64) -> Self {
+        self.epoch = lambda;
+        self
+    }
+
+    /// Number of hottest paths to report.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Grid-index cell side in meters.
+    pub fn grid_cell(mut self, cell: f64) -> Self {
+        self.grid_cell = cell;
+        self
+    }
+
+    /// Vertex-identity quantization grain in meters.
+    pub fn vertex_grain(mut self, grain: f64) -> Self {
+        self.vertex_grain = grain;
+        self
+    }
+
+    /// Coordinator shard count.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Heartbeat lease and post-lease ejection grace (enables session
+    /// tracking).
+    pub fn lease(mut self, lease: u64, grace: u64) -> Self {
+        self.admission.lease = lease;
+        self.admission.grace = grace;
+        self.lease_set = true;
+        self
+    }
+
+    /// Per-epoch admission cap and its overflow policy.
+    pub fn admission_cap(mut self, queue_cap: usize, policy: AdmissionPolicy) -> Self {
+        self.admission.queue_cap = queue_cap;
+        self.admission.policy = policy;
+        self.cap_set = true;
+        self
+    }
+
+    /// Degraded-epoch threshold.
+    pub fn degrade_threshold(mut self, threshold: usize) -> Self {
+        self.admission.degrade_threshold = threshold;
+        self.degrade_set = true;
+        self
+    }
+
+    /// Validates every invariant and produces the config.
+    pub fn build(self) -> Result<Config, ConfigError> {
+        if self.window == 0 {
+            return Err(ConfigError::NonPositive("window length"));
+        }
+        if self.epoch == 0 {
+            return Err(ConfigError::NonPositive("epoch length"));
+        }
+        if self.k == 0 {
+            return Err(ConfigError::NonPositive("k"));
+        }
+        if !(self.grid_cell > 0.0 && self.grid_cell.is_finite()) {
+            return Err(ConfigError::NonPositive("grid cell"));
+        }
+        if !(self.vertex_grain > 0.0 && self.vertex_grain.is_finite()) {
+            return Err(ConfigError::NonPositive("vertex grain"));
+        }
+        if self.shards == 0 {
+            return Err(ConfigError::NonPositive("shard count"));
+        }
+        if self.lease_set && self.admission.lease == 0 {
+            return Err(ConfigError::NonPositive("lease"));
+        }
+        if self.cap_set && self.admission.queue_cap == 0 {
+            return Err(ConfigError::NonPositive("queue cap"));
+        }
+        if self.degrade_set && self.admission.degrade_threshold == 0 {
+            return Err(ConfigError::NonPositive("degrade threshold"));
+        }
+        if self.epoch > self.window {
+            return Err(ConfigError::EpochExceedsWindow { epoch: self.epoch, window: self.window });
+        }
+        if self.admission.sessions_enabled() && self.admission.lease >= self.window {
+            return Err(ConfigError::LeaseOutlivesWindow {
+                lease: self.admission.lease,
+                window: self.window,
+            });
+        }
+        if self.admission.queue_cap > 0
+            && self.admission.degrade_threshold > 0
+            && self.admission.degrade_threshold >= self.admission.queue_cap
+        {
+            return Err(ConfigError::DegradeAtOrAboveCap {
+                threshold: self.admission.degrade_threshold,
+                cap: self.admission.queue_cap,
+            });
+        }
+        Ok(Config {
+            tolerance: self.tolerance,
+            window: SlidingWindow::new(self.window),
+            epochs: EpochClock::new(self.epoch),
+            k: self.k,
+            grid_cell: self.grid_cell,
+            vertex_grain: self.vertex_grain,
+            shards: self.shards,
+            admission: self.admission,
+        })
     }
 }
 
@@ -328,6 +620,80 @@ mod tests {
         }
         assert_eq!(AdmissionPolicy::parse("nope"), None);
         assert_eq!(AdmissionPolicy::from_raw(99), None);
+    }
+
+    #[test]
+    fn builder_validates_at_build_not_at_set() {
+        // Transiently inconsistent states are fine mid-chain...
+        let b = Config::builder().epoch(500).window(1000).lease(40, 10);
+        // ...and the final state validates.
+        let c = b.build().unwrap();
+        assert_eq!(c.epochs.lambda, 500);
+        assert_eq!(c.window.len, 1000);
+        assert_eq!(c.admission.lease, 40);
+    }
+
+    #[test]
+    fn builder_rejects_cross_field_violations() {
+        assert_eq!(
+            Config::builder().window(20).epoch(30).build().unwrap_err(),
+            ConfigError::EpochExceedsWindow { epoch: 30, window: 20 }
+        );
+        assert_eq!(
+            Config::builder().window(50).lease(50, 5).build().unwrap_err(),
+            ConfigError::LeaseOutlivesWindow { lease: 50, window: 50 }
+        );
+        assert_eq!(
+            Config::builder()
+                .admission_cap(20, AdmissionPolicy::Reject)
+                .degrade_threshold(20)
+                .build()
+                .unwrap_err(),
+            ConfigError::DegradeAtOrAboveCap { threshold: 20, cap: 20 }
+        );
+        // Either knob alone is unconstrained by the other.
+        assert!(Config::builder().degrade_threshold(5).build().is_ok());
+        assert!(Config::builder().admission_cap(5, AdmissionPolicy::Reject).build().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_non_positive_fields() {
+        for (builder, what) in [
+            (Config::builder().window(0), "window length"),
+            (Config::builder().epoch(0), "epoch length"),
+            (Config::builder().k(0), "k"),
+            (Config::builder().grid_cell(0.0), "grid cell"),
+            (Config::builder().grid_cell(f64::NAN), "grid cell"),
+            (Config::builder().vertex_grain(0.0), "vertex grain"),
+            (Config::builder().shards(0), "shard count"),
+            (Config::builder().lease(0, 5), "lease"),
+            (Config::builder().admission_cap(0, AdmissionPolicy::Reject), "queue cap"),
+            (Config::builder().degrade_threshold(0), "degrade threshold"),
+        ] {
+            assert_eq!(builder.build().unwrap_err(), ConfigError::NonPositive(what));
+        }
+    }
+
+    #[test]
+    fn builder_error_messages_name_the_violation() {
+        let msg = ConfigError::DegradeAtOrAboveCap { threshold: 9, cap: 8 }.to_string();
+        assert!(msg.contains("degrade threshold 9"), "unhelpful message: {msg}");
+        assert!(msg.contains("cap 8"), "unhelpful message: {msg}");
+        let msg = ConfigError::NonPositive("queue cap").to_string();
+        assert_eq!(msg, "queue cap must be positive");
+    }
+
+    #[test]
+    fn admission_policy_from_str_reports_expected_values() {
+        assert_eq!("shed-oldest".parse::<AdmissionPolicy>(), Ok(AdmissionPolicy::ShedOldest));
+        let err = "drop-all".parse::<AdmissionPolicy>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("admission policy"), "error must say what was parsed: {msg}");
+        assert!(msg.contains("\"drop-all\""), "error must echo the input: {msg}");
+        assert!(
+            msg.contains("reject | shed-oldest | eject-slowest"),
+            "error must list values: {msg}"
+        );
     }
 
     #[test]

@@ -77,6 +77,7 @@ pub mod index;
 pub mod motion_path;
 pub mod raytrace;
 pub mod session;
+pub mod snapshot;
 pub mod stats;
 pub mod strategy;
 pub mod time;
@@ -97,7 +98,9 @@ impl std::fmt::Display for ObjectId {
 /// Convenient glob-import of the public API.
 pub mod prelude {
     pub use crate::checkpoint::{Checkpoint, CheckpointError};
-    pub use crate::config::{Admission, AdmissionPolicy, Config, Tolerance};
+    pub use crate::config::{
+        Admission, AdmissionPolicy, Config, ConfigBuilder, ConfigError, ParseError, Tolerance,
+    };
     pub use crate::coordinator::{Coordinator, EndpointResponse, HotSnapshot};
     pub use crate::engine::{Engine, EngineKind, PipelinedEngine, SyncEngine};
     pub use crate::geometry::{Point, Rect, Segment, TimePoint, Trajectory};
@@ -105,6 +108,7 @@ pub mod prelude {
     pub use crate::motion_path::{MotionPath, PathId};
     pub use crate::raytrace::{ClientState, RayTraceFilter};
     pub use crate::session::{SessionEvent, SessionState, SessionTable, SessionTransition};
+    pub use crate::snapshot::{SnapshotCell, SnapshotGuard, SnapshotHandle};
     pub use crate::stats::AdmissionStats;
     pub use crate::time::{EpochClock, SlidingWindow, TimeInterval, Timestamp};
     pub use crate::uncertainty::{GaussianPoint, ToleranceTable};

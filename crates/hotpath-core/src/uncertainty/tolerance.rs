@@ -81,18 +81,34 @@ pub enum FallbackPolicy {
     MinimalArea(f64),
 }
 
-impl FallbackPolicy {
-    /// Parses a CLI/config tag: `reject`, `minimal`, or `minimal:<w>`
-    /// (width in meters; bare `minimal` uses 0.5 m).
-    pub fn parse(s: &str) -> Option<FallbackPolicy> {
+impl std::str::FromStr for FallbackPolicy {
+    type Err = crate::config::ParseError;
+
+    fn from_str(s: &str) -> Result<FallbackPolicy, Self::Err> {
+        const EXPECTED: &str = "reject | minimal | minimal:<width-in-meters>";
         match s {
-            "reject" => Some(FallbackPolicy::Reject),
-            "minimal" => Some(FallbackPolicy::MinimalArea(0.5)),
+            "reject" => Ok(FallbackPolicy::Reject),
+            "minimal" => Ok(FallbackPolicy::MinimalArea(0.5)),
             _ => {
-                let w: f64 = s.strip_prefix("minimal:")?.parse().ok()?;
-                (w > 0.0 && w.is_finite()).then_some(FallbackPolicy::MinimalArea(w))
+                let parsed = s
+                    .strip_prefix("minimal:")
+                    .and_then(|w| w.parse::<f64>().ok())
+                    .filter(|w| *w > 0.0 && w.is_finite());
+                match parsed {
+                    Some(w) => Ok(FallbackPolicy::MinimalArea(w)),
+                    None => Err(crate::config::ParseError::new("fallback policy", s, EXPECTED)),
+                }
             }
         }
+    }
+}
+
+impl FallbackPolicy {
+    /// Parses a CLI/config tag: `reject`, `minimal`, or `minimal:<w>`
+    /// (width in meters; bare `minimal` uses 0.5 m). Thin shim over the
+    /// [`FromStr`](std::str::FromStr) impl.
+    pub fn parse(s: &str) -> Option<FallbackPolicy> {
+        s.parse().ok()
     }
 }
 

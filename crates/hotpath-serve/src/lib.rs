@@ -1,0 +1,42 @@
+//! # hotpath-serve
+//!
+//! The serving front door of the EDBT 2008 reproduction: a long-lived
+//! `hotpathd` server that owns an [`Engine`](hotpath_core::engine::Engine),
+//! drives the epoch loop on a single writer thread, and serves reads
+//! from an atomically swapped
+//! [`SnapshotCell`](hotpath_core::snapshot::SnapshotCell) — readers
+//! take no lock and never make the epoch loop wait.
+//!
+//! Three layers:
+//!
+//! - [`server`] — the in-process front door: [`Hotpathd`](server::Hotpathd)
+//!   spawns the writer thread, [`ServerHandle`](server::ServerHandle)
+//!   is the client surface (submit / advance / lock-free readers).
+//! - [`wire`] — a length-prefixed binary frame protocol plus a unix-
+//!   socket transport, so out-of-process clients can submit batches and
+//!   query the published top-k without linking the engine.
+//! - [`swarm`] — `client_swarm`: a seeded, deterministic open-loop load
+//!   generator (writer schedules, churn via the scenario fault machinery,
+//!   concurrent readers) with a fingerprinted report for parity checks.
+//!
+//! ```no_run
+//! use hotpath_core::prelude::*;
+//! use hotpath_serve::server::Hotpathd;
+//!
+//! let engine = EngineKind::Sync.build(Coordinator::new(Config::paper_defaults()));
+//! let handle = Hotpathd::spawn(engine);
+//! let mut reader = handle.reader();
+//! for t in 1..=100 {
+//!     handle.advance(Timestamp(t));
+//! }
+//! let snap = reader.load();
+//! println!("epoch {} hot {}", snap.epoch, snap.hot_count);
+//! handle.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod server;
+pub mod swarm;
+pub mod wire;

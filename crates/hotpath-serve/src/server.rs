@@ -1,0 +1,350 @@
+//! The in-process serving front door.
+//!
+//! [`Hotpathd::spawn`] takes ownership of an engine and moves it onto a
+//! dedicated writer thread — the only thread that ever touches the
+//! engine. Clients talk to it through a [`ServerHandle`]:
+//!
+//! - **Writes** ([`ServerHandle::submit`], [`ServerHandle::advance`])
+//!   are enqueued on an mpsc channel and applied in program order by
+//!   the writer thread. `advance` drives every granule up to the target
+//!   clock and runs [`process_epoch`](hotpath_core::engine::Engine::process_epoch)
+//!   at each epoch boundary it crosses, so no boundary is ever skipped
+//!   however coarse the caller's ticks are.
+//! - **Reads** go through a [`SnapshotCell`] the engine publishes into
+//!   at its publish stage. A [`ServerHandle::reader`] handle reads the
+//!   latest [`HotSnapshot`] lock-free: no mutex, no channel, no
+//!   allocation, and never a stall for the epoch loop. Readers on the
+//!   pipelined backend observe each epoch as the worker publishes it,
+//!   overlapped with the next epoch's ingest.
+//!
+//! The handle is cheap to share behind an `Arc`; [`ServerHandle::shutdown`]
+//! (or drop) stops the writer thread and returns the final snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+
+use hotpath_core::coordinator::HotSnapshot;
+use hotpath_core::engine::Engine;
+use hotpath_core::raytrace::ClientState;
+use hotpath_core::snapshot::{SnapshotCell, SnapshotHandle};
+use hotpath_core::time::{EpochClock, Timestamp};
+
+/// A command applied by the writer thread, in program order.
+#[derive(Debug)]
+pub enum ServerMsg {
+    /// One state message for the next epoch.
+    Submit(ClientState),
+    /// A batch of state messages, equivalent to a `Submit` loop.
+    SubmitBatch(Vec<ClientState>),
+    /// Advance the server clock to `t`, running every epoch boundary
+    /// crossed on the way.
+    Advance(Timestamp),
+    /// Stop the writer thread after draining prior messages.
+    Shutdown,
+}
+
+/// Open-loop serving counters, updated by the writer thread and read
+/// by anyone holding the handle.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    submitted: AtomicU64,
+    epochs: AtomicU64,
+    responses: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServerStats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServerStatsView {
+    /// State messages accepted (single and batched).
+    pub submitted: u64,
+    /// Epoch boundaries processed.
+    pub epochs: u64,
+    /// Endpoint responses produced across all epochs.
+    pub responses: u64,
+}
+
+impl ServerStats {
+    /// A point-in-time copy of the counters.
+    pub fn view(&self) -> ServerStatsView {
+        ServerStatsView {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            epochs: self.epochs.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The `hotpathd` server: constructor namespace for [`ServerHandle`].
+#[derive(Debug)]
+pub struct Hotpathd;
+
+impl Hotpathd {
+    /// Moves `engine` onto a dedicated writer thread and returns the
+    /// client handle. The engine's current snapshot is published into
+    /// the read cell immediately, so readers registered before the
+    /// first epoch see the (empty) epoch-0 image rather than blocking.
+    pub fn spawn(mut engine: Box<dyn Engine>) -> ServerHandle {
+        let cell = SnapshotCell::new();
+        let epochs = engine.config().epochs;
+        engine.attach_cell(Arc::clone(&cell));
+        let stats = Arc::new(ServerStats::default());
+        let (tx, rx) = mpsc::channel();
+        let writer = {
+            let stats = Arc::clone(&stats);
+            thread::spawn(move || writer_loop(engine, rx, epochs, &stats))
+        };
+        ServerHandle { tx, cell, stats, writer: Some(writer) }
+    }
+}
+
+fn writer_loop(
+    mut engine: Box<dyn Engine>,
+    rx: mpsc::Receiver<ServerMsg>,
+    epochs: EpochClock,
+    stats: &ServerStats,
+) {
+    let mut clock = Timestamp::ZERO;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ServerMsg::Submit(state) => {
+                engine.submit(state);
+                stats.submitted.fetch_add(1, Ordering::Relaxed);
+            }
+            ServerMsg::SubmitBatch(batch) => {
+                stats.submitted.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                engine.submit_batch(&mut batch.into_iter());
+            }
+            ServerMsg::Advance(t) => {
+                // Drive every granule so coarse ticks still hit every
+                // epoch boundary; stale ticks are ignored.
+                for g in (clock.0 + 1)..=t.0 {
+                    let now = Timestamp(g);
+                    engine.advance_time(now);
+                    if epochs.is_epoch(now) {
+                        let responses = engine.process_epoch(now);
+                        stats.epochs.fetch_add(1, Ordering::Relaxed);
+                        stats.responses.fetch_add(responses.len() as u64, Ordering::Relaxed);
+                    }
+                }
+                clock = clock.max(t);
+            }
+            ServerMsg::Shutdown => break,
+        }
+    }
+    // Joins the pipelined worker (final publish included) before exit.
+    let _ = engine.finish();
+}
+
+/// The client surface of a running `hotpathd`.
+///
+/// Cloneable via `Arc`; writes are serialized through the channel,
+/// reads are lock-free through the cell. Dropping the handle shuts the
+/// server down.
+#[derive(Debug)]
+pub struct ServerHandle {
+    tx: mpsc::Sender<ServerMsg>,
+    cell: Arc<SnapshotCell>,
+    stats: Arc<ServerStats>,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Registers a lock-free reader over the published snapshot. Any
+    /// number of readers may exist, on any thread; none of them can
+    /// block the writer.
+    pub fn reader(&self) -> SnapshotHandle {
+        self.cell.register()
+    }
+
+    /// The snapshot cell itself — for transports that register their
+    /// own per-connection readers.
+    pub fn cell(&self) -> Arc<SnapshotCell> {
+        Arc::clone(&self.cell)
+    }
+
+    /// A sender for raw [`ServerMsg`]s (the wire transport uses this).
+    pub fn sender(&self) -> mpsc::Sender<ServerMsg> {
+        self.tx.clone()
+    }
+
+    /// Enqueues one state message.
+    pub fn submit(&self, state: ClientState) {
+        let _ = self.tx.send(ServerMsg::Submit(state));
+    }
+
+    /// Enqueues a batch of state messages.
+    pub fn submit_batch(&self, batch: Vec<ClientState>) {
+        let _ = self.tx.send(ServerMsg::SubmitBatch(batch));
+    }
+
+    /// Advances the server clock, processing every epoch boundary up
+    /// to and including `t`.
+    pub fn advance(&self, t: Timestamp) {
+        let _ = self.tx.send(ServerMsg::Advance(t));
+    }
+
+    /// A point-in-time copy of the serving counters. Open-loop: a
+    /// just-enqueued write may not be counted yet.
+    pub fn stats(&self) -> ServerStatsView {
+        self.stats.view()
+    }
+
+    /// The shared counters themselves — survives [`ServerHandle::shutdown`],
+    /// after which the counts are final.
+    pub fn stats_handle(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Stops the writer thread, waits for it to drain, and returns the
+    /// final published snapshot.
+    pub fn shutdown(mut self) -> Arc<HotSnapshot> {
+        self.stop();
+        self.cell.load()
+    }
+
+    fn stop(&mut self) {
+        if let Some(writer) = self.writer.take() {
+            let _ = self.tx.send(ServerMsg::Shutdown);
+            let _ = writer.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotpath_core::coordinator::Coordinator;
+    use hotpath_core::engine::EngineKind;
+    use hotpath_core::geometry::{Point, Rect};
+    use hotpath_core::prelude::Config;
+    use hotpath_core::ObjectId;
+
+    fn cfg() -> Config {
+        Config::paper_defaults().with_epoch(10).with_window(10_000)
+    }
+
+    fn state(obj: u64, start: (f64, f64), end: (f64, f64), te: u64) -> ClientState {
+        ClientState {
+            object: ObjectId(obj),
+            start: Point::new(start.0, start.1),
+            ts: Timestamp(te.saturating_sub(8)),
+            fsa: Rect::new(
+                Point::new(end.0 - 2.0, end.1 - 2.0),
+                Point::new(end.0 + 2.0, end.1 + 2.0),
+            ),
+            te: Timestamp(te),
+        }
+    }
+
+    fn spawn(kind: EngineKind) -> ServerHandle {
+        Hotpathd::spawn(kind.build(Coordinator::new(cfg())))
+    }
+
+    #[test]
+    fn driven_server_processes_every_boundary_in_one_coarse_advance() {
+        for kind in [EngineKind::Sync, EngineKind::Pipelined] {
+            let handle = spawn(kind);
+            for e in 1..=5u64 {
+                handle.submit(state(e, (0.0, 0.0), (50.0, 0.0), e * 10 - 1));
+            }
+            // One coarse tick: the server must still run epochs 1..=5.
+            handle.advance(Timestamp(50));
+            let snap = handle.shutdown();
+            assert_eq!(snap.epoch, 5, "{kind}");
+            assert_eq!(snap.timestamp, Timestamp(50), "{kind}");
+        }
+    }
+
+    #[test]
+    fn readers_observe_epochs_without_calling_into_the_engine() {
+        for kind in [EngineKind::Sync, EngineKind::Pipelined] {
+            let handle = spawn(kind);
+            let mut reader = handle.reader();
+            assert_eq!(reader.epoch(), 0, "{kind}: epoch-0 image pre-published");
+
+            handle.submit(state(1, (0.0, 0.0), (50.0, 0.0), 9));
+            handle.advance(Timestamp(10));
+            // Open loop: wait for the publish to land in the cell.
+            while reader.epoch() < 1 {
+                thread::yield_now();
+            }
+            let snap = reader.load();
+            assert_eq!(snap.epoch, 1, "{kind}");
+            assert_eq!(snap.top_k.len(), 1, "{kind}");
+
+            let stats = handle.stats();
+            assert_eq!(stats.submitted, 1, "{kind}");
+            assert_eq!(stats.epochs, 1, "{kind}");
+            drop(handle);
+        }
+    }
+
+    #[test]
+    fn stale_and_duplicate_advances_are_ignored() {
+        let handle = spawn(EngineKind::Sync);
+        let stats = Arc::clone(&handle.stats);
+        handle.advance(Timestamp(20));
+        handle.advance(Timestamp(20));
+        handle.advance(Timestamp(5));
+        // Shutdown drains the queue and joins the writer, so the
+        // counters are final when it returns.
+        let snap = handle.shutdown();
+        assert_eq!(snap.epoch, 2);
+        assert_eq!(stats.view().epochs, 2, "re-advancing must not re-run boundaries");
+    }
+
+    /// The serving-layer hammer: readers spin on their handles while
+    /// the writer publishes continuously. Every observed image must be
+    /// epoch-consistent (all fields from the same publish) and epochs
+    /// must be monotone per reader.
+    #[test]
+    fn hammered_readers_see_epoch_consistent_images_while_writer_publishes() {
+        const EPOCHS: u64 = 120;
+        for kind in [EngineKind::Sync, EngineKind::Pipelined] {
+            let handle = spawn(kind);
+            let stop = Arc::new(AtomicU64::new(0));
+            let readers: Vec<_> = (0..3)
+                .map(|_| {
+                    let mut reader = handle.reader();
+                    let stop = Arc::clone(&stop);
+                    thread::spawn(move || {
+                        let mut last = 0u64;
+                        let mut reads = 0u64;
+                        while stop.load(Ordering::Relaxed) == 0 {
+                            let snap = reader.read();
+                            let e = snap.epoch;
+                            // One traversal per epoch: a torn image would
+                            // break one of these cross-field identities.
+                            assert_eq!(snap.timestamp, Timestamp(e * 10));
+                            if e > 0 {
+                                assert_eq!(snap.top_k.len(), 1);
+                                assert_eq!(snap.top_k[0].hotness, e as u32);
+                            }
+                            assert!(e >= last, "epochs went backwards: {last} -> {e}");
+                            last = e;
+                            reads += 1;
+                        }
+                        reads
+                    })
+                })
+                .collect();
+
+            for e in 1..=EPOCHS {
+                handle.submit(state(e, (0.0, 0.0), (50.0, 0.0), e * 10 - 1));
+                handle.advance(Timestamp(e * 10));
+            }
+            let snap = handle.shutdown();
+            stop.store(1, Ordering::Relaxed);
+            let reads: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+            assert_eq!(snap.epoch, EPOCHS, "{kind}");
+            assert!(reads > 0, "{kind}: readers must have made progress");
+        }
+    }
+}

@@ -26,6 +26,7 @@ pub mod engine_loop;
 pub mod experiment;
 pub mod fault;
 pub mod metrics;
+pub mod options;
 pub mod report;
 pub mod scenario_run;
 pub mod simulation;

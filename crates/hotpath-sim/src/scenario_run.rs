@@ -14,6 +14,7 @@
 use crate::engine_loop::{run_epoch_loop_with, CheckpointPolicy, EpochDriver};
 use crate::fault::FaultPlan;
 use crate::metrics::{EpochMetrics, Summary};
+use crate::options::RunOptions;
 use hotpath_core::config::{Config, Tolerance};
 use hotpath_core::coordinator::{Coordinator, EndpointResponse, HotSnapshot};
 use hotpath_core::engine::{Engine, EngineKind};
@@ -48,21 +49,13 @@ pub struct ScenarioRunParams {
     pub epoch: u64,
     /// Top-k size.
     pub k: usize,
-    /// Coordinator shards (1 = sequential; results are identical at
-    /// every shard count).
-    pub shards: usize,
-    /// Epoch-execution backend; results are identical for both.
-    pub engine: EngineKind,
     /// Seed for the driver's Gaussian re-measurement device (kept apart
     /// from the scenario seed so noise and workload vary independently).
     pub noise_seed: u64,
-    /// Seed for fault-victim selection when the scenario declares
-    /// [`hotpath_netsim::scenario::FaultWindow`]s. Runs are
-    /// deterministic per seed; fault-free scenarios ignore it.
-    pub fault_seed: u64,
-    /// Checkpoint controls: periodic image writes, warm-start restore,
-    /// and the restart-parity probe. Default: all off.
-    pub checkpoint: CheckpointPolicy,
+    /// Shared execution knobs: shards, engine backend, checkpoint
+    /// policy, and the fault-victim seed used when the scenario
+    /// declares [`hotpath_netsim::scenario::FaultWindow`]s.
+    pub run: RunOptions,
 }
 
 impl Default for ScenarioRunParams {
@@ -75,11 +68,8 @@ impl Default for ScenarioRunParams {
             window: None,
             epoch: 5,
             k: 10,
-            shards: 1,
-            engine: EngineKind::Sync,
             noise_seed: 0x5eed,
-            fault_seed: 0xFA17,
-            checkpoint: CheckpointPolicy::default(),
+            run: RunOptions::default(),
         }
     }
 }
@@ -99,7 +89,7 @@ impl ScenarioRunParams {
             .with_epoch(self.epoch)
             .with_k(self.k)
             .with_grid_cell((8.0 * self.eps).max(50.0))
-            .with_shards(self.shards);
+            .with_shards(self.run.shards);
         if let Some(hint) = scenario.robustness_hint() {
             if hint.lease > 0 {
                 config = config.with_lease(hint.lease, hint.grace);
@@ -112,6 +102,30 @@ impl ScenarioRunParams {
             }
         }
         config
+    }
+
+    /// Chainable shard-count override.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.run.shards = shards;
+        self
+    }
+
+    /// Chainable engine-backend override.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.run.engine = engine;
+        self
+    }
+
+    /// Chainable checkpoint-policy override.
+    pub fn with_checkpoint(mut self, checkpoint: CheckpointPolicy) -> Self {
+        self.run.checkpoint = checkpoint;
+        self
+    }
+
+    /// Chainable fault-seed override.
+    pub fn with_fault_seed(mut self, fault_seed: u64) -> Self {
+        self.run.fault_seed = fault_seed;
+        self
     }
 }
 
@@ -333,8 +347,8 @@ pub fn run_scenario(scenario: &mut dyn Scenario, params: &ScenarioRunParams) -> 
             }
         })
         .collect();
-    let mut engine = params.engine.build(Coordinator::new(config));
-    let plan = FaultPlan::for_scenario(params.fault_seed, &*scenario);
+    let mut engine = params.run.engine.build(Coordinator::new(config));
+    let plan = FaultPlan::for_scenario(params.run.fault_seed, &*scenario);
     let mut driver = ScenarioDriver {
         scenario: &mut *scenario,
         clients: &mut clients,
@@ -355,7 +369,7 @@ pub fn run_scenario(scenario: &mut dyn Scenario, params: &ScenarioRunParams) -> 
         reconnects: 0,
         ejections: 0,
     };
-    let out = run_epoch_loop_with(&mut engine, duration, &mut driver, &params.checkpoint);
+    let out = run_epoch_loop_with(&mut engine, duration, &mut driver, &params.run.checkpoint);
     let samples = std::mem::take(&mut driver.samples);
     let mut filter_stats = std::mem::take(&mut driver.retired);
     drop(driver);
@@ -452,13 +466,13 @@ pub fn check_parity_against(
     scale: &ScenarioParams,
     params: &ScenarioRunParams,
 ) -> Result<(), String> {
-    let p = ScenarioRunParams { shards: 1, engine: EngineKind::Sync, ..params.clone() };
+    let p = params.clone().with_shards(1).with_engine(EngineKind::Sync);
     let sequential =
         run_named(name, scale, &p).ok_or_else(|| format!("unknown scenario {name}"))?;
     if parity_trace(&sequential) != parity_trace(observed) {
         return Err(format!(
             "{name}: sequential sync reference vs ({} shards, {}) run diverged",
-            params.shards, params.engine
+            params.run.shards, params.run.engine
         ));
     }
     Ok(())
@@ -482,13 +496,10 @@ pub fn check_restart_parity(
         return Err(format!("{name}: run produced no epochs to checkpoint between"));
     }
     let restart_at = (total_epochs / 2).max(1);
-    let p = ScenarioRunParams {
-        checkpoint: CheckpointPolicy {
-            restart_at: Some(restart_at),
-            ..CheckpointPolicy::default()
-        },
-        ..params.clone()
-    };
+    let p = params.clone().with_checkpoint(CheckpointPolicy {
+        restart_at: Some(restart_at),
+        ..CheckpointPolicy::default()
+    });
     let restarted = run_named(name, scale, &p).expect("scenario known");
     restarted
         .coordinator
@@ -498,7 +509,7 @@ pub fn check_restart_parity(
         return Err(format!(
             "{name}: restart at epoch {restart_at}/{total_epochs} diverged from the \
              uninterrupted run ({} shards, {})",
-            params.shards, params.engine
+            params.run.shards, params.run.engine
         ));
     }
     Ok(())
@@ -515,7 +526,7 @@ pub fn check_scenario_parity(
     params: &ScenarioRunParams,
     shards: usize,
 ) -> Result<(), String> {
-    let p = ScenarioRunParams { shards, ..params.clone() };
+    let p = params.clone().with_shards(shards);
     let sharded = run_named(name, scale, &p).ok_or_else(|| format!("unknown scenario {name}"))?;
     check_parity_against(&sharded, name, scale, params)
 }
@@ -608,11 +619,7 @@ mod tests {
     #[test]
     fn pipelined_sharded_run_matches_the_sync_sequential_reference() {
         let scale = quick_scale(45);
-        let p = ScenarioRunParams {
-            engine: EngineKind::Pipelined,
-            shards: 4,
-            ..ScenarioRunParams::default()
-        };
+        let p = ScenarioRunParams::default().with_engine(EngineKind::Pipelined).with_shards(4);
         let res = run_named("sporting_event", &scale, &p).unwrap();
         res.invariants.as_ref().unwrap_or_else(|e| panic!("invariants: {e}"));
         check_parity_against(&res, "sporting_event", &scale, &p).unwrap_or_else(|e| panic!("{e}"));

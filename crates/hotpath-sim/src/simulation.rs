@@ -9,6 +9,7 @@
 
 use crate::engine_loop::{run_epoch_loop_with, CheckpointPolicy, EpochDriver};
 use crate::metrics::{EpochMetrics, Summary};
+use crate::options::RunOptions;
 use hotpath_baseline::{DpHotSegments, EndpointPolicy};
 use hotpath_core::config::{Config, Tolerance};
 use hotpath_core::coordinator::{Coordinator, EndpointResponse, HotSnapshot};
@@ -56,16 +57,10 @@ pub struct SimulationParams {
     pub dp_policy: EndpointPolicy,
     /// SinglePath Cases-2/3 overlap policy (ablation hook).
     pub overlap: OverlapPolicy,
-    /// Coordinator shards (1 = sequential; results are identical at
-    /// every shard count, epochs just run Phase A in parallel).
-    pub shards: usize,
-    /// Epoch-execution backend (`Sync` = every stage on this thread;
-    /// `Pipelined` = double-buffered ingest against an engine worker).
-    /// Results are identical for both.
-    pub engine: EngineKind,
-    /// Checkpoint controls: periodic image writes, warm-start restore,
-    /// and the restart-parity probe. Default: all off.
-    pub checkpoint: CheckpointPolicy,
+    /// Shared execution knobs: shards, engine backend, checkpoint
+    /// policy, fault seed (the figure driver declares no faults, so the
+    /// seed is carried but unused here).
+    pub run: RunOptions,
 }
 
 impl SimulationParams {
@@ -90,9 +85,7 @@ impl SimulationParams {
             run_dp: true,
             dp_policy: EndpointPolicy::Nopw,
             overlap: OverlapPolicy::Full,
-            shards: 1,
-            engine: EngineKind::Sync,
-            checkpoint: CheckpointPolicy::default(),
+            run: RunOptions::default(),
         }
     }
 
@@ -118,7 +111,25 @@ impl SimulationParams {
             // Panics on 0, matching Config::with_shards — a zero here is
             // a caller bug (e.g. a miscomputed core count), not a
             // request for sequential mode.
-            .with_shards(self.shards)
+            .with_shards(self.run.shards)
+    }
+
+    /// Chainable shard-count override.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.run.shards = shards;
+        self
+    }
+
+    /// Chainable engine-backend override.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.run.engine = engine;
+        self
+    }
+
+    /// Chainable checkpoint-policy override.
+    pub fn with_checkpoint(mut self, checkpoint: CheckpointPolicy) -> Self {
+        self.run.checkpoint = checkpoint;
+        self
     }
 }
 
@@ -247,7 +258,7 @@ pub fn run(params: SimulationParams) -> SimulationResult {
     let mut dp =
         params.run_dp.then(|| DpHotSegments::new(params.eps, params.dp_policy, config.window));
 
-    let mut engine = params.engine.build(coordinator);
+    let mut engine = params.run.engine.build(coordinator);
     let mut driver = SimDriver {
         population: &mut population,
         network: &network,
@@ -256,7 +267,8 @@ pub fn run(params: SimulationParams) -> SimulationResult {
         batch: Vec::new(),
         k: params.k,
     };
-    let out = run_epoch_loop_with(&mut engine, params.duration, &mut driver, &params.checkpoint);
+    let out =
+        run_epoch_loop_with(&mut engine, params.duration, &mut driver, &params.run.checkpoint);
     let coordinator = engine.finish();
 
     let mut filter_stats = hotpath_core::raytrace::FilterStats::default();
@@ -319,7 +331,7 @@ mod tests {
     #[test]
     fn sharded_run_matches_sequential() {
         let seq = run(SimulationParams::quick(150, 9));
-        let sharded = run(SimulationParams { shards: 4, ..SimulationParams::quick(150, 9) });
+        let sharded = run(SimulationParams::quick(150, 9).with_shards(4));
         assert_eq!(sharded.coordinator.num_shards(), 4);
         sharded.coordinator.check_consistency().unwrap();
         // Identical observable behavior: per-epoch series, comm, top-k.
@@ -345,9 +357,9 @@ mod tests {
     #[test]
     fn pipelined_engine_matches_sync() {
         for shards in [1usize, 4] {
-            let base = SimulationParams { shards, ..SimulationParams::quick(150, 11) };
+            let base = SimulationParams::quick(150, 11).with_shards(shards);
             let sync = run(base.clone());
-            let pipelined = run(SimulationParams { engine: EngineKind::Pipelined, ..base });
+            let pipelined = run(base.with_engine(EngineKind::Pipelined));
             let series = |r: &SimulationResult| -> Vec<(usize, u64, u64)> {
                 r.per_epoch
                     .iter()

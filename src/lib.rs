@@ -4,15 +4,65 @@
 //! Hot Motion Paths", Sacharidis et al., EDBT 2008). It re-exports the
 //! member crates so the root-level integration tests and examples have a
 //! single owning package, and so downstream users can depend on one crate.
+//!
+//! Most programs only need [`prelude`]: it curates the supported public
+//! surface — configuration, the engine backends, lock-free snapshot
+//! reads, the serving front door, the scenario registry, and the
+//! simulation drivers — so `use hotpath::prelude::*;` is enough to
+//! build, drive, and read a coordinator end to end:
+//!
+//! ```
+//! use hotpath::prelude::*;
+//!
+//! let config = Config::builder().epoch(10).window(100).build().expect("valid");
+//! let mut engine = EngineKind::Sync.build(Coordinator::new(config));
+//! let cell = SnapshotCell::new();
+//! engine.attach_cell(cell.clone());
+//! let mut reader = cell.register();
+//! engine.process_epoch(Timestamp(10));
+//! assert_eq!(reader.read().epoch, 1);
+//! # engine.finish();
+//! ```
 
 #![warn(missing_docs)]
 
 pub use hotpath_baseline as baseline;
 pub use hotpath_core as core;
 pub use hotpath_netsim as netsim;
+pub use hotpath_serve as serve;
 pub use hotpath_sim as sim;
 
-/// Re-export of the core prelude for one-line imports.
+/// The curated public surface: everything a downstream program needs to
+/// configure an engine, drive epochs, read snapshots lock-free, serve
+/// them out of process, and run the scenario/simulation harnesses —
+/// without reaching into individual member crates.
 pub mod prelude {
-    pub use hotpath_core::prelude::*;
+    // Configuration and typed parsing.
+    pub use hotpath_core::config::{
+        Admission, AdmissionPolicy, Config, ConfigBuilder, ConfigError, ParseError, Tolerance,
+    };
+    // The engine surface: backends, trait, and the published view.
+    pub use hotpath_core::coordinator::{Coordinator, EndpointResponse, HotPath, HotSnapshot};
+    pub use hotpath_core::engine::{Engine, EngineKind, PipelinedEngine, SyncEngine};
+    // Lock-free snapshot reads.
+    pub use hotpath_core::snapshot::{SnapshotCell, SnapshotGuard, SnapshotHandle};
+    // Checkpoint/restore.
+    pub use hotpath_core::checkpoint::{Checkpoint, CheckpointError};
+    // The client-side state vocabulary.
+    pub use hotpath_core::geometry::{Point, Rect, Segment};
+    pub use hotpath_core::motion_path::{MotionPath, PathId};
+    pub use hotpath_core::raytrace::{ClientState, RayTraceFilter};
+    pub use hotpath_core::time::{EpochClock, SlidingWindow, Timestamp};
+    pub use hotpath_core::uncertainty::FallbackPolicy;
+    pub use hotpath_core::ObjectId;
+    // The serving front door and its load generator.
+    pub use hotpath_serve::server::{Hotpathd, ServerHandle, ServerMsg, ServerStatsView};
+    pub use hotpath_serve::swarm::{run_swarm, verify_swarm, SwarmParams, SwarmReport};
+    pub use hotpath_serve::wire::{serve_unix, SnapshotWire, UnixClient, UnixServer};
+    // The scenario registry and run drivers.
+    pub use hotpath_netsim::scenario::{ScenarioParams, REGISTRY};
+    pub use hotpath_sim::engine_loop::CheckpointPolicy;
+    pub use hotpath_sim::options::RunOptions;
+    pub use hotpath_sim::scenario_run::{run_named, ScenarioRunParams};
+    pub use hotpath_sim::simulation::{run, SimulationParams};
 }

@@ -25,7 +25,7 @@ fn restart_matrix(engine: EngineKind) {
     for (i, spec) in REGISTRY.iter().enumerate() {
         let scale = ScenarioParams { n: 300, ..ScenarioParams::quick(41 + i as u64) };
         for shards in [1usize, 4] {
-            let params = ScenarioRunParams { shards, engine, ..ScenarioRunParams::default() };
+            let params = ScenarioRunParams::default().with_shards(shards).with_engine(engine);
             check_restart_parity(spec.name, &scale, &params)
                 .unwrap_or_else(|e| panic!("{engine}/{shards} shards: {e}"));
         }

@@ -286,7 +286,7 @@ fn full_trace(res: &ScenarioRunResult) -> (Vec<EpochRow>, Vec<TopKRow>, (u64, u6
 fn pin_scenario_parity(name: &str, seed: u64, shards: usize) {
     let scale = ScenarioParams { n: 300, ..ScenarioParams::quick(seed) };
     let run = |shards: usize| {
-        let params = ScenarioRunParams { shards, ..ScenarioRunParams::default() };
+        let params = ScenarioRunParams::default().with_shards(shards);
         run_named(name, &scale, &params).expect("registered scenario")
     };
     let sequential = run(1);
@@ -334,11 +334,7 @@ fn pipelined_engine_matches_sync_for_every_registered_scenario() {
         let pipelined = run_named(
             spec.name,
             &scale,
-            &ScenarioRunParams {
-                engine: EngineKind::Pipelined,
-                shards: 4,
-                ..ScenarioRunParams::default()
-            },
+            &ScenarioRunParams::default().with_engine(EngineKind::Pipelined).with_shards(4),
         )
         .expect("registered scenario");
         pipelined.coordinator.check_consistency().expect("pipelined state inconsistent");
