@@ -1,9 +1,14 @@
 //! Captures bench baselines and gates perf regressions against them.
 //!
 //! ```text
-//! bench_gate capture [--dir <repo-root>] [--captures-dir <dir>]
+//! bench_gate capture [--dir <repo-root>] [--captures-dir <dir>] [--only <bench>]
 //! bench_gate check [--tolerance <frac>] [--dir <repo-root>] [--captures-dir <dir>]
+//!            [--only <bench>]
 //! ```
+//!
+//! `--only <bench>` restricts either mode to a single gated target —
+//! capture a new bench's first baseline without re-running (and
+//! re-baselining) every other bench on this machine.
 //!
 //! `--captures-dir` keeps the raw per-bench `CRITERION_CAPTURE` JSONL
 //! streams under the given directory (`<bench>.jsonl`) instead of a
@@ -37,6 +42,7 @@ const GATED_BENCHES: &[&str] = &[
     "micro_scenario",
     "micro_pipeline",
     "micro_serving",
+    "micro_phase_b",
 ];
 
 /// Default relative slack: CI runners and developer machines differ, so
@@ -50,6 +56,7 @@ fn main() {
     let mut tolerance = DEFAULT_TOLERANCE;
     let mut dir = PathBuf::from(".");
     let mut captures_dir: Option<PathBuf> = None;
+    let mut only: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -72,6 +79,17 @@ fn main() {
                     args.get(i).unwrap_or_else(|| usage("--captures-dir needs a path")),
                 ));
             }
+            "--only" => {
+                i += 1;
+                let name = args.get(i).unwrap_or_else(|| usage("--only needs a bench name"));
+                if !GATED_BENCHES.contains(&name.as_str()) {
+                    usage(&format!(
+                        "--only: '{name}' is not a gated bench (one of: {})",
+                        GATED_BENCHES.join(", ")
+                    ));
+                }
+                only = Some(name.clone());
+            }
             other => usage(&format!("unknown argument '{other}'")),
         }
         i += 1;
@@ -88,9 +106,11 @@ fn main() {
             });
         captures_dir = Some(abs);
     }
+    let selected: Vec<&str> =
+        GATED_BENCHES.iter().copied().filter(|b| only.as_deref().is_none_or(|o| *b == o)).collect();
     match mode.as_deref() {
-        Some("capture") => capture(&dir, captures_dir.as_deref()),
-        Some("check") => check(&dir, tolerance, captures_dir.as_deref()),
+        Some("capture") => capture(&dir, captures_dir.as_deref(), &selected),
+        Some("check") => check(&dir, tolerance, captures_dir.as_deref(), &selected),
         _ => usage("need a mode: capture or check"),
     }
 }
@@ -99,7 +119,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: bench_gate <capture|check> [--tolerance <frac>] [--dir <repo-root>] \
-         [--captures-dir <dir>]"
+         [--captures-dir <dir>] [--only <bench>]"
     );
     std::process::exit(2);
 }
@@ -149,8 +169,8 @@ fn run_bench(dir: &Path, bench: &str, captures_dir: Option<&Path>) -> Snapshot {
     snap
 }
 
-fn capture(dir: &Path, captures_dir: Option<&Path>) {
-    for &bench in GATED_BENCHES {
+fn capture(dir: &Path, captures_dir: Option<&Path>, benches: &[&str]) {
+    for &bench in benches {
         let snap = run_bench(dir, bench, captures_dir);
         let path = baseline_path(dir, bench);
         std::fs::write(&path, snap.to_json()).unwrap_or_else(|e| {
@@ -161,9 +181,9 @@ fn capture(dir: &Path, captures_dir: Option<&Path>) {
     }
 }
 
-fn check(dir: &Path, tolerance: f64, captures_dir: Option<&Path>) {
+fn check(dir: &Path, tolerance: f64, captures_dir: Option<&Path>, benches: &[&str]) {
     let mut failed = false;
-    for &bench in GATED_BENCHES {
+    for &bench in benches {
         let path = baseline_path(dir, bench);
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
             eprintln!(

@@ -2,13 +2,14 @@
 //!
 //! ```text
 //! experiments [fig7|fig8|fig9|fig10|claims|hinted|all]
-//!             [--scale paper|mid|quick] [--shards N]
+//!             [--scale paper|mid|quick] [--shards N] [--phase-b-workers N]
 //!             [--engine sync|pipelined] [--csv <dir>]
 //! experiments scenario <name|all> [--scale ...] [--shards N]
-//!             [--engine sync|pipelined] [--csv <dir>]
+//!             [--phase-b-workers N] [--engine sync|pipelined] [--csv <dir>]
 //!             [--sigma s1,s2,...] [--fallback reject|minimal[:w]|all]
 //!             [--restore-check] [--fault-seed N]
-//! experiments swarm [--scale ...] [--shards N] [--engine sync|pipelined]
+//! experiments swarm [--scale ...] [--shards N] [--phase-b-workers N]
+//!             [--engine sync|pipelined]
 //!             [--seed N] [--churn F] [--fault-seed N] [--verify]
 //! experiments serve [--socket PATH] [--shards N]
 //!             [--engine sync|pipelined] [--ticks N]
@@ -21,7 +22,10 @@
 //! exact Section 6.1 parameters (N up to 100 000 — allow several
 //! minutes). `--shards N` partitions the coordinator into `N` shards
 //! (Phase A runs on one thread per shard); results are identical at
-//! every shard count, only the wall clock changes.
+//! every shard count, only the wall clock changes. `--phase-b-workers
+//! N` runs Phase B's pure evaluation on `N` work-stealing workers
+//! (clamped to the machine's cores; small batches degrade to the
+//! sequential path); results are identical at every worker count.
 //!
 //! `scenario` drives the netsim scenario registry: each named workload
 //! runs crisp with its invariants verified (exit 1 on violation), with
@@ -59,6 +63,7 @@ fn main() {
     let mut scenario_name: Option<String> = None;
     let mut scale = Scale::Mid;
     let mut shards = 1usize;
+    let mut phase_b_workers = 1usize;
     let mut engine = EngineKind::Sync;
     let mut sigmas: Option<Vec<f64>> = None;
     let mut fallbacks: Option<Vec<FallbackPolicy>> = None;
@@ -89,6 +94,14 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .filter(|&n| n > 0)
                     .unwrap_or_else(|| usage("--shards needs a positive integer"));
+            }
+            "--phase-b-workers" => {
+                i += 1;
+                phase_b_workers = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--phase-b-workers needs a positive integer"));
             }
             "--engine" => {
                 i += 1;
@@ -211,7 +224,7 @@ fn main() {
 
     println!(
         "# Hot Motion Paths — experiment reproduction (scale: {scale:?}, shards: {shards}, \
-         engine: {engine})"
+         phase-b workers: {phase_b_workers}, engine: {engine})"
     );
     println!();
     if let Some(dir) = &csv_dir {
@@ -223,6 +236,7 @@ fn main() {
             scenario_name.as_deref().unwrap_or("all"),
             scale,
             shards,
+            phase_b_workers,
             engine,
             sigmas.as_deref(),
             fallbacks.as_deref(),
@@ -231,28 +245,30 @@ fn main() {
             restore_check,
             fault_seed,
         ),
-        "fig7" => fig7(scale, shards, engine, csv_dir.as_deref()),
-        "fig8" => fig8(scale, shards, engine, csv_dir.as_deref()),
-        "fig9" => fig9(scale, shards, engine),
-        "fig10" => fig10_(scale, shards, engine),
-        "claims" => claims(scale, shards, engine),
-        "hinted" => hinted(scale, shards, engine),
-        "ablate" => ablate(scale, shards, engine),
-        "filters" => filters(scale, shards, engine),
+        "fig7" => fig7(scale, shards, phase_b_workers, engine, csv_dir.as_deref()),
+        "fig8" => fig8(scale, shards, phase_b_workers, engine, csv_dir.as_deref()),
+        "fig9" => fig9(scale, shards, phase_b_workers, engine),
+        "fig10" => fig10_(scale, shards, phase_b_workers, engine),
+        "claims" => claims(scale, shards, phase_b_workers, engine),
+        "hinted" => hinted(scale, shards, phase_b_workers, engine),
+        "ablate" => ablate(scale, shards, phase_b_workers, engine),
+        "filters" => filters(scale, shards, phase_b_workers, engine),
         "compress" => compress(),
         "uncertain" => uncertain(),
         "checkpoint-bench" => checkpoint_bench(shards),
-        "swarm" => swarm_cmd(scale, shards, engine, swarm_seed, churn, fault_seed, verify),
+        "swarm" => {
+            swarm_cmd(scale, shards, phase_b_workers, engine, swarm_seed, churn, fault_seed, verify)
+        }
         "serve" => serve_cmd(shards, engine, socket, ticks.unwrap_or(50)),
         "all" => {
-            fig7(scale, shards, engine, csv_dir.as_deref());
-            fig8(scale, shards, engine, csv_dir.as_deref());
-            fig9(scale, shards, engine);
-            fig10_(scale, shards, engine);
-            claims(scale, shards, engine);
-            hinted(scale, shards, engine);
-            ablate(scale, shards, engine);
-            filters(scale, shards, engine);
+            fig7(scale, shards, phase_b_workers, engine, csv_dir.as_deref());
+            fig8(scale, shards, phase_b_workers, engine, csv_dir.as_deref());
+            fig9(scale, shards, phase_b_workers, engine);
+            fig10_(scale, shards, phase_b_workers, engine);
+            claims(scale, shards, phase_b_workers, engine);
+            hinted(scale, shards, phase_b_workers, engine);
+            ablate(scale, shards, phase_b_workers, engine);
+            filters(scale, shards, phase_b_workers, engine);
             compress();
             uncertain();
         }
@@ -265,13 +281,13 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: experiments [fig7|fig8|fig9|fig10|claims|hinted|ablate|filters|compress|uncertain|checkpoint-bench|all] \
-         [--scale paper|mid|quick] [--shards N] [--engine sync|pipelined] [--csv <dir>]\n       \
+         [--scale paper|mid|quick] [--shards N] [--phase-b-workers N] [--engine sync|pipelined] [--csv <dir>]\n       \
          experiments scenario <name|all> [--scale paper|mid|quick] [--shards N] \
-         [--engine sync|pipelined] [--csv <dir>] \
+         [--phase-b-workers N] [--engine sync|pipelined] [--csv <dir>] \
          [--sigma s1,s2,...] [--fallback reject|minimal[:<w>]|all] \
          [--checkpoint-every N] [--checkpoint-dir <dir>] [--restore-from <file>] [--restore-check] \
          [--fault-seed N]\n       \
-         experiments swarm [--scale paper|mid|quick] [--shards N] [--engine sync|pipelined] \
+         experiments swarm [--scale paper|mid|quick] [--shards N] [--phase-b-workers N] [--engine sync|pipelined] \
          [--seed N] [--churn F] [--fault-seed N] [--verify]\n       \
          experiments serve [--socket PATH] [--shards N] [--engine sync|pipelined] [--ticks N]"
     );
@@ -315,6 +331,7 @@ fn scenario(
     name: &str,
     scale: Scale,
     shards: usize,
+    phase_b_workers: usize,
     engine: EngineKind,
     sigmas: Option<&[f64]>,
     fallbacks: Option<&[FallbackPolicy]>,
@@ -324,7 +341,10 @@ fn scenario(
     fault_seed: Option<u64>,
 ) {
     let scenario_scale = scale.scenario_params(2015);
-    let mut base = ScenarioRunParams::default().with_shards(shards).with_engine(engine);
+    let mut base = ScenarioRunParams::default()
+        .with_shards(shards)
+        .with_phase_b_workers(phase_b_workers)
+        .with_engine(engine);
     if let Some(seed) = fault_seed {
         base = base.with_fault_seed(seed);
     }
@@ -451,15 +471,27 @@ fn scenario(
 }
 
 /// Base simulation params at `scale` with the CLI's execution knobs.
-fn sim(scale: Scale, seed: u64, shards: usize, engine: EngineKind) -> SimulationParams {
-    scale.base(seed).with_shards(shards).with_engine(engine)
+fn sim(
+    scale: Scale,
+    seed: u64,
+    shards: usize,
+    workers: usize,
+    engine: EngineKind,
+) -> SimulationParams {
+    scale.base(seed).with_shards(shards).with_phase_b_workers(workers).with_engine(engine)
 }
 
 /// Figure 7 (a-c): vary N at eps = 10.
-fn fig7(scale: Scale, shards: usize, engine: EngineKind, csv_dir: Option<&std::path::Path>) {
+fn fig7(
+    scale: Scale,
+    shards: usize,
+    workers: usize,
+    engine: EngineKind,
+    csv_dir: Option<&std::path::Path>,
+) {
     println!("## Figure 7 — varying the number of objects (eps = 10 m)");
     println!("   panels: (a) index size, (b) top-10 score, (c) SinglePath ms/epoch");
-    let rows = figure7(&scale.fig7_ns(), sim(scale, 2008, shards, engine));
+    let rows = figure7(&scale.fig7_ns(), sim(scale, 2008, shards, workers, engine));
     println!("{}", format_fig7(&rows));
     if let Some(dir) = csv_dir {
         let data: Vec<Vec<String>> = rows
@@ -495,11 +527,17 @@ fn fig7(scale: Scale, shards: usize, engine: EngineKind, csv_dir: Option<&std::p
 }
 
 /// Figure 8 (a-c): vary eps at the scale's fixed N.
-fn fig8(scale: Scale, shards: usize, engine: EngineKind, csv_dir: Option<&std::path::Path>) {
+fn fig8(
+    scale: Scale,
+    shards: usize,
+    workers: usize,
+    engine: EngineKind,
+    csv_dir: Option<&std::path::Path>,
+) {
     let n = scale.fig8_n();
     println!("## Figure 8 — varying the tolerance (N = {n})");
     println!("   panels: (a) index size, (b) top-10 score, (c) SinglePath ms/epoch");
-    let base = SimulationParams { n, ..sim(scale, 2009, shards, engine) };
+    let base = SimulationParams { n, ..sim(scale, 2009, shards, workers, engine) };
     let rows = figure8(&scale.fig8_eps(), base);
     println!("{}", format_fig8(&rows));
     if let Some(dir) = csv_dir {
@@ -536,9 +574,9 @@ fn fig8(scale: Scale, shards: usize, engine: EngineKind, csv_dir: Option<&std::p
 }
 
 /// Figure 9: the discovered network map.
-fn fig9(scale: Scale, shards: usize, engine: EngineKind) {
+fn fig9(scale: Scale, shards: usize, workers: usize, engine: EngineKind) {
     println!("## Figure 9 — all motion paths with hotness > 0 (vs the hidden network)");
-    let params = SimulationParams { n: scale.map_n(), ..sim(scale, 2010, shards, engine) };
+    let params = SimulationParams { n: scale.map_n(), ..sim(scale, 2010, shards, workers, engine) };
     let (paths, res) = figure9(params);
     let (cols, rows_) = (96, 30);
     let net = network_map(&res.network, cols, rows_);
@@ -556,9 +594,9 @@ fn fig9(scale: Scale, shards: usize, engine: EngineKind) {
 }
 
 /// Figure 10: top-20 hottest paths in the center.
-fn fig10_(scale: Scale, shards: usize, engine: EngineKind) {
+fn fig10_(scale: Scale, shards: usize, workers: usize, engine: EngineKind) {
     println!("## Figure 10 — top 20 hottest motion paths, city center");
-    let params = SimulationParams { n: scale.map_n(), ..sim(scale, 2010, shards, engine) };
+    let params = SimulationParams { n: scale.map_n(), ..sim(scale, 2010, shards, workers, engine) };
     let (paths, center, _res) = figure10(params, 20);
     let map = paths_map(center, &paths, 72, 24);
     print!("{}", indent(&map.render()));
@@ -571,12 +609,12 @@ fn fig10_(scale: Scale, shards: usize, engine: EngineKind) {
 }
 
 /// The in-text claims of Section 6.2.
-fn claims(scale: Scale, shards: usize, engine: EngineKind) {
+fn claims(scale: Scale, shards: usize, workers: usize, engine: EngineKind) {
     println!("## Section 6.2 in-text claims");
     // Claim i: at the largest N, SinglePath stores ~16% more segments
     // than DP (10,896 vs 9,416 in the paper).
     let n = *scale.fig7_ns().last().expect("non-empty sweep");
-    let res = run(SimulationParams { n, ..sim(scale, 2008, shards, engine) });
+    let res = run(SimulationParams { n, ..sim(scale, 2008, shards, workers, engine) });
     let sp = res.summary.mean_index_size;
     let dp = res.summary.mean_dp_index_size;
     println!(
@@ -584,7 +622,7 @@ fn claims(scale: Scale, shards: usize, engine: EngineKind) {
         100.0 * (sp - dp) / dp.max(1.0)
     );
     // Claim ii: SinglePath can beat DP on score (paper: at N=20000).
-    let rows = figure7(&scale.fig7_ns(), sim(scale, 2008, shards, engine));
+    let rows = figure7(&scale.fig7_ns(), sim(scale, 2008, shards, workers, engine));
     let wins: Vec<usize> = rows.iter().filter(|r| r.sp_score > r.dp_score).map(|r| r.n).collect();
     println!("   (ii) SinglePath score beats DP at N in {wins:?} (paper: at N=20,000)");
     // Claim iii is printed by fig8's shape line.
@@ -600,10 +638,10 @@ fn claims(scale: Scale, shards: usize, engine: EngineKind) {
 }
 
 /// The Section 7 feedback extension ablation.
-fn hinted(scale: Scale, shards: usize, engine: EngineKind) {
+fn hinted(scale: Scale, shards: usize, workers: usize, engine: EngineKind) {
     println!("## Section 7 extension — hinted RayTrace ablation");
     let n = scale.fig8_n();
-    let base = SimulationParams { n, run_dp: false, ..sim(scale, 2011, shards, engine) };
+    let base = SimulationParams { n, run_dp: false, ..sim(scale, 2011, shards, workers, engine) };
     let plain = run(base.clone());
     let hinted = run(SimulationParams { hints: true, ..base });
     println!(
@@ -622,11 +660,11 @@ fn hinted(scale: Scale, shards: usize, engine: EngineKind) {
 }
 
 /// Ablation of the Cases-2/3 FSA-overlap machinery (Example 2).
-fn ablate(scale: Scale, shards: usize, engine: EngineKind) {
+fn ablate(scale: Scale, shards: usize, workers: usize, engine: EngineKind) {
     use hotpath_core::strategy::OverlapPolicy;
     println!("## Ablation — Algorithm 2 overlap analysis vs naive vertices");
     let n = scale.fig8_n();
-    let base = SimulationParams { n, run_dp: false, ..sim(scale, 2012, shards, engine) };
+    let base = SimulationParams { n, run_dp: false, ..sim(scale, 2012, shards, workers, engine) };
     let full = run(base.clone());
     let own = run(SimulationParams { overlap: OverlapPolicy::Own, ..base });
     for (tag, res) in [("full (Alg. 2)", &full), ("own-centroid ", &own)] {
@@ -650,12 +688,15 @@ fn ablate(scale: Scale, shards: usize, engine: EngineKind) {
 }
 
 /// Communication-economy comparison of client filters (extension).
-fn filters(scale: Scale, shards: usize, engine: EngineKind) {
+fn filters(scale: Scale, shards: usize, workers: usize, engine: EngineKind) {
     use hotpath_sim::experiment::filter_economy;
     println!("## Filter economy — naive vs dead reckoning vs RayTrace");
     let n = scale.fig8_n();
-    let e =
-        filter_economy(SimulationParams { n, run_dp: false, ..sim(scale, 2013, shards, engine) });
+    let e = filter_economy(SimulationParams {
+        n,
+        run_dp: false,
+        ..sim(scale, 2013, shards, workers, engine)
+    });
     let pct = |msgs: u64| 100.0 * msgs as f64 / e.naive_msgs.max(1) as f64;
     println!("   measurements        : {:>12}", e.measurements);
     println!(
@@ -803,9 +844,11 @@ fn checkpoint_bench(shards: usize) {
 /// `client_swarm`: the deterministic serving load generator. With
 /// `--verify`, runs the identical schedule on both engine backends and
 /// exits 1 unless the final snapshots are fingerprint-identical.
+#[allow(clippy::too_many_arguments)]
 fn swarm_cmd(
     scale: Scale,
     shards: usize,
+    phase_b_workers: usize,
     engine: EngineKind,
     seed: Option<u64>,
     churn: Option<f64>,
@@ -817,7 +860,10 @@ fn swarm_cmd(
         Scale::Mid => SwarmParams::quick().with_writers(32).with_ticks(300).with_churn(0.1),
         Scale::Paper => SwarmParams::full(),
     };
-    let mut run = RunOptions::default().with_shards(shards).with_engine(engine);
+    let mut run = RunOptions::default()
+        .with_shards(shards)
+        .with_phase_b_workers(phase_b_workers)
+        .with_engine(engine);
     if let Some(seed) = fault_seed {
         run = run.with_fault_seed(seed);
     }

@@ -49,8 +49,9 @@ use crate::raytrace::ClientState;
 use crate::session::{SessionCounters, SessionEvent, SessionRecord, SessionTable};
 use crate::stats::{AdmissionStats, CommStats, ProcessingStats};
 use crate::strategy::{
-    phase_a, phase_b, process_batch_prepared, CaseTally, FsaCache, FsaSet, OverlapPolicy,
-    PathStore, PhaseAOutput, ScratchArena, Selection,
+    phase_a, phase_b, phase_b_apply, phase_b_eval, process_batch_pooled, CaseTally, FsaCache,
+    FsaSet, OverlapPolicy, PathReader, PathStore, PhaseAOutput, PhaseBLoad, ScratchArena,
+    Selection, WorkerPool,
 };
 use crate::time::Timestamp;
 use crate::ObjectId;
@@ -130,6 +131,11 @@ pub struct HotSnapshot {
     pub sessions_healthy: usize,
     /// Sessions currently Dropped (lease expired, inside grace).
     pub sessions_dropped: usize,
+    /// Phase-B load telemetry for the published epoch: worker count,
+    /// deferred/region/chunk counts, chunks stolen, per-worker busy
+    /// time, and the worst/mean imbalance ratio. Observational only —
+    /// timings and steal counts vary by machine; results never do.
+    pub phase_b: PhaseBLoad,
 }
 
 impl HotSnapshot {
@@ -148,6 +154,7 @@ impl HotSnapshot {
             session_events: Arc::from(Vec::new()),
             sessions_healthy: 0,
             sessions_dropped: 0,
+            phase_b: PhaseBLoad::default(),
         }
     }
 }
@@ -254,12 +261,37 @@ impl PathStore for ShardedStore<'_> {
         self.shards.iter().map(|s| s.hotness.get(id)).sum()
     }
 
+    fn vertex_key(&self, p: &Point) -> crate::index::VertexKey {
+        // Every shard quantizes with the same grain.
+        self.shards[0].index.vertex_key(p)
+    }
+
     fn commit(&mut self, start: Point, end: Point, te: Timestamp) -> (PathId, bool, Point) {
         let shard = &mut self.shards[self.router.shard_of(&start)];
         let (id, created) = shard.index.insert_with(start, end, self.next_id);
         let path = *shard.index.get(id).expect("just inserted");
         shard.hotness.record_crossing(id, te, path.length());
         (id, created, path.end())
+    }
+}
+
+/// The read-only merged view the parallel Phase-B eval workers share
+/// when the coordinator is sharded — the same per-key merge as
+/// [`ShardedStore::end_vertices_into`], minus the mutation surface, so
+/// it can be `Sync` over plain `&[Shard]`.
+struct ShardedReader<'a> {
+    shards: &'a [Shard],
+}
+
+impl PathReader for ShardedReader<'_> {
+    fn end_vertices_into(&self, fsa: &Rect, out: &mut VertexGroups) {
+        out.clear();
+        for shard in self.shards {
+            shard.index.for_each_end_in(fsa, |entry| {
+                out.push(shard.index.vertex_key(&entry.endpoint), entry.endpoint, entry.path);
+            });
+        }
+        out.finish();
     }
 }
 
@@ -305,6 +337,14 @@ pub struct Coordinator {
     sessions: Option<SessionTable>,
     /// Admission-control counters (what drain-ingest did with overload).
     admission: AdmissionStats,
+    /// The one resolved Phase-B worker budget both epoch paths
+    /// (single-shard `stage_strategy` and `process_batch_sharded`)
+    /// consult — no stage re-derives its own thread count.
+    phase_b_pool: WorkerPool,
+    /// Phase-B load telemetry from the last processed epoch, published
+    /// in snapshots. Observational only: never checkpointed, and a
+    /// restored coordinator starts from the default (all-zero) record.
+    last_phase_b: PhaseBLoad,
     /// Session transitions drained at the last publish, shared into
     /// snapshots.
     last_session_events: Arc<[SessionEvent]>,
@@ -346,8 +386,25 @@ impl Coordinator {
             cache: RefCell::new(ReadCache::default()),
             sessions,
             admission: AdmissionStats::default(),
+            phase_b_pool: WorkerPool::new(config.phase_b_workers),
+            last_phase_b: PhaseBLoad::default(),
             last_session_events: Arc::from(Vec::new()),
         }
+    }
+
+    /// Overrides the Phase-B worker pool, bypassing the hardware clamp
+    /// [`WorkerPool::new`] applies to the configured `phase_b_workers`.
+    /// For tests and benches that must drive the multi-worker eval path
+    /// (chunk queues, stealing, deterministic merge) on machines with
+    /// fewer cores than workers. Results are identical either way.
+    pub fn with_phase_b_pool(mut self, pool: WorkerPool) -> Self {
+        self.phase_b_pool = pool;
+        self
+    }
+
+    /// In-place form of [`Coordinator::with_phase_b_pool`].
+    pub fn set_phase_b_pool(&mut self, pool: WorkerPool) {
+        self.phase_b_pool = pool;
     }
 
     /// Enables hot-path hints in endpoint responses (the Section 7
@@ -593,23 +650,26 @@ impl Coordinator {
         } else {
             self.overlap_policy
         };
-        let (selections, tally) = if self.shards.len() == 1 {
+        let (selections, tally, load) = if self.shards.len() == 1 {
             // Sequential fast path — the pre-sharding coordinator,
-            // bit for bit (one index, its own id counter, no threads).
+            // bit for bit (one index, its own id counter, no threads)
+            // whenever the pool resolves to one worker.
             let fsas = Self::epoch_fsas(&mut self.fsa_cache, &batch.states, policy);
             let shard = &mut self.shards[0];
-            process_batch_prepared(
+            process_batch_pooled(
                 &batch.states,
                 &mut shard.index,
                 &mut shard.hotness,
                 &mut shard.scratch,
                 fsas,
                 policy,
+                self.phase_b_pool,
             )
         } else {
             // The per-shard slices were routed at submit time.
             self.process_batch_sharded(&batch.states, &batch.parts, policy)
         };
+        self.last_phase_b = load;
         self.processing.strategy_time += start.elapsed();
         self.processing.epochs += 1;
         self.processing.states_processed += batch.states.len() as u64;
@@ -676,7 +736,7 @@ impl Coordinator {
         states: &[ClientState],
         parts: &[Vec<u32>],
         policy: OverlapPolicy,
-    ) -> (Vec<Selection>, CaseTally) {
+    ) -> (Vec<Selection>, CaseTally, PhaseBLoad) {
         let mut outputs: Vec<(usize, PhaseAOutput)> = Vec::with_capacity(self.shards.len());
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.shards.len());
@@ -740,26 +800,56 @@ impl Coordinator {
         // overlap structure — query-equivalent to a from-scratch build
         // of this batch, at O(changed) grid edits instead of a rebuild.
         let fsas = Self::epoch_fsas(&mut self.fsa_cache, states, policy);
-        let mut groups = std::mem::take(&mut self.front.groups);
-        let mut store = ShardedStore {
-            shards: &mut self.shards,
-            router: self.router,
-            next_id: &mut self.next_path_id,
-        };
-        phase_b(
-            states,
-            &deferred,
-            &mut store,
-            fsas,
-            policy,
-            &mut tally,
-            &mut selections,
-            &mut groups,
-        );
+        let workers = self.phase_b_pool.for_items(deferred.len());
+        let load;
+        if workers > 1 {
+            // Parallel Phase B: the pure eval pass fans out over the
+            // read-only merged shard view; the live pass (hotness sums
+            // and authoritative commits) then applies in deferred order.
+            let reader = ShardedReader { shards: &self.shards };
+            let eval = phase_b_eval(states, &deferred, &reader, fsas, policy, workers);
+            load = eval.load.clone();
+            let mut store = ShardedStore {
+                shards: &mut self.shards,
+                router: self.router,
+                next_id: &mut self.next_path_id,
+            };
+            phase_b_apply(
+                states,
+                &deferred,
+                &eval,
+                &mut store,
+                fsas,
+                policy,
+                &mut tally,
+                &mut selections,
+            );
+        } else {
+            let t0 = Instant::now();
+            let mut groups = std::mem::take(&mut self.front.groups);
+            let mut store = ShardedStore {
+                shards: &mut self.shards,
+                router: self.router,
+                next_id: &mut self.next_path_id,
+            };
+            phase_b(
+                states,
+                &deferred,
+                &mut store,
+                fsas,
+                policy,
+                &mut tally,
+                &mut selections,
+                &mut groups,
+            );
+            self.front.groups = groups;
+            let mut l = PhaseBLoad::sequential(deferred.len());
+            l.busy_ns = vec![t0.elapsed().as_nanos() as u64];
+            load = l;
+        }
         deferred.clear();
         self.front.deferred = deferred;
-        self.front.groups = groups;
-        (selections, tally)
+        (selections, tally, load)
     }
 
     /// Builds (and accounts) the endpoint response for one selection.
@@ -858,6 +948,7 @@ impl Coordinator {
             session_events: self.last_session_events.clone(),
             sessions_healthy: self.sessions.as_ref().map_or(0, |t| t.healthy_count()),
             sessions_dropped: self.sessions.as_ref().map_or(0, |t| t.dropped_count()),
+            phase_b: self.last_phase_b.clone(),
         });
         self.cache.borrow_mut().snapshot = Some(snap.clone());
         snap
@@ -1231,6 +1322,12 @@ impl Coordinator {
                 ejected: stats.adm_ejected,
                 degraded_epochs: stats.degraded_epochs,
             },
+            // Rebuilt from the config, not the image: the worker budget
+            // is a machine-local performance knob (results are
+            // worker-invariant), so restoring on different hardware
+            // re-clamps cleanly.
+            phase_b_pool: WorkerPool::new(config.phase_b_workers),
+            last_phase_b: PhaseBLoad::default(),
             last_session_events: Arc::from(Vec::new()),
         })
     }

@@ -15,16 +15,18 @@
 
 use crate::fxhash::FxHashMap;
 use crate::geometry::{Point, Rect};
-use std::cell::RefCell;
 
 /// Reusable query scratch: the stamped `seen` bitmap behind the
-/// allocation- and sort-free [`FsaSet::intersecting`], plus the buffers
-/// of the [`FsaSet::max_depth_region`] slab sweep. Lives in a `RefCell`
-/// so the epoch-scoped set keeps its shared-query API; Phase B (the
-/// only consumer) is sequential, and the set is never shared across
-/// threads after construction.
+/// allocation- and sort-free intersection query, plus the buffers of
+/// the [`FsaSet::max_depth_region_in`] slab sweep. The scratch is
+/// *owned by the caller*, not by the set: the set itself is immutable
+/// (`Sync`) during queries, so parallel Phase B hands each worker
+/// thread its own `QueryScratch` and they all query one shared
+/// `&FsaSet` concurrently. The allocating convenience wrappers
+/// ([`FsaSet::intersecting`], [`FsaSet::max_depth_region`]) build a
+/// throwaway scratch per call for tests and diagnostics.
 #[derive(Clone, Debug, Default)]
-struct QueryScratch {
+pub struct QueryScratch {
     /// Per-rect generation stamps: `stamps[i] == gen` means rect `i` was
     /// already accepted by the current `intersecting` call.
     stamps: Vec<u32>,
@@ -66,7 +68,6 @@ pub struct FsaSet {
     /// Live rect count (equals `rects.len()` for from-scratch builds;
     /// excludes free slots under incremental maintenance).
     live: usize,
-    scratch: RefCell<QueryScratch>,
 }
 
 impl FsaSet {
@@ -140,7 +141,7 @@ impl FsaSet {
             debug_assert!(grid.values().all(|ids| ids.windows(2).all(|w| w[0] < w[1])));
         }
         let live = rects.len();
-        FsaSet { rects, cell, grid, live, scratch: RefCell::new(QueryScratch::default()) }
+        FsaSet { rects, cell, grid, live }
     }
 
     /// Rasterizes `rects` (whose global indices start at `base`) into
@@ -175,6 +176,16 @@ impl FsaSet {
     /// Cell edge length of the rasterization grid.
     pub fn cell(&self) -> f64 {
         self.cell
+    }
+
+    /// The rasterization-grid cell key containing `p`. Parallel Phase B
+    /// orders its deferred states by this key so one worker chunk
+    /// touches spatially coherent FSAs (shared grid cells stay warm and
+    /// a flash crowd's states land in contiguous chunks that the
+    /// stealing deque can redistribute).
+    #[inline]
+    pub fn cell_key(&self, p: &Point) -> (i64, i64) {
+        Self::key(self.cell, p)
     }
 
     /// The grid cells covered by `r` at this set's resolution, as the
@@ -237,11 +248,11 @@ impl FsaSet {
     /// Indices of FSAs intersecting `r` (deduplicated, ascending).
     /// Allocating convenience wrapper over the stamped internal query
     /// (tests and diagnostics; the hot loop goes through
-    /// [`FsaSet::max_depth_region`], which reads the scratch directly).
+    /// [`FsaSet::max_depth_region_in`] with a caller-owned scratch).
     pub fn intersecting(&self, r: &Rect) -> Vec<u32> {
-        let mut s = self.scratch.borrow_mut();
+        let mut s = QueryScratch::default();
         self.collect_intersecting(r, &mut s);
-        let mut out = s.hits.clone();
+        let mut out = s.hits;
         out.sort_unstable();
         out
     }
@@ -285,12 +296,28 @@ impl FsaSet {
     /// rectangle of maximal stabbing depth inside `clip`, together with
     /// that depth. Returns `None` when no FSA intersects `clip`.
     ///
+    /// Allocating convenience wrapper over
+    /// [`FsaSet::max_depth_region_in`] — a throwaway scratch per call.
+    /// Fine for tests and one-off diagnostics; the Phase-B hot loop
+    /// passes a reused per-worker scratch instead.
+    pub fn max_depth_region(&self, clip: &Rect) -> Option<(Rect, usize)> {
+        self.max_depth_region_in(clip, &mut QueryScratch::default())
+    }
+
+    /// [`FsaSet::max_depth_region`] with a caller-owned scratch: the
+    /// set is only read (`&self`), so any number of worker threads can
+    /// run this concurrently against one shared set, each with its own
+    /// `scratch` — the `Sync` query path parallel Phase B rides on.
+    ///
     /// Closed-set semantics throughout: rectangles touching only at an
     /// edge still overlap there, matching [`Rect::intersects`].
-    pub fn max_depth_region(&self, clip: &Rect) -> Option<(Rect, usize)> {
-        let mut scratch = self.scratch.borrow_mut();
-        self.collect_intersecting(clip, &mut scratch);
-        let QueryScratch { hits, local, xs, events, .. } = &mut *scratch;
+    pub fn max_depth_region_in(
+        &self,
+        clip: &Rect,
+        scratch: &mut QueryScratch,
+    ) -> Option<(Rect, usize)> {
+        self.collect_intersecting(clip, scratch);
+        let QueryScratch { hits, local, xs, events, .. } = scratch;
         local.clear();
         local.extend(hits.iter().map(|&i| {
             self.rects[i as usize]

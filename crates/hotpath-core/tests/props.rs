@@ -599,3 +599,115 @@ proptest! {
         prop_assert_eq!(third.as_bytes(), image.as_bytes(), "double restore drifted");
     }
 }
+
+// ---------------- parallel Phase B ----------------
+
+/// One epoch's observable output under a given pool: responses,
+/// snapshot score bits, index size, top-k ids, and the deterministic
+/// deferred count from the Phase-B load record.
+type ParallelEpochRow = (Vec<(u64, u64, u64, u64)>, u64, usize, Vec<u64>, usize);
+
+proptest! {
+    // Each case replays the same random schedule at seven pool x shard
+    // combinations, so a small deterministic case count keeps tier-1
+    // wall time in check.
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The tentpole pin: parallel Phase B is bit-for-bit the sequential
+    /// strategy through the full coordinator, for any random schedule,
+    /// at workers {2, 4, 8} x shards {1, 4} — forced past the hardware
+    /// clamp with `WorkerPool::exact`, so the scoped workers, the
+    /// work-stealing deques, and the deterministic merge genuinely run
+    /// even on a single-core machine (a 1-core box timeshares the
+    /// workers, which still exercises arbitrary steal interleavings).
+    #[test]
+    fn parallel_phase_b_matches_sequential_through_coordinator(
+        seed in 0u64..100_000,
+        epochs in 2u64..5,
+        fleet in 70usize..110,
+    ) {
+        use hotpath_core::strategy::WorkerPool;
+
+        let run = |shards: usize, pool: WorkerPool| {
+            let config = Config::paper_defaults()
+                .with_tolerance(Tolerance::crisp(10.0))
+                .with_window(30)
+                .with_epoch(10)
+                .with_k(6)
+                .with_shards(shards);
+            let mut c = Coordinator::new(config).with_phase_b_pool(pool);
+            let mut s = seed | 1;
+            let mut roll = move || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s >> 33
+            };
+            let mut log: Vec<ParallelEpochRow> = Vec::new();
+            let mut engaged = 0usize;
+            for e in 1..=epochs {
+                for i in 0..fleet as u64 {
+                    let r = roll();
+                    // Unique starts per (epoch, object) keep the whole
+                    // fleet deferring to Phase B; FSAs pile onto a few
+                    // cluster centers (the flash-crowd shape) so the
+                    // region partition skews and workers must steal.
+                    let cx = ((r % 5) * 400) as f64 + (r % 37) as f64;
+                    let cy = ((r % 3) * 350) as f64 + (r % 23) as f64;
+                    let half = 25.0 + (r % 3) as f64 * 10.0;
+                    c.submit(ClientState {
+                        object: ObjectId(i),
+                        start: Point::new(e as f64 * 1000.0 + i as f64 * 3.0, 9000.0),
+                        ts: Timestamp(e * 10 - 9),
+                        fsa: Rect::new(
+                            Point::new(cx - half, cy - half),
+                            Point::new(cx + half, cy + half),
+                        ),
+                        te: Timestamp(e * 10 - 1),
+                    });
+                }
+                let responses: Vec<(u64, u64, u64, u64)> = c
+                    .process_epoch(Timestamp(e * 10))
+                    .iter()
+                    .map(|r| {
+                        (
+                            r.object.0,
+                            r.endpoint.p.x.to_bits(),
+                            r.endpoint.p.y.to_bits(),
+                            r.endpoint.t.raw(),
+                        )
+                    })
+                    .collect();
+                let snap = c.snapshot();
+                engaged = engaged.max(snap.phase_b.workers);
+                log.push((
+                    responses,
+                    snap.top_k_score.to_bits(),
+                    snap.index_size,
+                    snap.top_k.iter().map(|h| h.path.id.0).collect(),
+                    snap.phase_b.deferred,
+                ));
+            }
+            c.check_consistency().expect("coordinator inconsistent");
+            (log, engaged)
+        };
+
+        let (reference, _) = run(1, WorkerPool::exact(1));
+        // The schedule must actually feed Phase B, or the pin is vacuous.
+        prop_assert!(
+            reference.iter().any(|row| row.4 >= 64),
+            "schedule never deferred enough to engage the parallel path"
+        );
+        for shards in [1usize, 4] {
+            for workers in [2usize, 4, 8] {
+                let (observed, engaged) = run(shards, WorkerPool::exact(workers));
+                prop_assert_eq!(
+                    &reference,
+                    &observed,
+                    "divergence at {} workers / {} shards",
+                    workers,
+                    shards
+                );
+                prop_assert!(engaged > 1, "pool of {} never ran parallel", workers);
+            }
+        }
+    }
+}

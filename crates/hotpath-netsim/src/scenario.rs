@@ -85,6 +85,18 @@ pub struct EpochSample {
     pub turned_away: u64,
     /// Cumulative epochs that degraded Phase B under overload.
     pub degraded_epochs: u64,
+    /// Phase-B eval workers the epoch actually used (1 = sequential).
+    pub phase_b_workers: usize,
+    /// States Phase A deferred to Phase B this epoch. Deterministic —
+    /// identical at every worker, shard, and engine count, so parity
+    /// fingerprints include it.
+    pub phase_b_deferred: usize,
+    /// Chunks stolen across Phase-B workers this epoch. Timing-driven
+    /// and machine-dependent; excluded from parity fingerprints.
+    pub phase_b_stolen: u64,
+    /// Worst-worker / mean per-worker Phase-B busy-time ratio (1.0 when
+    /// sequential). Timing-driven; excluded from parity fingerprints.
+    pub phase_b_imbalance: f64,
 }
 
 /// Everything a driver run exposes to [`Scenario::check_invariants`].
@@ -268,6 +280,11 @@ pub const REGISTRY: &[ScenarioSpec] = &[
         name: "rush_hour_surge",
         summary: "time-varying Poisson commuter surge concentrated on hub vertices",
         build: |p| Box::new(RushHourSurgeScenario::new(p)),
+    },
+    ScenarioSpec {
+        name: "flash_crowd",
+        summary: "whole fleet stampedes into one hub cell, skewing Phase-B region load",
+        build: |p| Box::new(FlashCrowdScenario::new(p)),
     },
     ScenarioSpec {
         name: "evacuation_reroute",
@@ -682,6 +699,164 @@ impl Scenario for RushHourSurgeScenario {
             return Err(format!(
                 "rush_hour_surge: surge never rose above the base load ({} movers)",
                 self.base_movers
+            ));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// flash_crowd
+// ---------------------------------------------------------------------
+
+/// A flash crowd: the entire fleet stampedes toward *one* hub vertex
+/// for the middle of the run, concentrating every FSA into a handful of
+/// grid cells. This is the adversarial case for parallel Phase B — a
+/// region partition assigns nearly all deferred states to one region,
+/// so without work stealing one worker does everything while the rest
+/// idle. The invariant bounds the observed per-worker busy-time
+/// imbalance whenever the run actually executed Phase B in parallel
+/// (it is vacuous at `phase_b_workers = 1`, e.g. on single-core CI).
+pub struct FlashCrowdScenario {
+    net: RoadNetwork,
+    pop: Population,
+    rng: SmallRng,
+    hub: NodeId,
+    params: ScenarioParams,
+    base_movers: usize,
+    surge_from: u64,
+    surge_until: u64,
+    /// Largest concurrent mover count observed (ground truth for the
+    /// stampede invariant).
+    peak_movers: usize,
+}
+
+impl FlashCrowdScenario {
+    /// Builds the scenario: a trickle of weighted wanderers, then over
+    /// the middle 40% of the run the whole fleet moves and every mover
+    /// heads for the single heaviest crossroads.
+    pub fn new(params: &ScenarioParams) -> Self {
+        let net = generate(params.network);
+        let hub = RushHourSurgeScenario::hub_nodes(&net, 1)[0];
+        let pop = Population::new(
+            &net,
+            PopulationParams {
+                agility: 0.1,
+                ..PopulationParams::paper_defaults(params.n, params.seed.wrapping_add(1))
+            },
+        );
+        let base_movers = pop.movers();
+        FlashCrowdScenario {
+            net,
+            pop,
+            rng: SmallRng::seed_from_u64(params.seed.wrapping_add(2)),
+            hub,
+            params: *params,
+            base_movers,
+            surge_from: params.duration * 3 / 10,
+            surge_until: params.duration * 7 / 10,
+            peak_movers: base_movers,
+        }
+    }
+
+    /// The single vertex the crowd converges on.
+    pub fn hub(&self) -> NodeId {
+        self.hub
+    }
+}
+
+impl Scenario for FlashCrowdScenario {
+    fn name(&self) -> &'static str {
+        "flash_crowd"
+    }
+    fn network(&self) -> &RoadNetwork {
+        &self.net
+    }
+    fn n(&self) -> usize {
+        self.params.n
+    }
+    fn duration(&self) -> u64 {
+        self.params.duration
+    }
+    fn seed_timepoint(&self, obj: ObjectId, t: Timestamp) -> TimePoint {
+        self.pop.seed_timepoint(&self.net, obj, t)
+    }
+    fn tick(&mut self, t: Timestamp, out: &mut Vec<Measurement>) {
+        let raw = t.raw();
+        if raw == self.surge_from {
+            // The stampede begins: every object heads for the one hub.
+            let hub = self.net.node(self.hub).pos;
+            self.pop.retarget(move |_| Some(ChoicePolicy::Toward(hub)));
+        }
+        if raw == self.surge_until {
+            // Crowd disperses: back to undirected weighted wandering.
+            self.pop.retarget(|_| Some(ChoicePolicy::default()));
+        }
+        // A flash crowd is a step, not a ramp: the full fleet moves for
+        // the whole window, with a small Poisson flicker so epochs are
+        // not byte-identical to each other.
+        let movers = if raw >= self.surge_from && raw < self.surge_until {
+            let flicker = poisson(&mut self.rng, (self.params.n / 20) as f64);
+            self.params.n.saturating_sub(flicker).max(self.base_movers)
+        } else {
+            self.base_movers
+        };
+        self.pop.set_movers(movers);
+        self.peak_movers = self.peak_movers.max(movers);
+        self.pop.tick(&self.net, t, out);
+    }
+    fn check_invariants(&self, outcome: &ScenarioOutcome) -> Result<(), String> {
+        require_discovery(self.name(), outcome)?;
+        // The stampede must actually have stampeded.
+        if self.peak_movers <= self.base_movers {
+            return Err(format!(
+                "flash_crowd: the crowd never rose above the base load ({} movers)",
+                self.base_movers
+            ));
+        }
+        // Load-balance bound, judged only on epochs that really ran
+        // Phase B in parallel with enough deferred states for chunking
+        // to matter. Vacuous when the run was sequential (workers = 1)
+        // or Phase B stayed small — single-core CI still passes.
+        let parallel: Vec<&EpochSample> = outcome
+            .per_epoch
+            .iter()
+            .filter(|e| e.phase_b_workers > 1 && e.phase_b_deferred >= 64)
+            .collect();
+        if parallel.is_empty() {
+            return Ok(());
+        }
+        for e in parallel.iter() {
+            if !e.phase_b_imbalance.is_finite() || e.phase_b_imbalance < 1.0 - 1e-9 {
+                return Err(format!(
+                    "flash_crowd: nonsensical imbalance {} at t={}",
+                    e.phase_b_imbalance,
+                    e.timestamp.raw()
+                ));
+            }
+            // max busy / mean busy can never exceed the worker count.
+            if e.phase_b_imbalance > e.phase_b_workers as f64 + 1e-9 {
+                return Err(format!(
+                    "flash_crowd: imbalance {} exceeds worker count {} at t={}",
+                    e.phase_b_imbalance,
+                    e.phase_b_workers,
+                    e.timestamp.raw()
+                ));
+            }
+        }
+        // With stealing on, the mean should sit well below the no-steal
+        // worst case (= worker count). The bound is deliberately loose:
+        // epochs are short, so scheduler noise dominates single epochs
+        // and only the mean is meaningful.
+        let mean =
+            parallel.iter().map(|e| e.phase_b_imbalance).sum::<f64>() / parallel.len() as f64;
+        let workers = parallel.iter().map(|e| e.phase_b_workers).max().unwrap_or(1);
+        let bound = (0.75 * workers as f64).max(2.0);
+        if mean > bound {
+            return Err(format!(
+                "flash_crowd: mean Phase-B imbalance {mean:.3} over {} parallel epochs \
+                 exceeds the stealing bound {bound:.3} (workers = {workers})",
+                parallel.len()
             ));
         }
         Ok(())
@@ -1168,7 +1343,7 @@ mod tests {
 
     #[test]
     fn registry_lists_all_scenarios_with_unique_names() {
-        assert!(REGISTRY.len() >= 9);
+        assert!(REGISTRY.len() >= 10);
         let mut names: Vec<&str> = REGISTRY.iter().map(|s| s.name).collect();
         names.sort_unstable();
         names.dedup();
@@ -1178,6 +1353,7 @@ mod tests {
             "evacuation",
             "sensor_dropout",
             "rush_hour_surge",
+            "flash_crowd",
             "evacuation_reroute",
             "surge_dropout",
             "mass_disconnect",
@@ -1402,6 +1578,10 @@ mod tests {
             session_ejections: 0,
             turned_away: 0,
             degraded_epochs: 0,
+            phase_b_workers: 1,
+            phase_b_deferred: 0,
+            phase_b_stolen: 0,
+            phase_b_imbalance: 1.0,
         };
         let outcome = ScenarioOutcome {
             per_epoch: vec![sample(5), sample(10), sample(15)],

@@ -128,7 +128,11 @@ impl SwarmParams {
 
     /// The engine configuration the swarm serves under.
     pub fn config(&self) -> Config {
-        Config::paper_defaults().with_epoch(10).with_window(100).with_shards(self.run.shards)
+        Config::paper_defaults()
+            .with_epoch(10)
+            .with_window(100)
+            .with_shards(self.run.shards)
+            .with_phase_b_workers(self.run.phase_b_workers)
     }
 
     fn fault_plan(&self) -> FaultPlan {

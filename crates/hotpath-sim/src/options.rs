@@ -22,6 +22,10 @@ pub struct RunOptions {
     /// Coordinator shards (1 = sequential; results are identical at
     /// every shard count).
     pub shards: usize,
+    /// Phase-B eval workers (1 = sequential Phase B; results are
+    /// identical at every worker count — the coordinator clamps to the
+    /// machine).
+    pub phase_b_workers: usize,
     /// Epoch-execution backend; results are identical for both.
     pub engine: EngineKind,
     /// Checkpoint controls: periodic image writes, warm-start restore,
@@ -38,6 +42,7 @@ impl Default for RunOptions {
     fn default() -> Self {
         RunOptions {
             shards: 1,
+            phase_b_workers: 1,
             engine: EngineKind::Sync,
             checkpoint: CheckpointPolicy::default(),
             fault_seed: 0xFA17,
@@ -49,6 +54,12 @@ impl RunOptions {
     /// Chainable shard-count override.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Chainable Phase-B worker-count override.
+    pub fn with_phase_b_workers(mut self, workers: usize) -> Self {
+        self.phase_b_workers = workers;
         self
     }
 
@@ -79,6 +90,7 @@ mod tests {
     fn defaults_are_sequential_sync_with_no_checkpointing() {
         let o = RunOptions::default();
         assert_eq!(o.shards, 1);
+        assert_eq!(o.phase_b_workers, 1);
         assert_eq!(o.engine, EngineKind::Sync);
         assert!(!o.checkpoint.is_active());
         assert_eq!(o.fault_seed, 0xFA17);
@@ -88,9 +100,11 @@ mod tests {
     fn chainable_overrides_compose() {
         let o = RunOptions::default()
             .with_shards(4)
+            .with_phase_b_workers(2)
             .with_engine(EngineKind::Pipelined)
             .with_fault_seed(9182);
         assert_eq!(o.shards, 4);
+        assert_eq!(o.phase_b_workers, 2);
         assert_eq!(o.engine, EngineKind::Pipelined);
         assert_eq!(o.fault_seed, 9182);
     }

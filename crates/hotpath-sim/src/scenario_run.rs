@@ -89,7 +89,8 @@ impl ScenarioRunParams {
             .with_epoch(self.epoch)
             .with_k(self.k)
             .with_grid_cell((8.0 * self.eps).max(50.0))
-            .with_shards(self.run.shards);
+            .with_shards(self.run.shards)
+            .with_phase_b_workers(self.run.phase_b_workers);
         if let Some(hint) = scenario.robustness_hint() {
             if hint.lease > 0 {
                 config = config.with_lease(hint.lease, hint.grace);
@@ -107,6 +108,12 @@ impl ScenarioRunParams {
     /// Chainable shard-count override.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.run.shards = shards;
+        self
+    }
+
+    /// Chainable Phase-B worker-count override.
+    pub fn with_phase_b_workers(mut self, workers: usize) -> Self {
+        self.run.phase_b_workers = workers;
         self
     }
 
@@ -318,6 +325,10 @@ impl EpochDriver for ScenarioDriver<'_> {
             session_ejections: self.ejections,
             turned_away: snap.admission.turned_away(),
             degraded_epochs: snap.admission.degraded_epochs,
+            phase_b_workers: snap.phase_b.workers,
+            phase_b_deferred: snap.phase_b.deferred,
+            phase_b_stolen: snap.phase_b.stolen,
+            phase_b_imbalance: snap.phase_b.imbalance,
         });
         (None, None)
     }
@@ -410,11 +421,14 @@ pub fn run_named(
 }
 
 /// The observable fingerprint of a run used by the parity checks:
-/// per-epoch `(index size, score bits, top-k ids)`, final top-k, and
-/// communication counters.
+/// per-epoch `(index size, score bits, Phase-B deferred count, top-k
+/// ids)`, final top-k, and communication counters. The deferred count
+/// is the one Phase-B load field that is deterministic (a pure
+/// function of the epoch's batch), so it rides the fingerprint; the
+/// timing-driven fields (busy time, steals, imbalance) do not.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ParityTrace {
-    per_epoch: Vec<(usize, u64, Vec<u64>)>,
+    per_epoch: Vec<(usize, u64, usize, Vec<u64>)>,
     /// Per-epoch robustness gauges: `(healthy, dropped, connects,
     /// reconnects, ejections, turned_away, degraded_epochs)` — all
     /// zeros while the session layer is off, and pinned bit-for-bit
@@ -432,7 +446,7 @@ pub fn parity_trace(res: &ScenarioRunResult) -> ParityTrace {
             .outcome
             .per_epoch
             .iter()
-            .map(|e| (e.index_size, e.top_k_score.to_bits(), e.top_ids.clone()))
+            .map(|e| (e.index_size, e.top_k_score.to_bits(), e.phase_b_deferred, e.top_ids.clone()))
             .collect(),
         sessions: res
             .outcome

@@ -112,11 +112,18 @@ impl SimulationParams {
             // a caller bug (e.g. a miscomputed core count), not a
             // request for sequential mode.
             .with_shards(self.run.shards)
+            .with_phase_b_workers(self.run.phase_b_workers)
     }
 
     /// Chainable shard-count override.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.run.shards = shards;
+        self
+    }
+
+    /// Chainable Phase-B worker-count override.
+    pub fn with_phase_b_workers(mut self, workers: usize) -> Self {
+        self.run.phase_b_workers = workers;
         self
     }
 
